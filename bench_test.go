@@ -1,0 +1,225 @@
+// Package tablehound's root benchmark harness regenerates every
+// experiment indexed in DESIGN.md (one benchmark per reproduced table
+// or figure; the series itself is printed via b.Log and summarized in
+// ReportMetric), plus microbenchmarks of the core substrates.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package tablehound
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"tablehound/internal/embedding"
+	"tablehound/internal/exp"
+	"tablehound/internal/hnsw"
+	"tablehound/internal/invindex"
+	"tablehound/internal/josie"
+	"tablehound/internal/lsh"
+	"tablehound/internal/lshensemble"
+	"tablehound/internal/minhash"
+	"tablehound/internal/sketch"
+)
+
+// benchExperiment runs one experiment per iteration, logging the
+// regenerated table once and reporting a headline metric.
+func benchExperiment(b *testing.B, id string, metricRow, metricCol int, metricName string) {
+	b.Helper()
+	run, ok := exp.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var rep exp.Report
+	for i := 0; i < b.N; i++ {
+		rep = run()
+	}
+	b.Log("\n" + rep.String())
+	if metricRow < len(rep.Rows) && metricCol < len(rep.Rows[metricRow]) {
+		if v, err := strconv.ParseFloat(rep.Rows[metricRow][metricCol], 64); err == nil {
+			b.ReportMetric(v, metricName)
+		}
+	}
+}
+
+// One benchmark per reproduced table/figure (see DESIGN.md index).
+
+func BenchmarkE1LSHEnsemble(b *testing.B) { benchExperiment(b, "e1", 5, 2, "precision@32parts") }
+func BenchmarkE2Josie(b *testing.B)       { benchExperiment(b, "e2", 14, 2, "adaptive_cost_k50") }
+func BenchmarkE3TUS(b *testing.B)         { benchExperiment(b, "e3", 3, 1, "ensemble_MAP") }
+func BenchmarkE4Santos(b *testing.B)      { benchExperiment(b, "e4", 0, 1, "santos_P@5") }
+func BenchmarkE5Starmie(b *testing.B)     { benchExperiment(b, "e5", 2, 2, "contextual_MAP") }
+func BenchmarkE6HNSW(b *testing.B)        { benchExperiment(b, "e6", 5, 1, "recall@ef320") }
+func BenchmarkE7Annotate(b *testing.B)    { benchExperiment(b, "e7", 2, 1, "learned_accuracy") }
+func BenchmarkE8Domain(b *testing.B)      { benchExperiment(b, "e8", 0, 1, "d4_NMI") }
+func BenchmarkE9QCR(b *testing.B)         { benchExperiment(b, "e9", 2, 2, "qcr_precision@10") }
+func BenchmarkE10Mate(b *testing.B)       { benchExperiment(b, "e10", 3, 4, "pruned_rows") }
+func BenchmarkE11Pexeso(b *testing.B)     { benchExperiment(b, "e11", 4, 2, "fuzzy@0.8corruption") }
+func BenchmarkE12Homograph(b *testing.B)  { benchExperiment(b, "e12", 1, 1, "precision@6") }
+func BenchmarkE13Nav(b *testing.B)        { benchExperiment(b, "e13", 2, 2, "nav_cost_256") }
+func BenchmarkE14Arda(b *testing.B)       { benchExperiment(b, "e14", 2, 1, "arda_RMSE") }
+func BenchmarkE15Keyword(b *testing.B)    { benchExperiment(b, "e15", 0, 1, "bm25_MAP") }
+func BenchmarkE16Scale(b *testing.B)      { benchExperiment(b, "e16", 6, 3, "josie_query_ms_16k") }
+func BenchmarkE17KBvsLM(b *testing.B)     { benchExperiment(b, "e17", 2, 4, "hybrid_F1_cov0.3") }
+func BenchmarkE18Stitch(b *testing.B)     { benchExperiment(b, "e18", 1, 2, "stitched_facts") }
+func BenchmarkE19Learned(b *testing.B)    { benchExperiment(b, "e19", 4, 3, "learned_ns_1M_eps64") }
+func BenchmarkE20QueryTime(b *testing.B)  { benchExperiment(b, "e20", 0, 1, "online_ms_1query") }
+func BenchmarkE21Valentine(b *testing.B)  { benchExperiment(b, "e21", 8, 2, "combined_acc_renamed") }
+func BenchmarkE22Aurum(b *testing.B)      { benchExperiment(b, "e22", 0, 1, "chains_recovered") }
+func BenchmarkE23D3L(b *testing.B)        { benchExperiment(b, "e23", 11, 2, "combined_MAP_disjoint") }
+
+// ---- Microbenchmarks of the substrates ----
+
+func benchValues(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("value_%06d", i)
+	}
+	return out
+}
+
+func BenchmarkMinHashSign1k(b *testing.B) {
+	h := minhash.NewHasher(128, 1)
+	vals := benchValues(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Sign(vals)
+	}
+}
+
+func BenchmarkMinHashJaccard(b *testing.B) {
+	h := minhash.NewHasher(128, 1)
+	s1 := h.Sign(benchValues(500))
+	s2 := h.Sign(benchValues(600))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		minhash.Jaccard(s1, s2)
+	}
+}
+
+func BenchmarkLSHQuery(b *testing.B) {
+	h := minhash.NewHasher(128, 1)
+	ix := lsh.New(32, 4)
+	for i := 0; i < 5000; i++ {
+		vals := make([]string, 50)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("v%d_%d", i, j)
+		}
+		ix.Add(fmt.Sprintf("k%d", i), h.Sign(vals))
+	}
+	q := h.Sign(benchValues(50))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(q)
+	}
+}
+
+func BenchmarkLSHEnsembleQuery(b *testing.B) {
+	h := minhash.NewHasher(128, 1)
+	ix := lshensemble.New(128, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		n := 10 + rng.Intn(500)
+		vals := make([]string, n)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("v%d_%d", i, j)
+		}
+		ix.Add(lshensemble.Domain{Key: fmt.Sprintf("k%d", i), Size: n, Sig: h.Sign(vals)})
+	}
+	if err := ix.Build(); err != nil {
+		b.Fatal(err)
+	}
+	q := benchValues(100)
+	sig := h.Sign(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query(sig, 100, 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJosieTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	zipf := rand.NewZipf(rng, 1.2, 1, 20000)
+	bld := invindex.NewBuilder()
+	var query []string
+	for i := 0; i < 10000; i++ {
+		n := 10 + rng.Intn(40)
+		vals := make([]string, n)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("t%d", zipf.Uint64())
+		}
+		if i == 500 {
+			query = vals
+		}
+		bld.Add(fmt.Sprintf("s%d", i), vals)
+	}
+	ix, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := josie.NewSearcher(ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TopK(query, 10, josie.Adaptive)
+	}
+}
+
+func BenchmarkHNSWSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := hnsw.New(hnsw.Config{M: 16, EfConstruction: 100, Seed: 3})
+	dim := 64
+	mk := func() embedding.Vector {
+		v := make(embedding.Vector, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		return v.Normalize()
+	}
+	for i := 0; i < 10000; i++ {
+		g.Add(fmt.Sprintf("v%d", i), mk())
+	}
+	q := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Search(q, 10, 64)
+	}
+}
+
+func BenchmarkEmbeddingTrain(b *testing.B) {
+	contexts := make([][]string, 200)
+	for i := range contexts {
+		contexts[i] = make([]string, 40)
+		for j := range contexts[i] {
+			contexts[i][j] = fmt.Sprintf("w%d", (i*7+j)%800)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		embedding.Train(contexts, embedding.Config{Dim: 64, Seed: 1})
+	}
+}
+
+func BenchmarkQCRTokens(b *testing.B) {
+	keys := benchValues(1000)
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i%97) - 48
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sketch.QCRTokens(keys, vals, 256)
+	}
+}
+
+func BenchmarkKMVAdd(b *testing.B) {
+	s := sketch.NewKMV(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddHash(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

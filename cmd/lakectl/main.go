@@ -1,0 +1,385 @@
+// Command lakectl is the command-line interface to the tablehound
+// table-discovery system: generate a synthetic data lake, inspect it,
+// run keyword/joinable/unionable searches and navigation over it, and
+// regenerate the reproduction experiments indexed in DESIGN.md.
+//
+// Usage:
+//
+//	lakectl gen -out DIR [-templates N] [-tables N] [-seed S]
+//	lakectl stats -lake DIR
+//	lakectl search -lake DIR -q "topic keywords" [-k 10]
+//	lakectl join -lake DIR -table ID -column NAME [-k 10]
+//	lakectl union -lake DIR -table ID [-k 10] [-method tus|santos|starmie]
+//	lakectl navigate -lake DIR -topic WORD
+//	lakectl exp ID|all
+//
+// A lake is a directory of CSV files (one table per file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tablehound/internal/core"
+	"tablehound/internal/datagen"
+	"tablehound/internal/exp"
+	"tablehound/internal/lake"
+	"tablehound/internal/union"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "join":
+		err = cmdJoin(os.Args[2:])
+	case "union":
+		err = cmdUnion(os.Args[2:])
+	case "navigate":
+		err = cmdNavigate(os.Args[2:])
+	case "vsearch":
+		err = cmdVSearch(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "match":
+		err = cmdMatch(os.Args[2:])
+	case "joinpath":
+		err = cmdJoinPath(os.Args[2:])
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lakectl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lakectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lakectl <command> [flags]
+
+commands:
+  gen       generate a synthetic data lake as a directory of CSVs
+  stats     print catalog statistics for a lake directory
+  search    keyword search over table metadata
+  join      find joinable columns for a query column
+  union     find unionable tables for a query table
+  navigate  descend the lake organization toward a topic
+  vsearch   keyword search over cell values, clustered by schema
+  profile   print a table's Auctus-style data profile
+  match     align the schemas of two tables
+  joinpath  find a chain of joins connecting two tables
+  exp       run a reproduction experiment (e1..e23 or "all")`)
+}
+
+func loadCatalog(dir string) (*lake.Catalog, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("missing -lake directory")
+	}
+	return lake.LoadCSVDir(dir)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "", "output directory (required)")
+	templates := fs.Int("templates", 8, "number of table templates")
+	tables := fs.Int("tables", 5, "tables per template")
+	domains := fs.Int("domains", 16, "number of value domains")
+	seed := fs.Int64("seed", 1, "generation seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	gen := datagen.Generate(datagen.Config{
+		Seed:              *seed,
+		NumDomains:        *domains,
+		NumTemplates:      *templates,
+		TablesPerTemplate: *tables,
+	})
+	for _, t := range gen.Tables {
+		f, err := os.Create(filepath.Join(*out, t.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d tables to %s\n", len(gen.Tables), *out)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	fs.Parse(args)
+	cat, err := loadCatalog(*dir)
+	if err != nil {
+		return err
+	}
+	s := cat.Stats()
+	fmt.Printf("tables:          %d\ncolumns:         %d\nrows:            %d\ndistinct values: %d\n",
+		s.Tables, s.Columns, s.Rows, s.DistinctValues)
+	return nil
+}
+
+func buildSystem(dir string) (*core.System, error) {
+	cat, err := loadCatalog(dir)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(cat, core.Options{})
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	q := fs.String("q", "", "query keywords")
+	k := fs.Int("k", 10, "results")
+	fs.Parse(args)
+	if *q == "" {
+		return fmt.Errorf("search: -q is required")
+	}
+	sys, err := buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	for i, r := range sys.KeywordSearch(*q, *k) {
+		t := sys.Catalog.Table(r.TableID)
+		fmt.Printf("%2d. %-20s %6.2f  %s\n", i+1, r.TableID, r.Score, t.Name)
+	}
+	return nil
+}
+
+func cmdJoin(args []string) error {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	tableID := fs.String("table", "", "query table ID")
+	column := fs.String("column", "", "query column name")
+	k := fs.Int("k", 10, "results")
+	fs.Parse(args)
+	sys, err := buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	t := sys.Catalog.Table(*tableID)
+	if t == nil {
+		return fmt.Errorf("join: no table %q", *tableID)
+	}
+	c := t.Column(*column)
+	if c == nil {
+		return fmt.Errorf("join: table %q has no column %q", *tableID, *column)
+	}
+	for i, m := range sys.JoinableColumns(c.Values, *k) {
+		fmt.Printf("%2d. %-32s overlap=%-5d containment=%.2f\n", i+1, m.ColumnKey, m.Overlap, m.Containment)
+	}
+	return nil
+}
+
+func cmdUnion(args []string) error {
+	fs := flag.NewFlagSet("union", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	tableID := fs.String("table", "", "query table ID")
+	k := fs.Int("k", 10, "results")
+	method := fs.String("method", "tus", "tus | santos | starmie | d3l")
+	fs.Parse(args)
+	sys, err := buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	t := sys.Catalog.Table(*tableID)
+	if t == nil {
+		return fmt.Errorf("union: no table %q", *tableID)
+	}
+	type row struct {
+		id    string
+		score float64
+	}
+	var rows []row
+	switch *method {
+	case "tus":
+		res, err := sys.TUS.Search(t, *k, union.EnsembleMeasure)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			rows = append(rows, row{r.TableID, r.Score})
+		}
+	case "santos":
+		res, err := sys.Santos.Search(t, *k, union.Hybrid)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			rows = append(rows, row{r.TableID, r.Score})
+		}
+	case "starmie":
+		res, err := sys.Starmie.SearchTables(t, *k, 64, false)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			rows = append(rows, row{r.TableID, r.Score})
+		}
+	case "d3l":
+		res, err := sys.D3L.Search(t, *k)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			rows = append(rows, row{r.TableID, r.Score})
+		}
+	default:
+		return fmt.Errorf("union: unknown method %q", *method)
+	}
+	for i, r := range rows {
+		fmt.Printf("%2d. %-20s %.3f\n", i+1, r.id, r.score)
+	}
+	return nil
+}
+
+func cmdNavigate(args []string) error {
+	fs := flag.NewFlagSet("navigate", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	topic := fs.String("topic", "", "topic keyword")
+	fs.Parse(args)
+	if *topic == "" {
+		return fmt.Errorf("navigate: -topic is required")
+	}
+	sys, err := buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	labels, tableID, err := sys.Navigate(*topic)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("path:   %s\nreached: %s\n", strings.Join(labels, " > "), tableID)
+	return nil
+}
+
+func cmdVSearch(args []string) error {
+	fs := flag.NewFlagSet("vsearch", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	q := fs.String("q", "", "query keywords")
+	k := fs.Int("k", 10, "max tables")
+	fs.Parse(args)
+	if *q == "" {
+		return fmt.Errorf("vsearch: -q is required")
+	}
+	sys, err := buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	for i, cl := range sys.ValueSearch(*q, *k) {
+		fmt.Printf("cluster %d (score %.2f, schema [%s]):\n", i+1, cl.Score, strings.Join(cl.Schema, ", "))
+		for _, id := range cl.TableIDs {
+			fmt.Printf("  %s\n", id)
+		}
+	}
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	tableID := fs.String("table", "", "table ID")
+	fs.Parse(args)
+	sys, err := buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	tp, ok := sys.Profiles.Profile(*tableID)
+	if !ok {
+		return fmt.Errorf("profile: no table %q", *tableID)
+	}
+	fmt.Print(tp.FormatSummary())
+	return nil
+}
+
+func cmdMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	src := fs.String("src", "", "source table ID")
+	dst := fs.String("dst", "", "target table ID")
+	threshold := fs.Float64("threshold", 0.4, "minimum correspondence score")
+	fs.Parse(args)
+	sys, err := buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	st := sys.Catalog.Table(*src)
+	dt := sys.Catalog.Table(*dst)
+	if st == nil || dt == nil {
+		return fmt.Errorf("match: tables %q, %q not both found", *src, *dst)
+	}
+	for _, c := range sys.MatchSchemas(st, dt, *threshold) {
+		fmt.Printf("%-20s <-> %-20s %.3f\n", c.Source, c.Target, c.Score)
+	}
+	return nil
+}
+
+func cmdJoinPath(args []string) error {
+	fs := flag.NewFlagSet("joinpath", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	from := fs.String("from", "", "source table ID")
+	to := fs.String("to", "", "target table ID")
+	hops := fs.Int("hops", 4, "maximum join hops")
+	fs.Parse(args)
+	sys, err := buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	path := sys.JoinPath(*from, *to, *hops)
+	if path == nil {
+		fmt.Printf("no join path from %s to %s within %d hops\n", *from, *to, *hops)
+		return nil
+	}
+	for i, h := range path {
+		fmt.Printf("%d. %s  JOIN  %s  (%s, %.2f)\n", i+1, h.FromColumn, h.ToColumn, h.Kind, h.Weight)
+	}
+	return nil
+}
+
+func cmdExp(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("exp: usage: lakectl exp <%s|all>", strings.Join(exp.IDs(), "|"))
+	}
+	id := strings.ToLower(args[0])
+	if id == "all" {
+		for _, eid := range exp.IDs() {
+			fmt.Println(exp.Registry[eid]())
+		}
+		return nil
+	}
+	run, ok := exp.Registry[id]
+	if !ok {
+		return fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(exp.IDs(), ", "))
+	}
+	fmt.Println(run())
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package tablehound is a from-scratch Go implementation of the table
+// discovery architecture surveyed in "Table Discovery in Data Lakes:
+// State-of-the-art and Future Directions" (Fan, Wang, Li, Miller —
+// SIGMOD 2023): table understanding, indexing, query-driven search
+// (keyword, joinable, unionable), navigation, and the data-science
+// applications built on top of them.
+//
+// The implementation lives under internal/; the core entry point is
+// internal/core.Build, which wires a lake catalog into a full
+// discovery System. See README.md for the architecture map, DESIGN.md
+// for the system inventory and experiment index, and EXPERIMENTS.md
+// for the reproduced results of the surveyed systems.
+package tablehound

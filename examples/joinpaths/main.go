@@ -1,0 +1,105 @@
+// Join-path discovery over an Aurum-style linkage graph (the
+// navigation-over-a-linkage-graph mode of Section 2.6): a data
+// scientist needs to connect two tables that share no column
+// directly, and asks the discovery graph for a chain of joins,
+// checking each hop's profile before committing.
+//
+//	go run ./examples/joinpaths
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tablehound/internal/aurum"
+	"tablehound/internal/profile"
+	"tablehound/internal/table"
+)
+
+func main() {
+	// A small enterprise lake: orders reference customers, customers
+	// live in cities, cities carry demographics. Orders and
+	// demographics share no column — only a 3-hop join connects them.
+	lake := buildLake()
+	g, err := aurum.Build(lake, aurum.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovery graph: %d columns, %d edges\n\n", g.NumColumns(), g.NumEdges())
+
+	// What is directly joinable with the orders table?
+	fmt.Println("neighbors of orders.customer_id:")
+	for _, e := range g.Neighbors("orders.customer_id", -1) {
+		fmt.Printf("  %-22s %-7s %.2f\n", e.To, e.Kind, e.Weight)
+	}
+
+	// Find the join chain from orders to demographics.
+	path := g.JoinPath("orders", "demographics", aurum.ContentSim, 4)
+	if path == nil {
+		log.Fatal("no join path found")
+	}
+	fmt.Println("\njoin path orders -> demographics:")
+	for i, h := range path {
+		fmt.Printf("  %d. %s JOIN %s (%s, %.2f)\n", i+1, h.FromColumn, h.ToColumn, h.Kind, h.Weight)
+	}
+
+	// Profile the hop targets before running the join.
+	profiles := profile.NewIndex(lake)
+	fmt.Println("\nprofiles of tables on the path:")
+	for _, id := range []string{"orders", "customers", "cities", "demographics"} {
+		tp, _ := profiles.Profile(id)
+		fmt.Print(tp.FormatSummary())
+	}
+
+	// And everything reachable from orders within two hops.
+	fmt.Println("related tables within 2 hops of orders:")
+	for _, id := range g.RelatedTables("orders", aurum.ContentSim, 2) {
+		fmt.Printf("  %s\n", id)
+	}
+}
+
+func buildLake() []*table.Table {
+	n := 50
+	custIDs := make([]string, n)
+	custCity := make([]string, n)
+	for i := range custIDs {
+		custIDs[i] = fmt.Sprintf("cust_%03d", i)
+		custCity[i] = fmt.Sprintf("city_%02d", i%10)
+	}
+	orderCust := make([]string, 80)
+	orderAmt := make([]string, 80)
+	for i := range orderCust {
+		orderCust[i] = custIDs[i%30]
+		orderAmt[i] = fmt.Sprintf("%d.%02d", 10+i%90, i%100)
+	}
+	cityNames := make([]string, 10)
+	cityState := make([]string, 10)
+	for i := range cityNames {
+		cityNames[i] = fmt.Sprintf("city_%02d", i)
+		cityState[i] = fmt.Sprintf("state_%d", i%4)
+	}
+	demoCity := make([]string, 10)
+	demoPop := make([]string, 10)
+	for i := range demoCity {
+		demoCity[i] = fmt.Sprintf("city_%02d", i)
+		demoPop[i] = fmt.Sprintf("%d", (i+1)*25000)
+	}
+	return []*table.Table{
+		table.MustNew("orders", "orders", []*table.Column{
+			table.NewColumn("customer_id", orderCust),
+			table.NewColumn("amount", orderAmt),
+		}),
+		table.MustNew("customers", "customers", []*table.Column{
+			table.NewColumn("id", custIDs),
+			table.NewColumn("home_city", custCity),
+		}),
+		table.MustNew("cities", "cities", []*table.Column{
+			table.NewColumn("city", cityNames),
+			table.NewColumn("state", cityState),
+		}),
+		table.MustNew("demographics", "demographics", []*table.Column{
+			table.NewColumn("city", demoCity),
+			table.NewColumn("population", demoPop),
+		}),
+	}
+}

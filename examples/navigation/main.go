@@ -1,0 +1,78 @@
+// Data lake navigation (Section 2.6 of the tutorial): instead of
+// searching, a user explores a topic hierarchy built over the lake,
+// and — RONIN-style — over the results of a keyword search. The
+// example also prints the navigation-cost comparison against scanning
+// a flat table list.
+//
+//	go run ./examples/navigation
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tablehound/internal/datagen"
+	"tablehound/internal/embedding"
+	"tablehound/internal/navigation"
+	"tablehound/internal/table"
+)
+
+func main() {
+	gen := datagen.Generate(datagen.Config{
+		Seed:              11,
+		NumDomains:        18,
+		NumTemplates:      9,
+		TablesPerTemplate: 9,
+	})
+	model := embedding.Train(gen.ColumnContexts(), embedding.Config{Dim: 48, Seed: 11})
+
+	// Build the organization over the whole lake.
+	org := navigation.Organize(gen.Tables, model, navigation.Config{Fanout: 4, Seed: 11})
+	fmt.Printf("organized %d tables, depth %d\n\n", org.NumTables(), org.Depth())
+
+	// Print the top of the hierarchy.
+	fmt.Println("top levels:")
+	printTree(org.Root, 0, 2)
+
+	// Navigation cost vs flat scanning.
+	total := 0
+	for _, t := range gen.Tables {
+		total += org.NavigationCost(t.ID)
+	}
+	mean := float64(total) / float64(len(gen.Tables))
+	fmt.Printf("\nmean items examined, hierarchy: %.1f\n", mean)
+	fmt.Printf("mean items examined, flat list: %.1f\n", navigation.FlatCost(len(gen.Tables)))
+
+	// Navigate toward a topic.
+	topic := gen.DomainNames[gen.Templates[3].Domains[0]]
+	labels, reached := org.Navigate(model.ColumnVector([]string{topic}))
+	fmt.Printf("\nnavigating toward %q:\n  %s -> table %s\n", topic, strings.Join(labels, " > "), reached)
+	if reached == "" {
+		log.Fatal("navigation failed")
+	}
+
+	// RONIN-style: organize just a result set (here: one template's
+	// tables plus a few others) for post-search refinement.
+	var results []*table.Table
+	results = append(results, gen.Tables[:12]...)
+	sub := navigation.OrganizeResults(results, model, navigation.Config{Fanout: 3, Seed: 2})
+	fmt.Printf("\nonline organization of %d search results (depth %d):\n", sub.NumTables(), sub.Depth())
+	printTree(sub.Root, 0, 2)
+}
+
+// printTree prints the hierarchy down to maxDepth.
+func printTree(n *navigation.Node, depth, maxDepth int) {
+	if depth > maxDepth {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	if n.IsLeaf() {
+		fmt.Printf("%s- [%s]\n", indent, n.TableID)
+		return
+	}
+	fmt.Printf("%s+ %s (%d children)\n", indent, n.Label, len(n.Children))
+	for _, c := range n.Children {
+		printTree(c, depth+1, maxDepth)
+	}
+}

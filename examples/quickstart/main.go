@@ -1,0 +1,78 @@
+// Quickstart: build a discovery system over a small synthetic data
+// lake and run every query modality once — keyword search, joinable
+// column search, unionable table search, and navigation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tablehound/internal/core"
+	"tablehound/internal/datagen"
+	"tablehound/internal/lake"
+)
+
+func main() {
+	// 1. A data lake. Real deployments call lake.LoadCSVDir on a
+	// directory of CSV files; here we generate a synthetic lake with
+	// known structure.
+	gen := datagen.Generate(datagen.Config{
+		Seed:              42,
+		NumDomains:        14,
+		NumTemplates:      6,
+		TablesPerTemplate: 4,
+	})
+	catalog := lake.NewCatalog()
+	for _, t := range gen.Tables {
+		if err := catalog.Add(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stats := catalog.Stats()
+	fmt.Printf("lake: %d tables, %d columns, %d rows, %d distinct values\n\n",
+		stats.Tables, stats.Columns, stats.Rows, stats.DistinctValues)
+
+	// 2. Build the full discovery system: embeddings, keyword index,
+	// join indexes (JOSIE + LSH Ensemble), union search (TUS, SANTOS,
+	// Starmie), and the navigation hierarchy.
+	sys, err := core.Build(catalog, core.Options{KB: gen.BuildKB(0.8)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Keyword search over table metadata.
+	topic := gen.DomainNames[gen.Templates[0].Domains[0]]
+	fmt.Printf("keyword search %q:\n", topic)
+	for _, r := range sys.KeywordSearch(topic, 3) {
+		fmt.Printf("  %-12s score=%.2f  %s\n", r.TableID, r.Score, catalog.Table(r.TableID).Name)
+	}
+
+	// 4. Joinable column search: which lake columns can extend this
+	// table with new attributes?
+	query := gen.Tables[0]
+	qcol := query.Columns[0]
+	fmt.Printf("\njoinable columns for %s.%s:\n", query.ID, qcol.Name)
+	for _, m := range sys.JoinableColumns(qcol.Values, 3) {
+		fmt.Printf("  %-28s overlap=%d containment=%.2f\n", m.ColumnKey, m.Overlap, m.Containment)
+	}
+
+	// 5. Unionable table search: which tables could contribute more
+	// rows to this one?
+	fmt.Printf("\nunionable tables for %s:\n", query.ID)
+	ures, err := sys.UnionableTables(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ures {
+		fmt.Printf("  %-12s score=%.3f\n", r.TableID, r.Score)
+	}
+
+	// 6. Navigate the lake organization toward a topic.
+	labels, reached, err := sys.Navigate(topic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnavigation to %q:\n  path: %v\n  reached: %s\n", topic, labels, reached)
+}

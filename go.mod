@@ -1,0 +1,3 @@
+module tablehound
+
+go 1.22

@@ -1,0 +1,83 @@
+package annotate
+
+import (
+	"sort"
+
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// Dictionary is the lookup baseline: it memorizes the training values
+// per label and types a column by majority vote over exact hits. High
+// precision on seen values, no generalization — the KB-style extreme
+// of the precision/coverage trade-off.
+type Dictionary struct {
+	byValue map[string]map[string]int // value -> label -> votes
+}
+
+// TrainDictionary builds the baseline from labeled columns.
+func TrainDictionary(examples []Example) *Dictionary {
+	d := &Dictionary{byValue: make(map[string]map[string]int)}
+	for _, ex := range examples {
+		for _, v := range tokenize.NormalizeSet(ex.Values) {
+			m := d.byValue[v]
+			if m == nil {
+				m = make(map[string]int)
+				d.byValue[v] = m
+			}
+			m[ex.Label]++
+		}
+	}
+	return d
+}
+
+// Predict returns the majority label over exact value hits and the
+// fraction of values that hit; ("", 0) when nothing matches.
+func (d *Dictionary) Predict(values []string, _ string) (string, float64) {
+	votes := make(map[string]int)
+	hits := 0
+	distinct := tokenize.NormalizeSet(values)
+	for _, v := range distinct {
+		if m, ok := d.byValue[v]; ok {
+			hits++
+			for l, c := range m {
+				votes[l] += c
+			}
+		}
+	}
+	if hits == 0 || len(distinct) == 0 {
+		return "", 0
+	}
+	labels := make([]string, 0, len(votes))
+	for l := range votes {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	best := labels[0]
+	for _, l := range labels[1:] {
+		if votes[l] > votes[best] {
+			best = l
+		}
+	}
+	return best, float64(hits) / float64(len(distinct))
+}
+
+// RulePredict is the hand-written-rules baseline: it can only name
+// syntactic types (int, float, date, bool, text) — the pre-learning
+// state of the art the learned detectors are measured against.
+func RulePredict(values []string, _ string) (string, float64) {
+	switch table.InferType(values) {
+	case table.TypeInt:
+		return "int", 1
+	case table.TypeFloat:
+		return "float", 1
+	case table.TypeDate:
+		return "date", 1
+	case table.TypeBool:
+		return "bool", 1
+	case table.TypeString:
+		return "text", 1
+	default:
+		return "", 0
+	}
+}

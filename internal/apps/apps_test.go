@@ -1,0 +1,249 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tablehound/internal/join"
+	"tablehound/internal/kb"
+	"tablehound/internal/table"
+)
+
+// augmentFixture builds a base table whose target is driven by a
+// feature that lives in a separate lake table joined by key.
+func augmentFixture(n int, seed int64) (base, lakeTbl, noiseTbl *table.Table) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	target := make([]string, n)
+	feature := make([]string, n)
+	noisef := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("entity_%04d", i)
+		f := rng.NormFloat64() * 10
+		feature[i] = fmt.Sprintf("%.3f", f)
+		target[i] = fmt.Sprintf("%.3f", 3*f+rng.NormFloat64())
+		noisef[i] = fmt.Sprintf("%.3f", rng.NormFloat64())
+	}
+	base = table.MustNew("base", "base", []*table.Column{
+		table.NewColumn("id", keys),
+		table.NewColumn("target", target),
+	})
+	lakeTbl = table.MustNew("lakefeat", "lake features", []*table.Column{
+		table.NewColumn("id", keys),
+		table.NewColumn("signal", feature),
+		table.NewColumn("noise", noisef),
+	})
+	// A joinable table with no useful numeric signal.
+	noiseTbl = table.MustNew("lakenoise", "lake noise", []*table.Column{
+		table.NewColumn("id", keys),
+		table.NewColumn("junk", noisef),
+	})
+	return base, lakeTbl, noiseTbl
+}
+
+func buildAugmenter(t *testing.T, tables ...*table.Table) *Augmenter {
+	t.Helper()
+	b := join.NewBuilder(2)
+	byID := map[string]*table.Table{}
+	for _, tbl := range tables {
+		b.AddTable(tbl)
+		byID[tbl.ID] = tbl
+	}
+	e, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAugmenter(e, func(id string) *table.Table { return byID[id] })
+}
+
+func TestAugmenterFindsSignalFeature(t *testing.T) {
+	base, lakeTbl, noiseTbl := augmentFixture(200, 1)
+	a := buildAugmenter(t, base, lakeTbl, noiseTbl)
+	feats, err := a.Discover(base, "id", "target", 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) == 0 {
+		t.Fatal("no features discovered")
+	}
+	if feats[0].Source != "lakefeat.signal" {
+		t.Errorf("top feature = %s, want lakefeat.signal", feats[0].Source)
+	}
+	if feats[0].Score < 0.9 {
+		t.Errorf("signal score = %v", feats[0].Score)
+	}
+	if feats[0].Coverage < 0.99 {
+		t.Errorf("coverage = %v", feats[0].Coverage)
+	}
+}
+
+func TestAugmentImprovesDownstreamModel(t *testing.T) {
+	base, lakeTbl, noiseTbl := augmentFixture(300, 2)
+	a := buildAugmenter(t, base, lakeTbl, noiseTbl)
+	feats, err := a.Discover(base, "id", "target", 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := base.Column("target").Numbers()
+	// Baseline: intercept-only model.
+	baseX := make([][]float64, len(y))
+	for i := range baseX {
+		baseX[i] = []float64{}
+	}
+	baseModel := FitRidge(baseX, y, 0.01, 100)
+	baseRMSE := baseModel.RMSE(baseX, y)
+	// Augmented: discovered features.
+	augX := make([][]float64, len(y))
+	for i := range augX {
+		augX[i] = make([]float64, len(feats))
+		for j, f := range feats {
+			augX[i][j] = f.Values[i]
+		}
+	}
+	augModel := FitRidge(augX, y, 0.01, 300)
+	augRMSE := augModel.RMSE(augX, y)
+	if math.IsNaN(augRMSE) || augRMSE > baseRMSE*0.5 {
+		t.Errorf("augmented RMSE %.3f should be well below baseline %.3f", augRMSE, baseRMSE)
+	}
+}
+
+func TestApplyAugmentation(t *testing.T) {
+	base, lakeTbl, _ := augmentFixture(50, 3)
+	a := buildAugmenter(t, base, lakeTbl)
+	feats, err := a.Discover(base, "id", "target", 1, 0.5)
+	if err != nil || len(feats) == 0 {
+		t.Fatal(err, feats)
+	}
+	aug, err := Apply(base, feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug.NumCols() != base.NumCols()+1 || aug.NumRows() != base.NumRows() {
+		t.Errorf("augmented dims %dx%d", aug.NumRows(), aug.NumCols())
+	}
+	// Misaligned feature is rejected.
+	bad := Feature{Source: "x", Values: []float64{1}}
+	if _, err := Apply(base, []Feature{bad}); err == nil {
+		t.Error("misaligned feature should fail")
+	}
+}
+
+func TestAugmenterErrors(t *testing.T) {
+	base, lakeTbl, _ := augmentFixture(20, 4)
+	a := buildAugmenter(t, base, lakeTbl)
+	if _, err := a.Discover(base, "nope", "target", 1, 0); err == nil {
+		t.Error("missing key column should fail")
+	}
+	if _, err := a.Discover(base, "id", "nope", 1, 0); err == nil {
+		t.Error("missing target column should fail")
+	}
+}
+
+func TestRidgeRecoversLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = 2*a - 3*b + 1
+	}
+	m := FitRidge(x, y, 0.001, 500)
+	if math.Abs(m.Weights[0]-2) > 0.2 || math.Abs(m.Weights[1]+3) > 0.2 {
+		t.Errorf("weights = %v, want ~[2 -3 1]", m.Weights)
+	}
+	if rmse := m.RMSE(x, y); rmse > 0.5 {
+		t.Errorf("RMSE = %v", rmse)
+	}
+	// Degenerate inputs do not panic.
+	if FitRidge(nil, nil, 0.1, 10).Predict([]float64{1}) != 0 {
+		t.Error("empty model should predict 0")
+	}
+}
+
+func TestDetectHomographs(t *testing.T) {
+	// "mercury" appears in planets and elements; all other values are
+	// domain-exclusive.
+	cols := []ValueColumn{
+		{Key: "p1", Values: []string{"mercury", "venus", "mars", "jupiter"}},
+		{Key: "p2", Values: []string{"venus", "mars", "saturn", "mercury"}},
+		{Key: "e1", Values: []string{"mercury", "iron", "gold", "oxygen"}},
+		{Key: "e2", Values: []string{"gold", "iron", "helium", "mercury"}},
+	}
+	res := DetectHomographs(cols, 3)
+	if len(res) == 0 || res[0].Value != "mercury" {
+		t.Fatalf("top homograph = %+v, want mercury", res)
+	}
+	// All others should score strictly lower.
+	for _, r := range res[1:] {
+		if r.Score >= res[0].Score {
+			t.Errorf("value %q ties homograph", r.Value)
+		}
+	}
+}
+
+func TestStitchGroupsBySchema(t *testing.T) {
+	t1 := table.MustNew("a1", "cities part 1", []*table.Column{
+		table.NewColumn("city", []string{"boston", "nyc"}),
+		table.NewColumn("state", []string{"ma", "ny"}),
+	})
+	t2 := table.MustNew("a2", "cities part 2", []*table.Column{
+		table.NewColumn("state", []string{"ca", "ma"}), // different order
+		table.NewColumn("city", []string{"la", "boston"}),
+	})
+	t3 := table.MustNew("b1", "other", []*table.Column{
+		table.NewColumn("x", []string{"1"}),
+	})
+	out := Stitch([]*table.Table{t1, t2, t3})
+	if len(out) != 2 {
+		t.Fatalf("stitched groups = %d, want 2", len(out))
+	}
+	var stitched *table.Table
+	for _, o := range out {
+		if o.NumCols() == 2 {
+			stitched = o
+		}
+	}
+	if stitched == nil {
+		t.Fatal("no stitched city table")
+	}
+	// 2 + 2 rows with ("boston","ma") deduplicated = 3.
+	if stitched.NumRows() != 3 {
+		t.Errorf("stitched rows = %d, want 3", stitched.NumRows())
+	}
+}
+
+func TestCompleteKBFromStitchedTables(t *testing.T) {
+	k := kb.New()
+	// KB knows capitalOf for 3 of 6 pairs.
+	for i := 0; i < 3; i++ {
+		k.AddFact(fmt.Sprintf("city%d", i), "capitalOf", fmt.Sprintf("country%d", i))
+	}
+	cities := make([]string, 6)
+	countries := make([]string, 6)
+	for i := range cities {
+		cities[i] = fmt.Sprintf("city%d", i)
+		countries[i] = fmt.Sprintf("country%d", i)
+	}
+	tbl := table.MustNew("caps", "capitals", []*table.Column{
+		table.NewColumn("city", cities),
+		table.NewColumn("country", countries),
+	})
+	added := CompleteKB(k, []*table.Table{tbl}, "capitalOf", 0.4)
+	if added != 3 {
+		t.Errorf("added = %d, want 3", added)
+	}
+	if len(k.Predicates("city5", "country5")) == 0 {
+		t.Error("new fact not asserted")
+	}
+	// Low-support tables contribute nothing.
+	junk := table.MustNew("junk", "junk", []*table.Column{
+		table.NewColumn("a", []string{"p", "q", "r", "s"}),
+		table.NewColumn("b", []string{"w", "x", "y", "z"}),
+	})
+	if added := CompleteKB(k, []*table.Table{junk}, "capitalOf", 0.4); added != 0 {
+		t.Errorf("junk table added %d facts", added)
+	}
+}

@@ -1,0 +1,68 @@
+package apps
+
+import (
+	"sort"
+
+	"tablehound/internal/graph"
+	"tablehound/internal/tokenize"
+)
+
+// ScoredValue is one value ranked by homograph likelihood.
+type ScoredValue struct {
+	Value string
+	Score float64
+}
+
+// ValueColumn pairs a column key with its values, the input to
+// homograph detection.
+type ValueColumn struct {
+	Key    string
+	Values []string
+}
+
+// DetectHomographs ranks data-lake values by betweenness centrality on
+// the value-column bipartite graph (DomainNet, Leventidis et al. EDBT
+// 2021). A homograph — one surface form used by several semantic
+// domains — bridges otherwise disconnected column neighborhoods and
+// therefore carries disproportionate shortest-path traffic. Returns
+// the topK values with non-zero score, best first.
+func DetectHomographs(cols []ValueColumn, topK int) []ScoredValue {
+	// Node IDs: values then columns.
+	valID := make(map[string]int32)
+	var values []string
+	for _, c := range cols {
+		for _, v := range tokenize.NormalizeSet(c.Values) {
+			if _, ok := valID[v]; !ok {
+				valID[v] = int32(len(values))
+				values = append(values, v)
+			}
+		}
+	}
+	n := len(values) + len(cols)
+	adj := make(graph.Adjacency, n)
+	for ci, c := range cols {
+		cid := int32(len(values) + ci)
+		for _, v := range tokenize.NormalizeSet(c.Values) {
+			vid := valID[v]
+			adj[vid] = append(adj[vid], cid)
+			adj[cid] = append(adj[cid], vid)
+		}
+	}
+	bc := graph.BetweennessCentrality(adj)
+	out := make([]ScoredValue, 0, len(values))
+	for i, v := range values {
+		if bc[i] > 0 {
+			out = append(out, ScoredValue{Value: v, Score: bc[i]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Value < out[j].Value
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}

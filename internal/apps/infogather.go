@@ -1,0 +1,260 @@
+package apps
+
+import (
+	"sort"
+
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// AttrValue is one augmented attribute value for an entity.
+type AttrValue struct {
+	Value      string
+	Confidence float64  // weighted vote share in (0, 1]
+	Sources    []string // table IDs that voted for the value
+}
+
+// EntityAugmenter implements InfoGather-style entity augmentation
+// (Yakout et al., SIGMOD 2012): given entities and a few example
+// (entity, attribute value) pairs, find lake tables whose binary
+// relations are consistent with the examples and propagate the
+// attribute to the remaining entities by weighted voting — "holistic
+// matching" in the original's terms, with each table's vote weighted
+// by how many examples it confirms.
+type EntityAugmenter struct {
+	tables []*table.Table
+}
+
+// NewEntityAugmenter indexes the lake tables for augmentation.
+func NewEntityAugmenter(tables []*table.Table) *EntityAugmenter {
+	return &EntityAugmenter{tables: tables}
+}
+
+// relation is one (entity column, attribute column) mapping in a
+// table, materialized as entity -> value (first occurrence wins).
+type relation struct {
+	tableID string
+	mapping map[string]string
+}
+
+// relations enumerates all ordered column pairs of every table.
+func (a *EntityAugmenter) relations() []relation {
+	var out []relation
+	for _, t := range a.tables {
+		for i := range t.Columns {
+			for j := range t.Columns {
+				if i == j {
+					continue
+				}
+				m := make(map[string]string)
+				for r := 0; r < t.NumRows(); r++ {
+					e := tokenize.Normalize(t.Columns[i].Values[r])
+					v := tokenize.Normalize(t.Columns[j].Values[r])
+					if e == "" || v == "" {
+						continue
+					}
+					if _, dup := m[e]; !dup {
+						m[e] = v
+					}
+				}
+				if len(m) > 0 {
+					out = append(out, relation{tableID: t.ID, mapping: m})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AugmentByExample fills the attribute for every entity it can, given
+// example pairs. minSupport is the fraction of examples a relation
+// must confirm to vote directly (the precision knob; 0.5 is a sound
+// default). Relations that touch no example can still vote through
+// InfoGather's holistic matching: trust propagates from a directly
+// confirmed relation to relations asserting the same (entity, value)
+// pairs, scaled by their pair overlap — this is what lets a table
+// covering only un-exemplified entities contribute.
+func (a *EntityAugmenter) AugmentByExample(entities []string, examples map[string]string, minSupport float64) map[string]AttrValue {
+	normExamples := make(map[string]string, len(examples))
+	for e, v := range examples {
+		normExamples[tokenize.Normalize(e)] = tokenize.Normalize(v)
+	}
+	if len(normExamples) == 0 {
+		return nil
+	}
+	// Direct scoring: example agreement.
+	type scored struct {
+		rel   relation
+		score float64
+	}
+	rels := a.relations()
+	var voters []scored
+	var unscored []relation
+	for _, rel := range rels {
+		agree, disagree := 0, 0
+		for e, v := range normExamples {
+			got, ok := rel.mapping[e]
+			if !ok {
+				continue
+			}
+			if got == v {
+				agree++
+			} else {
+				disagree++
+			}
+		}
+		if disagree > agree {
+			continue // contradicts the examples: never trust
+		}
+		if agree == 0 {
+			unscored = append(unscored, rel)
+			continue
+		}
+		support := float64(agree) / float64(len(normExamples))
+		if support >= minSupport {
+			voters = append(voters, scored{rel, support})
+		}
+	}
+	// Holistic propagation: an unscored relation inherits trust from
+	// the direct voter it overlaps most (scaled by pair agreement).
+	for _, rel := range unscored {
+		best := 0.0
+		for _, v := range voters {
+			if v.score < minSupport {
+				continue
+			}
+			if s := v.score * pairOverlap(rel, v.rel); s > best {
+				best = s
+			}
+		}
+		if best >= minSupport/2 {
+			voters = append(voters, scored{rel, best})
+		}
+	}
+	// Weighted voting per entity.
+	out := make(map[string]AttrValue)
+	for _, raw := range entities {
+		e := tokenize.Normalize(raw)
+		if _, isExample := normExamples[e]; isExample {
+			continue
+		}
+		votes := make(map[string]float64)
+		sources := make(map[string][]string)
+		var total float64
+		for _, v := range voters {
+			val, ok := v.rel.mapping[e]
+			if !ok {
+				continue
+			}
+			votes[val] += v.score
+			sources[val] = append(sources[val], v.rel.tableID)
+			total += v.score
+		}
+		if total == 0 {
+			continue
+		}
+		best, bestW := "", -1.0
+		for val, w := range votes {
+			if w > bestW || (w == bestW && val < best) {
+				best, bestW = val, w
+			}
+		}
+		src := dedupeSorted(sources[best])
+		out[raw] = AttrValue{Value: best, Confidence: bestW / total, Sources: src}
+	}
+	return out
+}
+
+// AugmentByAttribute fills the attribute by header name instead of
+// examples: relations whose attribute column name matches attrName
+// (normalized) vote with uniform weight. This is InfoGather's
+// augmentation-by-attribute-name operation.
+func (a *EntityAugmenter) AugmentByAttribute(entities []string, entityCol, attrName string) map[string]AttrValue {
+	wantE := tokenize.Normalize(entityCol)
+	wantA := tokenize.Normalize(attrName)
+	var voters []relation
+	for _, t := range a.tables {
+		var eIdx, aIdx = -1, -1
+		for i, c := range t.Columns {
+			switch tokenize.Normalize(c.Name) {
+			case wantE:
+				eIdx = i
+			case wantA:
+				aIdx = i
+			}
+		}
+		if eIdx < 0 || aIdx < 0 {
+			continue
+		}
+		m := make(map[string]string)
+		for r := 0; r < t.NumRows(); r++ {
+			e := tokenize.Normalize(t.Columns[eIdx].Values[r])
+			v := tokenize.Normalize(t.Columns[aIdx].Values[r])
+			if e != "" && v != "" {
+				if _, dup := m[e]; !dup {
+					m[e] = v
+				}
+			}
+		}
+		if len(m) > 0 {
+			voters = append(voters, relation{tableID: t.ID, mapping: m})
+		}
+	}
+	out := make(map[string]AttrValue)
+	for _, raw := range entities {
+		e := tokenize.Normalize(raw)
+		votes := make(map[string]float64)
+		sources := make(map[string][]string)
+		var total float64
+		for _, v := range voters {
+			if val, ok := v.mapping[e]; ok {
+				votes[val]++
+				sources[val] = append(sources[val], v.tableID)
+				total++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		best, bestW := "", -1.0
+		for val, w := range votes {
+			if w > bestW || (w == bestW && val < best) {
+				best, bestW = val, w
+			}
+		}
+		out[raw] = AttrValue{Value: best, Confidence: bestW / total, Sources: dedupeSorted(sources[best])}
+	}
+	return out
+}
+
+// pairOverlap is the fraction of the smaller relation's (entity,
+// value) pairs asserted identically by the other.
+func pairOverlap(a, b relation) float64 {
+	small, big := a.mapping, b.mapping
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	if len(small) == 0 {
+		return 0
+	}
+	n := 0
+	for e, v := range small {
+		if big[e] == v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(small))
+}
+
+func dedupeSorted(ss []string) []string {
+	seen := make(map[string]bool, len(ss))
+	out := ss[:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

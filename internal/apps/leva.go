@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"tablehound/internal/embedding"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// RelationalEmbedding implements the Leva idea (Zhao & Fernandez,
+// SIGMOD 2022): learn entity representations from the relational
+// structure around them — every row an entity appears in, across all
+// its tables — and hand those vectors to a downstream model as
+// features. Where ARDA joins in explicit numeric columns, relational
+// embeddings capture categorical and cross-table signal implicitly.
+//
+// keyColumn names the entity column expected in each table; tables
+// without it contribute nothing. Each row becomes one training
+// context containing the entity and its co-occurring cell values.
+func RelationalEmbedding(tables []*table.Table, keyColumn string, dim int, seed uint64) *EntityVectors {
+	var contexts [][]string
+	for _, t := range tables {
+		ki := t.ColumnIndex(keyColumn)
+		if ki < 0 {
+			continue
+		}
+		for r := 0; r < t.NumRows(); r++ {
+			e := tokenize.Normalize(t.Columns[ki].Values[r])
+			if e == "" {
+				continue
+			}
+			ctx := []string{e}
+			for ci, c := range t.Columns {
+				if ci == ki {
+					continue
+				}
+				v := tokenize.Normalize(c.Values[r])
+				if v != "" {
+					ctx = append(ctx, v)
+				}
+			}
+			if len(ctx) > 1 {
+				contexts = append(contexts, ctx)
+			}
+		}
+	}
+	model := embedding.Train(contexts, embedding.Config{Dim: dim, Seed: seed})
+	return &EntityVectors{model: model, dim: dim}
+}
+
+// EntityVectors exposes the learned entity representations.
+type EntityVectors struct {
+	model *embedding.Model
+	dim   int
+}
+
+// Dim returns the vector dimension.
+func (ev *EntityVectors) Dim() int { return ev.dim }
+
+// Vector returns the entity's representation (char-gram fallback for
+// unseen entities, as in the embedding package).
+func (ev *EntityVectors) Vector(entity string) embedding.Vector {
+	return ev.model.ValueVector(entity)
+}
+
+// FeatureMatrix builds a row-aligned feature matrix for the given
+// entity keys, ready for FitRidge: one row per key, dim columns.
+func (ev *EntityVectors) FeatureMatrix(keys []string) [][]float64 {
+	out := make([][]float64, len(keys))
+	for i, k := range keys {
+		v := ev.Vector(k)
+		row := make([]float64, ev.dim)
+		for j, x := range v {
+			row[j] = float64(x)
+		}
+		out[i] = row
+	}
+	return out
+}

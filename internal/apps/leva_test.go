@@ -1,0 +1,77 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tablehound/internal/embedding"
+	"tablehound/internal/table"
+)
+
+// levaLake builds tables where an entity's hidden class is visible
+// only through categorical co-occurrences: class-A entities appear
+// with class-A attribute values across tables.
+func levaLake(n int) ([]*table.Table, []string, []float64) {
+	keys := make([]string, n)
+	y := make([]float64, n)
+	attr1 := make([]string, n)
+	attr2 := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ent_%04d", i)
+		class := i % 2
+		y[i] = float64(class)
+		attr1[i] = fmt.Sprintf("groupA_%d", class)   // class-determined
+		attr2[i] = fmt.Sprintf("region_%d", class*3) // class-determined
+	}
+	t1 := table.MustNew("t1", "t1", []*table.Column{
+		table.NewColumn("id", keys),
+		table.NewColumn("grp", attr1),
+	})
+	t2 := table.MustNew("t2", "t2", []*table.Column{
+		table.NewColumn("id", keys),
+		table.NewColumn("region", attr2),
+	})
+	return []*table.Table{t1, t2}, keys, y
+}
+
+func TestRelationalEmbeddingSeparatesClasses(t *testing.T) {
+	tables, keys, y := levaLake(200)
+	ev := RelationalEmbedding(tables, "id", 32, 1)
+	if ev.Dim() != 32 {
+		t.Fatal("dim wrong")
+	}
+	// Same-class entities should be closer than cross-class ones.
+	sameSim := embedding.Cosine(ev.Vector(keys[0]), ev.Vector(keys[2]))
+	crossSim := embedding.Cosine(ev.Vector(keys[0]), ev.Vector(keys[1]))
+	if sameSim <= crossSim {
+		t.Errorf("same-class cos %v should exceed cross-class %v", sameSim, crossSim)
+	}
+	// A linear model on the embeddings should predict the class far
+	// better than the intercept-only baseline.
+	x := ev.FeatureMatrix(keys)
+	split := len(keys) * 7 / 10
+	m := FitRidge(x[:split], y[:split], 0.01, 300)
+	rmse := m.RMSE(x[split:], y[split:])
+	base := FitRidge(make([][]float64, split), y[:split], 0.01, 50)
+	baseX := make([][]float64, len(keys)-split)
+	for i := range baseX {
+		baseX[i] = []float64{}
+	}
+	baseRMSE := base.RMSE(baseX, y[split:])
+	if math.IsNaN(rmse) || rmse > baseRMSE*0.6 {
+		t.Errorf("embedding RMSE %v should be well below baseline %v", rmse, baseRMSE)
+	}
+}
+
+func TestRelationalEmbeddingSkipsKeylessTables(t *testing.T) {
+	noKey := table.MustNew("x", "x", []*table.Column{
+		table.NewColumn("other", []string{"a", "b"}),
+	})
+	ev := RelationalEmbedding([]*table.Table{noKey}, "id", 16, 1)
+	// No contexts: vectors fall back to char-grams, still usable.
+	v := ev.Vector("anything")
+	if len(v) != 16 {
+		t.Fatal("fallback vector wrong size")
+	}
+}

@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"math"
+)
+
+// RidgeModel is a linear model fit with L2 regularization, used to
+// quantify the downstream value of augmentation features (ARDA's
+// evaluation loop: does adding the feature improve held-out error?).
+type RidgeModel struct {
+	Weights []float64 // includes bias as the last weight
+}
+
+// FitRidge fits y ~ X (rows = samples) with regularization lambda by
+// gradient descent. Rows containing NaN are skipped. Features are
+// standardized internally.
+func FitRidge(x [][]float64, y []float64, lambda float64, epochs int) *RidgeModel {
+	n := len(x)
+	if n == 0 || len(y) < n {
+		return &RidgeModel{}
+	}
+	d := len(x[0])
+	mean, std := standardize(x, d)
+	if epochs <= 0 {
+		epochs = 200
+	}
+	w := make([]float64, d+1)
+	// Full-batch gradient descent diverges when the step exceeds
+	// 2/L(X'X); with standardized but possibly perfectly correlated
+	// features L can reach d, so scale the step accordingly.
+	lr := 1.0 / (1 + float64(d))
+	for e := 0; e < epochs; e++ {
+		grad := make([]float64, d+1)
+		m := 0
+		for i := 0; i < n; i++ {
+			if rowHasNaN(x[i]) || math.IsNaN(y[i]) {
+				continue
+			}
+			pred := w[d]
+			for j := 0; j < d; j++ {
+				pred += w[j] * norm(x[i][j], mean[j], std[j])
+			}
+			err := pred - y[i]
+			for j := 0; j < d; j++ {
+				grad[j] += err * norm(x[i][j], mean[j], std[j])
+			}
+			grad[d] += err
+			m++
+		}
+		if m == 0 {
+			break
+		}
+		for j := 0; j <= d; j++ {
+			g := grad[j] / float64(m)
+			if j < d {
+				g += lambda * w[j]
+			}
+			w[j] -= lr * g
+		}
+	}
+	// Fold standardization back into the weights for Predict.
+	out := make([]float64, d+1)
+	out[d] = w[d]
+	for j := 0; j < d; j++ {
+		out[j] = w[j] / std[j]
+		out[d] -= w[j] * mean[j] / std[j]
+	}
+	return &RidgeModel{Weights: out}
+}
+
+// Predict evaluates the model on one row (NaN features contribute 0).
+func (m *RidgeModel) Predict(row []float64) float64 {
+	if len(m.Weights) == 0 {
+		return 0
+	}
+	d := len(m.Weights) - 1
+	pred := m.Weights[d]
+	for j := 0; j < d && j < len(row); j++ {
+		if !math.IsNaN(row[j]) {
+			pred += m.Weights[j] * row[j]
+		}
+	}
+	return pred
+}
+
+// RMSE computes root mean squared error on rows without NaN.
+func (m *RidgeModel) RMSE(x [][]float64, y []float64) float64 {
+	var se float64
+	n := 0
+	for i := range x {
+		if rowHasNaN(x[i]) || i >= len(y) || math.IsNaN(y[i]) {
+			continue
+		}
+		d := m.Predict(x[i]) - y[i]
+		se += d * d
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(se / float64(n))
+}
+
+func standardize(x [][]float64, d int) (mean, std []float64) {
+	mean = make([]float64, d)
+	std = make([]float64, d)
+	cnt := make([]int, d)
+	for i := range x {
+		for j := 0; j < d; j++ {
+			if !math.IsNaN(x[i][j]) {
+				mean[j] += x[i][j]
+				cnt[j]++
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		if cnt[j] > 0 {
+			mean[j] /= float64(cnt[j])
+		}
+	}
+	for i := range x {
+		for j := 0; j < d; j++ {
+			if !math.IsNaN(x[i][j]) {
+				dd := x[i][j] - mean[j]
+				std[j] += dd * dd
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		if cnt[j] > 1 {
+			std[j] = math.Sqrt(std[j] / float64(cnt[j]-1))
+		}
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	return mean, std
+}
+
+func norm(v, mean, std float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return (v - mean) / std
+}
+
+func rowHasNaN(row []float64) bool {
+	for _, v := range row {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}

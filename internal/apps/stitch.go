@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"sort"
+	"strings"
+
+	"tablehound/internal/kb"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// Stitch groups tables with the same schema signature (the sorted set
+// of normalized column names) and unions each group's rows into one
+// stitched table — Lehmberg & Bizer's preprocessing that makes web
+// tables useful for matching and KB completion. Tables with unique
+// schemas pass through unchanged.
+func Stitch(tables []*table.Table) []*table.Table {
+	groups := make(map[string][]*table.Table)
+	var sigs []string
+	for _, t := range tables {
+		sig := schemaSignature(t)
+		if _, ok := groups[sig]; !ok {
+			sigs = append(sigs, sig)
+		}
+		groups[sig] = append(groups[sig], t)
+	}
+	sort.Strings(sigs)
+	var out []*table.Table
+	for _, sig := range sigs {
+		group := groups[sig]
+		if len(group) == 1 {
+			out = append(out, group[0])
+			continue
+		}
+		out = append(out, unionRows(group))
+	}
+	return out
+}
+
+func schemaSignature(t *table.Table) string {
+	hs := make([]string, 0, t.NumCols())
+	for _, h := range t.Header() {
+		hs = append(hs, tokenize.Normalize(strings.ReplaceAll(h, "_", " ")))
+	}
+	sort.Strings(hs)
+	return strings.Join(hs, "\x1f")
+}
+
+// union concatenates the groups' rows column-by-column (columns
+// aligned by name; order from the first table), deduplicating rows.
+func unionRows(group []*table.Table) *table.Table {
+	first := group[0]
+	header := first.Header()
+	vals := make([][]string, len(header))
+	seen := make(map[string]bool)
+	for _, t := range group {
+		idx := make([]int, len(header))
+		for i, h := range header {
+			idx[i] = t.ColumnIndex(h)
+		}
+		for r := 0; r < t.NumRows(); r++ {
+			row := make([]string, len(header))
+			for i, ci := range idx {
+				if ci >= 0 {
+					row[i] = t.Columns[ci].Values[r]
+				}
+			}
+			key := strings.Join(row, "\x1f")
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			for i := range header {
+				vals[i] = append(vals[i], row[i])
+			}
+		}
+	}
+	cols := make([]*table.Column, len(header))
+	for i, h := range header {
+		cols[i] = table.NewColumn(h, vals[i])
+	}
+	ids := make([]string, len(group))
+	for i, t := range group {
+		ids[i] = t.ID
+	}
+	sort.Strings(ids)
+	return table.MustNew("stitched_"+ids[0], first.Name+" (stitched)", cols)
+}
+
+// CompleteKB mines new facts from tables for a predicate the KB
+// already partially knows. For each table and adjacent column pair,
+// if at least minSupport of the pair's value pairs carry `pred` in the
+// KB, the remaining pairs are proposed as new `pred` facts. Returns
+// the number of facts added. Stitching tables first consolidates
+// evidence that is too thin per-shard — the Lehmberg & Bizer result.
+func CompleteKB(k *kb.KB, tables []*table.Table, pred string, minSupport float64) int {
+	added := 0
+	for _, t := range tables {
+		for a := 0; a+1 < t.NumCols(); a++ {
+			b := a + 1
+			var pairs [][2]string
+			seen := make(map[[2]string]bool)
+			for r := 0; r < t.NumRows(); r++ {
+				s := tokenize.Normalize(t.Columns[a].Values[r])
+				o := tokenize.Normalize(t.Columns[b].Values[r])
+				if s == "" || o == "" {
+					continue
+				}
+				p := [2]string{s, o}
+				if !seen[p] {
+					seen[p] = true
+					pairs = append(pairs, p)
+				}
+			}
+			if len(pairs) < 3 {
+				continue
+			}
+			known := 0
+			for _, p := range pairs {
+				for _, kp := range k.Predicates(p[0], p[1]) {
+					if kp == pred {
+						known++
+						break
+					}
+				}
+			}
+			if float64(known)/float64(len(pairs)) < minSupport || known == len(pairs) {
+				continue
+			}
+			for _, p := range pairs {
+				has := false
+				for _, kp := range k.Predicates(p[0], p[1]) {
+					if kp == pred {
+						has = true
+						break
+					}
+				}
+				if !has {
+					k.AddFact(p[0], pred, p[1])
+					added++
+				}
+			}
+		}
+	}
+	return added
+}

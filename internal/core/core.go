@@ -1,0 +1,342 @@
+// Package core assembles the full table-discovery system of the
+// tutorial's Figure 1: table understanding (embeddings, annotation),
+// indexing (set, vector, sketch, inverted), the table search engine
+// (keyword, joinable, unionable), navigation, and data-science
+// support — all behind one System facade built over a lake catalog.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"tablehound/internal/annotate"
+	"tablehound/internal/apps"
+	"tablehound/internal/aurum"
+	"tablehound/internal/embedding"
+	"tablehound/internal/join"
+	"tablehound/internal/kb"
+	"tablehound/internal/keyword"
+	"tablehound/internal/lake"
+	"tablehound/internal/navigation"
+	"tablehound/internal/profile"
+	"tablehound/internal/schema"
+	"tablehound/internal/starmie"
+	"tablehound/internal/table"
+	"tablehound/internal/union"
+)
+
+// Options configures system construction. The zero value is usable.
+type Options struct {
+	// EmbeddingDim is the dense vector width (default 64).
+	EmbeddingDim int
+	// Seed drives every randomized structure (default 1).
+	Seed int64
+	// KB is an optional curated knowledge base for semantic measures.
+	KB *kb.KB
+	// MinJoinCardinality filters tiny columns from join indexing
+	// (default 3).
+	MinJoinCardinality int
+	// ContextWeight is the Starmie encoder's context mix (default 0.3).
+	ContextWeight float64
+	// OrgFanout is the navigation fanout (default 4).
+	OrgFanout int
+	// SkipOrganization skips hierarchy building (it is the most
+	// expensive optional step on large lakes).
+	SkipOrganization bool
+	// SkipFuzzy skips the fuzzy join index (vector per value).
+	SkipFuzzy bool
+	// SkipGraph skips the Aurum-style discovery graph, whose schema
+	// linking is quadratic in the column count.
+	SkipGraph bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.EmbeddingDim <= 0 {
+		o.EmbeddingDim = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MinJoinCardinality <= 0 {
+		o.MinJoinCardinality = 3
+	}
+	if o.ContextWeight == 0 {
+		o.ContextWeight = 0.3
+	}
+	if o.OrgFanout == 0 {
+		o.OrgFanout = 4
+	}
+	return o
+}
+
+// System is a fully wired table discovery system over one catalog.
+type System struct {
+	Catalog *lake.Catalog
+	Model   *embedding.Model
+	KB      *kb.KB
+
+	Keyword  *keyword.Index
+	Values   *keyword.ValueIndex
+	Profiles *profile.Index
+	Join     *join.Engine
+	Fuzzy    *join.FuzzyJoiner
+	Corr     *join.CorrEngine
+	Mate     *join.MateIndex
+	TUS      *union.TUS
+	Santos   *union.Santos
+	D3L      *union.D3L
+	Starmie  *starmie.Index
+	Org      *navigation.Organization
+	Entities *apps.EntityAugmenter
+	Graph    *aurum.Graph
+
+	// Annotator is nil until TrainAnnotator is called.
+	Annotator *annotate.Annotator
+}
+
+// Build indexes the catalog into a System.
+func Build(catalog *lake.Catalog, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	tables := catalog.Tables()
+	if len(tables) == 0 {
+		return nil, errors.New("core: empty catalog")
+	}
+	s := &System{Catalog: catalog, KB: opts.KB}
+
+	// Table understanding: train embeddings on the lake's columns.
+	var contexts [][]string
+	for _, t := range tables {
+		for _, c := range t.Columns {
+			if c.Type == table.TypeString || c.Type == table.TypeUnknown {
+				contexts = append(contexts, c.Distinct())
+			}
+		}
+	}
+	s.Model = embedding.Train(contexts, embedding.Config{Dim: opts.EmbeddingDim, Seed: uint64(opts.Seed)})
+
+	// Keyword search over metadata and over cell values (OCTOPUS-style).
+	s.Keyword = keyword.NewIndex()
+	s.Values = keyword.NewValueIndex()
+	for _, t := range tables {
+		s.Keyword.Add(t)
+		s.Values.Add(t)
+	}
+	s.Keyword.Finish()
+	s.Values.Finish()
+
+	// Auctus-style structured profiles and InfoGather-style entity
+	// augmentation operate directly on the raw tables.
+	s.Profiles = profile.NewIndex(tables)
+	s.Entities = apps.NewEntityAugmenter(tables)
+
+	// Joinable search: exact overlap + containment indexes.
+	jb := join.NewBuilder(opts.MinJoinCardinality)
+	for _, t := range tables {
+		jb.AddTable(t)
+	}
+	eng, err := jb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: join index: %w", err)
+	}
+	s.Join = eng
+
+	// Fuzzy join (PEXESO-style).
+	if !opts.SkipFuzzy {
+		s.Fuzzy = join.NewFuzzyJoiner(s.Model, 4)
+		for _, t := range tables {
+			for _, c := range t.Columns {
+				if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
+					if err := s.Fuzzy.AddColumn(table.ColumnKey(t.ID, c.Name), c.Values); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Correlation search: first string column as key, numeric columns
+	// as measures.
+	cb := join.NewCorrBuilder(256)
+	pairs := 0
+	for _, t := range tables {
+		var keyCol *table.Column
+		for _, c := range t.Columns {
+			if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
+				keyCol = c
+				break
+			}
+		}
+		if keyCol == nil {
+			continue
+		}
+		for _, c := range t.Columns {
+			if !c.Type.IsNumeric() {
+				continue
+			}
+			nums, n := numericAligned(keyCol, c)
+			if n < 3 {
+				continue
+			}
+			pk := join.PairKey(t.ID, keyCol.Name, c.Name)
+			if err := cb.Add(pk, nums.keys, nums.vals); err == nil {
+				pairs++
+			}
+		}
+	}
+	if pairs > 0 {
+		if s.Corr, err = cb.Build(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Multi-attribute join.
+	s.Mate = join.NewMateIndex(tables)
+
+	// Union search: TUS and SANTOS.
+	if s.TUS, err = union.NewTUS(union.TUSConfig{Model: s.Model, KB: opts.KB, NumHashes: 128}); err != nil {
+		return nil, err
+	}
+	s.Santos = union.NewSantos(opts.KB)
+	if s.D3L, err = union.NewD3L(s.Model); err != nil {
+		return nil, err
+	}
+	for _, t := range tables {
+		s.TUS.AddTable(t)
+		s.Santos.AddTable(t)
+		s.D3L.AddTable(t)
+	}
+	if err := s.TUS.Build(); err != nil {
+		return nil, err
+	}
+	if s.Santos.NumTables() > 0 {
+		if err := s.Santos.Build(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Starmie contextual retrieval.
+	s.Starmie = starmie.NewIndex(starmie.NewEncoder(s.Model, opts.ContextWeight))
+	for _, t := range tables {
+		s.Starmie.AddTable(t)
+	}
+	if err := s.Starmie.Build(); err != nil {
+		return nil, err
+	}
+
+	// Navigation organization.
+	if !opts.SkipOrganization {
+		s.Org = navigation.Organize(tables, s.Model, navigation.Config{Fanout: opts.OrgFanout, Seed: opts.Seed})
+	}
+
+	// Aurum-style discovery graph for linkage navigation and join
+	// paths. Lakes without usable string columns simply have none.
+	if !opts.SkipGraph {
+		if g, err := aurum.Build(tables, aurum.Config{}); err == nil {
+			s.Graph = g
+		}
+	}
+	return s, nil
+}
+
+// JoinPath returns a chain of joinable-column hops connecting two
+// tables via the discovery graph, or nil when none exists within
+// maxHops.
+func (s *System) JoinPath(fromTable, toTable string, maxHops int) []aurum.JoinHop {
+	if s.Graph == nil {
+		return nil
+	}
+	return s.Graph.JoinPath(fromTable, toTable, aurum.ContentSim, maxHops)
+}
+
+type keyedNums struct {
+	keys []string
+	vals []float64
+}
+
+// numericAligned extracts (key, number) rows where both parse.
+func numericAligned(keyCol, numCol *table.Column) (keyedNums, int) {
+	var out keyedNums
+	for r := 0; r < keyCol.Len() && r < numCol.Len(); r++ {
+		k := keyCol.Values[r]
+		if k == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(numCol.Values[r], 64)
+		if err != nil {
+			continue
+		}
+		out.keys = append(out.keys, k)
+		out.vals = append(out.vals, f)
+	}
+	return out, len(out.keys)
+}
+
+// TrainAnnotator fits the semantic type detector on labeled columns
+// and attaches it to the system.
+func (s *System) TrainAnnotator(examples []annotate.Example) error {
+	a, err := annotate.Train(examples, annotate.Config{Seed: 1})
+	if err != nil {
+		return err
+	}
+	s.Annotator = a
+	return nil
+}
+
+// AnnotateTable predicts semantic column types for a table, with
+// Sato-style context smoothing. Requires TrainAnnotator first.
+func (s *System) AnnotateTable(t *table.Table) ([]annotate.Prediction, error) {
+	if s.Annotator == nil {
+		return nil, errors.New("core: annotator not trained; call TrainAnnotator")
+	}
+	return s.Annotator.AnnotateTable(t, true), nil
+}
+
+// KeywordSearch ranks tables by metadata relevance.
+func (s *System) KeywordSearch(query string, k int) []keyword.Result {
+	return s.Keyword.Search(query, k)
+}
+
+// JoinableColumns returns the top-k columns by exact value overlap
+// with the query column values.
+func (s *System) JoinableColumns(values []string, k int) []join.Match {
+	return s.Join.TopKOverlap(values, k)
+}
+
+// UnionableTables returns the top-k unionable tables (TUS ensemble).
+func (s *System) UnionableTables(query *table.Table, k int) ([]union.Result, error) {
+	return s.TUS.Search(query, k, union.EnsembleMeasure)
+}
+
+// Navigate descends the organization toward a topic described by
+// keywords, returning the visited labels and the reached table.
+func (s *System) Navigate(topic string) (labels []string, tableID string, err error) {
+	if s.Org == nil {
+		return nil, "", errors.New("core: organization not built")
+	}
+	vec := s.Model.ColumnVector([]string{topic})
+	labels, tableID = s.Org.Navigate(vec)
+	return labels, tableID, nil
+}
+
+// ValueSearch ranks tables by keyword hits in cell values and groups
+// the results into same-schema clusters (the OCTOPUS SEARCH shape).
+func (s *System) ValueSearch(query string, k int) []keyword.Cluster {
+	return s.Values.SearchClusters(query, k)
+}
+
+// MatchSchemas aligns the columns of two tables with the combined
+// (name + instance + embedding) matcher.
+func (s *System) MatchSchemas(src, dst *table.Table, threshold float64) []schema.Correspondence {
+	m := schema.CombinedMatcher{
+		Instance:   schema.InstanceMatcher{Model: s.Model},
+		NameWeight: 0.3, // lake headers are unreliable; trust content
+	}
+	return schema.Match(src, dst, m, threshold)
+}
+
+// AugmentEntities fills an attribute for entities from a few example
+// pairs via InfoGather-style holistic matching over the lake.
+func (s *System) AugmentEntities(entities []string, examples map[string]string) map[string]apps.AttrValue {
+	return s.Entities.AugmentByExample(entities, examples, 0.5)
+}

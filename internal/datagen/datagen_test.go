@@ -1,0 +1,310 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tablehound/internal/metrics"
+	"tablehound/internal/table"
+)
+
+func smallLake() *Lake {
+	return Generate(Config{
+		Seed:              7,
+		NumDomains:        12,
+		DomainSize:        100,
+		NumTemplates:      4,
+		TablesPerTemplate: 3,
+		NumHomographs:     2,
+	})
+}
+
+func TestGenerateShape(t *testing.T) {
+	l := smallLake()
+	if len(l.Tables) != 12 {
+		t.Fatalf("tables = %d, want 4*3", len(l.Tables))
+	}
+	if len(l.Domains) != 12 || len(l.DomainNames) != 12 {
+		t.Fatalf("domains = %d", len(l.Domains))
+	}
+	for _, tbl := range l.Tables {
+		if tbl.NumRows() < 30 || tbl.NumRows() > 120 {
+			t.Errorf("table %s rows = %d out of range", tbl.ID, tbl.NumRows())
+		}
+		if tbl.NumCols() < 3+2 { // template cols + noise + numeric
+			t.Errorf("table %s cols = %d", tbl.ID, tbl.NumCols())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := smallLake()
+	b := smallLake()
+	if len(a.Tables) != len(b.Tables) {
+		t.Fatal("nondeterministic table count")
+	}
+	for i := range a.Tables {
+		if a.Tables[i].ID != b.Tables[i].ID {
+			t.Fatal("nondeterministic table IDs")
+		}
+		if a.Tables[i].Columns[0].Values[0] != b.Tables[i].Columns[0].Values[0] {
+			t.Fatal("nondeterministic values")
+		}
+	}
+}
+
+func TestColumnDomainGroundTruth(t *testing.T) {
+	l := smallLake()
+	for key, d := range l.ColumnDomain {
+		tid, cname := table.SplitColumnKey(key)
+		tbl := l.Table(tid)
+		if tbl == nil {
+			t.Fatalf("ground truth references missing table %s", tid)
+		}
+		col := tbl.Column(cname)
+		if col == nil {
+			t.Fatalf("ground truth references missing column %s", key)
+		}
+		// Every value must belong to the domain vocabulary.
+		vocab := make(map[string]bool, len(l.Domains[d]))
+		for _, v := range l.Domains[d] {
+			vocab[v] = true
+		}
+		for _, v := range col.Values {
+			if !vocab[v] {
+				t.Fatalf("column %s value %q not in domain %d", key, v, d)
+			}
+		}
+	}
+}
+
+func TestUnionableGroundTruth(t *testing.T) {
+	l := smallLake()
+	id := l.Tables[0].ID
+	un := l.UnionableWith(id)
+	if len(un) != 2 {
+		t.Fatalf("unionable set size = %d, want 2", len(un))
+	}
+	for other := range un {
+		if l.TableTemplate[other] != l.TableTemplate[id] {
+			t.Error("unionable table from different template")
+		}
+	}
+	if un[id] {
+		t.Error("table unionable with itself")
+	}
+	if l.UnionableWith("nope") != nil {
+		t.Error("unknown table should yield nil")
+	}
+}
+
+func TestRelationshipsHoldWithinTemplate(t *testing.T) {
+	// Within one table, the (col0, col1) value pairs form a function:
+	// each col0 value maps to exactly one col1 value. And two tables of
+	// the same template share that function.
+	l := smallLake()
+	t0, t1 := l.Tables[0], l.Tables[1]
+	if l.TableTemplate[t0.ID] != l.TableTemplate[t1.ID] {
+		t.Fatal("test assumes first two tables share a template")
+	}
+	mapping := map[string]string{}
+	collect := func(tbl *table.Table) {
+		for r := 0; r < tbl.NumRows(); r++ {
+			a, b := tbl.Columns[0].Values[r], tbl.Columns[1].Values[r]
+			if prev, ok := mapping[a]; ok && prev != b {
+				t.Fatalf("relationship not functional: %q -> %q and %q", a, prev, b)
+			}
+			mapping[a] = b
+		}
+	}
+	collect(t0)
+	collect(t1)
+}
+
+func TestSameDomainColumns(t *testing.T) {
+	l := smallLake()
+	var anyKey string
+	for k := range l.ColumnDomain {
+		anyKey = k
+		break
+	}
+	same := l.SameDomainColumns(anyKey)
+	for k := range same {
+		if l.ColumnDomain[k] != l.ColumnDomain[anyKey] {
+			t.Error("SameDomainColumns returned cross-domain column")
+		}
+	}
+	if same[anyKey] {
+		t.Error("column should not be same-domain with itself")
+	}
+	if l.SameDomainColumns("missing.key") != nil {
+		t.Error("unknown column should yield nil")
+	}
+}
+
+func TestHomographsPlanted(t *testing.T) {
+	l := smallLake()
+	if len(l.Homographs) != 2 {
+		t.Fatalf("homographs = %d", len(l.Homographs))
+	}
+	for _, h := range l.Homographs {
+		n := 0
+		for _, dom := range l.Domains {
+			for _, v := range dom {
+				if v == h {
+					n++
+				}
+			}
+		}
+		if n < 2 {
+			t.Errorf("homograph %q appears in %d domains", h, n)
+		}
+	}
+}
+
+func TestBuildKBCoverage(t *testing.T) {
+	l := smallLake()
+	full := l.BuildKB(1.0)
+	half := l.BuildKB(0.5)
+	var all []string
+	for _, dom := range l.Domains {
+		all = append(all, dom...)
+	}
+	if c := full.Coverage(all); c != 1 {
+		t.Errorf("full KB coverage = %v", c)
+	}
+	c := half.Coverage(all)
+	if c < 0.4 || c > 0.6 {
+		t.Errorf("half KB coverage = %v", c)
+	}
+	if full.NumFacts() == 0 {
+		t.Error("KB should contain relation facts")
+	}
+	// Domain typing matches ground truth.
+	v := l.Domains[3][0]
+	types := full.AllTypes(v)
+	found := false
+	for _, typ := range types {
+		if typ == l.DomainNames[3] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("value %q types %v missing domain name %q", v, types, l.DomainNames[3])
+	}
+}
+
+func TestColumnContexts(t *testing.T) {
+	l := smallLake()
+	ctxs := l.ColumnContexts()
+	if len(ctxs) != len(l.ColumnDomain) {
+		t.Errorf("contexts = %d, want %d", len(ctxs), len(l.ColumnDomain))
+	}
+}
+
+func TestCorruptValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]string, 200)
+	for i := range vals {
+		vals[i] = "city_name_1234"
+	}
+	out := CorruptValues(vals, 0.5, rng)
+	changed := 0
+	for i := range out {
+		if out[i] != vals[i] {
+			changed++
+			// Single edit: length within 1 and mostly same prefix.
+			if math.Abs(float64(len(out[i])-len(vals[i]))) > 1 {
+				t.Errorf("corruption too large: %q", out[i])
+			}
+		}
+	}
+	if changed < 60 || changed > 140 {
+		t.Errorf("changed = %d of 200 at rate 0.5", changed)
+	}
+	// Rate 0 changes nothing; short strings are left alone.
+	same := CorruptValues([]string{"ab"}, 1.0, rng)
+	if same[0] != "ab" {
+		t.Error("short string should not be corrupted")
+	}
+}
+
+func TestCorrelatedSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys, x, y := CorrelatedSeries(2000, 0.9, rng)
+	if len(keys) != 2000 {
+		t.Fatal("wrong length")
+	}
+	if r := metrics.Pearson(x, y); math.Abs(r-0.9) > 0.05 {
+		t.Errorf("pearson = %v, want ~0.9", r)
+	}
+	_, x2, y2 := CorrelatedSeries(2000, 0, rng)
+	if r := metrics.Pearson(x2, y2); math.Abs(r) > 0.1 {
+		t.Errorf("independent pearson = %v", r)
+	}
+}
+
+func TestDisjointInstancesReduceOverlap(t *testing.T) {
+	mk := func(disjoint bool) *Lake {
+		return Generate(Config{
+			Seed: 9, NumDomains: 12, DomainSize: 300,
+			NumTemplates: 3, TablesPerTemplate: 6,
+			RowsMin: 40, RowsMax: 40, DisjointInstances: disjoint,
+		})
+	}
+	overlap := func(l *Lake) float64 {
+		a := l.Tables[0].Columns[0].Distinct()
+		b := l.Tables[1].Columns[0].Distinct()
+		inter := 0
+		set := map[string]bool{}
+		for _, v := range a {
+			set[v] = true
+		}
+		for _, v := range b {
+			if set[v] {
+				inter++
+			}
+		}
+		return float64(inter) / float64(len(a))
+	}
+	shared := overlap(mk(false))
+	disjoint := overlap(mk(true))
+	if disjoint >= shared {
+		t.Errorf("disjoint instances should share fewer values: %v vs %v", disjoint, shared)
+	}
+	if disjoint > 0.2 {
+		t.Errorf("disjoint instance overlap = %v, want near 0", disjoint)
+	}
+}
+
+func TestTemplatesNotSubsets(t *testing.T) {
+	l := Generate(Config{Seed: 4, NumDomains: 16, NumTemplates: 6, TablesPerTemplate: 2})
+	for i := range l.Templates {
+		for j := range l.Templates {
+			if i == j {
+				continue
+			}
+			// Template i's private primary (domain index i) must not
+			// appear in template j.
+			for _, d := range l.Templates[j].Domains {
+				if d == l.Templates[i].Domains[0] {
+					t.Fatalf("template %d's primary domain reused by template %d", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTableMetadata(t *testing.T) {
+	l := smallLake()
+	for _, tbl := range l.Tables {
+		if tbl.Description == "" || len(tbl.Tags) == 0 {
+			t.Errorf("table %s missing metadata", tbl.ID)
+		}
+		if !strings.Contains(tbl.Description, "synthetic") {
+			t.Errorf("description = %q", tbl.Description)
+		}
+	}
+}

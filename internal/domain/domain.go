@@ -1,0 +1,177 @@
+// Package domain implements data-driven domain discovery (Section 2.2
+// of the tutorial; D4, Ota et al. VLDB 2020): given only the columns
+// of a data lake, recover the latent value domains — sets of values
+// that are instances of one semantic concept — without supervision.
+//
+// The algorithm follows D4's structure in simplified form:
+//
+//  1. Column graph: columns are connected when their value sets
+//     overlap strongly enough (robust signature: Jaccard or
+//     containment of the smaller in the larger).
+//  2. Candidate domains: connected components of the column graph
+//     pool their values.
+//  3. Noise pruning: a value stays in the domain only if it appears
+//     in at least minSupport columns of the component — one-off
+//     values (typos, free text) drop out.
+//  4. Representatives: each domain is named by its most frequent
+//     value (Li et al., KDD 2017).
+package domain
+
+import (
+	"sort"
+
+	"tablehound/internal/graph"
+	"tablehound/internal/minhash"
+	"tablehound/internal/tokenize"
+)
+
+// Column is one input column.
+type Column struct {
+	Key    string
+	Values []string
+}
+
+// Domain is one discovered value domain.
+type Domain struct {
+	// Representative is the domain's most frequent value.
+	Representative string
+	Values         []string
+	// Columns lists the column keys assigned to the domain.
+	Columns []string
+}
+
+// Config controls discovery.
+type Config struct {
+	// SimilarityThreshold links two columns when the containment of
+	// the smaller value set in the larger exceeds it (default 0.5).
+	SimilarityThreshold float64
+	// MinSupport keeps a value only if it occurs in at least this many
+	// columns of its component (default 2; 1 keeps everything).
+	MinSupport int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SimilarityThreshold <= 0 {
+		c.SimilarityThreshold = 0.5
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 2
+	}
+	return c
+}
+
+// Discover clusters the columns' values into domains.
+func Discover(cols []Column, cfg Config) []Domain {
+	cfg = cfg.withDefaults()
+	n := len(cols)
+	if n == 0 {
+		return nil
+	}
+	distinct := make([][]string, n)
+	for i, c := range cols {
+		distinct[i] = tokenize.NormalizeSet(c.Values)
+	}
+	// Column graph by containment of the smaller set in the larger.
+	adj := make(graph.Adjacency, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			small, big := distinct[i], distinct[j]
+			if len(big) < len(small) {
+				small, big = big, small
+			}
+			if len(small) == 0 {
+				continue
+			}
+			if minhash.ExactContainment(small, big) >= cfg.SimilarityThreshold {
+				adj[i] = append(adj[i], int32(j))
+				adj[j] = append(adj[j], int32(i))
+			}
+		}
+	}
+	comp, numComp := graph.ConnectedComponents(adj)
+	// Pool values with support counts per component.
+	support := make([]map[string]int, numComp)
+	colsOf := make([][]string, numComp)
+	sizeOf := make([]int, numComp) // columns per component
+	for i := range cols {
+		c := comp[i]
+		if support[c] == nil {
+			support[c] = make(map[string]int)
+		}
+		for _, v := range distinct[i] {
+			support[c][v]++
+		}
+		colsOf[c] = append(colsOf[c], cols[i].Key)
+		sizeOf[c]++
+	}
+	var out []Domain
+	for c := 0; c < numComp; c++ {
+		minSup := cfg.MinSupport
+		if sizeOf[c] < minSup {
+			// Singleton components keep all their values; demanding
+			// support 2 from one column would empty them.
+			minSup = 1
+		}
+		var vals []string
+		bestV, bestC := "", -1
+		for v, s := range support[c] {
+			if s < minSup {
+				continue
+			}
+			vals = append(vals, v)
+			if s > bestC || (s == bestC && v < bestV) {
+				bestV, bestC = v, s
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Strings(vals)
+		sort.Strings(colsOf[c])
+		out = append(out, Domain{Representative: bestV, Values: vals, Columns: colsOf[c]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Values) != len(out[j].Values) {
+			return len(out[i].Values) > len(out[j].Values)
+		}
+		return out[i].Representative < out[j].Representative
+	})
+	return out
+}
+
+// AssignValues maps each distinct value to the index (into the domains
+// slice) of the domain containing it, for clustering evaluation.
+// Values in several domains go to the largest one.
+func AssignValues(domains []Domain) map[string]int {
+	out := make(map[string]int)
+	// domains are sorted largest-first; first assignment wins.
+	for i, d := range domains {
+		for _, v := range d.Values {
+			if _, taken := out[v]; !taken {
+				out[v] = i
+			}
+		}
+	}
+	return out
+}
+
+// NaiveBaseline treats every column as its own domain — the strawman
+// D4 improves on (no cross-column consolidation, duplicated domains).
+func NaiveBaseline(cols []Column) []Domain {
+	out := make([]Domain, 0, len(cols))
+	for _, c := range cols {
+		vals := tokenize.NormalizeSet(c.Values)
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Strings(vals)
+		out = append(out, Domain{Representative: vals[0], Values: vals, Columns: []string{c.Key}})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Values) != len(out[j].Values) {
+			return len(out[i].Values) > len(out[j].Values)
+		}
+		return out[i].Representative < out[j].Representative
+	})
+	return out
+}

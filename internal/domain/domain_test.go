@@ -1,0 +1,144 @@
+package domain
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tablehound/internal/metrics"
+)
+
+// plantedColumns builds columns drawn from nDomains planted domains,
+// plus per-column noise values. Returns the columns and the value ->
+// true-domain labeling.
+func plantedColumns(nDomains, colsPerDomain, valsPerCol int, noise float64, seed int64) ([]Column, map[string]int) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := make(map[string]int)
+	vocab := make([][]string, nDomains)
+	for d := range vocab {
+		vocab[d] = make([]string, 60)
+		for i := range vocab[d] {
+			v := fmt.Sprintf("dom%02d_val%03d", d, i)
+			vocab[d][i] = v
+			truth[v] = d
+		}
+	}
+	var cols []Column
+	for d := 0; d < nDomains; d++ {
+		for c := 0; c < colsPerDomain; c++ {
+			var vals []string
+			perm := rng.Perm(len(vocab[d]))
+			for i := 0; i < valsPerCol && i < len(perm); i++ {
+				vals = append(vals, vocab[d][perm[i]])
+			}
+			for i := 0; float64(i) < noise*float64(valsPerCol); i++ {
+				vals = append(vals, fmt.Sprintf("noise_%d_%d_%d", d, c, i))
+			}
+			cols = append(cols, Column{Key: fmt.Sprintf("t%d.c%d", d, c), Values: vals})
+		}
+	}
+	return cols, truth
+}
+
+func TestDiscoverRecoversPlantedDomains(t *testing.T) {
+	cols, truth := plantedColumns(5, 6, 40, 0.1, 1)
+	domains := Discover(cols, Config{})
+	if len(domains) != 5 {
+		t.Fatalf("discovered %d domains, want 5", len(domains))
+	}
+	// Evaluate with NMI over values present in both assignments.
+	assign := AssignValues(domains)
+	var pred, tru []int
+	for v, d := range truth {
+		if p, ok := assign[v]; ok {
+			pred = append(pred, p)
+			tru = append(tru, d)
+		}
+	}
+	if nmi := metrics.NMI(pred, tru); nmi < 0.95 {
+		t.Errorf("NMI = %.3f, want ~1", nmi)
+	}
+}
+
+func TestNoisePruned(t *testing.T) {
+	cols, _ := plantedColumns(3, 5, 40, 0.2, 2)
+	domains := Discover(cols, Config{MinSupport: 2})
+	for _, d := range domains {
+		for _, v := range d.Values {
+			if len(v) >= 5 && v[:5] == "noise" {
+				t.Errorf("noise value %q survived pruning", v)
+			}
+		}
+	}
+}
+
+func TestDiscoverBeatsNaiveBaseline(t *testing.T) {
+	cols, truth := plantedColumns(4, 6, 30, 0.1, 3)
+	d4 := Discover(cols, Config{})
+	naive := NaiveBaseline(cols)
+	score := func(domains []Domain) float64 {
+		assign := AssignValues(domains)
+		var pred, tru []int
+		for v, d := range truth {
+			if p, ok := assign[v]; ok {
+				pred = append(pred, p)
+				tru = append(tru, d)
+			}
+		}
+		return metrics.NMI(pred, tru)
+	}
+	// Naive fragments each domain across 6 columns; D4 consolidates.
+	if len(naive) <= len(d4) {
+		t.Errorf("naive should fragment: naive=%d d4=%d", len(naive), len(d4))
+	}
+	if score(d4) <= score(naive) {
+		t.Errorf("d4 NMI %.3f should beat naive %.3f", score(d4), score(naive))
+	}
+}
+
+func TestRepresentativeIsMostFrequent(t *testing.T) {
+	cols := []Column{
+		{Key: "a", Values: []string{"x", "y", "z"}},
+		{Key: "b", Values: []string{"x", "y", "w"}},
+		{Key: "c", Values: []string{"x", "q", "y"}},
+	}
+	domains := Discover(cols, Config{SimilarityThreshold: 0.5, MinSupport: 1})
+	if len(domains) != 1 {
+		t.Fatalf("domains = %d", len(domains))
+	}
+	// x and y appear in 3 columns; tie broken lexicographically -> x.
+	if domains[0].Representative != "x" {
+		t.Errorf("representative = %q", domains[0].Representative)
+	}
+	if len(domains[0].Columns) != 3 {
+		t.Errorf("columns = %v", domains[0].Columns)
+	}
+}
+
+func TestSingletonColumnKeepsValues(t *testing.T) {
+	cols := []Column{{Key: "solo", Values: []string{"a", "b", "c"}}}
+	domains := Discover(cols, Config{MinSupport: 2})
+	if len(domains) != 1 || len(domains[0].Values) != 3 {
+		t.Errorf("singleton domain = %+v", domains)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if Discover(nil, Config{}) != nil {
+		t.Error("nil input should yield nil")
+	}
+	if got := NaiveBaseline([]Column{{Key: "e", Values: nil}}); len(got) != 0 {
+		t.Errorf("empty columns should be dropped, got %v", got)
+	}
+}
+
+func TestAssignValuesPrefersLargerDomain(t *testing.T) {
+	domains := []Domain{
+		{Representative: "big", Values: []string{"shared", "a", "b"}},
+		{Representative: "small", Values: []string{"shared"}},
+	}
+	assign := AssignValues(domains)
+	if assign["shared"] != 0 {
+		t.Errorf("shared assigned to %d", assign["shared"])
+	}
+}

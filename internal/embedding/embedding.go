@@ -1,0 +1,212 @@
+// Package embedding provides deterministic, corpus-trained dense
+// representations of data-lake values and columns. It substitutes for
+// the pre-trained word embeddings and language-model encoders the
+// surveyed systems use (TUS's fastText, PEXESO's word vectors,
+// Starmie's contextualized encoders) while remaining fully offline:
+//
+//   - Training uses random indexing: every token owns a deterministic
+//     hash-derived ±1 "index vector", and a token's embedding is the
+//     idf-weighted sum of the index vectors of tokens it co-occurs
+//     with. This is a streaming random projection of the co-occurrence
+//     (PMI-like) matrix, so values from the same semantic domain —
+//     which co-occur in the lake's columns — land close in cosine
+//     space, the property TUS and PEXESO rely on.
+//   - Out-of-vocabulary values fall back to character q-gram vectors
+//     (fastText subword style), so typo variants of the same string
+//     remain close — the property fuzzy joins rely on.
+package embedding
+
+import (
+	"hash/fnv"
+	"math"
+
+	"tablehound/internal/tokenize"
+)
+
+// hashToken maps a token+seed to a 64-bit value.
+func hashToken(tok string, seed uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tok))
+	x := h.Sum64() ^ (seed * 0x9e3779b97f4a7c15)
+	// splitmix finalizer.
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RandomVector returns the deterministic ±1 index vector of a token.
+func RandomVector(tok string, dim int, seed uint64) Vector {
+	v := make(Vector, dim)
+	x := hashToken(tok, seed)
+	for i := 0; i < dim; i++ {
+		// Refresh the bit pool every 64 dims.
+		if i%64 == 0 && i > 0 {
+			x = hashToken(tok, seed+uint64(i))
+		}
+		if x&(1<<(uint(i)%64)) != 0 {
+			v[i] = 1
+		} else {
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+// CharGramVector returns the unit-normalized sum of the index vectors
+// of the string's padded character q-grams. Strings at small edit
+// distance share most grams and therefore have high cosine similarity.
+func CharGramVector(s string, dim, q int, seed uint64) Vector {
+	out := Zero(dim)
+	for _, g := range tokenize.QGrams(tokenize.Normalize(s), q) {
+		out.Add(RandomVector(g, dim, seed))
+	}
+	return out.Normalize()
+}
+
+// Config controls training.
+type Config struct {
+	Dim  int    // embedding dimension (default 64)
+	Seed uint64 // determinism seed
+	// MinCount drops tokens seen in fewer contexts (default 1).
+	MinCount int
+	// CharGramQ is the q used for OOV fallback vectors (default 3).
+	CharGramQ int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 1
+	}
+	if c.CharGramQ <= 0 {
+		c.CharGramQ = 3
+	}
+	return c
+}
+
+// Model holds trained token embeddings plus the OOV fallback.
+type Model struct {
+	cfg  Config
+	vecs map[string]Vector
+}
+
+// Train learns embeddings from contexts: each context is a bag of
+// tokens considered mutually related (typically the distinct values of
+// one data-lake column). Tokens are used verbatim; callers normalize.
+func Train(contexts [][]string, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	// Pass 1: context frequency per token, for idf weighting.
+	df := make(map[string]int)
+	for _, ctx := range contexts {
+		seen := make(map[string]bool, len(ctx))
+		for _, t := range ctx {
+			if t != "" && !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	n := float64(len(contexts))
+	idf := func(t string) float64 {
+		return math.Log(1 + n/float64(df[t]))
+	}
+	// Pass 2: accumulate idf-weighted context sums.
+	m := &Model{cfg: cfg, vecs: make(map[string]Vector)}
+	for _, ctx := range contexts {
+		distinct := make([]string, 0, len(ctx))
+		seen := make(map[string]bool, len(ctx))
+		for _, t := range ctx {
+			if t != "" && !seen[t] {
+				seen[t] = true
+				distinct = append(distinct, t)
+			}
+		}
+		if len(distinct) < 2 {
+			continue
+		}
+		sum := Zero(cfg.Dim)
+		rvs := make([]Vector, len(distinct))
+		ws := make([]float64, len(distinct))
+		for i, t := range distinct {
+			rvs[i] = RandomVector(t, cfg.Dim, cfg.Seed)
+			ws[i] = idf(t)
+			sum.AddScaled(rvs[i], ws[i])
+		}
+		for i, t := range distinct {
+			v, ok := m.vecs[t]
+			if !ok {
+				v = Zero(cfg.Dim)
+				m.vecs[t] = v
+			}
+			// Context sum minus own contribution: a token is embedded
+			// by its company, not itself.
+			v.Add(sum)
+			v.AddScaled(rvs[i], -ws[i])
+		}
+	}
+	for t, v := range m.vecs {
+		if df[t] < cfg.MinCount {
+			delete(m.vecs, t)
+			continue
+		}
+		v.Normalize()
+	}
+	return m
+}
+
+// Dim returns the embedding dimension.
+func (m *Model) Dim() int { return m.cfg.Dim }
+
+// VocabSize returns the number of trained tokens.
+func (m *Model) VocabSize() int { return len(m.vecs) }
+
+// Has reports whether the token was seen in training.
+func (m *Model) Has(tok string) bool {
+	_, ok := m.vecs[tok]
+	return ok
+}
+
+// TokenVector returns the trained vector for a token, falling back to
+// its character-gram vector when out of vocabulary. The result is
+// unit-normalized and must not be mutated.
+func (m *Model) TokenVector(tok string) Vector {
+	if v, ok := m.vecs[tok]; ok {
+		return v
+	}
+	return CharGramVector(tok, m.cfg.Dim, m.cfg.CharGramQ, m.cfg.Seed)
+}
+
+// ValueVector embeds one cell value: the normalized value is looked up
+// as a whole token first; otherwise the mean of its word vectors;
+// otherwise its character-gram vector.
+func (m *Model) ValueVector(value string) Vector {
+	norm := tokenize.Normalize(value)
+	if v, ok := m.vecs[norm]; ok {
+		return v
+	}
+	words := tokenize.Words(norm)
+	var known []Vector
+	for _, w := range words {
+		if v, ok := m.vecs[w]; ok {
+			known = append(known, v)
+		}
+	}
+	if len(known) > 0 {
+		return Mean(known, m.cfg.Dim).Normalize()
+	}
+	return CharGramVector(norm, m.cfg.Dim, m.cfg.CharGramQ, m.cfg.Seed)
+}
+
+// ColumnVector embeds a column as the unit-normalized mean of its
+// distinct values' vectors — the column representation TUS's natural-
+// language unionability measure compares.
+func (m *Model) ColumnVector(values []string) Vector {
+	distinct := tokenize.NormalizeSet(values)
+	vs := make([]Vector, 0, len(distinct))
+	for _, v := range distinct {
+		vs = append(vs, m.ValueVector(v))
+	}
+	return Mean(vs, m.cfg.Dim).Normalize()
+}

@@ -1,0 +1,196 @@
+package embedding
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{3, 4}
+	if a.Norm() != 5 {
+		t.Errorf("Norm = %v", a.Norm())
+	}
+	b := Vector{1, 0}
+	if got := a.Dot(b); got != 3 {
+		t.Errorf("Dot = %v", got)
+	}
+	c := a.Clone()
+	c.Normalize()
+	if math.Abs(c.Norm()-1) > 1e-6 {
+		t.Errorf("normalized norm = %v", c.Norm())
+	}
+	if a[0] != 3 {
+		t.Error("Clone aliased storage")
+	}
+	z := Zero(2)
+	z.Normalize() // must not NaN
+	if z[0] != 0 {
+		t.Error("Zero normalize changed values")
+	}
+	if Cosine(z, a) != 0 {
+		t.Error("cosine with zero vector should be 0")
+	}
+	d := Zero(2)
+	d.AddScaled(b, 2.5)
+	if d[0] != 2.5 {
+		t.Errorf("AddScaled = %v", d)
+	}
+	m := Mean([]Vector{{2, 0}, {0, 2}}, 2)
+	if m[0] != 1 || m[1] != 1 {
+		t.Errorf("Mean = %v", m)
+	}
+	if got := Mean(nil, 3); len(got) != 3 {
+		t.Error("Mean of empty should be zero vector of dim")
+	}
+}
+
+func TestRandomVectorDeterministic(t *testing.T) {
+	a := RandomVector("tok", 64, 1)
+	b := RandomVector("tok", 64, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomVector not deterministic")
+		}
+	}
+	c := RandomVector("tok", 64, 2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seed does not change vector")
+	}
+	// ±1 entries only.
+	for _, x := range a {
+		if x != 1 && x != -1 {
+			t.Fatalf("entry %v not ±1", x)
+		}
+	}
+}
+
+func TestRandomVectorsNearOrthogonal(t *testing.T) {
+	// Distinct tokens should have small cosine; that is the property
+	// random indexing relies on.
+	var worst float64
+	for i := 0; i < 20; i++ {
+		a := RandomVector(fmt.Sprintf("a%d", i), 256, 7)
+		b := RandomVector(fmt.Sprintf("b%d", i), 256, 7)
+		if c := math.Abs(Cosine(a, b)); c > worst {
+			worst = c
+		}
+	}
+	if worst > 0.25 {
+		t.Errorf("random vectors too correlated: %v", worst)
+	}
+}
+
+func TestCharGramVectorTypoTolerance(t *testing.T) {
+	a := CharGramVector("mississippi", 128, 3, 1)
+	typo := CharGramVector("missisippi", 128, 3, 1)
+	other := CharGramVector("california", 128, 3, 1)
+	if Cosine(a, typo) < Cosine(a, other)+0.2 {
+		t.Errorf("typo cos %.3f should far exceed unrelated cos %.3f",
+			Cosine(a, typo), Cosine(a, other))
+	}
+}
+
+// domainCorpus builds columns (contexts) from two disjoint domains:
+// cities and fruits. Columns mix values within a domain only.
+func domainCorpus() [][]string {
+	cities := []string{"boston", "chicago", "seattle", "denver", "austin", "portland", "miami", "dallas"}
+	fruits := []string{"apple", "banana", "cherry", "grape", "mango", "peach", "plum", "kiwi"}
+	var contexts [][]string
+	for i := 0; i < 30; i++ {
+		var c1, c2 []string
+		for j := 0; j < 5; j++ {
+			c1 = append(c1, cities[(i+j)%len(cities)])
+			c2 = append(c2, fruits[(i*3+j)%len(fruits)])
+		}
+		contexts = append(contexts, c1, c2)
+	}
+	return contexts
+}
+
+func TestTrainGroupsDomains(t *testing.T) {
+	m := Train(domainCorpus(), Config{Dim: 64, Seed: 42})
+	if m.VocabSize() != 16 {
+		t.Fatalf("VocabSize = %d, want 16", m.VocabSize())
+	}
+	sameDomain := Cosine(m.TokenVector("boston"), m.TokenVector("chicago"))
+	crossDomain := Cosine(m.TokenVector("boston"), m.TokenVector("apple"))
+	if sameDomain < crossDomain+0.2 {
+		t.Errorf("same-domain cos %.3f should exceed cross-domain %.3f", sameDomain, crossDomain)
+	}
+}
+
+func TestColumnVectorSameDomainSimilar(t *testing.T) {
+	m := Train(domainCorpus(), Config{Dim: 64, Seed: 42})
+	colA := m.ColumnVector([]string{"boston", "seattle", "denver"})
+	colB := m.ColumnVector([]string{"chicago", "austin", "miami"})
+	colF := m.ColumnVector([]string{"apple", "grape", "kiwi"})
+	if Cosine(colA, colB) < Cosine(colA, colF)+0.2 {
+		t.Errorf("disjoint same-domain columns cos %.3f should exceed cross-domain %.3f",
+			Cosine(colA, colB), Cosine(colA, colF))
+	}
+}
+
+func TestValueVectorFallbacks(t *testing.T) {
+	m := Train(domainCorpus(), Config{Dim: 64, Seed: 42})
+	if !m.Has("boston") || m.Has("neverseen") {
+		t.Fatal("Has wrong")
+	}
+	// OOV single word: char-gram fallback, still unit-ish norm.
+	v := m.ValueVector("neverseen")
+	if math.Abs(v.Norm()-1) > 1e-5 {
+		t.Errorf("OOV vector norm = %v", v.Norm())
+	}
+	// Multi-word value with known words: mean of word vectors.
+	mv := m.ValueVector("boston chicago")
+	if Cosine(mv, m.TokenVector("boston")) < 0.4 {
+		t.Error("multi-word value should resemble constituent words")
+	}
+	// Case/space normalization applies.
+	v1 := m.ValueVector("  BOSTON ")
+	if Cosine(v1, m.TokenVector("boston")) < 0.99 {
+		t.Error("normalization not applied")
+	}
+}
+
+func TestTrainedVectorsUnitNorm(t *testing.T) {
+	m := Train(domainCorpus(), Config{Dim: 64, Seed: 1})
+	f := func(i uint8) bool {
+		toks := []string{"boston", "apple", "grape", "seattle"}
+		v := m.TokenVector(toks[int(i)%len(toks)])
+		return math.Abs(v.Norm()-1) < 1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainDefaults(t *testing.T) {
+	m := Train([][]string{{"a", "b"}, {"a", "b"}}, Config{})
+	if m.Dim() != 64 {
+		t.Errorf("default Dim = %d", m.Dim())
+	}
+	// Singleton and empty contexts are skipped without panic.
+	m2 := Train([][]string{{"only"}, {}, {"", ""}}, Config{Dim: 16})
+	if m2.VocabSize() != 0 {
+		t.Errorf("degenerate contexts trained %d tokens", m2.VocabSize())
+	}
+}
+
+func TestMinCountFilters(t *testing.T) {
+	contexts := [][]string{{"a", "b"}, {"a", "b"}, {"a", "c"}}
+	m := Train(contexts, Config{Dim: 16, MinCount: 2})
+	if m.Has("c") {
+		t.Error("MinCount should drop rare token c")
+	}
+	if !m.Has("a") || !m.Has("b") {
+		t.Error("frequent tokens should survive MinCount")
+	}
+}

@@ -1,0 +1,88 @@
+package embedding
+
+import "math"
+
+// Vector is a dense float32 embedding.
+type Vector []float32
+
+// Zero returns an all-zero vector of the given dimension.
+func Zero(dim int) Vector { return make(Vector, dim) }
+
+// Dot returns the inner product.
+func (v Vector) Dot(o Vector) float64 {
+	var s float64
+	for i := range v {
+		s += float64(v[i]) * float64(o[i])
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Cosine returns the cosine similarity of a and b (0 for zero vectors).
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / (na * nb)
+}
+
+// Normalize scales v to unit norm in place and returns it. Zero
+// vectors are returned unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	inv := float32(1 / n)
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Add accumulates o into v.
+func (v Vector) Add(o Vector) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// AddScaled accumulates f*o into v.
+func (v Vector) AddScaled(o Vector, f float64) {
+	ff := float32(f)
+	for i := range v {
+		v[i] += ff * o[i]
+	}
+}
+
+// Scale multiplies v by f in place.
+func (v Vector) Scale(f float64) {
+	ff := float32(f)
+	for i := range v {
+		v[i] *= ff
+	}
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Mean returns the arithmetic mean of the vectors, or a zero vector of
+// dimension dim when the list is empty.
+func Mean(vs []Vector, dim int) Vector {
+	out := Zero(dim)
+	if len(vs) == 0 {
+		return out
+	}
+	for _, v := range vs {
+		out.Add(v)
+	}
+	out.Scale(1 / float64(len(vs)))
+	return out
+}

@@ -1,0 +1,121 @@
+// Package exp implements the reproduction experiments indexed in
+// DESIGN.md: for each headline result of a system surveyed by the
+// tutorial, a function regenerates the corresponding table/figure
+// series on a synthetic lake with exact ground truth. The functions
+// are shared by `lakectl exp <id>` (human-readable tables) and the
+// root benchmark harness (testing.B metrics).
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report is one experiment's regenerated table.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes states the paper-shape expectation the rows should show.
+	Notes string
+}
+
+// String renders the report as an aligned text table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "shape: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func() Report
+
+// Registry maps experiment IDs to runners.
+var Registry = map[string]Runner{
+	"e1":  E1LSHEnsemble,
+	"e2":  E2Josie,
+	"e3":  E3TUS,
+	"e4":  E4Santos,
+	"e5":  E5Starmie,
+	"e6":  E6HNSW,
+	"e7":  E7Annotate,
+	"e8":  E8Domain,
+	"e9":  E9QCR,
+	"e10": E10Mate,
+	"e11": E11Pexeso,
+	"e12": E12Homograph,
+	"e13": E13Navigation,
+	"e14": E14Arda,
+	"e15": E15Keyword,
+	"e16": E16Scalability,
+	"e17": E17KBvsLM,
+	"e18": E18Stitch,
+	"e19": E19Learned,
+	"e20": E20QueryTimeAnnotation,
+	"e21": E21Valentine,
+	"e22": E22Aurum,
+	"e23": E23D3L,
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// d formats an integer.
+func d(v int) string { return fmt.Sprintf("%d", v) }
+
+// ms formats a duration in milliseconds.
+func ms(dur time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(dur.Microseconds())/1000)
+}
+
+// timeIt measures one call.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

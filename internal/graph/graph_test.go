@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatchingSimple(t *testing.T) {
+	// Optimal: 0->1 (9), 1->0 (8) = 17 beats greedy 0->0(7)+1->1(6)=13
+	// and 0->1(9)+1->1(6) which is infeasible.
+	w := [][]float64{
+		{7, 9},
+		{8, 6},
+	}
+	match, total := MaxWeightBipartiteMatching(w)
+	if total != 17 {
+		t.Fatalf("total = %v, want 17", total)
+	}
+	if match[0] != 1 || match[1] != 0 {
+		t.Errorf("match = %v", match)
+	}
+}
+
+func TestMatchingRectangular(t *testing.T) {
+	// More left nodes than right: one left node stays unmatched.
+	w := [][]float64{
+		{5},
+		{9},
+		{1},
+	}
+	match, total := MaxWeightBipartiteMatching(w)
+	if total != 9 {
+		t.Fatalf("total = %v, want 9", total)
+	}
+	matched := 0
+	for i, m := range match {
+		if m == 0 {
+			matched++
+			if i != 1 {
+				t.Errorf("wrong left node matched: %v", match)
+			}
+		}
+	}
+	if matched != 1 {
+		t.Errorf("matched count = %d", matched)
+	}
+}
+
+func TestMatchingEmpty(t *testing.T) {
+	if m, total := MaxWeightBipartiteMatching(nil); m != nil || total != 0 {
+		t.Error("nil input should yield nil, 0")
+	}
+	m, total := MaxWeightBipartiteMatching([][]float64{{}, {}})
+	if total != 0 || m[0] != -1 || m[1] != -1 {
+		t.Errorf("empty rows: match=%v total=%v", m, total)
+	}
+}
+
+// bruteMatch enumerates all assignments for small instances.
+func bruteMatch(w [][]float64) float64 {
+	nl := len(w)
+	nr := 0
+	for _, r := range w {
+		if len(r) > nr {
+			nr = len(r)
+		}
+	}
+	used := make([]bool, nr)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == nl {
+			return 0
+		}
+		best := rec(i + 1) // leave i unmatched
+		for j := 0; j < len(w[i]); j++ {
+			if !used[j] {
+				used[j] = true
+				if v := w[i][j] + rec(i+1); v > best {
+					best = v
+				}
+				used[j] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		nl := 1 + rng.Intn(5)
+		nr := 1 + rng.Intn(5)
+		w := make([][]float64, nl)
+		for i := range w {
+			w[i] = make([]float64, nr)
+			for j := range w[i] {
+				w[i][j] = math.Floor(rng.Float64()*100) / 10
+			}
+		}
+		_, got := MaxWeightBipartiteMatching(w)
+		want := bruteMatch(w)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: got %v, want %v for %v", trial, got, want, w)
+		}
+	}
+}
+
+func TestMatchingValidAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := make([][]float64, 8)
+	for i := range w {
+		w[i] = make([]float64, 8)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()
+		}
+	}
+	match, total := MaxWeightBipartiteMatching(w)
+	seen := map[int]bool{}
+	sum := 0.0
+	for i, j := range match {
+		if j < 0 {
+			continue
+		}
+		if seen[j] {
+			t.Fatal("right node matched twice")
+		}
+		seen[j] = true
+		sum += w[i][j]
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("reported total %v != assignment sum %v", total, sum)
+	}
+}
+
+// path builds a path graph 0-1-2-...-n-1.
+func path(n int) Adjacency {
+	adj := make(Adjacency, n)
+	for i := 0; i < n-1; i++ {
+		adj[i] = append(adj[i], int32(i+1))
+		adj[i+1] = append(adj[i+1], int32(i))
+	}
+	return adj
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2: node 1 lies on the single 0..2 path => bc = 1.
+	bc := BetweennessCentrality(path(3))
+	if bc[0] != 0 || bc[2] != 0 || bc[1] != 1 {
+		t.Errorf("bc = %v", bc)
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with center 0 and 4 leaves: center bc = C(4,2) = 6.
+	adj := make(Adjacency, 5)
+	for i := 1; i <= 4; i++ {
+		adj[0] = append(adj[0], int32(i))
+		adj[i] = append(adj[i], 0)
+	}
+	bc := BetweennessCentrality(adj)
+	if bc[0] != 6 {
+		t.Errorf("center bc = %v, want 6", bc[0])
+	}
+	for i := 1; i <= 4; i++ {
+		if bc[i] != 0 {
+			t.Errorf("leaf %d bc = %v", i, bc[i])
+		}
+	}
+}
+
+func TestBetweennessBridge(t *testing.T) {
+	// Two triangles joined by a bridge node: the bridge scores highest.
+	// 0-1-2 triangle, 5-6-7 triangle, bridge 2-4-5... node 4 connects.
+	adj := make(Adjacency, 8)
+	edge := func(a, b int32) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	edge(0, 1)
+	edge(1, 2)
+	edge(0, 2)
+	edge(5, 6)
+	edge(6, 7)
+	edge(5, 7)
+	edge(2, 4)
+	edge(4, 5)
+	bc := BetweennessCentrality(adj)
+	for i, v := range bc {
+		if i != 4 && v >= bc[4] {
+			t.Errorf("node %d bc %v >= bridge bc %v", i, v, bc[4])
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	adj := make(Adjacency, 5)
+	adj[0] = []int32{1}
+	adj[1] = []int32{0}
+	adj[3] = []int32{4}
+	adj[4] = []int32{3}
+	comp, n := ConnectedComponents(adj)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[3] != comp[4] || comp[0] == comp[2] || comp[2] == comp[3] {
+		t.Errorf("labels = %v", comp)
+	}
+	ds := Degrees(adj)
+	if ds[0] != 1 || ds[2] != 0 {
+		t.Errorf("Degrees = %v", ds)
+	}
+}

@@ -1,0 +1,119 @@
+// Package graph supplies the graph algorithms table discovery leans
+// on: maximum-weight bipartite matching (TUS aggregates column-level
+// unionability to table level with it), betweenness centrality
+// (DomainNet ranks homographs with it), and component utilities.
+package graph
+
+import "math"
+
+// MaxWeightBipartiteMatching computes a maximum-weight matching of a
+// bipartite graph given as a weight matrix w[i][j] >= 0 for left node
+// i and right node j. It returns match[i] = j (or -1 if i unmatched)
+// and the total weight. Implemented as the Hungarian algorithm with
+// potentials in O(n^3); matching a left node to a dummy (zero-weight)
+// right node models leaving it unmatched, so partial matchings with
+// rectangular inputs are handled.
+func MaxWeightBipartiteMatching(w [][]float64) ([]int, float64) {
+	nl := len(w)
+	if nl == 0 {
+		return nil, 0
+	}
+	nr := 0
+	for _, row := range w {
+		if len(row) > nr {
+			nr = len(row)
+		}
+	}
+	if nr == 0 {
+		out := make([]int, nl)
+		for i := range out {
+			out[i] = -1
+		}
+		return out, 0
+	}
+	// Square cost matrix: n = max(nl, nr), cost = maxW - weight so
+	// minimizing cost maximizes weight; dummy cells cost maxW.
+	n := nl
+	if nr > n {
+		n = nr
+	}
+	maxW := 0.0
+	for _, row := range w {
+		for _, v := range row {
+			if v > maxW {
+				maxW = v
+			}
+		}
+	}
+	cost := func(i, j int) float64 {
+		if i < nl && j < len(w[i]) {
+			return maxW - w[i][j]
+		}
+		return maxW
+	}
+	// Hungarian algorithm (Jonker-Volgenant style with potentials),
+	// 1-indexed internal arrays per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	match := make([]int, nl)
+	for i := range match {
+		match[i] = -1
+	}
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		i := p[j] - 1
+		if i >= 0 && i < nl && j-1 < len(w[i]) {
+			match[i] = j - 1
+			total += w[i][j-1]
+		}
+	}
+	return match, total
+}

@@ -1,0 +1,64 @@
+package hnsw
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tablehound/internal/embedding"
+)
+
+// TestConcurrentSearch exercises the documented guarantee that
+// searches may run concurrently with each other after building.
+func TestConcurrentSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vecs := clustered(rng, 1000, 8, 16)
+	g := buildGraph(t, vecs, Config{M: 8, EfConstruction: 40, Seed: 7})
+	queries := make([]embedding.Vector, 16)
+	for i := range queries {
+		queries[i] = randUnit(rng, 16)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res := g.Search(queries[(w+i)%len(queries)], 5, 30)
+				if len(res) == 0 {
+					errs <- "empty result"
+					return
+				}
+				// Scores must be non-increasing.
+				for j := 1; j < len(res); j++ {
+					if res[j].Score > res[j-1].Score+1e-9 {
+						errs <- "results not sorted"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestSearchResultsSorted verifies the descending-score contract that
+// downstream aggregators rely on.
+func TestSearchResultsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vecs := clustered(rng, 500, 5, 16)
+	g := buildGraph(t, vecs, Config{M: 8, EfConstruction: 40, Seed: 8})
+	for i := 0; i < 10; i++ {
+		res := g.Search(randUnit(rng, 16), 10, 50)
+		for j := 1; j < len(res); j++ {
+			if res[j].Score > res[j-1].Score+1e-9 {
+				t.Fatalf("unsorted results at query %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tablehound/internal/embedding"
+)
+
+// randUnit returns a random unit vector.
+func randUnit(rng *rand.Rand, dim int) embedding.Vector {
+	v := make(embedding.Vector, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v.Normalize()
+}
+
+// clustered builds vectors around nClusters centers.
+func clustered(rng *rand.Rand, n, nClusters, dim int) []embedding.Vector {
+	centers := make([]embedding.Vector, nClusters)
+	for i := range centers {
+		centers[i] = randUnit(rng, dim)
+	}
+	out := make([]embedding.Vector, n)
+	for i := range out {
+		c := centers[i%nClusters]
+		v := c.Clone()
+		noise := randUnit(rng, dim)
+		v.AddScaled(noise, 0.3)
+		out[i] = v.Normalize()
+	}
+	return out
+}
+
+func buildGraph(t testing.TB, vecs []embedding.Vector, cfg Config) *Graph {
+	t.Helper()
+	g := New(cfg)
+	for i, v := range vecs {
+		if err := g.Add(fmt.Sprintf("v%05d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func recallAtK(g *Graph, queries []embedding.Vector, k, ef int) float64 {
+	hits, total := 0, 0
+	for _, q := range queries {
+		truth := g.BruteForce(q, k)
+		got := g.Search(q, k, ef)
+		truthSet := map[string]bool{}
+		for _, r := range truth {
+			truthSet[r.Key] = true
+		}
+		for _, r := range got {
+			if truthSet[r.Key] {
+				hits++
+			}
+		}
+		total += len(truth)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+func TestSearchHighRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := clustered(rng, 2000, 20, 32)
+	g := buildGraph(t, vecs, Config{M: 16, EfConstruction: 100, Seed: 1})
+	queries := make([]embedding.Vector, 20)
+	for i := range queries {
+		queries[i] = randUnit(rng, 32)
+	}
+	if r := recallAtK(g, queries, 10, 100); r < 0.9 {
+		t.Errorf("recall@10 = %.3f, want >= 0.9", r)
+	}
+}
+
+func TestRecallImprovesWithEf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs := clustered(rng, 3000, 30, 32)
+	g := buildGraph(t, vecs, Config{M: 8, EfConstruction: 60, Seed: 2})
+	queries := make([]embedding.Vector, 30)
+	for i := range queries {
+		queries[i] = randUnit(rng, 32)
+	}
+	rLow := recallAtK(g, queries, 10, 10)
+	rHigh := recallAtK(g, queries, 10, 200)
+	if rHigh < rLow {
+		t.Errorf("recall should not drop with ef: ef=10 %.3f, ef=200 %.3f", rLow, rHigh)
+	}
+	if rHigh < 0.85 {
+		t.Errorf("recall@ef=200 = %.3f, want >= 0.85", rHigh)
+	}
+}
+
+func TestExactSelfLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := clustered(rng, 500, 5, 16)
+	g := buildGraph(t, vecs, Config{M: 16, EfConstruction: 100, Seed: 3})
+	miss := 0
+	for i := 0; i < 50; i++ {
+		res := g.Search(vecs[i], 1, 50)
+		if len(res) == 0 {
+			t.Fatal("no results")
+		}
+		if math.Abs(res[0].Score-1) > 1e-5 {
+			miss++
+		}
+	}
+	if miss > 2 {
+		t.Errorf("self lookup missed %d/50 times", miss)
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	g := New(Config{})
+	v := embedding.Vector{1, 0}
+	if err := g.Add("k", v); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("k", v); err == nil {
+		t.Error("duplicate key should fail")
+	}
+}
+
+func TestEmptyAndEdgeCases(t *testing.T) {
+	g := New(Config{})
+	if got := g.Search(embedding.Vector{1, 0}, 5, 10); got != nil {
+		t.Error("empty graph should return nil")
+	}
+	g.Add("a", embedding.Vector{1, 0})
+	if got := g.Search(embedding.Vector{1, 0}, 0, 10); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	got := g.Search(embedding.Vector{1, 0}, 10, 1)
+	if len(got) != 1 || got[0].Key != "a" {
+		t.Errorf("singleton search = %v", got)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	v, ok := g.Vector("a")
+	if !ok || v[0] != 1 {
+		t.Error("Vector lookup failed")
+	}
+	if _, ok := g.Vector("zzz"); ok {
+		t.Error("missing key reported present")
+	}
+}
+
+func TestBruteForceOrdering(t *testing.T) {
+	g := New(Config{Seed: 4})
+	g.Add("far", embedding.Vector{0, 1})
+	g.Add("near", embedding.Vector{1, 0})
+	g.Add("mid", embedding.Vector{0.7071, 0.7071})
+	res := g.BruteForce(embedding.Vector{1, 0}, 2)
+	if len(res) != 2 || res[0].Key != "near" || res[1].Key != "mid" {
+		t.Errorf("BruteForce = %v", res)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vecs := clustered(rng, 300, 3, 16)
+	g1 := buildGraph(t, vecs, Config{M: 8, EfConstruction: 50, Seed: 9})
+	g2 := buildGraph(t, vecs, Config{M: 8, EfConstruction: 50, Seed: 9})
+	q := randUnit(rng, 16)
+	r1 := g1.Search(q, 5, 50)
+	r2 := g2.Search(q, 5, 50)
+	if len(r1) != len(r2) {
+		t.Fatal("nondeterministic result size")
+	}
+	for i := range r1 {
+		if r1[i].Key != r2[i].Key {
+			t.Fatal("nondeterministic results for same seed")
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package invindex implements the frequency-ordered inverted index
+// over value sets that exact set-overlap search (JOSIE), keyword
+// search, and multi-attribute join filtering build on.
+//
+// Tokens are globally ranked by ascending document frequency and each
+// set stores its tokens in rank order, so rare (most selective) tokens
+// come first. Posting entries record the token's position within the
+// owning set, which yields the tight overlap upper bounds JOSIE uses.
+package invindex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Posting is one entry in a token's posting list.
+type Posting struct {
+	Set int32 // set ID
+	Pos int32 // position of the token within the set's rank-ordered tokens
+}
+
+// Index is a frozen inverted index over string sets. Build with a
+// Builder; a frozen Index is safe for concurrent reads.
+type Index struct {
+	tokenIDs map[string]int32 // token -> rank (ascending document frequency)
+	df       []int32          // rank -> document frequency
+	postings [][]Posting      // rank -> posting list sorted by set ID
+	sets     [][]int32        // set ID -> rank-ordered token ranks
+	keys     []string         // set ID -> external key
+	keyToSet map[string]int32
+}
+
+// Builder accumulates sets before freezing them into an Index.
+type Builder struct {
+	keys   []string
+	values [][]string
+	seen   map[string]bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{seen: make(map[string]bool)}
+}
+
+// Add stages a set under a unique key. Values are deduplicated; empty
+// strings are ignored.
+func (b *Builder) Add(key string, values []string) error {
+	if b.seen[key] {
+		return fmt.Errorf("invindex: duplicate key %q", key)
+	}
+	b.seen[key] = true
+	b.keys = append(b.keys, key)
+	dedup := make(map[string]bool, len(values))
+	vs := make([]string, 0, len(values))
+	for _, v := range values {
+		if v != "" && !dedup[v] {
+			dedup[v] = true
+			vs = append(vs, v)
+		}
+	}
+	b.values = append(b.values, vs)
+	return nil
+}
+
+// Len returns the number of staged sets.
+func (b *Builder) Len() int { return len(b.keys) }
+
+// Build freezes the staged sets into an Index.
+func (b *Builder) Build() (*Index, error) {
+	if len(b.keys) == 0 {
+		return nil, errors.New("invindex: no sets added")
+	}
+	// Document frequency per token.
+	df := make(map[string]int32)
+	for _, vs := range b.values {
+		for _, v := range vs {
+			df[v]++
+		}
+	}
+	// Rank tokens by ascending df, ties by token for determinism.
+	tokens := make([]string, 0, len(df))
+	for t := range df {
+		tokens = append(tokens, t)
+	}
+	sort.Slice(tokens, func(i, j int) bool {
+		if df[tokens[i]] != df[tokens[j]] {
+			return df[tokens[i]] < df[tokens[j]]
+		}
+		return tokens[i] < tokens[j]
+	})
+	ix := &Index{
+		tokenIDs: make(map[string]int32, len(tokens)),
+		df:       make([]int32, len(tokens)),
+		postings: make([][]Posting, len(tokens)),
+		sets:     make([][]int32, len(b.keys)),
+		keys:     b.keys,
+		keyToSet: make(map[string]int32, len(b.keys)),
+	}
+	for rank, t := range tokens {
+		ix.tokenIDs[t] = int32(rank)
+		ix.df[rank] = df[t]
+	}
+	for sid, vs := range b.values {
+		ranks := make([]int32, len(vs))
+		for i, v := range vs {
+			ranks[i] = ix.tokenIDs[v]
+		}
+		sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+		ix.sets[sid] = ranks
+		ix.keyToSet[b.keys[sid]] = int32(sid)
+		for pos, r := range ranks {
+			ix.postings[r] = append(ix.postings[r], Posting{Set: int32(sid), Pos: int32(pos)})
+		}
+	}
+	return ix, nil
+}
+
+// NumSets returns the number of indexed sets.
+func (ix *Index) NumSets() int { return len(ix.sets) }
+
+// NumTokens returns the number of distinct tokens.
+func (ix *Index) NumTokens() int { return len(ix.df) }
+
+// Key returns the external key of a set ID.
+func (ix *Index) Key(set int32) string { return ix.keys[set] }
+
+// SetID returns the set ID for an external key, if present.
+func (ix *Index) SetID(key string) (int32, bool) {
+	id, ok := ix.keyToSet[key]
+	return id, ok
+}
+
+// TokenRank returns the global rank of a token, if indexed.
+func (ix *Index) TokenRank(token string) (int32, bool) {
+	r, ok := ix.tokenIDs[token]
+	return r, ok
+}
+
+// DF returns the document frequency of a token rank.
+func (ix *Index) DF(rank int32) int32 { return ix.df[rank] }
+
+// Postings returns the posting list of a token rank. Callers must not
+// mutate the returned slice.
+func (ix *Index) Postings(rank int32) []Posting { return ix.postings[rank] }
+
+// Set returns the rank-ordered token ranks of a set. Callers must not
+// mutate the returned slice.
+func (ix *Index) Set(set int32) []int32 { return ix.sets[set] }
+
+// SetSize returns the distinct-token count of a set.
+func (ix *Index) SetSize(set int32) int { return len(ix.sets[set]) }
+
+// QueryRanks maps query values to the ranks of those present in the
+// dictionary, sorted ascending (rarest first). Unknown values cannot
+// contribute to overlap and are dropped.
+func (ix *Index) QueryRanks(values []string) []int32 {
+	seen := make(map[int32]bool, len(values))
+	out := make([]int32, 0, len(values))
+	for _, v := range values {
+		if r, ok := ix.tokenIDs[v]; ok && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Overlap computes the exact overlap between sorted rank slices via a
+// linear merge.
+func Overlap(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// OverlapFrom computes the overlap between a[ai:] and b[bi:].
+func OverlapFrom(a []int32, ai int, b []int32, bi int) int {
+	return Overlap(a[ai:], b[bi:])
+}

@@ -1,0 +1,63 @@
+package invindex
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob-encodable form of an Index. Postings are
+// rebuilt on load from the stored sets — they are fully determined by
+// them and roughly double the on-disk size if stored.
+type snapshot struct {
+	Tokens []string // rank order
+	DF     []int32
+	Keys   []string
+	Sets   [][]int32
+}
+
+// Save writes the index in binary form.
+func (ix *Index) Save(w io.Writer) error {
+	s := snapshot{
+		Tokens: make([]string, len(ix.df)),
+		DF:     ix.df,
+		Keys:   ix.keys,
+		Sets:   ix.sets,
+	}
+	for tok, rank := range ix.tokenIDs {
+		s.Tokens[rank] = tok
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load reads an index previously written by Save.
+func Load(r io.Reader) (*Index, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("invindex: decode: %w", err)
+	}
+	if len(s.Tokens) != len(s.DF) || len(s.Keys) != len(s.Sets) {
+		return nil, fmt.Errorf("invindex: corrupt snapshot")
+	}
+	ix := &Index{
+		tokenIDs: make(map[string]int32, len(s.Tokens)),
+		df:       s.DF,
+		postings: make([][]Posting, len(s.Tokens)),
+		sets:     s.Sets,
+		keys:     s.Keys,
+		keyToSet: make(map[string]int32, len(s.Keys)),
+	}
+	for rank, tok := range s.Tokens {
+		ix.tokenIDs[tok] = int32(rank)
+	}
+	for sid, set := range s.Sets {
+		ix.keyToSet[s.Keys[sid]] = int32(sid)
+		for pos, rank := range set {
+			if rank < 0 || int(rank) >= len(ix.postings) {
+				return nil, fmt.Errorf("invindex: corrupt snapshot: rank %d out of range", rank)
+			}
+			ix.postings[rank] = append(ix.postings[rank], Posting{Set: int32(sid), Pos: int32(pos)})
+		}
+	}
+	return ix, nil
+}

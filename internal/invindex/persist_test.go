@@ -1,0 +1,68 @@
+package invindex
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBuilder()
+	for i := 0; i < 80; i++ {
+		n := 1 + rng.Intn(25)
+		vs := make([]string, n)
+		for j := range vs {
+			vs[j] = fmt.Sprintf("tok%d", rng.Intn(120))
+		}
+		if err := b.Add(fmt.Sprintf("s%02d", i), vs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSets() != orig.NumSets() || back.NumTokens() != orig.NumTokens() {
+		t.Fatalf("dims changed: %d/%d vs %d/%d",
+			back.NumSets(), back.NumTokens(), orig.NumSets(), orig.NumTokens())
+	}
+	// Every structural accessor must agree.
+	for sid := int32(0); sid < int32(orig.NumSets()); sid++ {
+		if back.Key(sid) != orig.Key(sid) {
+			t.Fatalf("key %d changed", sid)
+		}
+		if !reflect.DeepEqual(back.Set(sid), orig.Set(sid)) {
+			t.Fatalf("set %d changed", sid)
+		}
+	}
+	for r := int32(0); r < int32(orig.NumTokens()); r++ {
+		if back.DF(r) != orig.DF(r) {
+			t.Fatalf("df %d changed", r)
+		}
+		if !reflect.DeepEqual(back.Postings(r), orig.Postings(r)) {
+			t.Fatalf("postings %d changed", r)
+		}
+	}
+	// Query behavior preserved.
+	q := []string{"tok1", "tok2", "tok3", "nope"}
+	if !reflect.DeepEqual(back.QueryRanks(q), orig.QueryRanks(q)) {
+		t.Error("QueryRanks changed after reload")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage should fail to load")
+	}
+}

@@ -1,0 +1,117 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tablehound/internal/datagen"
+)
+
+func corrEngine(t *testing.T, seed int64) (*CorrEngine, []string, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys, x, yPos := datagen.CorrelatedSeries(500, 0.95, rng)
+	b := NewCorrBuilder(128)
+	if err := b.Add("lake.k|pos", keys, yPos); err != nil {
+		t.Fatal(err)
+	}
+	// Anticorrelated column.
+	yNeg := make([]float64, len(x))
+	for i := range yNeg {
+		yNeg[i] = -0.95*x[i] + rng.NormFloat64()*0.3
+	}
+	if err := b.Add("lake.k|neg", keys, yNeg); err != nil {
+		t.Fatal(err)
+	}
+	// Independent columns.
+	for c := 0; c < 20; c++ {
+		y := make([]float64, len(x))
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		if err := b.Add(fmt.Sprintf("lake.k|rand%02d", c), keys, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, keys, x
+}
+
+func TestCorrTopKFindsCorrelated(t *testing.T) {
+	e, keys, x := corrEngine(t, 1)
+	res := e.TopK(keys, x, 3, false)
+	if len(res) == 0 || res[0].ColumnKey != "lake.k|pos" {
+		t.Fatalf("top = %+v, want lake.k|pos", res)
+	}
+	if res[0].Correlation < 0.8 {
+		t.Errorf("verified correlation = %v", res[0].Correlation)
+	}
+}
+
+func TestCorrTopKNegative(t *testing.T) {
+	e, keys, x := corrEngine(t, 2)
+	res := e.TopK(keys, x, 3, true)
+	if len(res) == 0 || res[0].ColumnKey != "lake.k|neg" {
+		t.Fatalf("top = %+v, want lake.k|neg", res)
+	}
+	if res[0].Correlation > -0.8 {
+		t.Errorf("verified correlation = %v, want strongly negative", res[0].Correlation)
+	}
+}
+
+func TestCorrMatchesBruteForce(t *testing.T) {
+	e, keys, x := corrEngine(t, 3)
+	sketchTop := e.TopK(keys, x, 1, false)
+	bruteTop := e.BruteForceTopK(keys, x, 1, false)
+	if len(sketchTop) == 0 || len(bruteTop) == 0 {
+		t.Fatal("no results")
+	}
+	if sketchTop[0].ColumnKey != bruteTop[0].ColumnKey {
+		t.Errorf("sketch top %q != brute top %q", sketchTop[0].ColumnKey, bruteTop[0].ColumnKey)
+	}
+}
+
+func TestCorrBuilderErrors(t *testing.T) {
+	b := NewCorrBuilder(64)
+	if err := b.Add("p", nil, nil); err == nil {
+		t.Error("empty pair should fail")
+	}
+	if err := b.Add("q", []string{"a"}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add("q", []string{"b"}, []float64{2}); err == nil {
+		t.Error("duplicate pair should fail")
+	}
+	if _, err := NewCorrBuilder(1).Build(); err == nil {
+		t.Error("empty Build should fail")
+	}
+}
+
+func TestCorrExactCorrelationRequiresOverlap(t *testing.T) {
+	b := NewCorrBuilder(0)
+	b.Add("lake.k|a", []string{"x", "y", "z", "w"}, []float64{1, 2, 3, 4})
+	e, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query joins on zero keys: correlation must be 0, not NaN.
+	res := e.TopK([]string{"p", "q", "r"}, []float64{1, 2, 3}, 1, false)
+	for _, m := range res {
+		if m.Correlation != 0 {
+			t.Errorf("no-overlap correlation = %v", m.Correlation)
+		}
+	}
+	if e.NumPairs() != 1 {
+		t.Error("NumPairs wrong")
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	if PairKey("t1", "key", "metric") != "t1.key|metric" {
+		t.Error("PairKey format changed")
+	}
+}

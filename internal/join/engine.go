@@ -1,0 +1,251 @@
+// Package join implements joinable table search (Section 2.4 of the
+// tutorial): given a query column, find data-lake columns that can
+// join with it. It unifies the surveyed strategies behind one engine:
+//
+//   - exact top-k overlap search (JOSIE),
+//   - approximate containment search (LSH Ensemble), with optional
+//     exact verification,
+//   - exact Jaccard threshold search (the Das Sarma-era baseline whose
+//     bias against large domains LSH Ensemble fixes),
+//   - fuzzy/semantic join via embeddings with pivot filtering (PEXESO),
+//   - multi-attribute join via row super-keys (MATE), and
+//   - correlation-aware join discovery via QCR sketches.
+package join
+
+import (
+	"errors"
+	"sort"
+
+	"tablehound/internal/invindex"
+	"tablehound/internal/josie"
+	"tablehound/internal/lshensemble"
+	"tablehound/internal/minhash"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// DefaultNumHashes is the MinHash signature length used by the engine.
+const DefaultNumHashes = 128
+
+// Match is one joinable column hit.
+type Match struct {
+	ColumnKey   string  // table.ColumnKey of the matched column
+	Overlap     int     // exact value overlap (when computed)
+	Containment float64 // |Q ∩ X| / |Q| (when computed)
+	Jaccard     float64 // (when computed)
+}
+
+// Builder stages columns for a join Engine.
+type Builder struct {
+	minCardinality int
+	numHashes      int
+	numPartitions  int
+	cols           map[string][]string
+	order          []string
+}
+
+// NewBuilder creates a Builder. Columns with fewer than minCardinality
+// distinct values are skipped (tiny columns join with everything and
+// pollute results); pass 1 to keep all non-empty columns.
+func NewBuilder(minCardinality int) *Builder {
+	if minCardinality < 1 {
+		minCardinality = 1
+	}
+	return &Builder{
+		minCardinality: minCardinality,
+		numHashes:      DefaultNumHashes,
+		numPartitions:  8,
+		cols:           make(map[string][]string),
+	}
+}
+
+// AddTable stages every string-typed column of the table.
+func (b *Builder) AddTable(t *table.Table) {
+	for _, c := range t.Columns {
+		if c.Type != table.TypeString && c.Type != table.TypeDate && c.Type != table.TypeUnknown {
+			continue
+		}
+		b.AddColumn(table.ColumnKey(t.ID, c.Name), c.Values)
+	}
+}
+
+// AddColumn stages one column under a unique key.
+func (b *Builder) AddColumn(key string, values []string) {
+	distinct := tokenize.NormalizeSet(values)
+	if len(distinct) < b.minCardinality {
+		return
+	}
+	if _, dup := b.cols[key]; dup {
+		return
+	}
+	b.cols[key] = distinct
+	b.order = append(b.order, key)
+}
+
+// Build freezes the staged columns into an Engine.
+func (b *Builder) Build() (*Engine, error) {
+	if len(b.order) == 0 {
+		return nil, errors.New("join: no columns staged")
+	}
+	sort.Strings(b.order)
+	inv := invindex.NewBuilder()
+	hasher := minhash.NewHasher(b.numHashes, 42)
+	ens := lshensemble.New(b.numHashes, b.numPartitions)
+	for _, key := range b.order {
+		vals := b.cols[key]
+		if err := inv.Add(key, vals); err != nil {
+			return nil, err
+		}
+		sig := hasher.Sign(vals)
+		if err := ens.Add(lshensemble.Domain{Key: key, Size: len(vals), Sig: sig}); err != nil {
+			return nil, err
+		}
+	}
+	ix, err := inv.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := ens.Build(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		inv:      ix,
+		searcher: josie.NewSearcher(ix),
+		ensemble: ens,
+		hasher:   hasher,
+		cols:     b.cols,
+	}, nil
+}
+
+// Engine answers joinable-column queries. Safe for concurrent reads.
+type Engine struct {
+	inv      *invindex.Index
+	searcher *josie.Searcher
+	ensemble *lshensemble.Index
+	hasher   *minhash.Hasher
+	cols     map[string][]string
+}
+
+// NumColumns returns the number of indexed columns.
+func (e *Engine) NumColumns() int { return len(e.cols) }
+
+// ColumnValues returns the indexed distinct values of a column key.
+func (e *Engine) ColumnValues(key string) ([]string, bool) {
+	v, ok := e.cols[key]
+	return v, ok
+}
+
+// TopKOverlap returns the k columns with largest exact value overlap
+// with the query (JOSIE). Values are normalized before matching.
+func (e *Engine) TopKOverlap(values []string, k int) []Match {
+	q := tokenize.NormalizeSet(values)
+	res := e.searcher.TopK(q, k, josie.Adaptive)
+	out := make([]Match, len(res))
+	for i, r := range res {
+		out[i] = Match{
+			ColumnKey:   r.Key,
+			Overlap:     r.Overlap,
+			Containment: float64(r.Overlap) / float64(len(q)),
+		}
+	}
+	return out
+}
+
+// TopKOverlapAlgo is TopKOverlap with an explicit JOSIE strategy, for
+// the benchmark ablation.
+func (e *Engine) TopKOverlapAlgo(values []string, k int, algo josie.Algorithm) ([]Match, josie.Stats) {
+	q := tokenize.NormalizeSet(values)
+	res, st := e.searcher.TopKStats(q, k, algo)
+	out := make([]Match, len(res))
+	for i, r := range res {
+		out[i] = Match{ColumnKey: r.Key, Overlap: r.Overlap, Containment: float64(r.Overlap) / float64(len(q))}
+	}
+	return out, st
+}
+
+// ContainmentSearch returns columns whose containment of the query is
+// likely >= threshold, via LSH Ensemble. With verify, candidates are
+// checked against exact containment and false positives dropped.
+func (e *Engine) ContainmentSearch(values []string, threshold float64, verify bool) ([]Match, error) {
+	q := tokenize.NormalizeSet(values)
+	if len(q) == 0 {
+		return nil, errors.New("join: empty query column")
+	}
+	sig := e.hasher.Sign(q)
+	cands, err := e.ensemble.Query(sig, len(q), threshold)
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for _, key := range cands {
+		m := Match{ColumnKey: key}
+		if verify {
+			c := minhash.ExactContainment(q, e.cols[key])
+			if c < threshold {
+				continue
+			}
+			m.Containment = c
+			m.Overlap = int(c*float64(len(q)) + 0.5)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Containment != out[j].Containment {
+			return out[i].Containment > out[j].Containment
+		}
+		return out[i].ColumnKey < out[j].ColumnKey
+	})
+	return out, nil
+}
+
+// JaccardSearch is the exact-scan baseline: every indexed column is
+// compared with exact Jaccard similarity; columns >= threshold are
+// returned sorted by similarity. Illustrates both the cost of
+// scanning and Jaccard's bias against large domains.
+func (e *Engine) JaccardSearch(values []string, threshold float64) []Match {
+	q := tokenize.NormalizeSet(values)
+	keys := make([]string, 0, len(e.cols))
+	for k := range e.cols {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Match
+	for _, key := range keys {
+		j := minhash.ExactJaccard(q, e.cols[key])
+		if j >= threshold {
+			out = append(out, Match{ColumnKey: key, Jaccard: j})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Jaccard != out[j].Jaccard {
+			return out[i].Jaccard > out[j].Jaccard
+		}
+		return out[i].ColumnKey < out[j].ColumnKey
+	})
+	return out
+}
+
+// ExactContainmentScan is the brute-force containment baseline used to
+// measure LSH Ensemble recall.
+func (e *Engine) ExactContainmentScan(values []string, threshold float64) []Match {
+	q := tokenize.NormalizeSet(values)
+	keys := make([]string, 0, len(e.cols))
+	for k := range e.cols {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Match
+	for _, key := range keys {
+		c := minhash.ExactContainment(q, e.cols[key])
+		if c >= threshold {
+			out = append(out, Match{ColumnKey: key, Containment: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Containment != out[j].Containment {
+			return out[i].Containment > out[j].Containment
+		}
+		return out[i].ColumnKey < out[j].ColumnKey
+	})
+	return out
+}

@@ -1,0 +1,210 @@
+package join
+
+import (
+	"sort"
+
+	"tablehound/internal/minhash"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// MultiMatch is one multi-attribute joinable table hit.
+type MultiMatch struct {
+	TableID string
+	// Columns[i] is the matched column name for query attribute i.
+	Columns []string
+	// Rows is the number of query rows with a full composite match.
+	Rows int
+}
+
+// MateStats exposes the super-key filter's pruning power.
+type MateStats struct {
+	Candidates int // rows fetched via the single-attribute index
+	Pruned     int // rows rejected by the super-key filter alone
+	Verified   int // rows fully compared value-by-value
+}
+
+// MateIndex supports multi-attribute (composite-key) join search in
+// the style of MATE (Esmailoghli et al., VLDB 2022): a conventional
+// inverted index over one attribute retrieves candidate rows, and a
+// per-row fixed-width bit signature over all cell values (the XASH
+// super key) rejects rows that cannot match the remaining attributes
+// without touching the data.
+type MateIndex struct {
+	tables map[string]*mateTable
+	ids    []string
+	// posting maps a normalized value to the rows containing it.
+	posting map[string][]rowRef
+}
+
+type mateTable struct {
+	tbl  *table.Table
+	keys []uint64 // row -> super key (XASH signature of all cells)
+	// norm[r][c] = normalized cell values.
+	norm [][]string
+}
+
+type rowRef struct {
+	tableIdx int32
+	row      int32
+	col      int16
+}
+
+// xash sets two bits per value in a 64-bit signature, positions
+// derived from the value hash. A row's super key is the OR over its
+// cells; containment of a value's bits is necessary for presence.
+func xash(v string) uint64 {
+	h := minhash.HashValue(v)
+	return 1<<(h%64) | 1<<((h>>8)%64)
+}
+
+// NewMateIndex indexes the given tables.
+func NewMateIndex(tables []*table.Table) *MateIndex {
+	m := &MateIndex{
+		tables:  make(map[string]*mateTable, len(tables)),
+		posting: make(map[string][]rowRef),
+	}
+	for ti, t := range tables {
+		mt := &mateTable{tbl: t}
+		rows := t.NumRows()
+		mt.keys = make([]uint64, rows)
+		mt.norm = make([][]string, rows)
+		for r := 0; r < rows; r++ {
+			mt.norm[r] = make([]string, t.NumCols())
+			var super uint64
+			for c, col := range t.Columns {
+				nv := tokenize.Normalize(col.Values[r])
+				mt.norm[r][c] = nv
+				if nv != "" {
+					super |= xash(nv)
+					m.posting[nv] = append(m.posting[nv], rowRef{int32(ti), int32(r), int16(c)})
+				}
+			}
+			mt.keys[r] = super
+		}
+		m.tables[t.ID] = mt
+		m.ids = append(m.ids, t.ID)
+	}
+	return m
+}
+
+// Search finds tables joinable with the query on ALL the given
+// attribute columns simultaneously. query[i] is the i-th attribute's
+// values, row-aligned across attributes. Returns tables ranked by the
+// number of query rows that match some row of the table on every
+// attribute, with useSuperKey controlling the XASH filter (the
+// benchmark ablation).
+func (m *MateIndex) Search(query [][]string, k int, useSuperKey bool) ([]MultiMatch, MateStats) {
+	var st MateStats
+	if len(query) == 0 || len(query[0]) == 0 || k <= 0 {
+		return nil, st
+	}
+	nAttrs := len(query)
+	nRows := len(query[0])
+	type tableHit struct {
+		rows int
+		cols map[int]map[int16]int // attr -> col -> votes
+	}
+	hits := make(map[int32]*tableHit)
+	for r := 0; r < nRows; r++ {
+		qvals := make([]string, nAttrs)
+		var qbits uint64
+		ok := true
+		for a := 0; a < nAttrs; a++ {
+			if r >= len(query[a]) {
+				ok = false
+				break
+			}
+			qvals[a] = tokenize.Normalize(query[a][r])
+			if qvals[a] == "" {
+				ok = false
+				break
+			}
+			qbits |= xash(qvals[a])
+		}
+		if !ok {
+			continue
+		}
+		// Candidates: rows containing the first attribute's value.
+		seen := make(map[[2]int32]bool)
+		for _, ref := range m.posting[qvals[0]] {
+			rk := [2]int32{ref.tableIdx, ref.row}
+			if seen[rk] {
+				continue
+			}
+			seen[rk] = true
+			st.Candidates++
+			mt := m.tables[m.ids[ref.tableIdx]]
+			if useSuperKey && mt.keys[ref.row]&qbits != qbits {
+				st.Pruned++
+				continue
+			}
+			st.Verified++
+			cols := matchRow(mt.norm[ref.row], qvals)
+			if cols == nil {
+				continue
+			}
+			h := hits[ref.tableIdx]
+			if h == nil {
+				h = &tableHit{cols: make(map[int]map[int16]int)}
+				hits[ref.tableIdx] = h
+			}
+			h.rows++
+			for a, c := range cols {
+				if h.cols[a] == nil {
+					h.cols[a] = make(map[int16]int)
+				}
+				h.cols[a][c]++
+			}
+		}
+	}
+	out := make([]MultiMatch, 0, len(hits))
+	for ti, h := range hits {
+		mt := m.tables[m.ids[ti]]
+		mm := MultiMatch{TableID: m.ids[ti], Rows: h.rows, Columns: make([]string, nAttrs)}
+		for a := 0; a < nAttrs; a++ {
+			bestC, bestV := int16(-1), 0
+			for c, v := range h.cols[a] {
+				if v > bestV || (v == bestV && c < bestC) {
+					bestC, bestV = c, v
+				}
+			}
+			if bestC >= 0 {
+				mm.Columns[a] = mt.tbl.Columns[bestC].Name
+			}
+		}
+		out = append(out, mm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rows != out[j].Rows {
+			return out[i].Rows > out[j].Rows
+		}
+		return out[i].TableID < out[j].TableID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, st
+}
+
+// matchRow checks that every query value appears somewhere in the row,
+// each in a distinct column, returning attr -> column or nil.
+func matchRow(row []string, qvals []string) []int16 {
+	used := make(map[int16]bool, len(qvals))
+	out := make([]int16, len(qvals))
+	for a, qv := range qvals {
+		found := int16(-1)
+		for c, rv := range row {
+			if rv == qv && !used[int16(c)] {
+				found = int16(c)
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		used[found] = true
+		out[a] = found
+	}
+	return out
+}

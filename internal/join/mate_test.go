@@ -1,0 +1,136 @@
+package join
+
+import (
+	"fmt"
+	"testing"
+
+	"tablehound/internal/table"
+)
+
+// compositeTable builds a table with first+last name composite keys.
+func compositeTable(id string, n, offset int, extra string) *table.Table {
+	first := make([]string, n)
+	last := make([]string, n)
+	note := make([]string, n)
+	for i := range first {
+		first[i] = fmt.Sprintf("first_%03d", (i+offset)%50)
+		last[i] = fmt.Sprintf("last_%03d", (i+offset)%40)
+		note[i] = fmt.Sprintf("%s_%d", extra, i)
+	}
+	return table.MustNew(id, id, []*table.Column{
+		table.NewColumn("fname", first),
+		table.NewColumn("lname", last),
+		table.NewColumn("note", note),
+	})
+}
+
+// shuffledNames shares first names but misaligns last names, so rows
+// match on attribute 1 but not the composite.
+func shuffledNames(id string, n int) *table.Table {
+	first := make([]string, n)
+	last := make([]string, n)
+	for i := range first {
+		first[i] = fmt.Sprintf("first_%03d", i%50)
+		last[i] = fmt.Sprintf("last_%03d", (i+7)%40) // misaligned
+	}
+	return table.MustNew(id, id, []*table.Column{
+		table.NewColumn("fname", first),
+		table.NewColumn("lname", last),
+	})
+}
+
+func TestMateFindsCompositeJoins(t *testing.T) {
+	aligned := compositeTable("aligned", 60, 0, "x")
+	shuffled := shuffledNames("shuffled", 60)
+	m := NewMateIndex([]*table.Table{aligned, shuffled})
+
+	q := compositeTable("query", 40, 0, "q")
+	res, _ := m.Search([][]string{q.Columns[0].Values, q.Columns[1].Values}, 5, true)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].TableID != "aligned" {
+		t.Fatalf("top = %+v, want aligned", res[0])
+	}
+	if res[0].Rows < 35 {
+		t.Errorf("aligned rows = %d, want ~40", res[0].Rows)
+	}
+	if res[0].Columns[0] != "fname" || res[0].Columns[1] != "lname" {
+		t.Errorf("matched columns = %v", res[0].Columns)
+	}
+	// The shuffled table matches single attributes but few composite
+	// rows; it must rank below or match far fewer rows.
+	for _, r := range res[1:] {
+		if r.TableID == "shuffled" && r.Rows >= res[0].Rows {
+			t.Errorf("shuffled rows %d should be << aligned %d", r.Rows, res[0].Rows)
+		}
+	}
+}
+
+func TestMateSuperKeyPrunes(t *testing.T) {
+	tables := []*table.Table{
+		compositeTable("a", 200, 0, "x"),
+		shuffledNames("b", 200),
+	}
+	m := NewMateIndex(tables)
+	q := compositeTable("q", 50, 0, "q")
+	query := [][]string{q.Columns[0].Values, q.Columns[1].Values}
+
+	resOn, stOn := m.Search(query, 5, true)
+	resOff, stOff := m.Search(query, 5, false)
+	// Same answers.
+	if len(resOn) != len(resOff) {
+		t.Fatalf("filter changed result count: %d vs %d", len(resOn), len(resOff))
+	}
+	for i := range resOn {
+		if resOn[i].TableID != resOff[i].TableID || resOn[i].Rows != resOff[i].Rows {
+			t.Errorf("filter changed results: %+v vs %+v", resOn[i], resOff[i])
+		}
+	}
+	// But less verification work.
+	if stOn.Verified >= stOff.Verified {
+		t.Errorf("super key should reduce verifications: on=%d off=%d", stOn.Verified, stOff.Verified)
+	}
+	if stOn.Pruned == 0 {
+		t.Error("no rows pruned by super key")
+	}
+}
+
+func TestMateEdgeCases(t *testing.T) {
+	m := NewMateIndex([]*table.Table{compositeTable("a", 10, 0, "x")})
+	if res, _ := m.Search(nil, 5, true); res != nil {
+		t.Error("nil query should return nil")
+	}
+	if res, _ := m.Search([][]string{{}}, 5, true); res != nil {
+		t.Error("empty query should return nil")
+	}
+	if res, _ := m.Search([][]string{{"a"}}, 0, true); res != nil {
+		t.Error("k=0 should return nil")
+	}
+	// Single attribute degenerates to value join.
+	res, _ := m.Search([][]string{{"first_003"}}, 5, true)
+	if len(res) != 1 || res[0].Rows != 1 {
+		t.Errorf("single-attr = %+v", res)
+	}
+}
+
+func TestMateThreeAttributes(t *testing.T) {
+	a := compositeTable("a", 50, 0, "note")
+	m := NewMateIndex([]*table.Table{a})
+	// Query on all three columns including the note column.
+	q := [][]string{
+		{a.Columns[0].Values[3]},
+		{a.Columns[1].Values[3]},
+		{a.Columns[2].Values[3]},
+	}
+	res, _ := m.Search(q, 5, true)
+	if len(res) != 1 || res[0].Rows != 1 {
+		t.Fatalf("3-attr = %+v", res)
+	}
+	// A wrong third value kills the match.
+	q[2][0] = "nonexistent"
+	res, _ = m.Search(q, 5, true)
+	if len(res) != 0 {
+		t.Errorf("wrong third attr matched: %+v", res)
+	}
+}

@@ -1,0 +1,192 @@
+package join
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"tablehound/internal/embedding"
+	"tablehound/internal/tokenize"
+)
+
+// FuzzyMatch is one fuzzy-joinable column hit.
+type FuzzyMatch struct {
+	ColumnKey string
+	// MatchedFraction is the fraction of query values with at least
+	// one target value above the similarity threshold — PEXESO's
+	// joinability measure.
+	MatchedFraction float64
+}
+
+// FuzzyStats counts the work a fuzzy query performed, exposing the
+// effect of pivot filtering.
+type FuzzyStats struct {
+	Comparisons int // full vector similarity computations
+	PivotSkips  int // candidates pruned by the pivot filter
+}
+
+// FuzzyJoiner finds columns that join with a query column under
+// vector similarity rather than equality — the PEXESO approach to
+// dirty or semantically equivalent join keys. Values are embedded
+// (trained model with char-gram fallback) and a value matches if its
+// cosine similarity exceeds tau.
+//
+// Candidate pruning uses pivot-based metric filtering: each indexed
+// vector stores its distance to p shared pivot vectors; by the
+// triangle inequality a candidate x can match query q only if
+// |d(q,pi) - d(x,pi)| <= r for every pivot, where r is the distance
+// radius corresponding to tau. Vectors failing the test are skipped
+// without a similarity computation.
+type FuzzyJoiner struct {
+	model     *embedding.Model
+	numPivots int
+	pivots    []embedding.Vector
+	cols      map[string]*fuzzyColumn
+	keys      []string
+}
+
+type fuzzyColumn struct {
+	values []string
+	vecs   []embedding.Vector
+	// pivotDist[i][p] = Euclidean distance of vecs[i] to pivot p.
+	pivotDist [][]float64
+}
+
+// NewFuzzyJoiner creates a joiner over the given embedding model with
+// numPivots pivot vectors (4-8 is typical).
+func NewFuzzyJoiner(model *embedding.Model, numPivots int) *FuzzyJoiner {
+	if numPivots <= 0 {
+		numPivots = 4
+	}
+	return &FuzzyJoiner{model: model, numPivots: numPivots, cols: make(map[string]*fuzzyColumn)}
+}
+
+// choosePivots runs farthest-point selection over the first indexed
+// column's vectors. Pivots drawn from the data spread across the
+// populated region of the space; random pivots in high dimension are
+// nearly equidistant from everything and prune nothing.
+func (f *FuzzyJoiner) choosePivots(vecs []embedding.Vector) {
+	if len(vecs) == 0 {
+		return
+	}
+	f.pivots = append(f.pivots, vecs[0])
+	minDist := make([]float64, len(vecs))
+	for i, v := range vecs {
+		minDist[i] = euclid(v, vecs[0])
+	}
+	for len(f.pivots) < f.numPivots {
+		best, bestD := -1, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 || bestD == 0 {
+			break
+		}
+		p := vecs[best]
+		f.pivots = append(f.pivots, p)
+		for i, v := range vecs {
+			if d := euclid(v, p); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+}
+
+// AddColumn indexes a column's distinct values.
+func (f *FuzzyJoiner) AddColumn(key string, values []string) error {
+	if _, dup := f.cols[key]; dup {
+		return errors.New("join: duplicate fuzzy column " + key)
+	}
+	distinct := tokenize.NormalizeSet(values)
+	fc := &fuzzyColumn{values: distinct}
+	for _, v := range distinct {
+		fc.vecs = append(fc.vecs, f.model.ValueVector(v))
+	}
+	if len(f.pivots) == 0 {
+		f.choosePivots(fc.vecs)
+	}
+	for _, vec := range fc.vecs {
+		fc.pivotDist = append(fc.pivotDist, f.pivotDistances(vec))
+	}
+	f.cols[key] = fc
+	f.keys = append(f.keys, key)
+	sort.Strings(f.keys)
+	return nil
+}
+
+func (f *FuzzyJoiner) pivotDistances(v embedding.Vector) []float64 {
+	out := make([]float64, len(f.pivots))
+	for i, p := range f.pivots {
+		out[i] = euclid(v, p)
+	}
+	return out
+}
+
+// euclid for unit vectors: sqrt(2 - 2*dot).
+func euclid(a, b embedding.Vector) float64 {
+	return math.Sqrt(math.Max(0, 2-2*a.Dot(b)))
+}
+
+// Search returns columns where at least minFraction of the query's
+// distinct values fuzzy-match some target value at cosine >= tau,
+// ranked by matched fraction.
+func (f *FuzzyJoiner) Search(values []string, tau, minFraction float64) ([]FuzzyMatch, FuzzyStats) {
+	var st FuzzyStats
+	q := tokenize.NormalizeSet(values)
+	if len(q) == 0 {
+		return nil, st
+	}
+	qv := make([]embedding.Vector, len(q))
+	qp := make([][]float64, len(q))
+	for i, v := range q {
+		qv[i] = f.model.ValueVector(v)
+		qp[i] = f.pivotDistances(qv[i])
+	}
+	// Matching radius: cosine >= tau on unit vectors means Euclidean
+	// distance <= sqrt(2 - 2 tau).
+	r := math.Sqrt(math.Max(0, 2-2*tau))
+	var out []FuzzyMatch
+	for _, key := range f.keys {
+		fc := f.cols[key]
+		matched := 0
+		for i := range q {
+			if f.valueMatches(qv[i], qp[i], fc, tau, r, &st) {
+				matched++
+			}
+		}
+		frac := float64(matched) / float64(len(q))
+		if frac >= minFraction {
+			out = append(out, FuzzyMatch{ColumnKey: key, MatchedFraction: frac})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MatchedFraction != out[j].MatchedFraction {
+			return out[i].MatchedFraction > out[j].MatchedFraction
+		}
+		return out[i].ColumnKey < out[j].ColumnKey
+	})
+	return out, st
+}
+
+func (f *FuzzyJoiner) valueMatches(qv embedding.Vector, qp []float64, fc *fuzzyColumn, tau, r float64, st *FuzzyStats) bool {
+candidates:
+	for i := range fc.vecs {
+		for p := range f.pivots {
+			d := qp[p] - fc.pivotDist[i][p]
+			if d < 0 {
+				d = -d
+			}
+			if d > r {
+				st.PivotSkips++
+				continue candidates
+			}
+		}
+		st.Comparisons++
+		if qv.Dot(fc.vecs[i]) >= tau {
+			return true
+		}
+	}
+	return false
+}

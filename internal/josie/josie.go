@@ -1,0 +1,349 @@
+// Package josie implements JOSIE (Zhu, Deng, Nargesian, Miller —
+// SIGMOD 2019): exact top-k overlap set-similarity search for joinable
+// table discovery. Given a query column's distinct values, it returns
+// the k indexed columns with the largest exact value overlap.
+//
+// Three strategies are provided, matching the paper's ablation:
+//
+//   - MergeList reads the full posting list of every query token and
+//     counts overlaps — optimal when lists are short.
+//   - ProbeSet reads posting lists only to discover candidates, probing
+//     each candidate's full token list for its exact overlap — optimal
+//     when a few large candidates dominate.
+//   - Adaptive (JOSIE proper) interleaves the two, using a cost model
+//     and position-based overlap upper bounds to stop early.
+//
+// All three return the same exact result; they differ only in cost.
+package josie
+
+import (
+	"fmt"
+	"sort"
+
+	"tablehound/internal/invindex"
+)
+
+// Algorithm selects the search strategy.
+type Algorithm int
+
+// Strategies. Adaptive is JOSIE's cost-based algorithm.
+const (
+	MergeList Algorithm = iota
+	ProbeSet
+	Adaptive
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case MergeList:
+		return "mergelist"
+	case ProbeSet:
+		return "probeset"
+	case Adaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Result is one search hit.
+type Result struct {
+	Key     string
+	Overlap int
+}
+
+// CostModel weights the two primitive operations: scanning one posting
+// entry and reading one token of a candidate set (plus a per-probe
+// seek overhead). Relative magnitudes, not units, drive decisions.
+type CostModel struct {
+	ReadPosting float64 // cost per posting entry scanned
+	ReadToken   float64 // cost per set token read during a probe
+	ProbeSeek   float64 // fixed overhead per probe
+}
+
+// DefaultCost mirrors the disk-resident setting of the paper, where a
+// probe pays a seek before streaming the set.
+func DefaultCost() CostModel {
+	return CostModel{ReadPosting: 1, ReadToken: 1, ProbeSeek: 32}
+}
+
+// Searcher answers top-k overlap queries against a frozen index.
+// Safe for concurrent use.
+type Searcher struct {
+	ix   *invindex.Index
+	cost CostModel
+}
+
+// NewSearcher wraps an index with the default cost model.
+func NewSearcher(ix *invindex.Index) *Searcher {
+	return &Searcher{ix: ix, cost: DefaultCost()}
+}
+
+// NewSearcherCost wraps an index with an explicit cost model.
+func NewSearcherCost(ix *invindex.Index, cm CostModel) *Searcher {
+	return &Searcher{ix: ix, cost: cm}
+}
+
+// Stats reports the work a query performed, for benchmarking.
+type Stats struct {
+	PostingsRead int
+	SetsProbed   int
+	TokensRead   int
+}
+
+// TopK returns the k sets with largest exact overlap with the query
+// values, descending by overlap with key tiebreak. Sets with zero
+// overlap are never returned.
+func (s *Searcher) TopK(values []string, k int, algo Algorithm) []Result {
+	r, _ := s.TopKStats(values, k, algo)
+	return r
+}
+
+// TopKStats is TopK plus work counters.
+func (s *Searcher) TopKStats(values []string, k int, algo Algorithm) ([]Result, Stats) {
+	var st Stats
+	if k <= 0 {
+		return nil, st
+	}
+	q := s.ix.QueryRanks(values)
+	if len(q) == 0 {
+		return nil, st
+	}
+	var res []Result
+	switch algo {
+	case MergeList:
+		res = s.mergeList(q, k, &st)
+	case ProbeSet:
+		res = s.probeSet(q, k, &st)
+	default:
+		res = s.adaptive(q, k, &st)
+	}
+	return res, st
+}
+
+// mergeList reads every posting list fully and counts overlaps.
+func (s *Searcher) mergeList(q []int32, k int, st *Stats) []Result {
+	counts := make(map[int32]int)
+	for _, tok := range q {
+		pl := s.ix.Postings(tok)
+		st.PostingsRead += len(pl)
+		for _, p := range pl {
+			counts[p.Set]++
+		}
+	}
+	return selectTopK(s.ix, counts, k)
+}
+
+// probeSet discovers candidates from posting lists (rarest token
+// first) and probes each new candidate for its exact overlap. Reading
+// stops once tokens remaining cannot beat the current k-th overlap.
+func (s *Searcher) probeSet(q []int32, k int, st *Stats) []Result {
+	exact := make(map[int32]int)
+	probed := make(map[int32]bool)
+	for i, tok := range q {
+		if kth := kthBest(exact, k); len(q)-i <= kth {
+			break
+		}
+		pl := s.ix.Postings(tok)
+		st.PostingsRead += len(pl)
+		for _, p := range pl {
+			if probed[p.Set] {
+				continue
+			}
+			probed[p.Set] = true
+			set := s.ix.Set(p.Set)
+			st.SetsProbed++
+			st.TokensRead += len(set) - int(p.Pos)
+			// Tokens before p.Pos are ranked below tok and were already
+			// covered by earlier query tokens (or absent from q), so
+			// overlap seen so far (i matches impossible before first
+			// shared token) is counted from the merge of suffixes plus
+			// matches among earlier query tokens.
+			ov := invindex.OverlapFrom(q, i, set, int(p.Pos))
+			if i > 0 {
+				ov += invindex.Overlap(q[:i], set[:p.Pos])
+			}
+			exact[p.Set] = ov
+		}
+	}
+	return selectTopK(s.ix, exact, k)
+}
+
+// candidate tracks an unverified candidate during adaptive search.
+type candidate struct {
+	set     int32
+	partial int   // matches counted from posting lists so far
+	lastPos int32 // position in the set of the last matched token
+}
+
+// adaptive is JOSIE's cost-based algorithm: it streams posting lists
+// accumulating partial overlaps (which are exact lower bounds), stops
+// reading as soon as unread tokens cannot beat the running k-th lower
+// bound, and verifies the surviving candidates. While streaming, it
+// probes at most one candidate per token read — the one with the best
+// upper bound — when the cost model prices the probe below the posting
+// lists the tighter bound may save. Expensive probes therefore reduce
+// it to early-stopping MergeList; cheap probes approach ProbeSet.
+func (s *Searcher) adaptive(q []int32, k int, st *Stats) []Result {
+	exact := make(map[int32]int) // verified exact overlaps
+	cands := make(map[int32]*candidate)
+	verified := make(map[int32]bool)
+
+	verify := func(c *candidate, remainIdx int) {
+		set := s.ix.Set(c.set)
+		st.SetsProbed++
+		st.TokensRead += len(set) - int(c.lastPos)
+		exact[c.set] = c.partial + invindex.OverlapFrom(q, remainIdx, set, int(c.lastPos)+1)
+		verified[c.set] = true
+		delete(cands, c.set)
+	}
+
+	// kthLB is the k-th best lower bound across verified overlaps and
+	// unverified partial counts; both are true lower bounds.
+	kthLB := func() int {
+		if len(exact)+len(cands) < k {
+			return 0
+		}
+		vals := make([]int, 0, len(exact)+len(cands))
+		for _, v := range exact {
+			vals = append(vals, v)
+		}
+		for _, c := range cands {
+			vals = append(vals, c.partial)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(vals)))
+		return vals[k-1]
+	}
+
+	// Remaining posting-list cost from query token i onward.
+	listCost := make([]float64, len(q)+1)
+	for i := len(q) - 1; i >= 0; i-- {
+		listCost[i] = listCost[i+1] + s.cost.ReadPosting*float64(s.ix.DF(q[i]))
+	}
+
+	stop := len(q) // index of the first unread query token
+	for i := 0; i < len(q); i++ {
+		remaining := len(q) - i // tokens not yet read, including q[i]
+		kth := kthLB()
+		if remaining <= kth {
+			stop = i
+			break
+		}
+		// Cost-gated incremental probe: verify the candidate with the
+		// best upper bound if a probe is cheap relative to what a
+		// tighter kth bound can save in posting reads.
+		if len(cands) > 0 {
+			var best *candidate
+			bestUB := kth
+			for _, c := range cands {
+				rest := s.ix.SetSize(c.set) - int(c.lastPos) - 1
+				if remaining < rest {
+					rest = remaining
+				}
+				ub := c.partial + rest
+				if ub > bestUB || (best == nil && ub == bestUB && len(exact) < k) {
+					best, bestUB = c, ub
+				}
+			}
+			if best != nil {
+				probeCost := s.cost.ProbeSeek + s.cost.ReadToken*float64(s.ix.SetSize(best.set)-int(best.lastPos))
+				if probeCost < listCost[i]-listCost[min(i+remaining/2+1, len(q))] {
+					verify(best, i)
+				}
+			}
+		}
+		pl := s.ix.Postings(q[i])
+		st.PostingsRead += len(pl)
+		for _, p := range pl {
+			if verified[p.Set] {
+				continue
+			}
+			c, ok := cands[p.Set]
+			if !ok {
+				c = &candidate{set: p.Set}
+				cands[p.Set] = c
+			}
+			c.partial++
+			c.lastPos = p.Pos
+		}
+	}
+	// Final cleanup. If every query token was read, partial counts are
+	// exact overlaps and no probes are needed. Otherwise verify in
+	// upper-bound order so the k-th bound tightens fastest, and stop
+	// once no remaining candidate can reach it.
+	remaining := len(q) - stop
+	if remaining == 0 {
+		for set, c := range cands {
+			exact[set] = c.partial
+		}
+	} else {
+		byUB := make([]*candidate, 0, len(cands))
+		ub := func(c *candidate) int {
+			rest := s.ix.SetSize(c.set) - int(c.lastPos) - 1
+			if remaining < rest {
+				rest = remaining
+			}
+			return c.partial + rest
+		}
+		for _, c := range cands {
+			byUB = append(byUB, c)
+		}
+		sort.Slice(byUB, func(i, j int) bool {
+			if ub(byUB[i]) != ub(byUB[j]) {
+				return ub(byUB[i]) > ub(byUB[j])
+			}
+			return byUB[i].set < byUB[j].set
+		})
+		kth := kthBest(exact, k)
+		for _, c := range byUB {
+			if u := ub(c); u < kth || (u == kth && len(exact) >= k && kth > 0) {
+				// Sorted descending: nothing later can reach kth
+				// strictly; equal-ub ties cannot change the k-th
+				// overlap value once k exact results exist.
+				break
+			}
+			verify(c, stop)
+			kth = kthBest(exact, k)
+		}
+	}
+	return selectTopK(s.ix, exact, k)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// kthBest returns the k-th largest value in m, or 0 if fewer than k.
+func kthBest(m map[int32]int, k int) int {
+	if len(m) < k {
+		return 0
+	}
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(vals)))
+	return vals[k-1]
+}
+
+// selectTopK orders overlaps descending (key tiebreak) and keeps k.
+func selectTopK(ix *invindex.Index, overlaps map[int32]int, k int) []Result {
+	res := make([]Result, 0, len(overlaps))
+	for set, ov := range overlaps {
+		if ov > 0 {
+			res = append(res, Result{Key: ix.Key(set), Overlap: ov})
+		}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Overlap != res[j].Overlap {
+			return res[i].Overlap > res[j].Overlap
+		}
+		return res[i].Key < res[j].Key
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}

@@ -1,0 +1,190 @@
+// Package keyword implements metadata keyword search over data-lake
+// tables (Section 2.3 of the tutorial): the user supplies topic
+// keywords and the engine ranks tables by metadata relevance, the
+// query mode of OCTOPUS and Google Dataset Search. Two retrieval
+// models are provided — BM25 (the default) and boolean AND/OR
+// matching (the baseline benchmarks compare against).
+package keyword
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// Field weights: a hit in the table name is worth more than a hit in
+// the description, which beats a hit in a column header.
+const (
+	weightName   = 3.0
+	weightTags   = 2.0
+	weightDesc   = 1.5
+	weightHeader = 1.0
+)
+
+// BM25 hyperparameters (standard defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Result is one ranked table.
+type Result struct {
+	TableID string
+	Score   float64
+}
+
+// Index is a BM25 inverted index over table metadata. Build once with
+// Add + Finish; then query concurrently.
+type Index struct {
+	docs     []string             // doc -> table ID
+	termFreq []map[string]float64 // doc -> term -> weighted tf
+	docLen   []float64            // weighted token count
+	df       map[string]int
+	avgLen   float64
+	frozen   bool
+}
+
+// NewIndex returns an empty metadata index.
+func NewIndex() *Index {
+	return &Index{df: make(map[string]int)}
+}
+
+// metadataTerms extracts weighted terms from a table's metadata.
+func metadataTerms(t *table.Table) map[string]float64 {
+	tf := make(map[string]float64)
+	addAll := func(text string, w float64) {
+		for _, tok := range tokenize.Words(text) {
+			if tokenize.IsStopword(tok) {
+				continue
+			}
+			tf[tok] += w
+		}
+	}
+	addAll(t.Name, weightName)
+	addAll(t.Description, weightDesc)
+	for _, tag := range t.Tags {
+		addAll(tag, weightTags)
+	}
+	for _, h := range t.Header() {
+		addAll(strings.ReplaceAll(h, "_", " "), weightHeader)
+	}
+	return tf
+}
+
+// Add indexes one table's metadata.
+func (ix *Index) Add(t *table.Table) {
+	tf := metadataTerms(t)
+	ix.docs = append(ix.docs, t.ID)
+	ix.termFreq = append(ix.termFreq, tf)
+	var l float64
+	for term, f := range tf {
+		l += f
+		ix.df[term]++
+	}
+	ix.docLen = append(ix.docLen, l)
+	ix.frozen = false
+}
+
+// Finish precomputes corpus statistics. Called implicitly by Search.
+func (ix *Index) Finish() {
+	var sum float64
+	for _, l := range ix.docLen {
+		sum += l
+	}
+	if len(ix.docLen) > 0 {
+		ix.avgLen = sum / float64(len(ix.docLen))
+	}
+	ix.frozen = true
+}
+
+// Len returns the number of indexed tables.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// idf is the BM25 idf with the standard +1 smoothing.
+func (ix *Index) idf(term string) float64 {
+	n := float64(len(ix.docs))
+	d := float64(ix.df[term])
+	return math.Log(1 + (n-d+0.5)/(d+0.5))
+}
+
+// Search ranks tables by BM25 score against the query keywords and
+// returns the top k (fewer when fewer match).
+func (ix *Index) Search(query string, k int) []Result {
+	if !ix.frozen {
+		ix.Finish()
+	}
+	terms := queryTerms(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	var res []Result
+	for d := range ix.docs {
+		var score float64
+		for _, t := range terms {
+			f := ix.termFreq[d][t]
+			if f == 0 {
+				continue
+			}
+			norm := f * (bm25K1 + 1) / (f + bm25K1*(1-bm25B+bm25B*ix.docLen[d]/ix.avgLen))
+			score += ix.idf(t) * norm
+		}
+		if score > 0 {
+			res = append(res, Result{TableID: ix.docs[d], Score: score})
+		}
+	}
+	sortResults(res)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+// BooleanSearch is the baseline: rank by the count of distinct query
+// terms present (AND-biased OR semantics), ignoring term frequency and
+// rarity. requireAll restricts results to tables matching every term.
+func (ix *Index) BooleanSearch(query string, k int, requireAll bool) []Result {
+	terms := queryTerms(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	var res []Result
+	for d := range ix.docs {
+		matched := 0
+		for _, t := range terms {
+			if ix.termFreq[d][t] > 0 {
+				matched++
+			}
+		}
+		if matched == 0 || (requireAll && matched < len(terms)) {
+			continue
+		}
+		res = append(res, Result{TableID: ix.docs[d], Score: float64(matched)})
+	}
+	sortResults(res)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+func queryTerms(query string) []string {
+	var out []string
+	for _, t := range tokenize.Words(query) {
+		if !tokenize.IsStopword(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sortResults(res []Result) {
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Score != res[j].Score {
+			return res[i].Score > res[j].Score
+		}
+		return res[i].TableID < res[j].TableID
+	})
+}

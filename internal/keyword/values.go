@@ -1,0 +1,167 @@
+package keyword
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// ValueIndex supports keyword search over cell values — the OCTOPUS
+// SEARCH operator (Cafarella et al., VLDB 2009): queries hit the data
+// itself rather than metadata, and results come back as clusters of
+// same-schema tables ready for union.
+type ValueIndex struct {
+	docs     []string
+	schemas  []string             // schema signature per doc
+	termFreq []map[string]float64 // doc -> term -> tf
+	docLen   []float64
+	df       map[string]int
+	avgLen   float64
+	frozen   bool
+}
+
+// NewValueIndex returns an empty value index.
+func NewValueIndex() *ValueIndex {
+	return &ValueIndex{df: make(map[string]int)}
+}
+
+// Add indexes one table's cell values (word tokens, stopwords
+// dropped, capped per column to bound skew from huge columns).
+func (ix *ValueIndex) Add(t *table.Table) {
+	const maxPerColumn = 2000
+	tf := make(map[string]float64)
+	var l float64
+	for _, c := range t.Columns {
+		n := 0
+		for _, v := range c.Values {
+			if n >= maxPerColumn {
+				break
+			}
+			for _, w := range tokenize.Words(v) {
+				if tokenize.IsStopword(w) {
+					continue
+				}
+				tf[w]++
+				l++
+				n++
+			}
+		}
+	}
+	ix.docs = append(ix.docs, t.ID)
+	ix.schemas = append(ix.schemas, schemaSig(t))
+	ix.termFreq = append(ix.termFreq, tf)
+	ix.docLen = append(ix.docLen, l)
+	for term := range tf {
+		ix.df[term]++
+	}
+	ix.frozen = false
+}
+
+func schemaSig(t *table.Table) string {
+	hs := make([]string, 0, t.NumCols())
+	for _, h := range t.Header() {
+		hs = append(hs, tokenize.Normalize(strings.ReplaceAll(h, "_", " ")))
+	}
+	sort.Strings(hs)
+	return strings.Join(hs, "\x1f")
+}
+
+// Finish precomputes corpus statistics; Search calls it implicitly.
+func (ix *ValueIndex) Finish() {
+	var sum float64
+	for _, l := range ix.docLen {
+		sum += l
+	}
+	if len(ix.docLen) > 0 {
+		ix.avgLen = sum / float64(len(ix.docLen))
+	}
+	ix.frozen = true
+}
+
+// Len returns the number of indexed tables.
+func (ix *ValueIndex) Len() int { return len(ix.docs) }
+
+func (ix *ValueIndex) idf(term string) float64 {
+	n := float64(len(ix.docs))
+	d := float64(ix.df[term])
+	return math.Log(1 + (n-d+0.5)/(d+0.5))
+}
+
+// Search ranks tables by BM25 over cell values.
+func (ix *ValueIndex) Search(query string, k int) []Result {
+	if !ix.frozen {
+		ix.Finish()
+	}
+	terms := queryTerms(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	var res []Result
+	for d := range ix.docs {
+		var score float64
+		for _, t := range terms {
+			f := ix.termFreq[d][t]
+			if f == 0 {
+				continue
+			}
+			norm := f * (bm25K1 + 1) / (f + bm25K1*(1-bm25B+bm25B*ix.docLen[d]/ix.avgLen))
+			score += ix.idf(t) * norm
+		}
+		if score > 0 {
+			res = append(res, Result{TableID: ix.docs[d], Score: score})
+		}
+	}
+	sortResults(res)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+// Cluster is a group of same-schema result tables — OCTOPUS's unit of
+// answer, directly unionable into one result table.
+type Cluster struct {
+	Schema   []string // sorted normalized column names
+	TableIDs []string // members, best score first
+	Score    float64  // best member score
+}
+
+// SearchClusters runs Search and groups the top maxTables hits by
+// schema signature, clusters ordered by best member score.
+func (ix *ValueIndex) SearchClusters(query string, maxTables int) []Cluster {
+	hits := ix.Search(query, maxTables)
+	if len(hits) == 0 {
+		return nil
+	}
+	sigOf := make(map[string]string, len(ix.docs))
+	for i, id := range ix.docs {
+		sigOf[id] = ix.schemas[i]
+	}
+	group := make(map[string]*Cluster)
+	var order []string
+	for _, h := range hits {
+		sig := sigOf[h.TableID]
+		cl, ok := group[sig]
+		if !ok {
+			cols := strings.Split(sig, "\x1f")
+			cl = &Cluster{Schema: cols, Score: h.Score}
+			group[sig] = cl
+			order = append(order, sig)
+		}
+		cl.TableIDs = append(cl.TableIDs, h.TableID)
+	}
+	out := make([]Cluster, 0, len(order))
+	for _, sig := range order {
+		out = append(out, *group[sig])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return strings.Join(out[i].Schema, ",") < strings.Join(out[j].Schema, ",")
+	})
+	return out
+}

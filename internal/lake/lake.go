@@ -1,0 +1,199 @@
+// Package lake provides the data-lake catalog: the registry of raw
+// tables every discovery component reads from, with CSV ingestion and
+// binary persistence. It corresponds to the "Data Lake Management
+// System" box of the tutorial's Figure 1.
+package lake
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tablehound/internal/table"
+)
+
+// Catalog is an ordered registry of tables keyed by ID.
+type Catalog struct {
+	tables map[string]*table.Table
+	order  []string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*table.Table)}
+}
+
+// Add registers a table; IDs must be unique and dot-free (dots are
+// reserved for column keys).
+func (c *Catalog) Add(t *table.Table) error {
+	if t.ID == "" {
+		return fmt.Errorf("lake: table has empty ID")
+	}
+	if strings.Contains(t.ID, ".") {
+		return fmt.Errorf("lake: table ID %q contains a dot", t.ID)
+	}
+	if _, dup := c.tables[t.ID]; dup {
+		return fmt.Errorf("lake: duplicate table ID %q", t.ID)
+	}
+	c.tables[t.ID] = t
+	c.order = append(c.order, t.ID)
+	return nil
+}
+
+// Table returns the table with the given ID, or nil.
+func (c *Catalog) Table(id string) *table.Table { return c.tables[id] }
+
+// Tables returns all tables in insertion order. Callers must not
+// mutate the slice.
+func (c *Catalog) Tables() []*table.Table {
+	out := make([]*table.Table, len(c.order))
+	for i, id := range c.order {
+		out[i] = c.tables[id]
+	}
+	return out
+}
+
+// Len returns the number of tables.
+func (c *Catalog) Len() int { return len(c.order) }
+
+// Stats summarizes the catalog.
+type Stats struct {
+	Tables         int
+	Columns        int
+	Rows           int
+	DistinctValues int
+}
+
+// Stats computes catalog-wide statistics.
+func (c *Catalog) Stats() Stats {
+	var s Stats
+	distinct := make(map[string]bool)
+	for _, id := range c.order {
+		t := c.tables[id]
+		s.Tables++
+		s.Columns += t.NumCols()
+		s.Rows += t.NumRows()
+		for _, col := range t.Columns {
+			for _, v := range col.Values {
+				if v != "" {
+					distinct[v] = true
+				}
+			}
+		}
+	}
+	s.DistinctValues = len(distinct)
+	return s
+}
+
+// snapshot is the gob-encodable form of a catalog.
+type snapshot struct {
+	Tables []tableSnapshot
+}
+
+type tableSnapshot struct {
+	ID, Name, Description string
+	Tags                  []string
+	ColNames              []string
+	ColTypes              []int
+	ColValues             [][]string
+}
+
+// Save writes the catalog in binary (gob) form.
+func (c *Catalog) Save(w io.Writer) error {
+	var s snapshot
+	for _, id := range c.order {
+		t := c.tables[id]
+		ts := tableSnapshot{ID: t.ID, Name: t.Name, Description: t.Description, Tags: t.Tags}
+		for _, col := range t.Columns {
+			ts.ColNames = append(ts.ColNames, col.Name)
+			ts.ColTypes = append(ts.ColTypes, int(col.Type))
+			ts.ColValues = append(ts.ColValues, col.Values)
+		}
+		s.Tables = append(s.Tables, ts)
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load reads a catalog previously written by Save.
+func Load(r io.Reader) (*Catalog, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("lake: decode: %w", err)
+	}
+	c := NewCatalog()
+	for _, ts := range s.Tables {
+		cols := make([]*table.Column, len(ts.ColNames))
+		for i := range ts.ColNames {
+			cols[i] = &table.Column{
+				Name:   ts.ColNames[i],
+				Type:   table.Type(ts.ColTypes[i]),
+				Values: ts.ColValues[i],
+			}
+		}
+		t, err := table.New(ts.ID, ts.Name, cols)
+		if err != nil {
+			return nil, err
+		}
+		t.Description = ts.Description
+		t.Tags = ts.Tags
+		if err := c.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// SaveFile and LoadFile are file-path conveniences.
+func (c *Catalog) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile loads a catalog from a file written by SaveFile.
+func LoadFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// LoadCSVDir ingests every .csv file in a directory as one table; the
+// table ID is the file's base name with dots replaced by dashes.
+func LoadCSVDir(dir string) (*Catalog, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCatalog()
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		id := strings.ReplaceAll(strings.TrimSuffix(name, filepath.Ext(name)), ".", "-")
+		t, err := table.FromCSVFile(id, filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("lake: load %s: %w", name, err)
+		}
+		if err := c.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,133 @@
+package lake
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tablehound/internal/table"
+)
+
+func demoTable(id string) *table.Table {
+	t := table.MustNew(id, "demo "+id, []*table.Column{
+		table.NewColumn("name", []string{"alice", "bob"}),
+		table.NewColumn("age", []string{"30", "25"}),
+	})
+	t.Description = "people data"
+	t.Tags = []string{"people"}
+	return t
+}
+
+func TestCatalogAddAndLookup(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Add(demoTable("t1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(demoTable("t1")); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+	if err := c.Add(demoTable("")); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if err := c.Add(demoTable("has.dot")); err == nil {
+		t.Error("dotted ID should fail")
+	}
+	if c.Table("t1") == nil || c.Table("zz") != nil {
+		t.Error("lookup wrong")
+	}
+	if c.Len() != 1 || len(c.Tables()) != 1 {
+		t.Error("length wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := NewCatalog()
+	c.Add(demoTable("t1"))
+	c.Add(demoTable("t2"))
+	s := c.Stats()
+	if s.Tables != 2 || s.Columns != 4 || s.Rows != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	// alice, bob, 30, 25 shared across both tables.
+	if s.DistinctValues != 4 {
+		t.Errorf("distinct = %d", s.DistinctValues)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := NewCatalog()
+	c.Add(demoTable("t1"))
+	c.Add(demoTable("t2"))
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("loaded %d tables", back.Len())
+	}
+	got := back.Table("t1")
+	if got.Description != "people data" || got.Tags[0] != "people" {
+		t.Error("metadata lost")
+	}
+	if got.Column("age").Type != table.TypeInt {
+		t.Error("column type lost")
+	}
+	if got.Column("name").Values[1] != "bob" {
+		t.Error("values lost")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lake.gob")
+	c := NewCatalog()
+	c.Add(demoTable("t1"))
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 {
+		t.Error("file round trip failed")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "cities.csv"), []byte("city,pop\nboston,600000\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "teams.v2.csv"), []byte("team\nsox\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignore me"), 0o644)
+	c, err := LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("loaded %d tables", c.Len())
+	}
+	if c.Table("cities") == nil {
+		t.Error("cities missing")
+	}
+	// Dots in file names become dashes so IDs stay column-key safe.
+	if c.Table("teams-v2") == nil {
+		t.Error("dotted file name not sanitized")
+	}
+	if _, err := LoadCSVDir(filepath.Join(dir, "nope")); err == nil {
+		t.Error("missing dir should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("garbage input should fail")
+	}
+}

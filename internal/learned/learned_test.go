@@ -1,0 +1,128 @@
+package learned
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	set := make(map[uint64]bool, n)
+	for len(set) < n {
+		set[rng.Uint64()>>1] = true
+	}
+	keys := make([]uint64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func TestLookupFindsEveryKey(t *testing.T) {
+	keys := sortedKeys(10000, 1)
+	ix, err := New(keys, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		p, ok := ix.Lookup(k)
+		if !ok || p != i {
+			t.Fatalf("Lookup(%d) = %d,%v want %d,true", k, p, ok, i)
+		}
+	}
+}
+
+func TestLookupMissesAbsentKeys(t *testing.T) {
+	keys := []uint64{10, 20, 30, 40}
+	ix, err := New(keys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{5, 15, 35, 99} {
+		if _, ok := ix.Lookup(k); ok {
+			t.Errorf("absent key %d reported present", k)
+		}
+	}
+	// Insertion positions match binary search.
+	for _, k := range []uint64{5, 15, 25, 35, 99} {
+		p, _ := ix.Lookup(k)
+		bp, _ := ix.BinaryLookup(k)
+		if p != bp {
+			t.Errorf("insertion pos for %d: learned %d, binary %d", k, p, bp)
+		}
+	}
+}
+
+func TestAgreesWithBinarySearchProperty(t *testing.T) {
+	keys := sortedKeys(3000, 2)
+	ix, err := New(keys, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(k uint64) bool {
+		k >>= 1
+		p1, ok1 := ix.Lookup(k)
+		p2, ok2 := ix.BinaryLookup(k)
+		return p1 == p2 && ok1 == ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentCountReasonable(t *testing.T) {
+	// Uniform random keys are near-linear in CDF: very few segments.
+	keys := sortedKeys(100000, 3)
+	ix, err := New(keys, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumSegments() > len(keys)/100 {
+		t.Errorf("segments = %d for %d uniform keys", ix.NumSegments(), len(keys))
+	}
+	if ix.Len() != 100000 || ix.Epsilon() != 64 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestSequentialKeysOneSegment(t *testing.T) {
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i) * 7
+	}
+	ix, err := New(keys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumSegments() != 1 {
+		t.Errorf("perfectly linear keys need %d segments", ix.NumSegments())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil, 8); err == nil {
+		t.Error("empty keys should fail")
+	}
+	if _, err := New([]uint64{3, 2}, 8); err == nil {
+		t.Error("unsorted keys should fail")
+	}
+	if _, err := New([]uint64{2, 2}, 8); err == nil {
+		t.Error("duplicate keys should fail")
+	}
+	ix, err := New([]uint64{7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Epsilon() != DefaultEpsilon {
+		t.Error("default epsilon not applied")
+	}
+	if p, ok := ix.Lookup(7); !ok || p != 0 {
+		t.Error("singleton lookup failed")
+	}
+	if _, ok := ix.Lookup(3); ok {
+		t.Error("key below all segments should miss")
+	}
+}

@@ -1,0 +1,146 @@
+// Package lsh implements classic MinHash LSH with banding: a signature
+// of k hashes is split into b bands of r rows; two sets collide in a
+// band with probability J^r, so the probability of colliding in at
+// least one band follows the S-curve 1-(1-J^r)^b. This is the index
+// used by TUS and the per-partition building block of LSH Ensemble.
+package lsh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"tablehound/internal/minhash"
+)
+
+// Index is a banded MinHash LSH index mapping string keys to signatures.
+// It is not safe for concurrent mutation.
+type Index struct {
+	bands, rows int
+	tables      []map[uint64][]string // band -> bucket hash -> keys
+	keys        map[string]minhash.Signature
+}
+
+// New creates an index with b bands of r rows. Signatures added must
+// have at least b*r hashes; extra hashes are ignored.
+func New(bands, rows int) *Index {
+	if bands <= 0 || rows <= 0 {
+		panic(fmt.Sprintf("lsh: bands=%d rows=%d must be positive", bands, rows))
+	}
+	t := make([]map[uint64][]string, bands)
+	for i := range t {
+		t[i] = make(map[uint64][]string)
+	}
+	return &Index{bands: bands, rows: rows, tables: t, keys: make(map[string]minhash.Signature)}
+}
+
+// Params returns the (bands, rows) configuration.
+func (ix *Index) Params() (bands, rows int) { return ix.bands, ix.rows }
+
+// Len returns the number of indexed keys.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// bucket hashes one band slice of a signature.
+func bucket(band []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range band {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Add indexes a signature under key. Re-adding a key double-indexes it;
+// callers should use unique keys.
+func (ix *Index) Add(key string, sig minhash.Signature) error {
+	if len(sig) < ix.bands*ix.rows {
+		return fmt.Errorf("lsh: signature has %d hashes, need %d", len(sig), ix.bands*ix.rows)
+	}
+	ix.keys[key] = sig
+	for b := 0; b < ix.bands; b++ {
+		h := bucket(sig[b*ix.rows : (b+1)*ix.rows])
+		ix.tables[b][h] = append(ix.tables[b][h], key)
+	}
+	return nil
+}
+
+// Query returns the candidate keys colliding with sig in any band.
+func (ix *Index) Query(sig minhash.Signature) []string {
+	return ix.QueryBands(sig, ix.bands)
+}
+
+// QueryBands probes only the first n bands. Using fewer bands lowers
+// the collision probability to 1-(1-j^r)^n, which lets one physical
+// index serve several sensitivity levels (LSH Ensemble's bootstrap).
+func (ix *Index) QueryBands(sig minhash.Signature, n int) []string {
+	if n > ix.bands {
+		n = ix.bands
+	}
+	if len(sig) < n*ix.rows || n <= 0 {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for b := 0; b < n; b++ {
+		h := bucket(sig[b*ix.rows : (b+1)*ix.rows])
+		for _, k := range ix.tables[b][h] {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// Signature returns the stored signature for key, if present.
+func (ix *Index) Signature(key string) (minhash.Signature, bool) {
+	s, ok := ix.keys[key]
+	return s, ok
+}
+
+// CollisionProbability returns the probability that two sets with
+// Jaccard similarity j collide in at least one band: 1-(1-j^r)^b.
+func CollisionProbability(j float64, bands, rows int) float64 {
+	return 1 - math.Pow(1-math.Pow(j, float64(rows)), float64(bands))
+}
+
+// FalseProbabilities numerically integrates the S-curve to estimate
+// false-positive mass below the threshold and false-negative mass
+// above it, the objective LSH Ensemble minimizes when tuning (b, r).
+func FalseProbabilities(threshold float64, bands, rows int) (fp, fn float64) {
+	const steps = 100
+	dx := threshold / steps
+	for i := 0; i < steps; i++ {
+		x := dx * (float64(i) + 0.5)
+		fp += CollisionProbability(x, bands, rows) * dx
+	}
+	dy := (1 - threshold) / steps
+	for i := 0; i < steps; i++ {
+		y := threshold + dy*(float64(i)+0.5)
+		fn += (1 - CollisionProbability(y, bands, rows)) * dy
+	}
+	return fp, fn
+}
+
+// OptimalParams chooses (bands, rows) with bands*rows <= numHashes
+// minimizing weighted false-positive + false-negative mass at the given
+// Jaccard threshold. Weights follow datasketch's convention.
+func OptimalParams(threshold float64, numHashes int, fpWeight, fnWeight float64) (bands, rows int) {
+	best := math.Inf(1)
+	bands, rows = 1, numHashes
+	for b := 1; b <= numHashes; b++ {
+		maxR := numHashes / b
+		for r := 1; r <= maxR; r++ {
+			fp, fn := FalseProbabilities(threshold, b, r)
+			cost := fpWeight*fp + fnWeight*fn
+			if cost < best {
+				best = cost
+				bands, rows = b, r
+			}
+		}
+	}
+	return bands, rows
+}

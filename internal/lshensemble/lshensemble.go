@@ -1,0 +1,236 @@
+// Package lshensemble implements LSH Ensemble (Zhu, Nargesian, Pu,
+// Miller — VLDB 2016) for Internet-scale domain search: given a query
+// column Q and a containment threshold t, find indexed domains X with
+// |Q ∩ X| / |Q| >= t, robustly under skewed domain cardinalities.
+//
+// The index partitions domains by cardinality into equi-depth
+// partitions. Within a partition with cardinality upper bound u, a
+// containment threshold t converts to a Jaccard lower bound
+//
+//	j*(t) = t|Q| / (|Q| + u - t|Q|)
+//
+// so each partition can be probed with MinHash LSH tuned to j*. To
+// support query-time thresholds, every partition keeps one banded
+// index per row count r in {1, 2, 4, ...} (the paper's bootstrap);
+// at query time the (b, r) minimizing false-positive+false-negative
+// mass at j* is selected and only the first b bands are probed.
+package lshensemble
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"tablehound/internal/lsh"
+	"tablehound/internal/minhash"
+)
+
+// Domain is one indexable column: a key, its distinct-value count, and
+// its MinHash signature.
+type Domain struct {
+	Key  string
+	Size int
+	Sig  minhash.Signature
+}
+
+// Index is an LSH Ensemble over domains. Construct with New, Add all
+// domains, then call Build before querying.
+type Index struct {
+	numHashes int
+	numPart   int
+	pending   []Domain
+	parts     []*partition
+	built     bool
+}
+
+type partition struct {
+	lower, upper int                // inclusive cardinality range
+	byRows       map[int]*lsh.Index // rows r -> banded index with floor(k/r) bands
+	sizes        map[string]int     // key -> domain size, for post-filtering
+}
+
+// rowChoices are the row counts each partition maintains an index for.
+func rowChoices(numHashes int) []int {
+	var rs []int
+	for r := 1; r <= numHashes; r *= 2 {
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// New creates an ensemble with the given signature length and number of
+// cardinality partitions. numPart=1 degenerates to plain MinHash LSH,
+// which is the baseline the paper improves on.
+func New(numHashes, numPart int) *Index {
+	if numHashes <= 0 || numPart <= 0 {
+		panic(fmt.Sprintf("lshensemble: numHashes=%d numPart=%d must be positive", numHashes, numPart))
+	}
+	return &Index{numHashes: numHashes, numPart: numPart}
+}
+
+// Add stages a domain for indexing. Must be called before Build.
+func (ix *Index) Add(d Domain) error {
+	if ix.built {
+		return errors.New("lshensemble: Add after Build")
+	}
+	if len(d.Sig) < ix.numHashes {
+		return fmt.Errorf("lshensemble: signature has %d hashes, need %d", len(d.Sig), ix.numHashes)
+	}
+	if d.Size <= 0 {
+		return fmt.Errorf("lshensemble: domain %q has non-positive size %d", d.Key, d.Size)
+	}
+	ix.pending = append(ix.pending, d)
+	return nil
+}
+
+// Build partitions the staged domains by cardinality (equi-depth) and
+// constructs the per-partition banded indexes.
+func (ix *Index) Build() error {
+	if ix.built {
+		return errors.New("lshensemble: Build called twice")
+	}
+	if len(ix.pending) == 0 {
+		return errors.New("lshensemble: no domains added")
+	}
+	sort.Slice(ix.pending, func(i, j int) bool {
+		if ix.pending[i].Size != ix.pending[j].Size {
+			return ix.pending[i].Size < ix.pending[j].Size
+		}
+		return ix.pending[i].Key < ix.pending[j].Key
+	})
+	n := len(ix.pending)
+	p := ix.numPart
+	if p > n {
+		p = n
+	}
+	for i := 0; i < p; i++ {
+		lo, hi := i*n/p, (i+1)*n/p
+		if lo >= hi {
+			continue
+		}
+		chunk := ix.pending[lo:hi]
+		part := &partition{
+			lower:  chunk[0].Size,
+			upper:  chunk[len(chunk)-1].Size,
+			byRows: make(map[int]*lsh.Index),
+			sizes:  make(map[string]int, len(chunk)),
+		}
+		for _, r := range rowChoices(ix.numHashes) {
+			part.byRows[r] = lsh.New(ix.numHashes/r, r)
+		}
+		for _, d := range chunk {
+			part.sizes[d.Key] = d.Size
+			for _, sub := range part.byRows {
+				if err := sub.Add(d.Key, d.Sig); err != nil {
+					return err
+				}
+			}
+		}
+		ix.parts = append(ix.parts, part)
+	}
+	ix.pending = nil
+	ix.built = true
+	return nil
+}
+
+// NumPartitions returns the number of non-empty partitions built.
+func (ix *Index) NumPartitions() int { return len(ix.parts) }
+
+// jaccardThreshold converts a containment threshold into the Jaccard
+// lower bound within a partition with cardinality upper bound u.
+func jaccardThreshold(t float64, querySize, upper int) float64 {
+	q := float64(querySize)
+	j := t * q / (q + float64(upper) - t*q)
+	if j > 1 {
+		j = 1
+	}
+	if j <= 0 {
+		j = 1e-9
+	}
+	return j
+}
+
+// paramCache memoizes optimalBootstrap: the numeric integration is
+// ~10^4 S-curve evaluations, far too slow to repeat per query per
+// partition. Thresholds are quantized to 1e-3 for the cache key.
+var paramCache sync.Map // [2]int{numHashes, round(j*1000)} -> [2]int{b, r}
+
+// optimalBootstrap picks (bands, rows) among the bootstrap row choices
+// minimizing FP+FN mass at Jaccard threshold j.
+func optimalBootstrap(j float64, numHashes int) (bands, rows int) {
+	key := [2]int{numHashes, int(j*1000 + 0.5)}
+	if v, ok := paramCache.Load(key); ok {
+		p := v.([2]int)
+		return p[0], p[1]
+	}
+	best := math.Inf(1)
+	bands, rows = 1, numHashes
+	for _, r := range rowChoices(numHashes) {
+		maxB := numHashes / r
+		for b := 1; b <= maxB; b++ {
+			fp, fn := lsh.FalseProbabilities(j, b, r)
+			cost := fp + fn
+			if cost < best {
+				best = cost
+				bands, rows = b, r
+			}
+		}
+	}
+	paramCache.Store(key, [2]int{bands, rows})
+	return bands, rows
+}
+
+// Query returns candidate domain keys whose containment of the query is
+// likely >= threshold. querySize is the distinct-value count of the
+// query column. Candidates are approximate: verify with exact
+// containment for precision-critical uses.
+func (ix *Index) Query(sig minhash.Signature, querySize int, threshold float64) ([]string, error) {
+	if !ix.built {
+		return nil, errors.New("lshensemble: Query before Build")
+	}
+	if querySize <= 0 {
+		return nil, fmt.Errorf("lshensemble: querySize must be positive, got %d", querySize)
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("lshensemble: threshold %v out of [0,1]", threshold)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, part := range ix.parts {
+		// A domain X can contain fraction t of Q only if |X| >= t|Q|.
+		if float64(part.upper) < threshold*float64(querySize) {
+			continue
+		}
+		j := jaccardThreshold(threshold, querySize, part.upper)
+		b, r := optimalBootstrap(j, ix.numHashes)
+		for _, k := range part.byRows[r].QueryBands(sig, b) {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out, nil
+}
+
+// DomainSize returns the indexed size of a domain key, if present.
+func (ix *Index) DomainSize(key string) (int, bool) {
+	for _, p := range ix.parts {
+		if s, ok := p.sizes[key]; ok {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// PartitionBounds returns the (lower, upper) cardinality bound of each
+// partition, for introspection and tests.
+func (ix *Index) PartitionBounds() [][2]int {
+	out := make([][2]int, len(ix.parts))
+	for i, p := range ix.parts {
+		out[i] = [2]int{p.lower, p.upper}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package metrics implements the retrieval and clustering quality
+// measures the surveyed papers report: precision/recall at k, average
+// precision and MAP, NDCG, F1, and normalized mutual information.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// PrecisionAtK returns |relevant ∩ retrieved[:k]| / k. If fewer than k
+// results were retrieved, the denominator is still k (penalizing short
+// result lists), matching the papers' convention.
+func PrecisionAtK(retrieved []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if len(retrieved) > k {
+		retrieved = retrieved[:k]
+	}
+	hits := 0
+	for _, r := range retrieved {
+		if relevant[r] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK returns |relevant ∩ retrieved[:k]| / |relevant|.
+func RecallAtK(retrieved []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	if k < len(retrieved) {
+		retrieved = retrieved[:k]
+	}
+	hits := 0
+	for _, r := range retrieved {
+		if relevant[r] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// AveragePrecision computes AP over the full ranked list.
+func AveragePrecision(retrieved []string, relevant map[string]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	for i, r := range retrieved {
+		if relevant[r] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// MAP averages AveragePrecision over queries; the two slices are
+// parallel.
+func MAP(retrieved [][]string, relevant []map[string]bool) float64 {
+	if len(retrieved) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range retrieved {
+		sum += AveragePrecision(retrieved[i], relevant[i])
+	}
+	return sum / float64(len(retrieved))
+}
+
+// NDCGAtK computes normalized discounted cumulative gain with graded
+// relevance gains (missing keys gain 0).
+func NDCGAtK(retrieved []string, gains map[string]float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if len(retrieved) > k {
+		retrieved = retrieved[:k]
+	}
+	dcg := 0.0
+	for i, r := range retrieved {
+		dcg += gains[r] / math.Log2(float64(i)+2)
+	}
+	ideal := make([]float64, 0, len(gains))
+	for _, g := range gains {
+		ideal = append(ideal, g)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	if len(ideal) > k {
+		ideal = ideal[:k]
+	}
+	idcg := 0.0
+	for i, g := range ideal {
+		idcg += g / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// F1 combines precision and recall harmonically.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// PRF computes precision, recall, and F1 from hit counts.
+func PRF(truePos, falsePos, falseNeg int) (p, r, f1 float64) {
+	if truePos+falsePos > 0 {
+		p = float64(truePos) / float64(truePos+falsePos)
+	}
+	if truePos+falseNeg > 0 {
+		r = float64(truePos) / float64(truePos+falseNeg)
+	}
+	return p, r, F1(p, r)
+}
+
+// NMI computes normalized mutual information between a predicted
+// clustering and a ground-truth labeling. Inputs are parallel slices
+// of cluster/label IDs. Returns a value in [0, 1]; 1 means identical
+// partitions (up to renaming).
+func NMI(pred, truth []int) float64 {
+	n := len(pred)
+	if n == 0 || n != len(truth) {
+		return 0
+	}
+	joint := make(map[[2]int]int)
+	cp := make(map[int]int)
+	ct := make(map[int]int)
+	for i := 0; i < n; i++ {
+		joint[[2]int{pred[i], truth[i]}]++
+		cp[pred[i]]++
+		ct[truth[i]]++
+	}
+	fn := float64(n)
+	mi := 0.0
+	for key, c := range joint {
+		pxy := float64(c) / fn
+		px := float64(cp[key[0]]) / fn
+		py := float64(ct[key[1]]) / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	hp, ht := 0.0, 0.0
+	for _, c := range cp {
+		p := float64(c) / fn
+		hp -= p * math.Log(p)
+	}
+	for _, c := range ct {
+		p := float64(c) / fn
+		ht -= p * math.Log(p)
+	}
+	if hp == 0 && ht == 0 {
+		return 1 // both partitions trivial and identical
+	}
+	denom := math.Sqrt(hp * ht)
+	if denom == 0 {
+		return 0
+	}
+	v := mi / denom
+	if v > 1 {
+		v = 1 // numeric noise
+	}
+	return v
+}
+
+// MeanStd returns the mean and sample standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)-1))
+}
+
+// Pearson returns the Pearson correlation of two equal-length series
+// (0 when undefined).
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0
+	}
+	mx, _ := MeanStd(x)
+	my, _ := MeanStd(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

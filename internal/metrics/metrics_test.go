@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func rel(keys ...string) map[string]bool {
+	m := make(map[string]bool)
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	retrieved := []string{"a", "x", "b", "y"}
+	relevant := rel("a", "b", "c")
+	if p := PrecisionAtK(retrieved, relevant, 2); p != 0.5 {
+		t.Errorf("P@2 = %v", p)
+	}
+	if p := PrecisionAtK(retrieved, relevant, 4); p != 0.5 {
+		t.Errorf("P@4 = %v", p)
+	}
+	// Short list penalized: 2 hits / k=10.
+	if p := PrecisionAtK(retrieved, relevant, 10); p != 0.2 {
+		t.Errorf("P@10 = %v", p)
+	}
+	if r := RecallAtK(retrieved, relevant, 4); math.Abs(r-2.0/3.0) > 1e-12 {
+		t.Errorf("R@4 = %v", r)
+	}
+	if PrecisionAtK(retrieved, relevant, 0) != 0 || RecallAtK(retrieved, nil, 3) != 0 {
+		t.Error("degenerate cases should be 0")
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Hits at ranks 1 and 3 of 2 relevant: AP = (1/1 + 2/3)/2.
+	ap := AveragePrecision([]string{"a", "x", "b"}, rel("a", "b"))
+	want := (1.0 + 2.0/3.0) / 2
+	if math.Abs(ap-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", ap, want)
+	}
+	if AveragePrecision([]string{"x"}, rel("a")) != 0 {
+		t.Error("no hits should give AP 0")
+	}
+	if AveragePrecision(nil, nil) != 0 {
+		t.Error("empty relevant should give 0")
+	}
+}
+
+func TestMAP(t *testing.T) {
+	m := MAP(
+		[][]string{{"a"}, {"x"}},
+		[]map[string]bool{rel("a"), rel("b")},
+	)
+	if m != 0.5 {
+		t.Errorf("MAP = %v", m)
+	}
+	if MAP(nil, nil) != 0 {
+		t.Error("empty MAP should be 0")
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	gains := map[string]float64{"a": 3, "b": 2, "c": 1}
+	// Perfect ordering scores 1.
+	if n := NDCGAtK([]string{"a", "b", "c"}, gains, 3); math.Abs(n-1) > 1e-12 {
+		t.Errorf("perfect NDCG = %v", n)
+	}
+	// Reversed ordering scores less.
+	if n := NDCGAtK([]string{"c", "b", "a"}, gains, 3); n >= 1 {
+		t.Errorf("reversed NDCG = %v", n)
+	}
+	if NDCGAtK([]string{"a"}, map[string]float64{}, 3) != 0 {
+		t.Error("no gains should be 0")
+	}
+}
+
+func TestF1AndPRF(t *testing.T) {
+	if F1(0, 0) != 0 {
+		t.Error("F1(0,0)")
+	}
+	if f := F1(1, 1); f != 1 {
+		t.Errorf("F1(1,1) = %v", f)
+	}
+	p, r, f := PRF(8, 2, 2)
+	if p != 0.8 || r != 0.8 || math.Abs(f-0.8) > 1e-12 {
+		t.Errorf("PRF = %v %v %v", p, r, f)
+	}
+	p, r, _ = PRF(0, 0, 0)
+	if p != 0 || r != 0 {
+		t.Error("PRF zero case")
+	}
+}
+
+func TestNMI(t *testing.T) {
+	// Identical partitions (up to renaming) => 1.
+	if n := NMI([]int{0, 0, 1, 1}, []int{5, 5, 9, 9}); math.Abs(n-1) > 1e-9 {
+		t.Errorf("identical NMI = %v", n)
+	}
+	// Independent partitions => near 0.
+	if n := NMI([]int{0, 1, 0, 1}, []int{0, 0, 1, 1}); n > 0.01 {
+		t.Errorf("independent NMI = %v", n)
+	}
+	if NMI(nil, nil) != 0 {
+		t.Error("empty NMI")
+	}
+	if NMI([]int{0}, []int{0, 1}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	// Both trivial single-cluster partitions are identical.
+	if n := NMI([]int{3, 3}, []int{7, 7}); n != 1 {
+		t.Errorf("trivial NMI = %v", n)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if math.Abs(s-2.138) > 0.01 {
+		t.Errorf("std = %v", s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("empty MeanStd")
+	}
+	if _, s := MeanStd([]float64{3}); s != 0 {
+		t.Error("singleton std should be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if p := Pearson(x, y); math.Abs(p-1) > 1e-12 {
+		t.Errorf("perfect corr = %v", p)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if p := Pearson(x, neg); math.Abs(p+1) > 1e-12 {
+		t.Errorf("perfect anticorr = %v", p)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if Pearson(x, flat) != 0 {
+		t.Error("zero-variance corr should be 0")
+	}
+	if Pearson(x, []float64{1}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+}

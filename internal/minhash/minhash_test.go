@@ -1,0 +1,158 @@
+package minhash
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func genSet(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%d", prefix, i)
+	}
+	return out
+}
+
+// overlapping builds two sets of size n sharing exactly `shared` values.
+func overlapping(n, shared int) (a, b []string) {
+	common := genSet("c", shared)
+	a = append(append([]string{}, common...), genSet("a", n-shared)...)
+	b = append(append([]string{}, common...), genSet("b", n-shared)...)
+	return a, b
+}
+
+func TestJaccardEstimateAccuracy(t *testing.T) {
+	h := NewHasher(256, 42)
+	for _, shared := range []int{0, 100, 250, 400, 500} {
+		a, b := overlapping(500, shared)
+		truth := ExactJaccard(a, b)
+		est := Jaccard(h.Sign(a), h.Sign(b))
+		if math.Abs(est-truth) > 0.08 {
+			t.Errorf("shared=%d: estimate %.3f vs truth %.3f", shared, est, truth)
+		}
+	}
+}
+
+func TestIdenticalSetsJaccardOne(t *testing.T) {
+	h := NewHasher(64, 1)
+	a := genSet("x", 50)
+	if j := Jaccard(h.Sign(a), h.Sign(a)); j != 1 {
+		t.Errorf("self Jaccard = %v, want 1", j)
+	}
+}
+
+func TestSignOrderAndDupInvariance(t *testing.T) {
+	h := NewHasher(64, 7)
+	a := []string{"x", "y", "z"}
+	b := []string{"z", "y", "x", "x", "z"}
+	sa, sb := h.Sign(a), h.Sign(b)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("signature depends on order or duplicates")
+		}
+	}
+}
+
+func TestMergeIsUnion(t *testing.T) {
+	h := NewHasher(128, 3)
+	a := genSet("a", 100)
+	b := genSet("b", 100)
+	sa, sb := h.Sign(a), h.Sign(b)
+	union := h.Sign(append(append([]string{}, a...), b...))
+	Merge(sa, sb)
+	for i := range sa {
+		if sa[i] != union[i] {
+			t.Fatal("Merge != signature of union")
+		}
+	}
+}
+
+func TestContainmentEstimate(t *testing.T) {
+	h := NewHasher(256, 9)
+	// Q (100 values) fully contained in X (1000 values).
+	q := genSet("q", 100)
+	x := append(genSet("q", 100), genSet("x", 900)...)
+	c := Containment(h.Sign(q), h.Sign(x), 100, 1000)
+	if c < 0.75 {
+		t.Errorf("containment of subset = %.3f, want near 1", c)
+	}
+	// Disjoint sets.
+	y := genSet("y", 500)
+	c = Containment(h.Sign(q), h.Sign(y), 100, 500)
+	if c > 0.2 {
+		t.Errorf("containment of disjoint = %.3f, want near 0", c)
+	}
+}
+
+func TestExactMeasures(t *testing.T) {
+	a := []string{"1", "2", "3", "4"}
+	b := []string{"3", "4", "5", "6"}
+	if j := ExactJaccard(a, b); j != 2.0/6.0 {
+		t.Errorf("ExactJaccard = %v", j)
+	}
+	if c := ExactContainment(a, b); c != 0.5 {
+		t.Errorf("ExactContainment = %v", c)
+	}
+	if o := ExactOverlap(a, b); o != 2 {
+		t.Errorf("ExactOverlap = %v", o)
+	}
+	if ExactJaccard(nil, nil) != 0 || ExactContainment(nil, b) != 0 {
+		t.Error("empty-set measures should be 0")
+	}
+}
+
+func TestUpdateIncremental(t *testing.T) {
+	h := NewHasher(64, 5)
+	full := h.Sign([]string{"a", "b", "c"})
+	inc := h.Sign([]string{"a"})
+	h.Update(inc, "b")
+	h.Update(inc, "c")
+	for i := range full {
+		if full[i] != inc[i] {
+			t.Fatal("incremental Update diverges from Sign")
+		}
+	}
+}
+
+func TestSeedChangesSignature(t *testing.T) {
+	a := genSet("a", 10)
+	s1 := NewHasher(32, 1).Sign(a)
+	s2 := NewHasher(32, 2).Sign(a)
+	same := true
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical signatures")
+	}
+}
+
+// Property: Jaccard estimate is symmetric and within [0,1].
+func TestJaccardProperties(t *testing.T) {
+	h := NewHasher(64, 11)
+	f := func(xs, ys []string) bool {
+		if len(xs) == 0 || len(ys) == 0 {
+			return true
+		}
+		sx, sy := h.Sign(xs), h.Sign(ys)
+		j1, j2 := Jaccard(sx, sy), Jaccard(sy, sx)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasherPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for k=0")
+		}
+	}()
+	NewHasher(0, 1)
+}

@@ -1,0 +1,308 @@
+// Package navigation implements data-lake organization (Section 2.6
+// of the tutorial; Nargesian et al., SIGMOD 2020): instead of a flat
+// result list, tables are arranged in a topic hierarchy a user
+// navigates by repeatedly choosing the most promising child. The
+// package also provides RONIN-style online organization — building a
+// hierarchy over just the results of a search — and the navigation
+// cost model the paper's evaluation is based on: the number of items
+// a user must examine before reaching a target table.
+package navigation
+
+import (
+	"fmt"
+	"sort"
+
+	"tablehound/internal/embedding"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// Node is one node of an organization. Leaves reference a table;
+// internal nodes own children.
+type Node struct {
+	Label    string
+	TableID  string  // non-empty for leaves
+	Children []*Node // non-empty for internal nodes
+	Vec      embedding.Vector
+}
+
+// IsLeaf reports whether the node references a table.
+func (n *Node) IsLeaf() bool { return n.TableID != "" }
+
+// Organization is a navigable hierarchy over tables.
+type Organization struct {
+	Root  *Node
+	paths map[string][]*Node // table ID -> root..leaf path
+}
+
+// Config controls organization building.
+type Config struct {
+	// Fanout is the maximum children per internal node (default 4).
+	Fanout int
+	// Seed drives the deterministic clustering.
+	Seed int64
+	// KMeansIters bounds the per-split refinement (default 8).
+	KMeansIters int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout < 2 {
+		c.Fanout = 4
+	}
+	if c.KMeansIters <= 0 {
+		c.KMeansIters = 8
+	}
+	return c
+}
+
+// tableVector embeds a table as the mean of its column vectors plus
+// its metadata words.
+func tableVector(t *table.Table, model *embedding.Model) embedding.Vector {
+	v := embedding.Zero(model.Dim())
+	n := 0
+	for _, c := range t.Columns {
+		if c.Type == table.TypeString || c.Type == table.TypeUnknown {
+			v.Add(model.ColumnVector(c.Values))
+			n++
+		}
+	}
+	meta := t.Name + " " + t.Description
+	for _, w := range tokenize.ContentWords(meta) {
+		v.AddScaled(model.TokenVector(w), 0.5)
+		n++
+	}
+	if n == 0 {
+		return v
+	}
+	return v.Normalize()
+}
+
+// Organize builds a hierarchy over the tables by recursive balanced
+// clustering of table embeddings.
+func Organize(tables []*table.Table, model *embedding.Model, cfg Config) *Organization {
+	cfg = cfg.withDefaults()
+	leaves := make([]*Node, 0, len(tables))
+	for _, t := range tables {
+		leaves = append(leaves, &Node{
+			Label:   t.Name,
+			TableID: t.ID,
+			Vec:     tableVector(t, model),
+		})
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].TableID < leaves[j].TableID })
+	root := split(leaves, cfg, 0)
+	org := &Organization{Root: root, paths: make(map[string][]*Node)}
+	org.indexPaths(root, nil)
+	return org
+}
+
+// split recursively clusters nodes into at most Fanout children.
+func split(nodes []*Node, cfg Config, depth int) *Node {
+	if len(nodes) == 1 {
+		return nodes[0]
+	}
+	parent := &Node{Vec: meanVec(nodes)}
+	if len(nodes) <= cfg.Fanout {
+		parent.Children = nodes
+		parent.Label = groupLabel(nodes)
+		return parent
+	}
+	clusters := kmeans(nodes, cfg.Fanout, cfg.KMeansIters, cfg.Seed+int64(depth))
+	for _, cl := range clusters {
+		if len(cl) == 0 {
+			continue
+		}
+		parent.Children = append(parent.Children, split(cl, cfg, depth+1))
+	}
+	parent.Label = groupLabel(nodes)
+	return parent
+}
+
+func meanVec(nodes []*Node) embedding.Vector {
+	if len(nodes) == 0 {
+		return nil
+	}
+	v := embedding.Zero(len(nodes[0].Vec))
+	for _, n := range nodes {
+		v.Add(n.Vec)
+	}
+	return v.Normalize()
+}
+
+// genericLabelWords carry no topical signal in table names.
+var genericLabelWords = map[string]bool{
+	"table": true, "data": true, "dataset": true, "file": true,
+	"sheet": true, "export": true, "v1": true, "v2": true,
+}
+
+// groupLabel names a group by the most common topical word across
+// member labels.
+func groupLabel(nodes []*Node) string {
+	counts := make(map[string]int)
+	for _, n := range nodes {
+		for _, w := range tokenize.ContentWords(n.Label) {
+			if genericLabelWords[w] || len(w) <= 1 {
+				continue
+			}
+			counts[w]++
+		}
+	}
+	best, bestC := "", 0
+	for w, c := range counts {
+		if c > bestC || (c == bestC && w < best) {
+			best, bestC = w, c
+		}
+	}
+	if best == "" {
+		return fmt.Sprintf("group of %d", len(nodes))
+	}
+	return best
+}
+
+// kmeans clusters nodes into k groups with deterministic farthest-
+// point seeding, returning the groups.
+func kmeans(nodes []*Node, k, iters int, seed int64) [][]*Node {
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	dim := len(nodes[0].Vec)
+	centers := make([]embedding.Vector, 0, k)
+	// Farthest-point init from a seed-dependent start.
+	start := int(seed) % len(nodes)
+	if start < 0 {
+		start += len(nodes)
+	}
+	centers = append(centers, nodes[start].Vec.Clone())
+	minD := make([]float64, len(nodes))
+	for i, n := range nodes {
+		minD[i] = 1 - embedding.Cosine(n.Vec, centers[0])
+	}
+	for len(centers) < k {
+		best, bestD := 0, -1.0
+		for i, d := range minD {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		c := nodes[best].Vec.Clone()
+		centers = append(centers, c)
+		for i, n := range nodes {
+			if d := 1 - embedding.Cosine(n.Vec, c); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+	assign := make([]int, len(nodes))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, n := range nodes {
+			best, bestS := 0, -2.0
+			for c, ctr := range centers {
+				if s := embedding.Cosine(n.Vec, ctr); s > bestS {
+					best, bestS = c, s
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		for c := range centers {
+			sum := embedding.Zero(dim)
+			n := 0
+			for i := range nodes {
+				if assign[i] == c {
+					sum.Add(nodes[i].Vec)
+					n++
+				}
+			}
+			if n > 0 {
+				centers[c] = sum.Normalize()
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([][]*Node, k)
+	for i, n := range nodes {
+		out[assign[i]] = append(out[assign[i]], n)
+	}
+	return out
+}
+
+func (o *Organization) indexPaths(n *Node, path []*Node) {
+	path = append(path, n)
+	if n.IsLeaf() {
+		cp := make([]*Node, len(path))
+		copy(cp, path)
+		o.paths[n.TableID] = cp
+		return
+	}
+	for _, c := range n.Children {
+		o.indexPaths(c, path)
+	}
+}
+
+// NumTables returns the number of leaves.
+func (o *Organization) NumTables() int { return len(o.paths) }
+
+// Depth returns the maximum leaf depth (root = 0).
+func (o *Organization) Depth() int {
+	d := 0
+	for _, p := range o.paths {
+		if len(p)-1 > d {
+			d = len(p) - 1
+		}
+	}
+	return d
+}
+
+// NavigationCost is the organization-navigation cost of reaching the
+// target: at each internal node on the path the user examines every
+// child; the total examined items is the cost (the SIGMOD 2020 user
+// effort model with an ideal chooser). Returns -1 if absent.
+func (o *Organization) NavigationCost(tableID string) int {
+	path, ok := o.paths[tableID]
+	if !ok {
+		return -1
+	}
+	cost := 0
+	for _, n := range path {
+		cost += len(n.Children)
+	}
+	return cost
+}
+
+// FlatCost is the expected items examined scanning an unordered flat
+// list of n tables: (n+1)/2.
+func FlatCost(n int) float64 { return float64(n+1) / 2 }
+
+// Navigate greedily descends toward the query vector, returning the
+// visited labels and the reached table ID.
+func (o *Organization) Navigate(query embedding.Vector) (labels []string, tableID string) {
+	n := o.Root
+	for n != nil && !n.IsLeaf() {
+		labels = append(labels, n.Label)
+		var best *Node
+		bestS := -2.0
+		for _, c := range n.Children {
+			if s := embedding.Cosine(query, c.Vec); s > bestS {
+				best, bestS = c, s
+			}
+		}
+		n = best
+	}
+	if n != nil {
+		labels = append(labels, n.Label)
+		tableID = n.TableID
+	}
+	return labels, tableID
+}
+
+// OrganizeResults is the RONIN-style online mode: build a (small)
+// organization over the tables returned by a search, so the user can
+// refine by topic instead of paging a list.
+func OrganizeResults(results []*table.Table, model *embedding.Model, cfg Config) *Organization {
+	return Organize(results, model, cfg)
+}

@@ -1,0 +1,122 @@
+package navigation
+
+import (
+	"testing"
+
+	"tablehound/internal/datagen"
+	"tablehound/internal/embedding"
+)
+
+func navLake() (*datagen.Lake, *embedding.Model) {
+	lake := datagen.Generate(datagen.Config{
+		Seed:              41,
+		NumDomains:        12,
+		DomainSize:        80,
+		NumTemplates:      8,
+		TablesPerTemplate: 8,
+	})
+	model := embedding.Train(lake.ColumnContexts(), embedding.Config{Dim: 48, Seed: 4})
+	return lake, model
+}
+
+func TestOrganizeCoversAllTables(t *testing.T) {
+	lake, model := navLake()
+	org := Organize(lake.Tables, model, Config{Fanout: 4, Seed: 1})
+	if org.NumTables() != len(lake.Tables) {
+		t.Fatalf("leaves = %d, want %d", org.NumTables(), len(lake.Tables))
+	}
+	for _, tbl := range lake.Tables {
+		if org.NavigationCost(tbl.ID) < 0 {
+			t.Errorf("table %s unreachable", tbl.ID)
+		}
+	}
+	if org.NavigationCost("missing") != -1 {
+		t.Error("missing table should cost -1")
+	}
+}
+
+func TestFanoutRespected(t *testing.T) {
+	lake, model := navLake()
+	org := Organize(lake.Tables, model, Config{Fanout: 4, Seed: 1})
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if len(n.Children) > 4 {
+			t.Fatalf("node %q has %d children", n.Label, len(n.Children))
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(org.Root)
+	if org.Depth() < 2 {
+		t.Errorf("depth = %d for 64 tables at fanout 4", org.Depth())
+	}
+}
+
+func TestNavigationCheaperThanFlat(t *testing.T) {
+	// The SIGMOD'20 claim: mean navigation cost through the hierarchy
+	// is far below scanning a flat list.
+	lake, model := navLake()
+	org := Organize(lake.Tables, model, Config{Fanout: 4, Seed: 1})
+	total := 0.0
+	for _, tbl := range lake.Tables {
+		total += float64(org.NavigationCost(tbl.ID))
+	}
+	mean := total / float64(len(lake.Tables))
+	flat := FlatCost(len(lake.Tables))
+	if mean >= flat {
+		t.Errorf("mean nav cost %.1f should beat flat %.1f", mean, flat)
+	}
+}
+
+func TestNavigateReachesTopicTable(t *testing.T) {
+	lake, model := navLake()
+	org := Organize(lake.Tables, model, Config{Fanout: 4, Seed: 1})
+	// Query with a table's own vector: navigation should land on a
+	// table of the same template most of the time.
+	hits := 0
+	const trials = 16
+	for i := 0; i < trials; i++ {
+		q := lake.Tables[i*4%len(lake.Tables)]
+		labels, reached := org.Navigate(tableVector(q, model))
+		if len(labels) == 0 || reached == "" {
+			t.Fatal("navigation returned nothing")
+		}
+		if lake.TableTemplate[reached] == lake.TableTemplate[q.ID] {
+			hits++
+		}
+	}
+	if hits < trials*3/5 {
+		t.Errorf("navigation reached same-template table %d/%d times", hits, trials)
+	}
+}
+
+func TestOrganizeResultsSmall(t *testing.T) {
+	lake, model := navLake()
+	org := OrganizeResults(lake.Tables[:6], model, Config{Fanout: 3, Seed: 2})
+	if org.NumTables() != 6 {
+		t.Errorf("NumTables = %d", org.NumTables())
+	}
+}
+
+func TestSingleTableOrganization(t *testing.T) {
+	lake, model := navLake()
+	org := Organize(lake.Tables[:1], model, Config{})
+	if org.NumTables() != 1 {
+		t.Fatal("single-table org broken")
+	}
+	if cost := org.NavigationCost(lake.Tables[0].ID); cost != 0 {
+		t.Errorf("single-table cost = %d", cost)
+	}
+}
+
+func TestNodeLabels(t *testing.T) {
+	lake, model := navLake()
+	org := Organize(lake.Tables, model, Config{Fanout: 4, Seed: 1})
+	if org.Root.Label == "" {
+		t.Error("root should be labeled")
+	}
+	if org.Root.IsLeaf() {
+		t.Error("root of 64 tables should not be a leaf")
+	}
+}

@@ -1,0 +1,264 @@
+// Package profile implements Auctus-style dataset profiling and
+// profile-based search (Castelo et al., VLDB 2021; Section 2.6 of the
+// tutorial): each table gets a compact profile — per-column type,
+// cardinality estimate, numeric range, temporal coverage — and a
+// ProfileIndex answers the structured queries dataset-search portals
+// expose: "tables with a numeric column covering [a, b]", "tables
+// with data for 2019–2021", "tables joinable on a high-cardinality
+// key".
+package profile
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"tablehound/internal/sketch"
+	"tablehound/internal/table"
+)
+
+// ColumnProfile summarizes one column.
+type ColumnProfile struct {
+	Name         string
+	Type         table.Type
+	Cardinality  int     // estimated distinct count (exact when small)
+	NullFraction float64 // fraction of missing values
+	// Numeric columns only.
+	Min, Max float64
+	Mean     float64
+	// Date columns only: ISO dates bounding the coverage.
+	MinDate, MaxDate string
+}
+
+// TableProfile summarizes one table.
+type TableProfile struct {
+	TableID string
+	Rows    int
+	Columns []ColumnProfile
+}
+
+// kmvThreshold switches cardinality estimation from exact counting to
+// a KMV sketch.
+const kmvThreshold = 1 << 14
+
+// Build profiles a table.
+func Build(t *table.Table) TableProfile {
+	tp := TableProfile{TableID: t.ID, Rows: t.NumRows()}
+	for _, c := range t.Columns {
+		cp := ColumnProfile{
+			Name:         c.Name,
+			Type:         c.Type,
+			NullFraction: c.NullFraction(),
+		}
+		cp.Cardinality = estimateCardinality(c)
+		switch {
+		case c.Type.IsNumeric():
+			nums, n := c.Numbers()
+			if n > 0 {
+				cp.Min, cp.Max = nums[0], nums[0]
+				var sum float64
+				for _, v := range nums {
+					if v < cp.Min {
+						cp.Min = v
+					}
+					if v > cp.Max {
+						cp.Max = v
+					}
+					sum += v
+				}
+				cp.Mean = sum / float64(n)
+			}
+		case c.Type == table.TypeDate:
+			lo, hi := "", ""
+			for _, v := range c.Values {
+				v = strings.TrimSpace(v)
+				if v == "" {
+					continue
+				}
+				iso := normalizeDate(v)
+				if lo == "" || iso < lo {
+					lo = iso
+				}
+				if hi == "" || iso > hi {
+					hi = iso
+				}
+			}
+			cp.MinDate, cp.MaxDate = lo, hi
+		}
+		tp.Columns = append(tp.Columns, cp)
+	}
+	return tp
+}
+
+func estimateCardinality(c *table.Column) int {
+	if c.Len() < kmvThreshold {
+		return c.Cardinality()
+	}
+	s := sketch.NewKMV(256)
+	for _, v := range c.Values {
+		if v != "" {
+			s.Add(v)
+		}
+	}
+	return int(s.Estimate() + 0.5)
+}
+
+// normalizeDate maps YYYY/MM/DD to YYYY-MM-DD so string comparison
+// orders dates.
+func normalizeDate(v string) string {
+	return strings.ReplaceAll(v, "/", "-")
+}
+
+// Column returns the profile of the named column, if present.
+func (tp TableProfile) Column(name string) (ColumnProfile, bool) {
+	for _, c := range tp.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ColumnProfile{}, false
+}
+
+// Index answers profile-based structured dataset search.
+type Index struct {
+	profiles []TableProfile
+	byID     map[string]int
+}
+
+// NewIndex profiles the tables.
+func NewIndex(tables []*table.Table) *Index {
+	ix := &Index{byID: make(map[string]int, len(tables))}
+	for _, t := range tables {
+		if _, dup := ix.byID[t.ID]; dup {
+			continue
+		}
+		ix.byID[t.ID] = len(ix.profiles)
+		ix.profiles = append(ix.profiles, Build(t))
+	}
+	return ix
+}
+
+// Profile returns a table's profile, if indexed.
+func (ix *Index) Profile(tableID string) (TableProfile, bool) {
+	i, ok := ix.byID[tableID]
+	if !ok {
+		return TableProfile{}, false
+	}
+	return ix.profiles[i], true
+}
+
+// Len returns the number of profiled tables.
+func (ix *Index) Len() int { return len(ix.profiles) }
+
+// Hit is one structured-search result.
+type Hit struct {
+	TableID string
+	Column  string
+}
+
+// NumericRangeSearch finds (table, column) pairs whose numeric range
+// overlaps [lo, hi] by at least minOverlap of the query span.
+func (ix *Index) NumericRangeSearch(lo, hi float64, minOverlap float64) []Hit {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := hi - lo
+	var out []Hit
+	for _, tp := range ix.profiles {
+		for _, c := range tp.Columns {
+			if !c.Type.IsNumeric() {
+				continue
+			}
+			l, h := c.Min, c.Max
+			if l < lo {
+				l = lo
+			}
+			if h > hi {
+				h = hi
+			}
+			if h < l {
+				continue
+			}
+			if span == 0 || (h-l)/span >= minOverlap {
+				out = append(out, Hit{TableID: tp.TableID, Column: c.Name})
+			}
+		}
+	}
+	sortHits(out)
+	return out
+}
+
+// TemporalSearch finds (table, column) pairs whose date coverage
+// intersects [from, to] (ISO strings; "/" separators accepted).
+func (ix *Index) TemporalSearch(from, to string) []Hit {
+	from = normalizeDate(from)
+	to = normalizeDate(to)
+	if to < from {
+		from, to = to, from
+	}
+	var out []Hit
+	for _, tp := range ix.profiles {
+		for _, c := range tp.Columns {
+			if c.Type != table.TypeDate || c.MinDate == "" {
+				continue
+			}
+			if c.MaxDate >= from && c.MinDate <= to {
+				out = append(out, Hit{TableID: tp.TableID, Column: c.Name})
+			}
+		}
+	}
+	sortHits(out)
+	return out
+}
+
+// KeyCandidates finds columns that look like join keys: distinct
+// ratio >= uniqueness and at least minRows rows — the filter Auctus
+// applies before offering join augmentations.
+func (ix *Index) KeyCandidates(uniqueness float64, minRows int) []Hit {
+	var out []Hit
+	for _, tp := range ix.profiles {
+		if tp.Rows < minRows {
+			continue
+		}
+		for _, c := range tp.Columns {
+			if c.Type.IsNumeric() {
+				continue
+			}
+			ratio := float64(c.Cardinality) / float64(tp.Rows)
+			if ratio >= uniqueness && c.NullFraction < 0.1 {
+				out = append(out, Hit{TableID: tp.TableID, Column: c.Name})
+			}
+		}
+	}
+	sortHits(out)
+	return out
+}
+
+func sortHits(hs []Hit) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].TableID != hs[j].TableID {
+			return hs[i].TableID < hs[j].TableID
+		}
+		return hs[i].Column < hs[j].Column
+	})
+}
+
+// FormatSummary renders a profile as a compact one-line-per-column
+// text block for CLI display.
+func (tp TableProfile) FormatSummary() string {
+	var b strings.Builder
+	b.WriteString(tp.TableID + " (" + strconv.Itoa(tp.Rows) + " rows)\n")
+	for _, c := range tp.Columns {
+		b.WriteString("  " + c.Name + " " + c.Type.String() +
+			" card=" + strconv.Itoa(c.Cardinality))
+		switch {
+		case c.Type.IsNumeric():
+			b.WriteString(" range=[" + strconv.FormatFloat(c.Min, 'g', 4, 64) +
+				", " + strconv.FormatFloat(c.Max, 'g', 4, 64) + "]")
+		case c.Type == table.TypeDate && c.MinDate != "":
+			b.WriteString(" dates=[" + c.MinDate + ", " + c.MaxDate + "]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+// Package sketch implements the sketches used for correlated-dataset
+// search (Santos, Bessa, Musco, Freire — ICDE 2022): QCR (Quadrant
+// Count Ratio) keys that reduce "find columns correlated with mine
+// after joining on a key" to set-overlap search, plus KMV sketches for
+// distinct-count estimation.
+//
+// For a keyed numeric column {(k_i, v_i)}, each key emits the token
+// "h(k_i):+" if v_i is above the column median and "h(k_i):-"
+// otherwise. Two columns that join on many keys and are positively
+// correlated share many identical tokens; anticorrelated columns share
+// many sign-flipped tokens. Overlap search over QCR tokens therefore
+// ranks correlation candidates without touching the raw data.
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"tablehound/internal/minhash"
+)
+
+// QCRTokens produces the QCR token set of a keyed numeric column.
+// keys and vals are parallel; pairs with duplicate keys keep the first
+// occurrence. maxSize > 0 subsamples keys by hash order (a KMV-style
+// bottom-k sample), bounding sketch size as the paper does.
+func QCRTokens(keys []string, vals []float64, maxSize int) []string {
+	n := len(keys)
+	if len(vals) < n {
+		n = len(vals)
+	}
+	type kv struct {
+		key  string
+		val  float64
+		hash uint64
+	}
+	seen := make(map[string]bool, n)
+	pairs := make([]kv, 0, n)
+	for i := 0; i < n; i++ {
+		if keys[i] == "" || seen[keys[i]] {
+			continue
+		}
+		seen[keys[i]] = true
+		pairs = append(pairs, kv{keys[i], vals[i], minhash.HashValue(keys[i])})
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	vs := make([]float64, len(pairs))
+	for i, p := range pairs {
+		vs[i] = p.val
+	}
+	med := median(vs)
+	if maxSize > 0 && len(pairs) > maxSize {
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].hash < pairs[j].hash })
+		pairs = pairs[:maxSize]
+	}
+	out := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		sign := "-"
+		if p.val > med {
+			sign = "+"
+		}
+		out = append(out, fmt.Sprintf("%016x:%s", p.hash, sign))
+	}
+	return out
+}
+
+// FlipTokens returns the tokens with signs inverted, used to search
+// for anticorrelated columns.
+func FlipTokens(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		n := len(t)
+		if n == 0 {
+			continue
+		}
+		switch t[n-1] {
+		case '+':
+			out[i] = t[:n-1] + "-"
+		case '-':
+			out[i] = t[:n-1] + "+"
+		default:
+			out[i] = t
+		}
+	}
+	return out
+}
+
+// median returns the median of vs, sorting it in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// KMV is a k-minimum-values sketch estimating the number of distinct
+// values in a stream. The zero value is unusable; construct with
+// NewKMV.
+type KMV struct {
+	k      int
+	hashes []uint64 // max-heap of the k smallest hashes seen
+	seen   map[uint64]bool
+}
+
+// NewKMV creates a sketch keeping the k smallest hashes.
+func NewKMV(k int) *KMV {
+	if k <= 0 {
+		panic(fmt.Sprintf("sketch: KMV k must be positive, got %d", k))
+	}
+	return &KMV{k: k, seen: make(map[uint64]bool, k*2)}
+}
+
+// Add folds a value into the sketch.
+func (s *KMV) Add(value string) { s.AddHash(minhash.HashValue(value)) }
+
+// AddHash folds a pre-hashed value into the sketch.
+func (s *KMV) AddHash(h uint64) {
+	if s.seen[h] {
+		return
+	}
+	if len(s.hashes) < s.k {
+		s.seen[h] = true
+		s.push(h)
+		return
+	}
+	if h >= s.hashes[0] {
+		return
+	}
+	delete(s.seen, s.hashes[0])
+	s.seen[h] = true
+	s.hashes[0] = h
+	s.siftDown(0)
+}
+
+func (s *KMV) push(h uint64) {
+	s.hashes = append(s.hashes, h)
+	i := len(s.hashes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.hashes[p] >= s.hashes[i] {
+			break
+		}
+		s.hashes[p], s.hashes[i] = s.hashes[i], s.hashes[p]
+		i = p
+	}
+}
+
+func (s *KMV) siftDown(i int) {
+	n := len(s.hashes)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && s.hashes[l] > s.hashes[big] {
+			big = l
+		}
+		if r < n && s.hashes[r] > s.hashes[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		s.hashes[i], s.hashes[big] = s.hashes[big], s.hashes[i]
+		i = big
+	}
+}
+
+// Estimate returns the estimated distinct count: (k-1) / U(k-th min)
+// where U maps the hash into (0, 1). Streams with fewer than k
+// distinct values are counted exactly.
+func (s *KMV) Estimate() float64 {
+	n := len(s.hashes)
+	if n < s.k {
+		return float64(n)
+	}
+	kth := s.hashes[0] // max of the k minima
+	u := (float64(kth) + 1) / float64(1<<63) / 2
+	if u == 0 {
+		return float64(n)
+	}
+	return float64(s.k-1) / u
+}
+
+// Merge folds another sketch into s; the result estimates the distinct
+// count of the union. Both sketches must share the same k.
+func (s *KMV) Merge(o *KMV) {
+	for _, h := range o.hashes {
+		s.AddHash(h)
+	}
+}

@@ -1,0 +1,99 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestKMVIdempotentProperty: re-adding the same values never changes
+// the estimate (the sketch sees sets, not multisets).
+func TestKMVIdempotentProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		a := NewKMV(64)
+		for _, v := range vals {
+			a.Add(v)
+		}
+		before := a.Estimate()
+		for _, v := range vals {
+			a.Add(v)
+		}
+		return a.Estimate() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKMVMergeCommutesProperty: merge(a, b) and merge(b, a) estimate
+// the same union.
+func TestKMVMergeCommutesProperty(t *testing.T) {
+	f := func(xs, ys []string) bool {
+		a1, b1 := NewKMV(64), NewKMV(64)
+		a2, b2 := NewKMV(64), NewKMV(64)
+		for _, v := range xs {
+			a1.Add(v)
+			a2.Add(v)
+		}
+		for _, v := range ys {
+			b1.Add(v)
+			b2.Add(v)
+		}
+		a1.Merge(b1) // a ∪ b
+		b2.Merge(a2) // b ∪ a
+		return a1.Estimate() == b2.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQCRTokenCountProperty: token count equals the number of distinct
+// non-empty keys, capped by maxSize.
+func TestQCRTokenCountProperty(t *testing.T) {
+	f := func(keys []string, cap8 uint8) bool {
+		vals := make([]float64, len(keys))
+		for i := range vals {
+			vals[i] = float64(i%7) - 3
+		}
+		maxSize := int(cap8%32) + 1
+		toks := QCRTokens(keys, vals, maxSize)
+		distinct := map[string]bool{}
+		for _, k := range keys {
+			if k != "" {
+				distinct[k] = true
+			}
+		}
+		want := len(distinct)
+		if want > maxSize {
+			want = maxSize
+		}
+		return len(toks) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlipInvolutionProperty: flipping twice restores the tokens.
+func TestFlipInvolutionProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		vals := make([]float64, len(keys))
+		for i := range vals {
+			vals[i] = float64(i) - float64(len(keys))/2
+		}
+		toks := QCRTokens(keys, vals, 0)
+		back := FlipTokens(FlipTokens(toks))
+		if len(back) != len(toks) {
+			return false
+		}
+		for i := range toks {
+			if toks[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

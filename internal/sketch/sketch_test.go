@@ -1,0 +1,149 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tablehound/internal/minhash"
+)
+
+func keysAndSeries(n int, rho float64, seed int64) (keys []string, x, y []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys = make([]string, n)
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%05d", i)
+		x[i] = rng.NormFloat64()
+		y[i] = rho*x[i] + rng.NormFloat64()*math.Sqrt(1-rho*rho)
+	}
+	return
+}
+
+func TestQCRCorrelatedColumnsShareTokens(t *testing.T) {
+	keys, x, y := keysAndSeries(1000, 0.95, 1)
+	_, _, z := keysAndSeries(1000, 0, 2)
+	tx := QCRTokens(keys, x, 0)
+	ty := QCRTokens(keys, y, 0)
+	tz := QCRTokens(keys, z, 0)
+	corrOverlap := minhash.ExactOverlap(tx, ty)
+	randOverlap := minhash.ExactOverlap(tx, tz)
+	// Highly correlated: tokens agree on most keys (~ (1+rho')/2).
+	if corrOverlap < 800 {
+		t.Errorf("correlated overlap = %d of 1000, want high", corrOverlap)
+	}
+	// Uncorrelated: ~50% agreement by chance.
+	if randOverlap < 350 || randOverlap > 650 {
+		t.Errorf("uncorrelated overlap = %d, want near 500", randOverlap)
+	}
+	if corrOverlap <= randOverlap {
+		t.Error("correlated pair should share more tokens")
+	}
+}
+
+func TestQCRAnticorrelationViaFlip(t *testing.T) {
+	keys, x, y := keysAndSeries(1000, -0.95, 3)
+	tx := QCRTokens(keys, x, 0)
+	ty := QCRTokens(keys, y, 0)
+	direct := minhash.ExactOverlap(tx, ty)
+	flipped := minhash.ExactOverlap(FlipTokens(tx), ty)
+	if flipped <= direct {
+		t.Errorf("flipped overlap %d should exceed direct %d for anticorrelated", flipped, direct)
+	}
+	if flipped < 800 {
+		t.Errorf("flipped overlap = %d, want high", flipped)
+	}
+}
+
+func TestQCRMaxSizeSubsamples(t *testing.T) {
+	keys, x, _ := keysAndSeries(1000, 0.9, 4)
+	tk := QCRTokens(keys, x, 64)
+	if len(tk) != 64 {
+		t.Errorf("sketch size = %d, want 64", len(tk))
+	}
+	// Subsampling is by hash order: same keys chosen for any column,
+	// so two correlated columns' subsamples still align.
+	_, _, y := keysAndSeries(1000, 0.9, 4)
+	ty := QCRTokens(keys, y, 64)
+	ov := minhash.ExactOverlap(tk, ty)
+	if ov < 40 {
+		t.Errorf("subsampled correlated overlap = %d of 64", ov)
+	}
+}
+
+func TestQCRHandlesDuplicatesAndEmpties(t *testing.T) {
+	keys := []string{"a", "a", "", "b"}
+	vals := []float64{1, 99, 5, 2}
+	tk := QCRTokens(keys, vals, 0)
+	if len(tk) != 2 {
+		t.Errorf("tokens = %v, want 2 (dedup + drop empty)", tk)
+	}
+	if QCRTokens(nil, nil, 0) != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+func TestFlipTokens(t *testing.T) {
+	in := []string{"ab:+", "cd:-", ""}
+	out := FlipTokens(in)
+	if out[0] != "ab:-" || out[1] != "cd:+" || out[2] != "" {
+		t.Errorf("FlipTokens = %v", out)
+	}
+}
+
+func TestKMVExactBelowK(t *testing.T) {
+	s := NewKMV(64)
+	for i := 0; i < 30; i++ {
+		s.Add(fmt.Sprintf("v%d", i))
+	}
+	// Duplicates must not inflate.
+	for i := 0; i < 30; i++ {
+		s.Add(fmt.Sprintf("v%d", i))
+	}
+	if est := s.Estimate(); est != 30 {
+		t.Errorf("Estimate = %v, want exactly 30", est)
+	}
+}
+
+func TestKMVEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{1000, 10000} {
+		s := NewKMV(256)
+		for i := 0; i < n; i++ {
+			s.Add(fmt.Sprintf("value-%d", i))
+		}
+		est := s.Estimate()
+		if math.Abs(est-float64(n))/float64(n) > 0.2 {
+			t.Errorf("n=%d: Estimate = %.0f (err %.1f%%)", n, est, 100*math.Abs(est-float64(n))/float64(n))
+		}
+	}
+}
+
+func TestKMVMerge(t *testing.T) {
+	a := NewKMV(256)
+	b := NewKMV(256)
+	for i := 0; i < 3000; i++ {
+		a.Add(fmt.Sprintf("a%d", i))
+		b.Add(fmt.Sprintf("b%d", i))
+	}
+	// Shared values.
+	for i := 0; i < 1000; i++ {
+		a.Add(fmt.Sprintf("c%d", i))
+		b.Add(fmt.Sprintf("c%d", i))
+	}
+	a.Merge(b)
+	est := a.Estimate()
+	if math.Abs(est-7000)/7000 > 0.2 {
+		t.Errorf("union estimate = %.0f, want ~7000", est)
+	}
+}
+
+func TestKMVPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewKMV(0)
+}

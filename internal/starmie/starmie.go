@@ -1,0 +1,230 @@
+// Package starmie implements contextualized column representations for
+// dataset discovery in the style of Starmie (Fan et al., 2022). Where
+// context-free encoders embed a column from its values alone, the
+// encoder here mixes in the rest of the table — other columns' content
+// and headers — so the same values in different table contexts get
+// different vectors. That is the property Starmie's contrastive
+// training buys: homograph columns stop colliding and retrieval
+// reflects the table's intent. Retrieval runs over an HNSW graph
+// (approximate) or a linear scan (exact baseline), and table-level
+// scores aggregate column similarities by bipartite matching.
+package starmie
+
+import (
+	"errors"
+	"sort"
+
+	"tablehound/internal/embedding"
+	"tablehound/internal/graph"
+	"tablehound/internal/hnsw"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// Encoder turns table columns into context-aware vectors.
+type Encoder struct {
+	model *embedding.Model
+	// ContextWeight in [0, 1) controls how much of the vector comes
+	// from the surrounding table rather than the column itself.
+	contextWeight float64
+}
+
+// NewEncoder creates an encoder. contextWeight 0 reproduces the
+// context-free baseline; Starmie-like behavior sits around 0.3.
+func NewEncoder(model *embedding.Model, contextWeight float64) *Encoder {
+	if contextWeight < 0 {
+		contextWeight = 0
+	}
+	if contextWeight > 0.9 {
+		contextWeight = 0.9
+	}
+	return &Encoder{model: model, contextWeight: contextWeight}
+}
+
+// contentVector embeds a column from its own values and header.
+func (e *Encoder) contentVector(c *table.Column) embedding.Vector {
+	v := e.model.ColumnVector(c.Values).Clone()
+	// Header words contribute lightly: lake headers are unreliable.
+	words := tokenize.Words(c.Name)
+	if len(words) > 0 {
+		hv := embedding.Zero(e.model.Dim())
+		for _, w := range words {
+			hv.Add(e.model.TokenVector(w))
+		}
+		hv.Normalize()
+		v.AddScaled(hv, 0.2)
+	}
+	return v.Normalize()
+}
+
+// EncodeColumns returns a context-aware vector per column, keyed by
+// column name (ordered as in the table).
+func (e *Encoder) EncodeColumns(t *table.Table) []embedding.Vector {
+	cols := t.Columns
+	content := make([]embedding.Vector, len(cols))
+	for i, c := range cols {
+		content[i] = e.contentVector(c)
+	}
+	if e.contextWeight == 0 || len(cols) < 2 {
+		return content
+	}
+	out := make([]embedding.Vector, len(cols))
+	for i := range cols {
+		ctx := embedding.Zero(e.model.Dim())
+		for j := range cols {
+			if j != i {
+				ctx.Add(content[j])
+			}
+		}
+		ctx.Normalize()
+		v := content[i].Clone()
+		v.Scale(1 - e.contextWeight)
+		v.AddScaled(ctx, e.contextWeight)
+		out[i] = v.Normalize()
+	}
+	return out
+}
+
+// Result is one ranked unionable table.
+type Result struct {
+	TableID string
+	Score   float64
+}
+
+// Index retrieves unionable tables by contextualized column vectors.
+type Index struct {
+	enc     *Encoder
+	graph   *hnsw.Graph
+	colKeys []string
+	vecs    map[string]embedding.Vector
+	byTable map[string][]string // table ID -> column keys
+	built   bool
+}
+
+// NewIndex creates an index over the encoder.
+func NewIndex(enc *Encoder) *Index {
+	return &Index{
+		enc:     enc,
+		vecs:    make(map[string]embedding.Vector),
+		byTable: make(map[string][]string),
+	}
+}
+
+// AddTable encodes and stages a table's columns.
+func (ix *Index) AddTable(t *table.Table) {
+	if _, dup := ix.byTable[t.ID]; dup {
+		return
+	}
+	vecs := ix.enc.EncodeColumns(t)
+	var keys []string
+	for i, c := range t.Columns {
+		key := table.ColumnKey(t.ID, c.Name)
+		ix.vecs[key] = vecs[i]
+		ix.colKeys = append(ix.colKeys, key)
+		keys = append(keys, key)
+	}
+	ix.byTable[t.ID] = keys
+	ix.built = false
+}
+
+// AddVector stages a raw column vector under a key, for callers that
+// encode columns themselves (benchmarks, bulk loads). Keys must be
+// unique and of the form "tableID.column".
+func (ix *Index) AddVector(key string, v embedding.Vector) {
+	if _, dup := ix.vecs[key]; dup {
+		return
+	}
+	ix.vecs[key] = v
+	ix.colKeys = append(ix.colKeys, key)
+	id, _ := table.SplitColumnKey(key)
+	ix.byTable[id] = append(ix.byTable[id], key)
+	ix.built = false
+}
+
+// Build constructs the HNSW graph.
+func (ix *Index) Build() error {
+	if len(ix.colKeys) == 0 {
+		return errors.New("starmie: no tables added")
+	}
+	sort.Strings(ix.colKeys)
+	ix.graph = hnsw.New(hnsw.Config{M: 12, EfConstruction: 100, Seed: 23})
+	for _, k := range ix.colKeys {
+		if err := ix.graph.Add(k, ix.vecs[k]); err != nil {
+			return err
+		}
+	}
+	ix.built = true
+	return nil
+}
+
+// NumColumns returns the number of indexed column vectors.
+func (ix *Index) NumColumns() int { return len(ix.colKeys) }
+
+// SearchColumns returns the k nearest indexed columns to a vector.
+// Approximate (HNSW) unless exact is set, which linearly scans.
+func (ix *Index) SearchColumns(v embedding.Vector, k, efSearch int, exact bool) []hnsw.Result {
+	if !ix.built {
+		if err := ix.Build(); err != nil {
+			return nil
+		}
+	}
+	if exact {
+		return ix.graph.BruteForce(v, k)
+	}
+	return ix.graph.Search(v, k, efSearch)
+}
+
+// SearchTables returns the k tables most unionable with the query:
+// each query column retrieves its nearest indexed columns, candidate
+// tables are scored by bipartite matching of column cosines, top k
+// returned. exact switches retrieval to the linear-scan baseline.
+func (ix *Index) SearchTables(query *table.Table, k, efSearch int, exact bool) ([]Result, error) {
+	if !ix.built {
+		if err := ix.Build(); err != nil {
+			return nil, err
+		}
+	}
+	qv := ix.enc.EncodeColumns(query)
+	if len(qv) == 0 {
+		return nil, errors.New("starmie: query table has no columns")
+	}
+	// Candidate tables from per-column retrieval.
+	seen := make(map[string]bool)
+	var cands []string
+	for _, v := range qv {
+		for _, r := range ix.SearchColumns(v, 8, efSearch, exact) {
+			id, _ := table.SplitColumnKey(r.Key)
+			if !seen[id] && id != query.ID {
+				seen[id] = true
+				cands = append(cands, id)
+			}
+		}
+	}
+	sort.Strings(cands)
+	var res []Result
+	for _, id := range cands {
+		ckeys := ix.byTable[id]
+		w := make([][]float64, len(qv))
+		for i, v := range qv {
+			w[i] = make([]float64, len(ckeys))
+			for j, ck := range ckeys {
+				c := embedding.Cosine(v, ix.vecs[ck])
+				if c > 0 {
+					w[i][j] = c
+				}
+			}
+		}
+		_, total := graph.MaxWeightBipartiteMatching(w)
+		res = append(res, Result{TableID: id, Score: total / float64(len(qv))})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Score != res[j].Score {
+			return res[i].Score > res[j].Score
+		}
+		return res[i].TableID < res[j].TableID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FromCSV reads a table from CSV data. The first record is the header.
+// Ragged rows are padded or truncated to the header width so that dirty
+// data-lake files still load.
+func FromCSV(id, name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // tolerate ragged rows
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			h = fmt.Sprintf("col%d", i)
+		}
+		header[i] = h
+	}
+	vals := make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv row: %w", err)
+		}
+		for i := range header {
+			if i < len(rec) {
+				vals[i] = append(vals[i], strings.TrimSpace(rec[i]))
+			} else {
+				vals[i] = append(vals[i], "")
+			}
+		}
+	}
+	cols := make([]*Column, len(header))
+	for i, h := range header {
+		cols[i] = NewColumn(h, vals[i])
+	}
+	return New(id, name, cols)
+}
+
+// FromCSVFile loads a table from a CSV file, deriving the table name
+// from the file's base name.
+func FromCSVFile(id, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return FromCSV(id, name, f)
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header()); err != nil {
+		return err
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		if err := cw.Write(t.Row(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,76 @@
+package table
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestCSVNeverPanics: arbitrary byte soup either parses or errors;
+// loading a dirty lake must never crash the system.
+func TestCSVNeverPanics(t *testing.T) {
+	f := func(data string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		tbl, err := FromCSV("t", "t", strings.NewReader(data))
+		if err != nil {
+			return true
+		}
+		// Parsed tables keep the rectangular invariant.
+		for _, c := range tbl.Columns {
+			if c.Len() != tbl.NumRows() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCSVQuotedFields exercises the quoting corners dirty lakes hit.
+func TestCSVQuotedFields(t *testing.T) {
+	in := "name,notes\n" +
+		"\"smith, jr\",\"said \"\"hi\"\"\"\n" +
+		"plain,\"multi\nline\"\n"
+	tbl, err := FromCSV("t", "t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.Columns[0].Values[0] != "smith, jr" {
+		t.Errorf("comma-in-quotes = %q", tbl.Columns[0].Values[0])
+	}
+	if tbl.Columns[1].Values[0] != `said "hi"` {
+		t.Errorf("escaped quotes = %q", tbl.Columns[1].Values[0])
+	}
+	if !strings.Contains(tbl.Columns[1].Values[1], "\n") {
+		t.Error("multiline cell lost newline")
+	}
+}
+
+// TestInferTypeProperty: inference never returns an out-of-range type
+// and is insensitive to value order.
+func TestInferTypeProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		a := InferType(vals)
+		if a < TypeUnknown || a > TypeString {
+			return false
+		}
+		// Reverse and re-infer.
+		rev := make([]string, len(vals))
+		for i, v := range vals {
+			rev[len(vals)-1-i] = v
+		}
+		return InferType(rev) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInferType(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []string
+		want Type
+	}{
+		{"ints", []string{"1", "2", "30"}, TypeInt},
+		{"floats", []string{"1.5", "2", "3.25"}, TypeFloat},
+		{"bools", []string{"true", "False", "yes"}, TypeBool},
+		{"dates", []string{"2020-01-02", "1999-12-31"}, TypeDate},
+		{"slashDates", []string{"2020/01/02", "1999/12/31"}, TypeDate},
+		{"strings", []string{"alice", "bob"}, TypeString},
+		{"mixedMostlyInt", []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "x"}, TypeInt},
+		{"mixedHalf", []string{"1", "x"}, TypeString},
+		{"empty", nil, TypeUnknown},
+		{"allMissing", []string{"", ""}, TypeUnknown},
+		{"badDate", []string{"2020-13-02", "2020-00-40"}, TypeString},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := InferType(c.vals); got != c.want {
+				t.Errorf("InferType(%v) = %v, want %v", c.vals, got, c.want)
+			}
+		})
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	c := NewColumn("x", []string{"a", "b", "a", "", "c"})
+	if got := c.Cardinality(); got != 3 {
+		t.Errorf("Cardinality = %d, want 3", got)
+	}
+	if got := c.NullFraction(); got != 0.2 {
+		t.Errorf("NullFraction = %v, want 0.2", got)
+	}
+	d := c.DistinctSorted()
+	if len(d) != 3 || d[0] != "a" || d[2] != "c" {
+		t.Errorf("DistinctSorted = %v", d)
+	}
+}
+
+func TestColumnNumbers(t *testing.T) {
+	c := NewColumn("n", []string{"1", "2.5", "", "oops", "4"})
+	nums, n := c.Numbers()
+	if n != 3 || len(nums) != 3 {
+		t.Fatalf("Numbers count = %d, want 3", n)
+	}
+	if nums[0] != 1 || nums[1] != 2.5 || nums[2] != 4 {
+		t.Errorf("Numbers = %v", nums)
+	}
+}
+
+func TestColumnInvalidateCache(t *testing.T) {
+	c := NewColumn("x", []string{"a"})
+	if c.Cardinality() != 1 {
+		t.Fatal("want cardinality 1")
+	}
+	c.Values = append(c.Values, "b")
+	c.InvalidateCache()
+	if c.Cardinality() != 2 {
+		t.Error("cache not invalidated")
+	}
+}
+
+func TestNewValidatesLengths(t *testing.T) {
+	_, err := New("t1", "t", []*Column{
+		NewColumn("a", []string{"1", "2"}),
+		NewColumn("b", []string{"1"}),
+	})
+	if err == nil {
+		t.Fatal("want error for ragged columns")
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tbl := MustNew("t1", "people", []*Column{
+		NewColumn("name", []string{"alice", "bob"}),
+		NewColumn("age", []string{"30", "25"}),
+	})
+	if tbl.NumRows() != 2 || tbl.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Column("age") == nil || tbl.Column("nope") != nil {
+		t.Error("Column lookup wrong")
+	}
+	if tbl.ColumnIndex("age") != 1 || tbl.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	row := tbl.Row(1)
+	if row[0] != "bob" || row[1] != "25" {
+		t.Errorf("Row(1) = %v", row)
+	}
+	h := tbl.Header()
+	if h[0] != "name" || h[1] != "age" {
+		t.Errorf("Header = %v", h)
+	}
+}
+
+func TestColumnKeyRoundTrip(t *testing.T) {
+	k := ColumnKey("t1", "col.with.dots")
+	tid, col := SplitColumnKey(k)
+	if tid != "t1" || col != "col.with.dots" {
+		t.Errorf("SplitColumnKey(%q) = %q, %q", k, tid, col)
+	}
+	tid, col = SplitColumnKey("nodot")
+	if tid != "nodot" || col != "" {
+		t.Errorf("SplitColumnKey(nodot) = %q, %q", tid, col)
+	}
+}
+
+func TestFromCSV(t *testing.T) {
+	in := "name,age,city\nalice,30,boston\nbob,25,nyc\ncarol,41,\n"
+	tbl, err := FromCSV("t1", "people", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 || tbl.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Column("age").Type != TypeInt {
+		t.Errorf("age type = %v", tbl.Column("age").Type)
+	}
+	if tbl.Column("city").Values[2] != "" {
+		t.Error("missing value not preserved")
+	}
+}
+
+func TestFromCSVRagged(t *testing.T) {
+	in := "a,b\n1,2,3\n4\n"
+	tbl, err := FromCSV("t", "t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.Column("b").Values[1] != "" {
+		t.Error("short row not padded")
+	}
+}
+
+func TestFromCSVEmptyHeaderNames(t *testing.T) {
+	in := ",b\n1,2\n"
+	tbl, err := FromCSV("t", "t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Columns[0].Name != "col0" {
+		t.Errorf("empty header renamed to %q", tbl.Columns[0].Name)
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	tbl := MustNew("t1", "t", []*Column{
+		NewColumn("a", []string{"1", "2"}),
+		NewColumn("b", []string{"x", "y"}),
+	})
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromCSV("t1", "t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 || back.Column("b").Values[1] != "y" {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeInt.String() != "int" || Type(99).String() == "" {
+		t.Error("Type.String broken")
+	}
+	if !TypeFloat.IsNumeric() || TypeString.IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+}

@@ -1,0 +1,118 @@
+// Package tokenize provides value normalization and tokenization
+// shared by every text-processing component: set-similarity search
+// works on normalized cell values, keyword search and embeddings work
+// on word tokens, and fuzzy matching works on character q-grams.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize canonicalizes a cell value: lowercase, trim, and collapse
+// internal whitespace runs to single spaces. All set-overlap measures
+// in the library compare normalized values.
+func Normalize(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.ContainsAny(s, " \t\n\r") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			space = true
+			continue
+		}
+		if space && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		space = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Words splits a string into lowercase alphanumeric word tokens.
+func Words(s string) []string {
+	s = strings.ToLower(s)
+	var out []string
+	start := -1
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, s[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// stopwords is a compact English stopword list adequate for table
+// metadata; discovery quality is insensitive to its exact contents.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true,
+	"of": true, "in": true, "on": true, "to": true, "for": true,
+	"by": true, "with": true, "at": true, "from": true, "as": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true,
+	"this": true, "that": true, "it": true, "its": true,
+}
+
+// IsStopword reports whether w is a common English stopword.
+func IsStopword(w string) bool { return stopwords[w] }
+
+// ContentWords returns Words(s) with stopwords removed.
+func ContentWords(s string) []string {
+	ws := Words(s)
+	out := ws[:0]
+	for _, w := range ws {
+		if !stopwords[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// QGrams returns the padded character q-grams of s. Padding with '#'
+// and '$' gives prefix/suffix grams weight, the standard construction
+// for error-tolerant matching.
+func QGrams(s string, q int) []string {
+	if q <= 0 {
+		return nil
+	}
+	padded := strings.Repeat("#", q-1) + s + strings.Repeat("$", q-1)
+	r := []rune(padded)
+	if len(r) < q {
+		return []string{string(r)}
+	}
+	out := make([]string, 0, len(r)-q+1)
+	for i := 0; i+q <= len(r); i++ {
+		out = append(out, string(r[i:i+q]))
+	}
+	return out
+}
+
+// NormalizeSet normalizes every value and deduplicates, returning the
+// distinct normalized set. Empty values are dropped.
+func NormalizeSet(values []string) []string {
+	seen := make(map[string]bool, len(values))
+	out := make([]string, 0, len(values))
+	for _, v := range values {
+		n := Normalize(v)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"  Hello  World ", "hello world"},
+		{"ABC", "abc"},
+		{"a\t b\n c", "a b c"},
+		{"", ""},
+		{"   ", ""},
+		{"single", "single"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool { return Normalize(Normalize(s)) == Normalize(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words("Hello, World! foo_bar 42")
+	want := []string{"hello", "world", "foo", "bar", "42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+	if Words("") != nil {
+		t.Error("Words(\"\") should be nil")
+	}
+}
+
+func TestContentWords(t *testing.T) {
+	got := ContentWords("The price of a car")
+	want := []string{"price", "car"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ContentWords = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("database") {
+		t.Error("stopword classification wrong")
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("ab", 2)
+	want := []string{"#a", "ab", "b$"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("QGrams = %v, want %v", got, want)
+	}
+	if QGrams("x", 0) != nil {
+		t.Error("q=0 should yield nil")
+	}
+	// Unicode safety.
+	for _, g := range QGrams("héllo", 3) {
+		if len([]rune(g)) != 3 {
+			t.Errorf("gram %q has %d runes", g, len([]rune(g)))
+		}
+	}
+}
+
+func TestQGramCount(t *testing.T) {
+	f := func(s string, q uint8) bool {
+		qq := int(q%5) + 1
+		grams := QGrams(s, qq)
+		want := len([]rune(s)) + qq - 1 // padded length minus q plus 1
+		if want < 1 {
+			want = 1
+		}
+		return len(grams) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeSet(t *testing.T) {
+	got := NormalizeSet([]string{"A", " a ", "b", "", "B"})
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NormalizeSet = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,267 @@
+package union
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+
+	"tablehound/internal/embedding"
+	"tablehound/internal/graph"
+	"tablehound/internal/minhash"
+	"tablehound/internal/schema"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// D3L implements the five-evidence related-table search of Bogatu et
+// al. (ICDE 2020, "Dataset Discovery in Data Lakes", [2] in the
+// tutorial): columns are compared on attribute NAMES, exact VALUE
+// overlap, FORMAT (character-class shape of values), WORD
+// distributions for text, and embedding semantics — and the evidence
+// is averaged into one relatedness score that surfaces joinable and
+// unionable tables simultaneously, without committing to either
+// definition.
+type D3L struct {
+	model  *embedding.Model
+	tables map[string]*d3lTable
+	ids    []string
+}
+
+type d3lTable struct {
+	tbl  *table.Table
+	cols []*d3lColumn
+}
+
+type d3lColumn struct {
+	col      *table.Column
+	distinct []string
+	format   []float64 // normalized character-class histogram
+	words    map[string]float64
+	vec      embedding.Vector
+}
+
+// NewD3L creates an engine over an embedding model.
+func NewD3L(model *embedding.Model) (*D3L, error) {
+	if model == nil {
+		return nil, errors.New("union: D3L requires an embedding model")
+	}
+	return &D3L{model: model, tables: make(map[string]*d3lTable)}, nil
+}
+
+// AddTable stages a table.
+func (d *D3L) AddTable(t *table.Table) {
+	if _, dup := d.tables[t.ID]; dup {
+		return
+	}
+	entry := &d3lTable{tbl: t}
+	for _, c := range stringColumns(t) {
+		entry.cols = append(entry.cols, d.analyzeColumn(c))
+	}
+	if len(entry.cols) == 0 {
+		return
+	}
+	d.tables[t.ID] = entry
+	d.ids = append(d.ids, t.ID)
+	sort.Strings(d.ids)
+}
+
+func (d *D3L) analyzeColumn(c *table.Column) *d3lColumn {
+	distinct := tokenize.NormalizeSet(c.Values)
+	dc := &d3lColumn{
+		col:      c,
+		distinct: distinct,
+		format:   FormatSignature(distinct),
+		words:    wordDist(distinct),
+		vec:      d.model.ColumnVector(distinct),
+	}
+	return dc
+}
+
+// NumTables returns the number of staged tables.
+func (d *D3L) NumTables() int { return len(d.tables) }
+
+// FormatSignature summarizes value shapes as a normalized histogram
+// over character classes and length buckets — D3L's format evidence.
+// Two columns of phone numbers match on format even with zero value
+// overlap; a name column and an ID column do not.
+func FormatSignature(values []string) []float64 {
+	// Classes: lower, upper, digit, space, punct; plus 4 length
+	// buckets (<=4, <=8, <=16, >16).
+	const dims = 9
+	h := make([]float64, dims)
+	if len(values) == 0 {
+		return h
+	}
+	for _, v := range values {
+		for _, r := range v {
+			switch {
+			case r >= 'a' && r <= 'z':
+				h[0]++
+			case r >= 'A' && r <= 'Z':
+				h[1]++
+			case r >= '0' && r <= '9':
+				h[2]++
+			case r == ' ':
+				h[3]++
+			default:
+				h[4]++
+			}
+		}
+		switch l := len(v); {
+		case l <= 4:
+			h[5]++
+		case l <= 8:
+			h[6]++
+		case l <= 16:
+			h[7]++
+		default:
+			h[8]++
+		}
+	}
+	var sum float64
+	for _, x := range h[:5] {
+		sum += x
+	}
+	for i := 0; i < 5; i++ {
+		if sum > 0 {
+			h[i] /= sum
+		}
+	}
+	n := float64(len(values))
+	for i := 5; i < 9; i++ {
+		h[i] /= n
+	}
+	return h
+}
+
+// formatSimilarity is 1 - half the L1 distance of the histograms.
+func formatSimilarity(a, b []float64) float64 {
+	var l1 float64
+	for i := range a {
+		l1 += math.Abs(a[i] - b[i])
+	}
+	s := 1 - l1/2
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// wordDist is the normalized word-frequency distribution of values.
+func wordDist(values []string) map[string]float64 {
+	m := make(map[string]float64)
+	var total float64
+	for _, v := range values {
+		for _, w := range tokenize.Words(v) {
+			m[w]++
+			total++
+		}
+	}
+	for w := range m {
+		m[w] /= total
+	}
+	return m
+}
+
+// wordSimilarity is the Bhattacharyya-like overlap of distributions.
+func wordSimilarity(a, b map[string]float64) float64 {
+	small, big := a, b
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	var s float64
+	for w, pa := range small {
+		if pb, ok := big[w]; ok {
+			s += math.Sqrt(pa * pb)
+		}
+	}
+	return s
+}
+
+// Evidence carries the five per-pair signals, for introspection.
+type Evidence struct {
+	Name   float64
+	Value  float64
+	Format float64
+	Words  float64
+	Embed  float64
+}
+
+// Combined averages the evidence, D3L's aggregation.
+func (e Evidence) Combined() float64 {
+	return (e.Name + e.Value + e.Format + e.Words + e.Embed) / 5
+}
+
+// ColumnEvidence computes the five signals between two raw columns.
+func (d *D3L) ColumnEvidence(a, b *table.Column) Evidence {
+	ca := d.analyzeColumn(a)
+	cb := d.analyzeColumn(b)
+	return d.evidence(ca, cb)
+}
+
+func (d *D3L) evidence(a, b *d3lColumn) Evidence {
+	return Evidence{
+		Name:   (schema.NameMatcher{}).Score(a.col, b.col),
+		Value:  minhash.ExactJaccard(a.distinct, b.distinct),
+		Format: formatSimilarity(a.format, b.format),
+		Words:  wordSimilarity(a.words, b.words),
+		Embed:  (embedding.Cosine(a.vec, b.vec) + 1) / 2,
+	}
+}
+
+// Search ranks staged tables by relatedness to the query: column
+// pairs are scored by combined evidence and aggregated to table level
+// with maximum-weight bipartite matching.
+func (d *D3L) Search(query *table.Table, k int) ([]Result, error) {
+	qcols := make([]*d3lColumn, 0)
+	for _, c := range stringColumns(query) {
+		qcols = append(qcols, d.analyzeColumn(c))
+	}
+	if len(qcols) == 0 {
+		return nil, errors.New("union: D3L query has no usable string columns")
+	}
+	var res []Result
+	for _, id := range d.ids {
+		if id == query.ID {
+			continue
+		}
+		ccols := d.tables[id].cols
+		w := make([][]float64, len(qcols))
+		for i, qc := range qcols {
+			w[i] = make([]float64, len(ccols))
+			for j, cc := range ccols {
+				w[i][j] = d.evidence(qc, cc).Combined()
+			}
+		}
+		_, total := graph.MaxWeightBipartiteMatching(w)
+		res = append(res, Result{TableID: id, Score: total / float64(len(qcols))})
+	}
+	sortResults(res)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// FormatExample returns a compact textual rendering of a format
+// signature for debugging and CLI display.
+func FormatExample(sig []float64) string {
+	if len(sig) != 9 {
+		return "invalid"
+	}
+	parts := []string{"lower", "upper", "digit", "space", "punct"}
+	var b strings.Builder
+	for i, p := range parts {
+		if sig[i] >= 0.15 {
+			if b.Len() > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(p)
+		}
+	}
+	if b.Len() == 0 {
+		return "mixed"
+	}
+	return b.String()
+}

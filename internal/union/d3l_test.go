@@ -1,0 +1,143 @@
+package union
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tablehound/internal/embedding"
+	"tablehound/internal/table"
+)
+
+func d3lModel() *embedding.Model {
+	return embedding.Train(nil, embedding.Config{Dim: 48, Seed: 3})
+}
+
+func TestFormatSignature(t *testing.T) {
+	phones := FormatSignature([]string{"555-0001", "555-9873", "555-1212"})
+	names := FormatSignature([]string{"alice smith", "bob jones"})
+	codes := FormatSignature([]string{"AB-12", "CD-99"})
+	// Phones are digit+punct heavy; names are lower+space heavy.
+	if phones[2] < 0.5 {
+		t.Errorf("phone digit fraction = %v", phones[2])
+	}
+	if names[0] < 0.5 {
+		t.Errorf("name lowercase fraction = %v", names[0])
+	}
+	// Same-format columns more similar than cross-format.
+	phones2 := FormatSignature([]string{"444-1000", "333-2000"})
+	if formatSimilarity(phones, phones2) <= formatSimilarity(phones, names) {
+		t.Error("same-format similarity should beat cross-format")
+	}
+	if len(FormatSignature(nil)) != 9 {
+		t.Error("empty signature wrong size")
+	}
+	_ = codes
+}
+
+func TestFormatExample(t *testing.T) {
+	if got := FormatExample(FormatSignature([]string{"555-0001"})); got == "" || got == "invalid" {
+		t.Errorf("FormatExample = %q", got)
+	}
+	if FormatExample([]float64{1}) != "invalid" {
+		t.Error("short signature should be invalid")
+	}
+}
+
+func TestColumnEvidenceSignals(t *testing.T) {
+	d, err := NewD3L(d3lModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := table.NewColumn("phone", []string{"555-0001", "555-1212", "555-8080"})
+	b := table.NewColumn("phone_number", []string{"444-9999", "333-1111"})
+	c := table.NewColumn("name", []string{"alice smith", "bob jones"})
+	evAB := d.ColumnEvidence(a, b)
+	evAC := d.ColumnEvidence(a, c)
+	if evAB.Value != 0 {
+		t.Errorf("disjoint phones value overlap = %v", evAB.Value)
+	}
+	if evAB.Format <= evAC.Format {
+		t.Error("format evidence should favor phone-phone")
+	}
+	if evAB.Name <= evAC.Name {
+		t.Error("name evidence should favor phone-phone_number")
+	}
+	if evAB.Combined() <= evAC.Combined() {
+		t.Errorf("combined %v should beat %v", evAB.Combined(), evAC.Combined())
+	}
+	// Combined is the mean of the five signals.
+	want := (evAB.Name + evAB.Value + evAB.Format + evAB.Words + evAB.Embed) / 5
+	if math.Abs(evAB.Combined()-want) > 1e-12 {
+		t.Error("Combined is not the mean")
+	}
+}
+
+func TestD3LSearchFindsRelatedTables(t *testing.T) {
+	d, err := NewD3L(d3lModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkPhones := func(id string, offset int) *table.Table {
+		ph := make([]string, 20)
+		who := make([]string, 20)
+		for i := range ph {
+			ph[i] = fmt.Sprintf("555-%04d", offset+i)
+			who[i] = fmt.Sprintf("person_%03d", offset+i)
+		}
+		return table.MustNew(id, id, []*table.Column{
+			table.NewColumn("phone", ph),
+			table.NewColumn("owner", who),
+		})
+	}
+	genes := table.MustNew("genes", "genes", []*table.Column{
+		table.NewColumn("gene", []string{"BRCA1", "TP53", "EGFR", "MYC"}),
+		table.NewColumn("chrom", []string{"chr17", "chr17", "chr7", "chr8"}),
+	})
+	d.AddTable(mkPhones("phones1", 0))
+	d.AddTable(mkPhones("phones2", 1000)) // zero value overlap, same shape
+	d.AddTable(genes)
+	if d.NumTables() != 3 {
+		t.Fatal("staging failed")
+	}
+	res, err := d.Search(mkPhones("query", 2000), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %+v", res)
+	}
+	// Both phone tables outrank the gene table despite no shared values.
+	if res[0].TableID == "genes" || res[1].TableID == "genes" {
+		t.Errorf("gene table ranked above a phone table: %+v", res)
+	}
+}
+
+func TestD3LErrors(t *testing.T) {
+	if _, err := NewD3L(nil); err == nil {
+		t.Error("nil model should fail")
+	}
+	d, _ := NewD3L(d3lModel())
+	numeric := table.MustNew("n", "n", []*table.Column{
+		table.NewColumn("v", []string{"1", "2", "3"}),
+	})
+	d.AddTable(numeric) // no string columns: skipped
+	if d.NumTables() != 0 {
+		t.Error("numeric-only table staged")
+	}
+	if _, err := d.Search(numeric, 3); err == nil {
+		t.Error("numeric-only query should fail")
+	}
+}
+
+func TestD3LDuplicateAdd(t *testing.T) {
+	d, _ := NewD3L(d3lModel())
+	tbl := table.MustNew("t", "t", []*table.Column{
+		table.NewColumn("a", []string{"x", "y"}),
+	})
+	d.AddTable(tbl)
+	d.AddTable(tbl)
+	if d.NumTables() != 1 {
+		t.Error("duplicate add changed count")
+	}
+}

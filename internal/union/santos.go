@@ -1,0 +1,262 @@
+package union
+
+import (
+	"errors"
+	"sort"
+
+	"tablehound/internal/kb"
+	"tablehound/internal/minhash"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// SantosMode selects which knowledge source annotates relationships.
+type SantosMode int
+
+// Modes. Hybrid prefers the curated KB where it covers the pair and
+// falls back to the synthesized (lake-mined) evidence elsewhere —
+// exploiting the precision/coverage trade-off the tutorial discusses.
+const (
+	CuratedOnly SantosMode = iota
+	SynthOnly
+	Hybrid
+)
+
+func (m SantosMode) String() string {
+	switch m {
+	case CuratedOnly:
+		return "curated"
+	case SynthOnly:
+		return "synth"
+	case Hybrid:
+		return "hybrid"
+	}
+	return "unknown"
+}
+
+// Santos is a relationship-aware union search engine. A table is
+// modeled as its intent column (the first usable string column, the
+// subject of the table) plus the binary relationships between the
+// intent column and every other column. A candidate is unionable when
+// its columns AND its relationships align with the query's.
+type Santos struct {
+	curated *kb.KB
+	tables  map[string]*santosTable
+	ids     []string
+	// pairIndex maps a value-pair token to tables containing it — the
+	// synthesized KB, mined from the lake itself.
+	pairIndex map[string][]string
+	built     bool
+}
+
+type santosTable struct {
+	tbl *table.Table
+	// rels[i] holds the relationship between the intent column and
+	// non-intent column i.
+	rels []santosRel
+}
+
+type santosRel struct {
+	colName string
+	// pairs is the set of "subject||object" value-pair tokens.
+	pairs []string
+	// pred is the curated-KB dominant predicate, when covered.
+	pred     string
+	predFrac float64
+}
+
+// NewSantos creates an engine; curated may be nil (SynthOnly then).
+func NewSantos(curated *kb.KB) *Santos {
+	return &Santos{
+		curated:   curated,
+		tables:    make(map[string]*santosTable),
+		pairIndex: make(map[string][]string),
+	}
+}
+
+// AddTable stages a table.
+func (s *Santos) AddTable(tbl *table.Table) {
+	if _, dup := s.tables[tbl.ID]; dup {
+		return
+	}
+	st := s.analyze(tbl)
+	if st == nil {
+		return
+	}
+	s.tables[tbl.ID] = st
+	s.ids = append(s.ids, tbl.ID)
+	s.built = false
+}
+
+// analyze extracts the intent column and its relationships.
+func (s *Santos) analyze(tbl *table.Table) *santosTable {
+	cols := stringColumns(tbl)
+	if len(cols) < 2 {
+		return nil
+	}
+	intent := cols[0]
+	st := &santosTable{tbl: tbl}
+	for _, c := range cols[1:] {
+		rel := santosRel{colName: c.Name}
+		seen := make(map[string]bool)
+		var kbPairs [][2]string
+		for r := 0; r < tbl.NumRows(); r++ {
+			a := tokenize.Normalize(intent.Values[r])
+			b := tokenize.Normalize(c.Values[r])
+			if a == "" || b == "" {
+				continue
+			}
+			tok := a + "||" + b
+			if !seen[tok] {
+				seen[tok] = true
+				rel.pairs = append(rel.pairs, tok)
+				kbPairs = append(kbPairs, [2]string{a, b})
+			}
+		}
+		if s.curated != nil && len(kbPairs) > 0 {
+			if pred, frac, ok := s.curated.DominantPredicate(kbPairs); ok && frac >= 0.5 {
+				rel.pred, rel.predFrac = pred, frac
+			}
+		}
+		st.rels = append(st.rels, rel)
+	}
+	return st
+}
+
+// Build freezes the synthesized pair index.
+func (s *Santos) Build() error {
+	if len(s.tables) == 0 {
+		return errors.New("union: no tables added to SANTOS")
+	}
+	sort.Strings(s.ids)
+	s.pairIndex = make(map[string][]string)
+	for _, id := range s.ids {
+		for _, rel := range s.tables[id].rels {
+			for _, p := range rel.pairs {
+				s.pairIndex[p] = append(s.pairIndex[p], id)
+			}
+		}
+	}
+	s.built = true
+	return nil
+}
+
+// NumTables returns the number of indexed tables.
+func (s *Santos) NumTables() int { return len(s.tables) }
+
+// Search returns the k tables whose relationships best align with the
+// query's, under the given knowledge mode.
+func (s *Santos) Search(query *table.Table, k int, mode SantosMode) ([]Result, error) {
+	if !s.built {
+		if err := s.Build(); err != nil {
+			return nil, err
+		}
+	}
+	q := s.analyze(query)
+	if q == nil {
+		return nil, errors.New("union: query table needs an intent column and one other string column")
+	}
+	// Candidates: tables sharing any value pair with the query, plus
+	// (curated modes) tables sharing a predicate.
+	cands := s.candidates(q, mode)
+	var res []Result
+	for _, id := range cands {
+		if id == query.ID {
+			continue
+		}
+		if score := s.tableScore(q, s.tables[id], mode); score > 0 {
+			res = append(res, Result{TableID: id, Score: score})
+		}
+	}
+	sortResults(res)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+func (s *Santos) candidates(q *santosTable, mode SantosMode) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	if mode != CuratedOnly {
+		for _, rel := range q.rels {
+			for _, p := range rel.pairs {
+				for _, id := range s.pairIndex[p] {
+					add(id)
+				}
+			}
+		}
+	}
+	if mode != SynthOnly {
+		for _, rel := range q.rels {
+			if rel.pred == "" {
+				continue
+			}
+			for _, id := range s.ids {
+				for _, crel := range s.tables[id].rels {
+					if crel.pred == rel.pred {
+						add(id)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tableScore averages, over the query's relationships, the best
+// relationship alignment found in the candidate.
+func (s *Santos) tableScore(q, c *santosTable, mode SantosMode) float64 {
+	if len(q.rels) == 0 {
+		return 0
+	}
+	var total float64
+	for _, qr := range q.rels {
+		best := 0.0
+		for _, cr := range c.rels {
+			if v := relScore(qr, cr, mode); v > best {
+				best = v
+			}
+		}
+		total += best
+	}
+	return total / float64(len(q.rels))
+}
+
+// relScore scores one relationship pair. Curated predicate equality is
+// decisive evidence; synthesized evidence is the containment of the
+// smaller pair set in the larger.
+func relScore(a, b santosRel, mode SantosMode) float64 {
+	var curated, synth float64
+	if a.pred != "" && a.pred == b.pred {
+		curated = (a.predFrac + b.predFrac) / 2
+	}
+	if mode != CuratedOnly {
+		small, big := a.pairs, b.pairs
+		if len(big) < len(small) {
+			small, big = big, small
+		}
+		synth = minhash.ExactContainment(small, big)
+	}
+	switch mode {
+	case CuratedOnly:
+		return curated
+	case SynthOnly:
+		return synth
+	default:
+		if a.pred != "" && b.pred != "" {
+			// Both covered: trust the curated verdict (including a
+			// decisive mismatch — different predicates mean different
+			// relationships even when value pairs overlap).
+			return curated
+		}
+		return synth
+	}
+}

@@ -1,0 +1,314 @@
+package union
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"tablehound/internal/embedding"
+	"tablehound/internal/graph"
+	"tablehound/internal/hnsw"
+	"tablehound/internal/kb"
+	"tablehound/internal/lsh"
+	"tablehound/internal/minhash"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+// TUSConfig wires the resources TUS's measures need.
+type TUSConfig struct {
+	// Model supplies value embeddings for the NL measure; required.
+	Model *embedding.Model
+	// KB supplies the ontology for the semantic measure; optional —
+	// without it the semantic measure scores 0 everywhere.
+	KB *kb.KB
+	// Exhaustive disables index-based candidate generation and scores
+	// every table (the accuracy ceiling; slow).
+	Exhaustive bool
+	// NumHashes is the MinHash signature length (default 128).
+	NumHashes int
+}
+
+// TUS is a table union search engine. Add tables, Build, then Search.
+type TUS struct {
+	cfg     TUSConfig
+	tables  map[string]*tusTable
+	ids     []string
+	univ    map[string]bool // distinct value universe (for set measure)
+	setLSH  *lsh.Index
+	nlIndex *hnsw.Graph
+	hasher  *minhash.Hasher
+	built   bool
+}
+
+type tusTable struct {
+	tbl  *table.Table
+	cols []*tusColumn
+}
+
+type tusColumn struct {
+	name   string
+	values []string // distinct normalized
+	sig    minhash.Signature
+	vec    embedding.Vector
+	// Semantic annotation (dominant ontology type), when covered.
+	semType  string
+	semCover float64
+}
+
+// NewTUS creates an engine.
+func NewTUS(cfg TUSConfig) (*TUS, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("union: TUSConfig.Model is required")
+	}
+	if cfg.NumHashes <= 0 {
+		cfg.NumHashes = 128
+	}
+	return &TUS{
+		cfg:    cfg,
+		tables: make(map[string]*tusTable),
+		univ:   make(map[string]bool),
+		hasher: minhash.NewHasher(cfg.NumHashes, 7),
+	}, nil
+}
+
+// AddTable stages a table for indexing.
+func (t *TUS) AddTable(tbl *table.Table) {
+	if _, dup := t.tables[tbl.ID]; dup {
+		return
+	}
+	entry := &tusTable{tbl: tbl}
+	for _, c := range stringColumns(tbl) {
+		tc := t.makeColumn(c)
+		entry.cols = append(entry.cols, tc)
+		for _, v := range tc.values {
+			t.univ[v] = true
+		}
+	}
+	if len(entry.cols) == 0 {
+		return
+	}
+	t.tables[tbl.ID] = entry
+	t.ids = append(t.ids, tbl.ID)
+	t.built = false
+}
+
+func (t *TUS) makeColumn(c *table.Column) *tusColumn {
+	values := tokenize.NormalizeSet(c.Values)
+	tc := &tusColumn{
+		name:   c.Name,
+		values: values,
+		sig:    t.hasher.Sign(values),
+		vec:    t.cfg.Model.ColumnVector(values),
+	}
+	if t.cfg.KB != nil {
+		if typ, cover, ok := t.cfg.KB.DominantType(values, 0.5); ok {
+			tc.semType, tc.semCover = typ, cover
+		}
+	}
+	return tc
+}
+
+// Build freezes the candidate-generation indexes.
+func (t *TUS) Build() error {
+	if len(t.tables) == 0 {
+		return errors.New("union: no tables added")
+	}
+	sort.Strings(t.ids)
+	// Low-threshold LSH: candidate columns need only weak set overlap;
+	// scoring decides.
+	b, r := lsh.OptimalParams(0.3, t.cfg.NumHashes, 0.8, 0.2)
+	t.setLSH = lsh.New(b, r)
+	t.nlIndex = hnsw.New(hnsw.Config{M: 12, EfConstruction: 80, Seed: 11})
+	for _, id := range t.ids {
+		for _, c := range t.tables[id].cols {
+			key := table.ColumnKey(id, c.name)
+			if err := t.setLSH.Add(key, c.sig); err != nil {
+				return err
+			}
+			if err := t.nlIndex.Add(key, c.vec); err != nil {
+				return err
+			}
+		}
+	}
+	t.built = true
+	return nil
+}
+
+// NumTables returns the number of indexed tables.
+func (t *TUS) NumTables() int { return len(t.tables) }
+
+// ColumnUnionability scores two value sets under a measure; exported
+// for benchmarking the measures in isolation. Inputs are raw values
+// (normalized internally).
+func (t *TUS) ColumnUnionability(a, b []string, m Measure) float64 {
+	ca := t.makeColumn(table.NewColumn("a", a))
+	cb := t.makeColumn(table.NewColumn("b", b))
+	return t.columnScore(ca, cb, m)
+}
+
+func (t *TUS) columnScore(a, b *tusColumn, m Measure) float64 {
+	switch m {
+	case SetMeasure:
+		return t.setUnionability(a, b)
+	case SemMeasure:
+		return t.semUnionability(a, b)
+	case NLMeasure:
+		return nlUnionability(a, b)
+	default:
+		s := t.setUnionability(a, b)
+		if v := t.semUnionability(a, b); v > s {
+			s = v
+		}
+		if v := nlUnionability(a, b); v > s {
+			s = v
+		}
+		return s
+	}
+}
+
+// setUnionability is the TUS set measure: the probability that two
+// random draws of |A| and |B| values from the universe share at most
+// the observed overlap — i.e. the hypergeometric CDF at the overlap.
+// High observed overlap relative to chance drives the score to 1.
+func (t *TUS) setUnionability(a, b *tusColumn) float64 {
+	overlap := minhash.ExactOverlap(a.values, b.values)
+	if overlap == 0 {
+		return 0
+	}
+	d := len(t.univ)
+	na, nb := len(a.values), len(b.values)
+	if d < na+nb { // universe estimate too small for a valid model
+		d = na + nb
+	}
+	return hypergeomCDF(overlap-1, d, na, nb)
+}
+
+// hypergeomCDF returns P[X <= k] for X ~ Hypergeom(D, na, nb).
+func hypergeomCDF(k, d, na, nb int) float64 {
+	lo := na + nb - d
+	if lo < 0 {
+		lo = 0
+	}
+	hi := na
+	if nb < hi {
+		hi = nb
+	}
+	if k >= hi {
+		return 1
+	}
+	denom := logChoose(d, nb)
+	var cdf float64
+	for x := lo; x <= k; x++ {
+		cdf += math.Exp(logChoose(na, x) + logChoose(d-na, nb-x) - denom)
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return cdf
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// semUnionability scores by ontology: Wu-Palmer similarity of the
+// columns' dominant types, damped by annotation coverage. Uncovered
+// columns score 0 — the KB precision/coverage trade-off surfaces here.
+func (t *TUS) semUnionability(a, b *tusColumn) float64 {
+	if t.cfg.KB == nil || a.semType == "" || b.semType == "" {
+		return 0
+	}
+	sim := t.cfg.KB.TypeSimilarity(a.semType, b.semType)
+	cover := a.semCover
+	if b.semCover < cover {
+		cover = b.semCover
+	}
+	return sim * cover
+}
+
+// nlUnionability maps embedding cosine from [-1, 1] to [0, 1].
+func nlUnionability(a, b *tusColumn) float64 {
+	return (embedding.Cosine(a.vec, b.vec) + 1) / 2
+}
+
+// Search returns the k tables most unionable with the query under the
+// measure. The query need not be indexed.
+func (t *TUS) Search(query *table.Table, k int, m Measure) ([]Result, error) {
+	if !t.built {
+		if err := t.Build(); err != nil {
+			return nil, err
+		}
+	}
+	qcols := make([]*tusColumn, 0)
+	for _, c := range stringColumns(query) {
+		qcols = append(qcols, t.makeColumn(c))
+	}
+	if len(qcols) == 0 {
+		return nil, errors.New("union: query table has no usable string columns")
+	}
+	cands := t.candidateTables(query, qcols)
+	var res []Result
+	for _, id := range cands {
+		if id == query.ID {
+			continue
+		}
+		score := t.tableScore(qcols, t.tables[id].cols, m)
+		if score > 0 {
+			res = append(res, Result{TableID: id, Score: score})
+		}
+	}
+	sortResults(res)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// tableScore aligns query columns to candidate columns by maximum-
+// weight bipartite matching and normalizes by query column count.
+func (t *TUS) tableScore(qcols, ccols []*tusColumn, m Measure) float64 {
+	w := make([][]float64, len(qcols))
+	for i, qc := range qcols {
+		w[i] = make([]float64, len(ccols))
+		for j, cc := range ccols {
+			w[i][j] = t.columnScore(qc, cc, m)
+		}
+	}
+	_, total := graph.MaxWeightBipartiteMatching(w)
+	return total / float64(len(qcols))
+}
+
+// candidateTables returns table IDs to score: all tables when
+// exhaustive, otherwise tables owning columns retrieved by the set-LSH
+// or the NL vector index.
+func (t *TUS) candidateTables(query *table.Table, qcols []*tusColumn) []string {
+	if t.cfg.Exhaustive {
+		return t.ids
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(key string) {
+		id, _ := table.SplitColumnKey(key)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, qc := range qcols {
+		for _, key := range t.setLSH.Query(qc.sig) {
+			add(key)
+		}
+		for _, r := range t.nlIndex.Search(qc.vec, 10, 60) {
+			add(r.Key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
