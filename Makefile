@@ -1,0 +1,20 @@
+# Developer entry points. `make check` is the tier-1 verify gate;
+# `make race` exercises the concurrent build pipeline under the race
+# detector (slower, so it targets the packages that share state).
+
+GO ?= go
+
+.PHONY: check race bench-build
+
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/hnsw/... ./internal/join/... \
+		./internal/union/... ./internal/starmie/... ./internal/table/... \
+		./internal/lake/... ./internal/parallel/...
+
+bench-build:
+	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchtime 2x .

@@ -14,8 +14,11 @@ import (
 	"strconv"
 	"testing"
 
+	"tablehound/internal/core"
+	"tablehound/internal/datagen"
 	"tablehound/internal/embedding"
 	"tablehound/internal/exp"
+	"tablehound/internal/lake"
 	"tablehound/internal/hnsw"
 	"tablehound/internal/invindex"
 	"tablehound/internal/josie"
@@ -70,6 +73,46 @@ func BenchmarkE20QueryTime(b *testing.B)  { benchExperiment(b, "e20", 0, 1, "onl
 func BenchmarkE21Valentine(b *testing.B)  { benchExperiment(b, "e21", 8, 2, "combined_acc_renamed") }
 func BenchmarkE22Aurum(b *testing.B)      { benchExperiment(b, "e22", 0, 1, "chains_recovered") }
 func BenchmarkE23D3L(b *testing.B)        { benchExperiment(b, "e23", 11, 2, "combined_MAP_disjoint") }
+
+// ---- Whole-system build pipeline ----
+
+// benchLake is the 500-table lake both build benchmarks construct
+// their System over; generation runs outside the timer.
+func benchLake() (*lake.Catalog, core.Options) {
+	gen := datagen.Generate(datagen.Config{
+		Seed:              41,
+		NumDomains:        20,
+		DomainSize:        80,
+		NumTemplates:      10,
+		TablesPerTemplate: 50,
+	})
+	cat := lake.NewCatalog()
+	if err := cat.AddBatch(gen.Tables); err != nil {
+		panic(err)
+	}
+	// The graph stage (Aurum) is quadratic in columns and would
+	// dominate either run; skip it to measure the parallelizable work.
+	return cat, core.Options{KB: gen.BuildKB(0.8), Seed: 7, SkipGraph: true}
+}
+
+func benchBuild(b *testing.B, parallelism int) {
+	cat, opts := benchLake()
+	opts.Parallelism = parallelism
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(cat, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemBuildSeq is the historical sequential build.
+func BenchmarkSystemBuildSeq(b *testing.B) { benchBuild(b, 1) }
+
+// BenchmarkSystemBuildPar is the concurrent pipeline at full width
+// (Parallelism=0 → GOMAXPROCS). On a single-core runner the two are
+// expected to tie; the speedup needs real cores.
+func BenchmarkSystemBuildPar(b *testing.B) { benchBuild(b, 0) }
 
 // ---- Microbenchmarks of the substrates ----
 

@@ -13,6 +13,10 @@
 //	lakectl navigate -lake DIR -topic WORD
 //	lakectl exp ID|all
 //
+// Every command that builds a discovery system accepts -parallel N
+// (construction worker count; 0 = all CPUs, 1 = sequential) and
+// -timing (print the per-stage build report to stderr).
+//
 // A lake is a directory of CSV files (one table per file).
 package main
 
@@ -89,11 +93,40 @@ commands:
   exp       run a reproduction experiment (e1..e23 or "all")`)
 }
 
-func loadCatalog(dir string) (*lake.Catalog, error) {
+// buildFlags carries the system-construction flags shared by every
+// command that builds a discovery system.
+type buildFlags struct {
+	parallel *int
+	timing   *bool
+}
+
+func addBuildFlags(fs *flag.FlagSet) buildFlags {
+	return buildFlags{
+		parallel: fs.Int("parallel", 0, "construction workers (0 = all CPUs, 1 = sequential)"),
+		timing:   fs.Bool("timing", false, "print per-stage build timing to stderr"),
+	}
+}
+
+func (bf buildFlags) loadCatalog(dir string) (*lake.Catalog, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("missing -lake directory")
 	}
-	return lake.LoadCSVDir(dir)
+	return lake.LoadCSVDirN(dir, *bf.parallel)
+}
+
+func (bf buildFlags) buildSystem(dir string) (*core.System, error) {
+	cat, err := bf.loadCatalog(dir)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.Build(cat, core.Options{Parallelism: *bf.parallel})
+	if err != nil {
+		return nil, err
+	}
+	if *bf.timing {
+		fmt.Fprint(os.Stderr, sys.BuildStats.Report())
+	}
+	return sys, nil
 }
 
 func cmdGen(args []string) error {
@@ -136,8 +169,9 @@ func cmdGen(args []string) error {
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("lake", "", "lake directory")
+	bf := addBuildFlags(fs)
 	fs.Parse(args)
-	cat, err := loadCatalog(*dir)
+	cat, err := bf.loadCatalog(*dir)
 	if err != nil {
 		return err
 	}
@@ -147,24 +181,17 @@ func cmdStats(args []string) error {
 	return nil
 }
 
-func buildSystem(dir string) (*core.System, error) {
-	cat, err := loadCatalog(dir)
-	if err != nil {
-		return nil, err
-	}
-	return core.Build(cat, core.Options{})
-}
-
 func cmdSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	dir := fs.String("lake", "", "lake directory")
 	q := fs.String("q", "", "query keywords")
 	k := fs.Int("k", 10, "results")
+	bf := addBuildFlags(fs)
 	fs.Parse(args)
 	if *q == "" {
 		return fmt.Errorf("search: -q is required")
 	}
-	sys, err := buildSystem(*dir)
+	sys, err := bf.buildSystem(*dir)
 	if err != nil {
 		return err
 	}
@@ -181,8 +208,9 @@ func cmdJoin(args []string) error {
 	tableID := fs.String("table", "", "query table ID")
 	column := fs.String("column", "", "query column name")
 	k := fs.Int("k", 10, "results")
+	bf := addBuildFlags(fs)
 	fs.Parse(args)
-	sys, err := buildSystem(*dir)
+	sys, err := bf.buildSystem(*dir)
 	if err != nil {
 		return err
 	}
@@ -206,8 +234,9 @@ func cmdUnion(args []string) error {
 	tableID := fs.String("table", "", "query table ID")
 	k := fs.Int("k", 10, "results")
 	method := fs.String("method", "tus", "tus | santos | starmie | d3l")
+	bf := addBuildFlags(fs)
 	fs.Parse(args)
-	sys, err := buildSystem(*dir)
+	sys, err := bf.buildSystem(*dir)
 	if err != nil {
 		return err
 	}
@@ -266,11 +295,12 @@ func cmdNavigate(args []string) error {
 	fs := flag.NewFlagSet("navigate", flag.ExitOnError)
 	dir := fs.String("lake", "", "lake directory")
 	topic := fs.String("topic", "", "topic keyword")
+	bf := addBuildFlags(fs)
 	fs.Parse(args)
 	if *topic == "" {
 		return fmt.Errorf("navigate: -topic is required")
 	}
-	sys, err := buildSystem(*dir)
+	sys, err := bf.buildSystem(*dir)
 	if err != nil {
 		return err
 	}
@@ -287,11 +317,12 @@ func cmdVSearch(args []string) error {
 	dir := fs.String("lake", "", "lake directory")
 	q := fs.String("q", "", "query keywords")
 	k := fs.Int("k", 10, "max tables")
+	bf := addBuildFlags(fs)
 	fs.Parse(args)
 	if *q == "" {
 		return fmt.Errorf("vsearch: -q is required")
 	}
-	sys, err := buildSystem(*dir)
+	sys, err := bf.buildSystem(*dir)
 	if err != nil {
 		return err
 	}
@@ -308,8 +339,9 @@ func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	dir := fs.String("lake", "", "lake directory")
 	tableID := fs.String("table", "", "table ID")
+	bf := addBuildFlags(fs)
 	fs.Parse(args)
-	sys, err := buildSystem(*dir)
+	sys, err := bf.buildSystem(*dir)
 	if err != nil {
 		return err
 	}
@@ -327,8 +359,9 @@ func cmdMatch(args []string) error {
 	src := fs.String("src", "", "source table ID")
 	dst := fs.String("dst", "", "target table ID")
 	threshold := fs.Float64("threshold", 0.4, "minimum correspondence score")
+	bf := addBuildFlags(fs)
 	fs.Parse(args)
-	sys, err := buildSystem(*dir)
+	sys, err := bf.buildSystem(*dir)
 	if err != nil {
 		return err
 	}
@@ -349,8 +382,9 @@ func cmdJoinPath(args []string) error {
 	from := fs.String("from", "", "source table ID")
 	to := fs.String("to", "", "target table ID")
 	hops := fs.Int("hops", 4, "maximum join hops")
+	bf := addBuildFlags(fs)
 	fs.Parse(args)
-	sys, err := buildSystem(*dir)
+	sys, err := bf.buildSystem(*dir)
 	if err != nil {
 		return err
 	}

@@ -8,7 +8,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
+	"time"
 
 	"tablehound/internal/annotate"
 	"tablehound/internal/apps"
@@ -19,6 +21,7 @@ import (
 	"tablehound/internal/keyword"
 	"tablehound/internal/lake"
 	"tablehound/internal/navigation"
+	"tablehound/internal/parallel"
 	"tablehound/internal/profile"
 	"tablehound/internal/schema"
 	"tablehound/internal/starmie"
@@ -49,6 +52,14 @@ type Options struct {
 	// SkipGraph skips the Aurum-style discovery graph, whose schema
 	// linking is quadratic in the column count.
 	SkipGraph bool
+	// Parallelism bounds the worker pool of the construction pipeline:
+	// after the shared embedding model is trained, the independent
+	// index families build concurrently, and the heaviest stages fan
+	// out per table or per column under the same budget. 0 means
+	// runtime.GOMAXPROCS(0); 1 (or any negative value) runs the exact
+	// sequential build, for reproducibility. Search results are
+	// identical at every setting — only wall time changes.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +77,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.OrgFanout == 0 {
 		o.OrgFanout = 4
+	}
+	switch {
+	case o.Parallelism == 0:
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	case o.Parallelism < 0:
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -93,9 +110,23 @@ type System struct {
 
 	// Annotator is nil until TrainAnnotator is called.
 	Annotator *annotate.Annotator
+
+	// BuildStats records per-stage wall time and item counts for the
+	// construction pipeline that produced this system.
+	BuildStats *BuildStats
 }
 
 // Build indexes the catalog into a System.
+//
+// Construction is a two-phase pipeline: the embedding model — the one
+// dependency every index family shares — trains first, then the
+// independent stages (keyword, profiles, join, fuzzy, union, Starmie,
+// navigation, graph, ...) run on a bounded worker pool of
+// Options.Parallelism goroutines, with per-table/per-column fan-out
+// inside the heaviest stages. Every stage reads shared state only
+// (catalog tables, the trained model, the KB) and writes its own
+// System field, so results are identical at every parallelism level;
+// per-stage wall times land in System.BuildStats.
 func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 	opts = opts.withDefaults()
 	tables := catalog.Tables()
@@ -103,139 +134,204 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 		return nil, errors.New("core: empty catalog")
 	}
 	s := &System{Catalog: catalog, KB: opts.KB}
+	stats := newBuildStats(opts.Parallelism)
+	start := time.Now()
 
 	// Table understanding: train embeddings on the lake's columns.
-	var contexts [][]string
-	for _, t := range tables {
-		for _, c := range t.Columns {
-			if c.Type == table.TypeString || c.Type == table.TypeUnknown {
-				contexts = append(contexts, c.Distinct())
-			}
-		}
-	}
-	s.Model = embedding.Train(contexts, embedding.Config{Dim: opts.EmbeddingDim, Seed: uint64(opts.Seed)})
-
-	// Keyword search over metadata and over cell values (OCTOPUS-style).
-	s.Keyword = keyword.NewIndex()
-	s.Values = keyword.NewValueIndex()
-	for _, t := range tables {
-		s.Keyword.Add(t)
-		s.Values.Add(t)
-	}
-	s.Keyword.Finish()
-	s.Values.Finish()
-
-	// Auctus-style structured profiles and InfoGather-style entity
-	// augmentation operate directly on the raw tables.
-	s.Profiles = profile.NewIndex(tables)
-	s.Entities = apps.NewEntityAugmenter(tables)
-
-	// Joinable search: exact overlap + containment indexes.
-	jb := join.NewBuilder(opts.MinJoinCardinality)
-	for _, t := range tables {
-		jb.AddTable(t)
-	}
-	eng, err := jb.Build()
-	if err != nil {
-		return nil, fmt.Errorf("core: join index: %w", err)
-	}
-	s.Join = eng
-
-	// Fuzzy join (PEXESO-style).
-	if !opts.SkipFuzzy {
-		s.Fuzzy = join.NewFuzzyJoiner(s.Model, 4)
+	// Every downstream stage reads this model, so it builds first.
+	if err := stats.time(stageModel, func() (int, error) {
+		var contexts [][]string
 		for _, t := range tables {
 			for _, c := range t.Columns {
-				if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
-					if err := s.Fuzzy.AddColumn(table.ColumnKey(t.ID, c.Name), c.Values); err != nil {
-						return nil, err
-					}
+				if c.Type == table.TypeString || c.Type == table.TypeUnknown {
+					contexts = append(contexts, c.Distinct())
 				}
 			}
 		}
-	}
-
-	// Correlation search: first string column as key, numeric columns
-	// as measures.
-	cb := join.NewCorrBuilder(256)
-	pairs := 0
-	for _, t := range tables {
-		var keyCol *table.Column
-		for _, c := range t.Columns {
-			if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
-				keyCol = c
-				break
-			}
-		}
-		if keyCol == nil {
-			continue
-		}
-		for _, c := range t.Columns {
-			if !c.Type.IsNumeric() {
-				continue
-			}
-			nums, n := numericAligned(keyCol, c)
-			if n < 3 {
-				continue
-			}
-			pk := join.PairKey(t.ID, keyCol.Name, c.Name)
-			if err := cb.Add(pk, nums.keys, nums.vals); err == nil {
-				pairs++
-			}
-		}
-	}
-	if pairs > 0 {
-		if s.Corr, err = cb.Build(); err != nil {
-			return nil, err
-		}
-	}
-
-	// Multi-attribute join.
-	s.Mate = join.NewMateIndex(tables)
-
-	// Union search: TUS and SANTOS.
-	if s.TUS, err = union.NewTUS(union.TUSConfig{Model: s.Model, KB: opts.KB, NumHashes: 128}); err != nil {
-		return nil, err
-	}
-	s.Santos = union.NewSantos(opts.KB)
-	if s.D3L, err = union.NewD3L(s.Model); err != nil {
-		return nil, err
-	}
-	for _, t := range tables {
-		s.TUS.AddTable(t)
-		s.Santos.AddTable(t)
-		s.D3L.AddTable(t)
-	}
-	if err := s.TUS.Build(); err != nil {
-		return nil, err
-	}
-	if s.Santos.NumTables() > 0 {
-		if err := s.Santos.Build(); err != nil {
-			return nil, err
-		}
-	}
-
-	// Starmie contextual retrieval.
-	s.Starmie = starmie.NewIndex(starmie.NewEncoder(s.Model, opts.ContextWeight))
-	for _, t := range tables {
-		s.Starmie.AddTable(t)
-	}
-	if err := s.Starmie.Build(); err != nil {
+		s.Model = embedding.Train(contexts, embedding.Config{Dim: opts.EmbeddingDim, Seed: uint64(opts.Seed)})
+		return len(contexts), nil
+	}); err != nil {
 		return nil, err
 	}
 
-	// Navigation organization.
-	if !opts.SkipOrganization {
-		s.Org = navigation.Organize(tables, s.Model, navigation.Config{Fanout: opts.OrgFanout, Seed: opts.Seed})
+	// The remaining stages are mutually independent: each reads the
+	// catalog, model, and KB, and writes one System field. They run on
+	// the worker pool in declaration order (exactly sequentially when
+	// Parallelism is 1).
+	stages := []struct {
+		id   int
+		skip bool
+		run  func() (int, error)
+	}{
+		{stageKeyword, false, func() (int, error) {
+			// Keyword search over metadata and over cell values
+			// (OCTOPUS-style).
+			s.Keyword = keyword.NewIndex()
+			s.Values = keyword.NewValueIndex()
+			for _, t := range tables {
+				s.Keyword.Add(t)
+				s.Values.Add(t)
+			}
+			s.Keyword.Finish()
+			s.Values.Finish()
+			return len(tables), nil
+		}},
+		{stageProfiles, false, func() (int, error) {
+			// Auctus-style structured profiles.
+			s.Profiles = profile.NewIndexN(tables, opts.Parallelism)
+			return s.Profiles.Len(), nil
+		}},
+		{stageEntities, false, func() (int, error) {
+			// InfoGather-style entity augmentation over the raw tables.
+			s.Entities = apps.NewEntityAugmenter(tables)
+			return len(tables), nil
+		}},
+		{stageJoin, false, func() (int, error) {
+			// Joinable search: exact overlap + containment indexes.
+			jb := join.NewBuilder(opts.MinJoinCardinality)
+			for _, t := range tables {
+				jb.AddTable(t)
+			}
+			eng, err := jb.Build()
+			if err != nil {
+				return 0, fmt.Errorf("core: join index: %w", err)
+			}
+			s.Join = eng
+			return eng.NumColumns(), nil
+		}},
+		{stageFuzzy, opts.SkipFuzzy, func() (int, error) {
+			// Fuzzy join (PEXESO-style): embedding a vector per value is
+			// the single heaviest stage, so it fans out per column.
+			s.Fuzzy = join.NewFuzzyJoiner(s.Model, 4)
+			var batch []join.FuzzyColumn
+			for _, t := range tables {
+				for _, c := range t.Columns {
+					if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
+						batch = append(batch, join.FuzzyColumn{Key: table.ColumnKey(t.ID, c.Name), Values: c.Values})
+					}
+				}
+			}
+			if err := s.Fuzzy.AddColumns(batch, opts.Parallelism); err != nil {
+				return 0, err
+			}
+			return len(batch), nil
+		}},
+		{stageCorr, false, func() (int, error) {
+			// Correlation search: first string column as key, numeric
+			// columns as measures.
+			cb := join.NewCorrBuilder(256)
+			pairs := 0
+			for _, t := range tables {
+				var keyCol *table.Column
+				for _, c := range t.Columns {
+					if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
+						keyCol = c
+						break
+					}
+				}
+				if keyCol == nil {
+					continue
+				}
+				for _, c := range t.Columns {
+					if !c.Type.IsNumeric() {
+						continue
+					}
+					nums, n := numericAligned(keyCol, c)
+					if n < 3 {
+						continue
+					}
+					pk := join.PairKey(t.ID, keyCol.Name, c.Name)
+					if err := cb.Add(pk, nums.keys, nums.vals); err == nil {
+						pairs++
+					}
+				}
+			}
+			if pairs > 0 {
+				eng, err := cb.Build()
+				if err != nil {
+					return 0, err
+				}
+				s.Corr = eng
+			}
+			return pairs, nil
+		}},
+		{stageMate, false, func() (int, error) {
+			// Multi-attribute join.
+			s.Mate = join.NewMateIndex(tables)
+			return len(tables), nil
+		}},
+		{stageTUS, false, func() (int, error) {
+			tus, err := union.NewTUS(union.TUSConfig{Model: s.Model, KB: opts.KB, NumHashes: 128})
+			if err != nil {
+				return 0, err
+			}
+			tus.AddTables(tables, opts.Parallelism)
+			if err := tus.Build(); err != nil {
+				return 0, err
+			}
+			s.TUS = tus
+			return tus.NumTables(), nil
+		}},
+		{stageSantos, false, func() (int, error) {
+			santos := union.NewSantos(opts.KB)
+			for _, t := range tables {
+				santos.AddTable(t)
+			}
+			if santos.NumTables() > 0 {
+				if err := santos.Build(); err != nil {
+					return 0, err
+				}
+			}
+			s.Santos = santos
+			return santos.NumTables(), nil
+		}},
+		{stageD3L, false, func() (int, error) {
+			d3l, err := union.NewD3L(s.Model)
+			if err != nil {
+				return 0, err
+			}
+			for _, t := range tables {
+				d3l.AddTable(t)
+			}
+			s.D3L = d3l
+			return d3l.NumTables(), nil
+		}},
+		{stageStarmie, false, func() (int, error) {
+			// Starmie contextual retrieval: encoding fans out per table.
+			s.Starmie = starmie.NewIndex(starmie.NewEncoder(s.Model, opts.ContextWeight))
+			s.Starmie.AddTables(tables, opts.Parallelism)
+			if err := s.Starmie.Build(); err != nil {
+				return 0, err
+			}
+			return s.Starmie.NumColumns(), nil
+		}},
+		{stageOrg, opts.SkipOrganization, func() (int, error) {
+			s.Org = navigation.Organize(tables, s.Model, navigation.Config{Fanout: opts.OrgFanout, Seed: opts.Seed})
+			return len(tables), nil
+		}},
+		{stageGraph, opts.SkipGraph, func() (int, error) {
+			// Aurum-style discovery graph for linkage navigation and
+			// join paths. Lakes without usable string columns simply
+			// have none (the build error is deliberately swallowed).
+			if g, err := aurum.Build(tables, aurum.Config{}); err == nil {
+				s.Graph = g
+			}
+			return len(tables), nil
+		}},
 	}
-
-	// Aurum-style discovery graph for linkage navigation and join
-	// paths. Lakes without usable string columns simply have none.
-	if !opts.SkipGraph {
-		if g, err := aurum.Build(tables, aurum.Config{}); err == nil {
-			s.Graph = g
+	err := parallel.ForEach(len(stages), opts.Parallelism, func(i int) error {
+		st := stages[i]
+		if st.skip {
+			stats.skip(st.id)
+			return nil
 		}
+		return stats.time(st.id, st.run)
+	})
+	if err != nil {
+		return nil, err
 	}
+	stats.Total = time.Since(start)
+	s.BuildStats = stats
 	return s, nil
 }
 

@@ -1,0 +1,118 @@
+// Build-pipeline observability: the stage list of the concurrent
+// index-construction pipeline and the per-stage timing record attached
+// to every built System. See DESIGN.md "Build pipeline & concurrency
+// contracts" for the stage DAG and the types each stage may share.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stage indices. stageModel is the single shared dependency and always
+// runs first; every other stage reads only the catalog, the trained
+// model, and the optional KB, so the scheduler may run them in any
+// order or concurrently.
+const (
+	stageModel = iota
+	stageKeyword
+	stageProfiles
+	stageEntities
+	stageJoin
+	stageFuzzy
+	stageCorr
+	stageMate
+	stageTUS
+	stageSantos
+	stageD3L
+	stageStarmie
+	stageOrg
+	stageGraph
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"model", "keyword", "profiles", "entities", "join", "fuzzy",
+	"corr", "mate", "tus", "santos", "d3l", "starmie", "org", "graph",
+}
+
+// StageTiming records one pipeline stage's work.
+type StageTiming struct {
+	Name    string
+	Skipped bool
+	// Items is the stage's unit count: tables for per-table stages,
+	// columns for column indexes, key/measure pairs for correlation.
+	Items int
+	// Wall is the stage's own elapsed time. Stages overlap when
+	// Parallelism > 1, so stage walls can sum to more than Total.
+	Wall time.Duration
+}
+
+// BuildStats is the observability record of one System construction —
+// what each pipeline stage did and how long it took.
+type BuildStats struct {
+	// Parallelism is the worker budget the build ran with.
+	Parallelism int
+	// Total is the end-to-end build wall time.
+	Total time.Duration
+	// Stages lists every stage in canonical order (model first).
+	Stages []StageTiming
+}
+
+func newBuildStats(parallelism int) *BuildStats {
+	bs := &BuildStats{Parallelism: parallelism, Stages: make([]StageTiming, numStages)}
+	for i := range bs.Stages {
+		bs.Stages[i].Name = stageNames[i]
+	}
+	return bs
+}
+
+// time runs one stage and records its wall time and item count in the
+// stage's own slot; distinct stages may therefore record concurrently.
+func (bs *BuildStats) time(stage int, run func() (int, error)) error {
+	start := time.Now()
+	items, err := run()
+	bs.Stages[stage].Wall = time.Since(start)
+	bs.Stages[stage].Items = items
+	return err
+}
+
+func (bs *BuildStats) skip(stage int) {
+	bs.Stages[stage].Skipped = true
+}
+
+// Stage returns the timing record for a named stage.
+func (bs *BuildStats) Stage(name string) (StageTiming, bool) {
+	for _, st := range bs.Stages {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return StageTiming{}, false
+}
+
+// Report renders the per-stage timing table, slowest stage first.
+func (bs *BuildStats) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "build: total %v, parallelism %d\n", bs.Total.Round(time.Microsecond), bs.Parallelism)
+	order := make([]int, len(bs.Stages))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort by wall, stable
+		for j := i; j > 0 && bs.Stages[order[j]].Wall > bs.Stages[order[j-1]].Wall; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	fmt.Fprintf(&b, "  %-10s %8s %12s\n", "stage", "items", "wall")
+	for _, i := range order {
+		st := bs.Stages[i]
+		if st.Skipped {
+			fmt.Fprintf(&b, "  %-10s %8s %12s\n", st.Name, "-", "skipped")
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s %8d %12v\n", st.Name, st.Items, st.Wall.Round(time.Microsecond))
+	}
+	return b.String()
+}

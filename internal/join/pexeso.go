@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"tablehound/internal/embedding"
+	"tablehound/internal/parallel"
 	"tablehound/internal/tokenize"
 )
 
@@ -112,6 +113,60 @@ func (f *FuzzyJoiner) AddColumn(key string, values []string) error {
 	}
 	f.cols[key] = fc
 	f.keys = append(f.keys, key)
+	sort.Strings(f.keys)
+	return nil
+}
+
+// FuzzyColumn is one column staged for batch indexing via AddColumns.
+type FuzzyColumn struct {
+	Key    string
+	Values []string
+}
+
+// AddColumns indexes a batch of columns using up to workers goroutines
+// for the embedding work, producing exactly the state a sequential
+// AddColumn loop over the same batch would. Value embedding and pivot
+// distances (the dominant costs) fan out per column; pivot selection
+// and map insertion — the order-sensitive steps — run sequentially in
+// batch order. The embedding model is only read, never written.
+func (f *FuzzyJoiner) AddColumns(cols []FuzzyColumn, workers int) error {
+	// Phase 1 (parallel): normalize and embed every column.
+	fcs, err := parallel.Map(len(cols), workers, func(i int) (*fuzzyColumn, error) {
+		distinct := tokenize.NormalizeSet(cols[i].Values)
+		fc := &fuzzyColumn{values: distinct}
+		fc.vecs = make([]embedding.Vector, len(distinct))
+		for j, v := range distinct {
+			fc.vecs[j] = f.model.ValueVector(v)
+		}
+		return fc, nil
+	})
+	if err != nil {
+		return err
+	}
+	// Phase 2 (sequential): duplicate checks and pivot selection, in
+	// batch order — pivots come from the first committed column with
+	// vectors, exactly as in the incremental path.
+	for i, fc := range fcs {
+		if _, dup := f.cols[cols[i].Key]; dup {
+			return errors.New("join: duplicate fuzzy column " + cols[i].Key)
+		}
+		f.cols[cols[i].Key] = fc
+		f.keys = append(f.keys, cols[i].Key)
+		if len(f.pivots) == 0 {
+			f.choosePivots(fc.vecs)
+		}
+	}
+	// Phase 3 (parallel): pivot distances per column.
+	if err := parallel.ForEach(len(fcs), workers, func(i int) error {
+		fc := fcs[i]
+		fc.pivotDist = make([][]float64, len(fc.vecs))
+		for j, vec := range fc.vecs {
+			fc.pivotDist[j] = f.pivotDistances(vec)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
 	sort.Strings(f.keys)
 	return nil
 }

@@ -1,0 +1,50 @@
+package join
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestAddColumnsMatchesSequential checks the batch loader's parity
+// contract: AddColumns at any worker count must leave the joiner in
+// the same state as the historical one-at-a-time AddColumn loop —
+// same pivots, same search results.
+func TestAddColumnsMatchesSequential(t *testing.T) {
+	cols := make([]FuzzyColumn, 12)
+	for i := range cols {
+		vals := make([]string, 40)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("entity_%02d_%04d", i, j)
+		}
+		cols[i] = FuzzyColumn{Key: fmt.Sprintf("lake.c%02d", i), Values: vals}
+	}
+	query := cols[3].Values
+
+	seq := NewFuzzyJoiner(fuzzyModel(), 4)
+	for _, c := range cols {
+		if err := seq.AddColumn(c.Key, c.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		par := NewFuzzyJoiner(fuzzyModel(), 4)
+		if err := par.AddColumns(cols, workers); err != nil {
+			t.Fatal(err)
+		}
+		gotRes, gotStats := par.Search(query, 0.85, 0.5)
+		wantRes, wantStats := seq.Search(query, 0.85, 0.5)
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Errorf("workers=%d: results differ\ngot  %+v\nwant %+v", workers, gotRes, wantRes)
+		}
+		if gotStats != wantStats {
+			t.Errorf("workers=%d: stats differ: got %+v want %+v", workers, gotStats, wantStats)
+		}
+	}
+
+	// Duplicate keys in a batch are rejected like sequential ones.
+	dup := NewFuzzyJoiner(fuzzyModel(), 4)
+	if err := dup.AddColumns([]FuzzyColumn{cols[0], cols[0]}, 2); err == nil {
+		t.Error("duplicate key in batch should fail")
+	}
+}

@@ -14,19 +14,23 @@ package kb
 
 import (
 	"sort"
+	"sync"
 
 	"tablehound/internal/tokenize"
 )
 
 // KB is an ontology plus entity and relation assertions. Not safe for
-// concurrent mutation; safe for concurrent reads after loading.
+// concurrent mutation; safe for concurrent reads after loading (the
+// internal depth memo is mutex-guarded, so read paths that populate it
+// lazily — TypeSimilarity, DominantType — may run concurrently).
 type KB struct {
 	parents  map[string][]string // type -> direct parents
 	children map[string][]string
 	entities map[string][]string      // normalized value -> direct types
 	rels     map[pair]map[string]bool // (subj, obj) -> predicates
 	relNames map[string]int           // predicate -> fact count
-	depth    map[string]int           // type -> depth from a root (memo)
+	depthMu  sync.Mutex
+	depth    map[string]int // type -> depth from a root (memo)
 }
 
 type pair struct{ s, o string }
@@ -175,14 +179,23 @@ func (k *KB) Coverage(values []string) float64 {
 	return float64(n) / float64(len(values))
 }
 
-// typeDepth returns the depth of a type (0 for roots), memoized.
+// typeDepth returns the depth of a type (0 for roots), memoized. The
+// memo is the one piece of KB state mutated on read paths, so it is
+// guarded for concurrent use.
 func (k *KB) typeDepth(t string) int {
+	k.depthMu.Lock()
+	d := k.typeDepthLocked(t)
+	k.depthMu.Unlock()
+	return d
+}
+
+func (k *KB) typeDepthLocked(t string) int {
 	if d, ok := k.depth[t]; ok {
 		return d
 	}
 	best := 0
 	for _, p := range k.parents[t] {
-		if d := k.typeDepth(p) + 1; d > best {
+		if d := k.typeDepthLocked(p) + 1; d > best {
 			best = d
 		}
 	}

@@ -12,12 +12,21 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
+	"tablehound/internal/parallel"
 	"tablehound/internal/table"
 )
 
 // Catalog is an ordered registry of tables keyed by ID.
+//
+// Concurrency contract: ingestion (Add, AddBatch) is mutex-guarded, so
+// parallel loaders may register tables concurrently. Read accessors
+// (Table, Tables, Len, Stats, Save) take no lock and are safe for
+// concurrent use only once ingestion has finished — the catalog is
+// read-only during an index build.
 type Catalog struct {
+	mu     sync.Mutex
 	tables map[string]*table.Table
 	order  []string
 }
@@ -28,8 +37,29 @@ func NewCatalog() *Catalog {
 }
 
 // Add registers a table; IDs must be unique and dot-free (dots are
-// reserved for column keys).
+// reserved for column keys). Safe to call concurrently with other
+// Add/AddBatch calls.
 func (c *Catalog) Add(t *table.Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addLocked(t)
+}
+
+// AddBatch registers the tables in slice order under one lock
+// acquisition. On error, tables before the failing one stay
+// registered; the rest are not added.
+func (c *Catalog) AddBatch(tables []*table.Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range tables {
+		if err := c.addLocked(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Catalog) addLocked(t *table.Table) error {
 	if t.ID == "" {
 		return fmt.Errorf("lake: table has empty ID")
 	}
@@ -172,12 +202,18 @@ func LoadFile(path string) (*Catalog, error) {
 
 // LoadCSVDir ingests every .csv file in a directory as one table; the
 // table ID is the file's base name with dots replaced by dashes.
-func LoadCSVDir(dir string) (*Catalog, error) {
+func LoadCSVDir(dir string) (*Catalog, error) { return LoadCSVDirN(dir, 1) }
+
+// LoadCSVDirN is LoadCSVDir with workers parallel CSV parsers
+// (0 = GOMAXPROCS). Whatever the worker count, the catalog's table
+// order is the sorted file-name order LoadCSVDir has always produced:
+// files are parsed concurrently into per-index slots and registered in
+// one ordered AddBatch.
+func LoadCSVDirN(dir string, workers int) (*Catalog, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	c := NewCatalog()
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
@@ -185,15 +221,21 @@ func LoadCSVDir(dir string) (*Catalog, error) {
 		}
 	}
 	sort.Strings(names)
-	for _, name := range names {
+	tables, err := parallel.Map(len(names), parallel.Limit(workers), func(i int) (*table.Table, error) {
+		name := names[i]
 		id := strings.ReplaceAll(strings.TrimSuffix(name, filepath.Ext(name)), ".", "-")
 		t, err := table.FromCSVFile(id, filepath.Join(dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("lake: load %s: %w", name, err)
 		}
-		if err := c.Add(t); err != nil {
-			return nil, err
-		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := NewCatalog()
+	if err := c.AddBatch(tables); err != nil {
+		return nil, err
 	}
 	return c, nil
 }

@@ -1,0 +1,102 @@
+// Package parallel provides the bounded worker pool used by the
+// index-construction pipeline. It is a minimal errgroup: run n indexed
+// tasks on at most w goroutines, return the first (lowest-index) error.
+//
+// The degenerate pool (workers <= 1) runs tasks sequentially on the
+// calling goroutine in index order and stops at the first error — the
+// exact historical single-threaded behavior — so callers can thread one
+// parallelism knob through both code paths.
+//
+// Determinism contract: ForEach assigns work by index, so a caller that
+// computes results into result[i] observes the same final state at any
+// worker count; only completion order varies. Order-sensitive side
+// effects (map insertion, appends) belong in a sequential commit pass
+// after ForEach returns.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Limit resolves a requested worker count: n when positive, otherwise
+// runtime.GOMAXPROCS(0).
+func Limit(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines and returns the lowest-index error, or nil.
+//
+// With workers <= 1 the tasks run sequentially in index order on the
+// calling goroutine, stopping at the first error. With workers > 1 all
+// goroutines drain a shared index counter; after any task fails,
+// remaining unstarted tasks are skipped (already running ones finish).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+	)
+	firstErrIdx := n
+	var firstErr error
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < firstErrIdx {
+						firstErrIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs fn over [0, n) with ForEach and collects the results in
+// index order.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

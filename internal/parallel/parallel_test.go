@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLimit(t *testing.T) {
+	if got := Limit(3); got != 3 {
+		t.Errorf("Limit(3) = %d", got)
+	}
+	if got := Limit(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Limit(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Limit(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Limit(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	err := ForEach(5, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
+
+func TestForEachCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		hit := make([]atomic.Bool, 100)
+		if err := ForEach(100, workers, func(i int) error {
+			if hit[i].Swap(true) {
+				return errors.New("index run twice")
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hit {
+			if !hit[i].Load() {
+				t.Fatalf("workers=%d: index %d not run", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Errorf("ran = %d tasks after error at index 3", ran)
+	}
+}
+
+func TestForEachParallelLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := ForEach(2, 2, func(i int) error {
+		if i == 0 {
+			return errA
+		}
+		return errB
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want lowest-index error", err)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMap(t *testing.T) {
+	got, err := Map(4, 2, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map result %v", got)
+		}
+	}
+	if _, err := Map(4, 2, func(i int) (int, error) { return 0, errors.New("x") }); err == nil {
+		t.Fatal("Map should propagate error")
+	}
+}

@@ -1,0 +1,28 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNewIndexNMatchesSequential checks the parallel profiler's parity
+// contract: NewIndexN at any worker count builds the same index as the
+// sequential NewIndex, including duplicate-ID handling.
+func TestNewIndexNMatchesSequential(t *testing.T) {
+	tables := demoTables()
+	tables = append(tables, tables[0]) // duplicate ID, must be dropped once
+	want := NewIndex(tables)
+	for _, workers := range []int{1, 4} {
+		got := NewIndexN(tables, workers)
+		if got.Len() != want.Len() {
+			t.Fatalf("workers=%d: Len = %d, want %d", workers, got.Len(), want.Len())
+		}
+		for _, tbl := range tables {
+			gp, gok := got.Profile(tbl.ID)
+			wp, wok := want.Profile(tbl.ID)
+			if gok != wok || !reflect.DeepEqual(gp, wp) {
+				t.Errorf("workers=%d: profile %s differs", workers, tbl.ID)
+			}
+		}
+	}
+}

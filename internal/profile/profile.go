@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tablehound/internal/parallel"
 	"tablehound/internal/sketch"
 	"tablehound/internal/table"
 )
@@ -126,14 +127,26 @@ type Index struct {
 }
 
 // NewIndex profiles the tables.
-func NewIndex(tables []*table.Table) *Index {
-	ix := &Index{byID: make(map[string]int, len(tables))}
+func NewIndex(tables []*table.Table) *Index { return NewIndexN(tables, 1) }
+
+// NewIndexN is NewIndex with workers parallel profilers. Profiles are
+// computed concurrently per table and committed in input order, so the
+// result is identical at any worker count.
+func NewIndexN(tables []*table.Table, workers int) *Index {
+	uniq := make([]*table.Table, 0, len(tables))
+	seen := make(map[string]bool, len(tables))
 	for _, t := range tables {
-		if _, dup := ix.byID[t.ID]; dup {
-			continue
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			uniq = append(uniq, t)
 		}
-		ix.byID[t.ID] = len(ix.profiles)
-		ix.profiles = append(ix.profiles, Build(t))
+	}
+	profs, _ := parallel.Map(len(uniq), workers, func(i int) (TableProfile, error) {
+		return Build(uniq[i]), nil
+	})
+	ix := &Index{profiles: profs, byID: make(map[string]int, len(uniq))}
+	for i, t := range uniq {
+		ix.byID[t.ID] = i
 	}
 	return ix
 }

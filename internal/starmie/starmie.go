@@ -17,6 +17,7 @@ import (
 	"tablehound/internal/embedding"
 	"tablehound/internal/graph"
 	"tablehound/internal/hnsw"
+	"tablehound/internal/parallel"
 	"tablehound/internal/table"
 	"tablehound/internal/tokenize"
 )
@@ -125,6 +126,32 @@ func (ix *Index) AddTable(t *table.Table) {
 	}
 	ix.byTable[t.ID] = keys
 	ix.built = false
+}
+
+// AddTables stages a batch of tables using up to workers goroutines.
+// Contextual encoding — the dominant cost — fans out per table;
+// key registration commits sequentially in batch order, so the index
+// state is identical at any worker count. The encoder's model is only
+// read. The HNSW graph is still built by Build, sequentially, because
+// its structure depends on insertion order.
+func (ix *Index) AddTables(tables []*table.Table, workers int) {
+	encoded, _ := parallel.Map(len(tables), workers, func(i int) ([]embedding.Vector, error) {
+		return ix.enc.EncodeColumns(tables[i]), nil
+	})
+	for i, t := range tables {
+		if _, dup := ix.byTable[t.ID]; dup {
+			continue
+		}
+		var keys []string
+		for j, c := range t.Columns {
+			key := table.ColumnKey(t.ID, c.Name)
+			ix.vecs[key] = encoded[i][j]
+			ix.colKeys = append(ix.colKeys, key)
+			keys = append(keys, key)
+		}
+		ix.byTable[t.ID] = keys
+		ix.built = false
+	}
 }
 
 // AddVector stages a raw column vector under a key, for callers that

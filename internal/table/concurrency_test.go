@@ -1,0 +1,43 @@
+package table
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestColumnStatsConcurrentReaders exercises the memoized distinct
+// stats from many goroutines; run with -race to verify the contract
+// that a Column is safe for concurrent reads.
+func TestColumnStatsConcurrentReaders(t *testing.T) {
+	c := NewColumn("x", []string{"b", "a", "b", "", "c", "a"})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := c.Cardinality(); got != 3 {
+					t.Errorf("Cardinality = %d, want 3", got)
+					return
+				}
+				d := c.Distinct()
+				if len(d) != 3 || d[0] != "b" || d[1] != "a" || d[2] != "c" {
+					t.Errorf("Distinct = %v, want first-occurrence order [b a c]", d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestColumnDistinctReturnsCopy guards against callers mutating the
+// shared memo through the returned slice.
+func TestColumnDistinctReturnsCopy(t *testing.T) {
+	c := NewColumn("x", []string{"a", "b"})
+	d := c.Distinct()
+	d[0] = "mutated"
+	if got := c.Distinct(); got[0] != "a" {
+		t.Errorf("memo leaked through returned slice: %v", got)
+	}
+}

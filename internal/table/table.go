@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Type is the inferred primitive type of a column.
@@ -44,12 +45,20 @@ func (t Type) IsNumeric() bool { return t == TypeInt || t == TypeFloat }
 
 // Column is a named, typed sequence of string-encoded values.
 // Missing values are represented by the empty string.
+//
+// Concurrency contract: a Column is safe for concurrent reads —
+// including the lazily memoized Distinct/DistinctSorted/Cardinality
+// statistics — as long as Values is not mutated. After an in-place
+// mutation of Values, call InvalidateCache before the next read; the
+// mutation and invalidation must not race with readers.
 type Column struct {
 	Name   string
 	Type   Type
 	Values []string
 
+	statsMu  sync.Mutex
 	distinct map[string]int // lazily built value -> count
+	ordered  []string       // distinct values in first-occurrence order
 }
 
 // NewColumn builds a column and infers its type from the values.
@@ -62,27 +71,42 @@ func NewColumn(name string, values []string) *Column {
 // Len returns the number of values (including missing ones).
 func (c *Column) Len() int { return len(c.Values) }
 
-// counts returns the distinct-value histogram, building it on first use.
-func (c *Column) counts() map[string]int {
+// stats returns the memoized distinct-value histogram and the distinct
+// values in first-occurrence order, building both on first use. The
+// returned structures are immutable until InvalidateCache; callers may
+// read them without holding the lock.
+func (c *Column) stats() (map[string]int, []string) {
+	c.statsMu.Lock()
 	if c.distinct == nil {
-		c.distinct = make(map[string]int, len(c.Values))
+		m := make(map[string]int, len(c.Values))
+		var ordered []string
 		for _, v := range c.Values {
-			if v != "" {
-				c.distinct[v]++
+			if v == "" {
+				continue
 			}
+			if m[v] == 0 {
+				ordered = append(ordered, v)
+			}
+			m[v]++
 		}
+		c.distinct, c.ordered = m, ordered
 	}
-	return c.distinct
+	m, ordered := c.distinct, c.ordered
+	c.statsMu.Unlock()
+	return m, ordered
 }
 
-// Distinct returns the distinct non-missing values in unspecified order.
+// counts returns the distinct-value histogram, building it on first use.
+func (c *Column) counts() map[string]int {
+	m, _ := c.stats()
+	return m
+}
+
+// Distinct returns the distinct non-missing values in first-occurrence
+// order. The result is a fresh slice the caller may mutate.
 func (c *Column) Distinct() []string {
-	m := c.counts()
-	out := make([]string, 0, len(m))
-	for v := range m {
-		out = append(out, v)
-	}
-	return out
+	_, ordered := c.stats()
+	return append([]string(nil), ordered...)
 }
 
 // DistinctSorted returns the distinct non-missing values sorted
@@ -126,8 +150,12 @@ func (c *Column) Numbers() ([]float64, int) {
 }
 
 // InvalidateCache discards lazily computed statistics. Call after
-// mutating Values in place.
-func (c *Column) InvalidateCache() { c.distinct = nil }
+// mutating Values in place; must not race with concurrent readers.
+func (c *Column) InvalidateCache() {
+	c.statsMu.Lock()
+	c.distinct, c.ordered = nil, nil
+	c.statsMu.Unlock()
+}
 
 // Table is a named collection of equal-length columns plus metadata.
 type Table struct {

@@ -165,16 +165,26 @@ func wordDist(values []string) map[string]float64 {
 }
 
 // wordSimilarity is the Bhattacharyya-like overlap of distributions.
+// The shared words are summed in sorted order: float addition is not
+// associative, so summing in map-iteration order would make repeated
+// queries differ in the last bit — the kind of nondeterminism the
+// build pipeline's parallelism contract (identical results at every
+// worker count) cannot tolerate.
 func wordSimilarity(a, b map[string]float64) float64 {
 	small, big := a, b
 	if len(big) < len(small) {
 		small, big = big, small
 	}
-	var s float64
-	for w, pa := range small {
-		if pb, ok := big[w]; ok {
-			s += math.Sqrt(pa * pb)
+	shared := make([]string, 0, len(small))
+	for w := range small {
+		if _, ok := big[w]; ok {
+			shared = append(shared, w)
 		}
+	}
+	sort.Strings(shared)
+	var s float64
+	for _, w := range shared {
+		s += math.Sqrt(small[w] * big[w])
 	}
 	return s
 }

@@ -11,6 +11,7 @@ import (
 	"tablehound/internal/kb"
 	"tablehound/internal/lsh"
 	"tablehound/internal/minhash"
+	"tablehound/internal/parallel"
 	"tablehound/internal/table"
 	"tablehound/internal/tokenize"
 )
@@ -91,6 +92,38 @@ func (t *TUS) AddTable(tbl *table.Table) {
 	t.tables[tbl.ID] = entry
 	t.ids = append(t.ids, tbl.ID)
 	t.built = false
+}
+
+// AddTables stages a batch of tables using up to workers goroutines.
+// Column analysis (normalization, MinHash signing, embedding, KB
+// annotation) — the dominant cost — fans out per table; registration
+// (universe accumulation, ID ordering) commits sequentially in batch
+// order, so the engine state is identical at any worker count. The
+// hasher, model, and KB are only read.
+func (t *TUS) AddTables(tbls []*table.Table, workers int) {
+	entries, _ := parallel.Map(len(tbls), workers, func(i int) (*tusTable, error) {
+		entry := &tusTable{tbl: tbls[i]}
+		for _, c := range stringColumns(tbls[i]) {
+			entry.cols = append(entry.cols, t.makeColumn(c))
+		}
+		return entry, nil
+	})
+	for _, entry := range entries {
+		if _, dup := t.tables[entry.tbl.ID]; dup {
+			continue
+		}
+		if len(entry.cols) == 0 {
+			continue
+		}
+		for _, tc := range entry.cols {
+			for _, v := range tc.values {
+				t.univ[v] = true
+			}
+		}
+		t.tables[entry.tbl.ID] = entry
+		t.ids = append(t.ids, entry.tbl.ID)
+		t.built = false
+	}
 }
 
 func (t *TUS) makeColumn(c *table.Column) *tusColumn {

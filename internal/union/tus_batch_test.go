@@ -1,0 +1,63 @@
+package union
+
+import (
+	"reflect"
+	"testing"
+
+	"tablehound/internal/datagen"
+	"tablehound/internal/embedding"
+)
+
+// TestTUSAddTablesMatchesSequential checks the batch loader's parity
+// contract: AddTables at any worker count must produce the same engine
+// state — and therefore the same search results — as the historical
+// one-at-a-time AddTable loop.
+func TestTUSAddTablesMatchesSequential(t *testing.T) {
+	lake := datagen.Generate(datagen.Config{
+		Seed:              31,
+		NumDomains:        10,
+		DomainSize:        80,
+		NumTemplates:      4,
+		TablesPerTemplate: 4,
+	})
+	model := embedding.Train(lake.ColumnContexts(), embedding.Config{Dim: 64, Seed: 3})
+	kb := lake.BuildKB(0.9)
+
+	newEngine := func() *TUS {
+		tus, err := NewTUS(TUSConfig{Model: model, KB: kb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tus
+	}
+	seq := newEngine()
+	for _, tbl := range lake.Tables {
+		seq.AddTable(tbl)
+	}
+	if err := seq.Build(); err != nil {
+		t.Fatal(err)
+	}
+	query := lake.Tables[0]
+	want, err := seq.Search(query, 5, EnsembleMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		par := newEngine()
+		par.AddTables(lake.Tables, workers)
+		if par.NumTables() != seq.NumTables() {
+			t.Fatalf("workers=%d: staged %d tables, want %d", workers, par.NumTables(), seq.NumTables())
+		}
+		if err := par.Build(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Search(query, 5, EnsembleMeasure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: results differ\ngot  %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
