@@ -1,10 +1,12 @@
 # Developer entry points. `make check` is the tier-1 verify gate;
-# `make race` exercises the concurrent build pipeline under the race
-# detector (slower, so it targets the packages that share state).
+# `make race` exercises the concurrent build pipeline and the
+# concurrent query paths under the race detector (slower, so it
+# targets the packages that share state).
 
 GO ?= go
+COUNT ?= 1
 
-.PHONY: check race bench-build
+.PHONY: check race bench-build bench-query
 
 check:
 	$(GO) vet ./...
@@ -14,7 +16,12 @@ check:
 race:
 	$(GO) test -race ./internal/core/... ./internal/hnsw/... ./internal/join/... \
 		./internal/union/... ./internal/starmie/... ./internal/table/... \
-		./internal/lake/... ./internal/parallel/...
+		./internal/lake/... ./internal/parallel/... ./internal/keyword/...
 
 bench-build:
 	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchtime 2x .
+
+# Query-serving benchmarks over the 500-table lake. Set COUNT=10 for
+# benchstat-worthy samples: make bench-query COUNT=10 > new.txt
+bench-query:
+	$(GO) test -run xxx -bench 'BenchmarkQuery' -benchmem -count $(COUNT) .

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"sync"
 	"testing"
 
 	"tablehound/internal/core"
@@ -26,6 +27,8 @@ import (
 	"tablehound/internal/lshensemble"
 	"tablehound/internal/minhash"
 	"tablehound/internal/sketch"
+	"tablehound/internal/table"
+	"tablehound/internal/union"
 )
 
 // benchExperiment runs one experiment per iteration, logging the
@@ -113,6 +116,143 @@ func BenchmarkSystemBuildSeq(b *testing.B) { benchBuild(b, 1) }
 // (Parallelism=0 → GOMAXPROCS). On a single-core runner the two are
 // expected to tie; the speedup needs real cores.
 func BenchmarkSystemBuildPar(b *testing.B) { benchBuild(b, 0) }
+
+// ---- Query serving (per-surface latency + QPS throughput) ----
+
+// querySystem builds one shared System over the 500-table bench lake
+// for the query benchmarks; construction runs once per process,
+// outside every timer.
+var querySystem struct {
+	once sync.Once
+	sys  *core.System
+}
+
+func queryBenchSystem(b *testing.B) *core.System {
+	querySystem.once.Do(func() {
+		cat, opts := benchLake()
+		sys, err := core.Build(cat, opts)
+		if err != nil {
+			panic(err)
+		}
+		querySystem.sys = sys
+	})
+	if querySystem.sys == nil {
+		b.Fatal("query bench system failed to build")
+	}
+	return querySystem.sys
+}
+
+// queryBenchInputs picks deterministic representative queries: a mid-
+// catalog table for union search and its widest string column for
+// join search.
+func queryBenchInputs(sys *core.System) (*table.Table, []string) {
+	tables := sys.Catalog.Tables()
+	qt := tables[len(tables)/2]
+	var qvals []string
+	for _, c := range qt.Columns {
+		if c.Type == table.TypeString && len(c.Values) > len(qvals) {
+			qvals = c.Values
+		}
+	}
+	return qt, qvals
+}
+
+// BenchmarkQueryTUS measures one sequential TUS ensemble search — the
+// bipartite-matching + hypergeometric hot loop.
+func BenchmarkQueryTUS(b *testing.B) {
+	sys := queryBenchSystem(b)
+	qt, _ := queryBenchInputs(sys)
+	sys.TUS.QueryParallelism = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.TUS.Search(qt, 10, union.EnsembleMeasure); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryTUSPar is the same search with per-query candidate
+// scoring fanned over all cores (the latency knob for isolated
+// queries; ties the sequential run on a single-core machine).
+func BenchmarkQueryTUSPar(b *testing.B) {
+	sys := queryBenchSystem(b)
+	qt, _ := queryBenchInputs(sys)
+	sys.TUS.QueryParallelism = 0
+	defer func() { sys.TUS.QueryParallelism = 1 }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.TUS.Search(qt, 10, union.EnsembleMeasure); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryJosie measures one exact top-k overlap search.
+func BenchmarkQueryJosie(b *testing.B) {
+	sys := queryBenchSystem(b)
+	_, qvals := queryBenchInputs(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Join.TopKOverlap(qvals, 10)
+	}
+}
+
+// BenchmarkQueryContainment measures one verified LSH Ensemble
+// containment search.
+func BenchmarkQueryContainment(b *testing.B) {
+	sys := queryBenchSystem(b)
+	_, qvals := queryBenchInputs(sys)
+	sys.Join.QueryParallelism = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Join.ContainmentSearch(qvals, 0.5, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryKeyword measures one BM25 metadata search.
+func BenchmarkQueryKeyword(b *testing.B) {
+	sys := queryBenchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.KeywordSearch("records data", 10)
+	}
+}
+
+// BenchmarkQueryQPS drives a mixed read workload (keyword, join,
+// containment, union) from GOMAXPROCS goroutines via b.RunParallel
+// and reports aggregate throughput — the serving-side headline number.
+func BenchmarkQueryQPS(b *testing.B) {
+	sys := queryBenchSystem(b)
+	qt, qvals := queryBenchInputs(sys)
+	// Concurrent queries already saturate the cores; per-query fan-out
+	// stays off so the measurement is pure inter-query throughput.
+	sys.TUS.QueryParallelism = 1
+	sys.Join.QueryParallelism = 1
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			switch i % 4 {
+			case 0:
+				sys.KeywordSearch("records data", 10)
+			case 1:
+				sys.Join.TopKOverlap(qvals, 10)
+			case 2:
+				if _, err := sys.Join.ContainmentSearch(qvals, 0.5, true); err != nil {
+					b.Fatal(err)
+				}
+			case 3:
+				if _, err := sys.TUS.Search(qt, 10, union.EnsembleMeasure); err != nil {
+					b.Fatal(err)
+				}
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
 
 // ---- Microbenchmarks of the substrates ----
 

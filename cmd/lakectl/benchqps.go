@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tablehound/internal/core"
+	"tablehound/internal/datagen"
+	"tablehound/internal/lake"
+	"tablehound/internal/table"
+	"tablehound/internal/union"
+)
+
+// cmdBenchQPS builds a discovery system and measures query throughput
+// on each search surface under concurrent load. With no -lake it
+// generates the same 500-table synthetic lake the Go benchmarks use,
+// so numbers are comparable with `make bench-query`.
+func cmdBenchQPS(args []string) error {
+	fs := flag.NewFlagSet("bench-qps", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory (omit for the 500-table synthetic lake)")
+	queries := fs.Int("queries", 200, "queries per surface")
+	goroutines := fs.Int("goroutines", 4, "concurrent client goroutines")
+	k := fs.Int("k", 10, "top-k per query")
+	qpar := fs.Int("qparallel", 1, "per-query scoring workers (0 = all CPUs)")
+	bf := addBuildFlags(fs)
+	fs.Parse(args)
+
+	var (
+		cat  *lake.Catalog
+		opts core.Options
+		err  error
+	)
+	if *dir == "" {
+		gen := datagen.Generate(datagen.Config{
+			Seed:              41,
+			NumDomains:        20,
+			DomainSize:        80,
+			NumTemplates:      10,
+			TablesPerTemplate: 50,
+		})
+		cat = lake.NewCatalog()
+		if err := cat.AddBatch(gen.Tables); err != nil {
+			return err
+		}
+		opts = core.Options{KB: gen.BuildKB(0.8), Seed: 7, SkipGraph: true}
+	} else {
+		cat, err = bf.loadCatalog(*dir)
+		if err != nil {
+			return err
+		}
+	}
+	opts.Parallelism = *bf.parallel
+	opts.QueryParallelism = *qpar
+
+	buildStart := time.Now()
+	sys, err := core.Build(cat, opts)
+	if err != nil {
+		return err
+	}
+	if *bf.timing {
+		fmt.Fprint(os.Stderr, sys.BuildStats.Report())
+	}
+	fmt.Printf("lake: %d tables, built in %v\n", cat.Len(), time.Since(buildStart).Round(time.Millisecond))
+	fmt.Printf("load: %d queries/surface, %d goroutines, k=%d, qparallel=%d\n\n",
+		*queries, *goroutines, *k, *qpar)
+
+	tbls := cat.Tables()
+	qt := tbls[len(tbls)/2]
+	var vals []string
+	for _, c := range qt.Columns {
+		if c.Type == table.TypeString && len(c.Values) > len(vals) {
+			vals = c.Values
+		}
+	}
+	if len(vals) == 0 {
+		vals = qt.Columns[0].Values
+	}
+	kw := qt.Name
+
+	surfaces := []struct {
+		name string
+		run  func() error
+	}{
+		{"keyword", func() error { sys.KeywordSearch(kw, *k); return nil }},
+		{"join-overlap", func() error { sys.JoinableColumns(vals, *k); return nil }},
+		{"containment", func() error { _, err := sys.ContainmentSearch(vals, 0.5, *k); return err }},
+		{"union-tus", func() error { _, err := sys.TUS.Search(qt, *k, union.EnsembleMeasure); return err }},
+	}
+	fmt.Printf("%-14s %10s %12s %12s\n", "surface", "queries", "qps", "mean")
+	for _, s := range surfaces {
+		var next int64
+		var wg sync.WaitGroup
+		var once sync.Once
+		var firstErr error
+		start := time.Now()
+		for g := 0; g < *goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for atomic.AddInt64(&next, 1) <= int64(*queries) {
+					if err := s.run(); err != nil {
+						once.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return fmt.Errorf("bench-qps: %s: %w", s.name, firstErr)
+		}
+		elapsed := time.Since(start)
+		qps := float64(*queries) / elapsed.Seconds()
+		mean := elapsed / time.Duration(*queries)
+		fmt.Printf("%-14s %10d %12.1f %12v\n", s.name, *queries, qps, mean.Round(time.Microsecond))
+	}
+	return nil
+}

@@ -61,6 +61,8 @@ func main() {
 		err = cmdMatch(os.Args[2:])
 	case "joinpath":
 		err = cmdJoinPath(os.Args[2:])
+	case "bench-qps":
+		err = cmdBenchQPS(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
 	case "help", "-h", "--help":
@@ -90,6 +92,7 @@ commands:
   profile   print a table's Auctus-style data profile
   match     align the schemas of two tables
   joinpath  find a chain of joins connecting two tables
+  bench-qps measure query throughput across the search surfaces
   exp       run a reproduction experiment (e1..e23 or "all")`)
 }
 

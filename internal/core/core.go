@@ -8,7 +8,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"strconv"
 	"time"
 
@@ -60,6 +59,15 @@ type Options struct {
 	// sequential build, for reproducibility. Search results are
 	// identical at every setting — only wall time changes.
 	Parallelism int
+	// QueryParallelism bounds the per-query fan-out inside a single
+	// search call (TUS/Santos candidate scoring, join candidate
+	// verification and exact scans, PEXESO matching). Same convention
+	// as Parallelism: 0 = GOMAXPROCS, 1 or negative = sequential.
+	// Results are bit-identical at every setting — only per-query
+	// latency changes. When serving many concurrent queries, 1 is
+	// usually right (the queries themselves saturate the cores);
+	// larger values cut the latency of isolated queries.
+	QueryParallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -78,12 +86,8 @@ func (o Options) withDefaults() Options {
 	if o.OrgFanout == 0 {
 		o.OrgFanout = 4
 	}
-	switch {
-	case o.Parallelism == 0:
-		o.Parallelism = runtime.GOMAXPROCS(0)
-	case o.Parallelism < 0:
-		o.Parallelism = 1
-	}
+	o.Parallelism = parallel.Resolve(o.Parallelism)
+	o.QueryParallelism = parallel.Resolve(o.QueryParallelism)
 	return o
 }
 
@@ -196,6 +200,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 			if err != nil {
 				return 0, fmt.Errorf("core: join index: %w", err)
 			}
+			eng.QueryParallelism = opts.QueryParallelism
 			s.Join = eng
 			return eng.NumColumns(), nil
 		}},
@@ -203,6 +208,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 			// Fuzzy join (PEXESO-style): embedding a vector per value is
 			// the single heaviest stage, so it fans out per column.
 			s.Fuzzy = join.NewFuzzyJoiner(s.Model, 4)
+			s.Fuzzy.QueryParallelism = opts.QueryParallelism
 			var batch []join.FuzzyColumn
 			for _, t := range tables {
 				for _, c := range t.Columns {
@@ -265,6 +271,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 			if err != nil {
 				return 0, err
 			}
+			tus.QueryParallelism = opts.QueryParallelism
 			tus.AddTables(tables, opts.Parallelism)
 			if err := tus.Build(); err != nil {
 				return 0, err
@@ -274,6 +281,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 		}},
 		{stageSantos, false, func() (int, error) {
 			santos := union.NewSantos(opts.KB)
+			santos.QueryParallelism = opts.QueryParallelism
 			for _, t := range tables {
 				santos.AddTable(t)
 			}
@@ -388,6 +396,15 @@ func (s *System) AnnotateTable(t *table.Table) ([]annotate.Prediction, error) {
 	return s.Annotator.AnnotateTable(t, true), nil
 }
 
+// Query-path concurrency contract: once Build has returned, every
+// search surface on System — KeywordSearch, ValueSearch,
+// JoinableColumns, ContainmentSearch, UnionableTables, Navigate,
+// MatchSchemas, and the engines reachable through the exported fields
+// (Join, Fuzzy, TUS, Santos, D3L, Starmie, Org, Profiles) — is a pure
+// read over frozen state and safe for unbounded concurrent use.
+// Options.QueryParallelism bounds the fan-out *inside* one query;
+// results are bit-identical at every setting.
+
 // KeywordSearch ranks tables by metadata relevance.
 func (s *System) KeywordSearch(query string, k int) []keyword.Result {
 	return s.Keyword.Search(query, k)
@@ -397,6 +414,20 @@ func (s *System) KeywordSearch(query string, k int) []keyword.Result {
 // with the query column values.
 func (s *System) JoinableColumns(values []string, k int) []join.Match {
 	return s.Join.TopKOverlap(values, k)
+}
+
+// ContainmentSearch returns columns whose containment of the query
+// column is likely >= threshold (LSH Ensemble candidates, exactly
+// verified).
+func (s *System) ContainmentSearch(values []string, threshold float64, k int) ([]join.Match, error) {
+	ms, err := s.Join.ContainmentSearch(values, threshold, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) > k {
+		ms = ms[:k]
+	}
+	return ms, nil
 }
 
 // UnionableTables returns the top-k unionable tables (TUS ensemble).

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"tablehound/internal/table"
+	"tablehound/internal/union"
+)
+
+// queryInputs derives a representative query workload from a built
+// system: a mid-catalog table plus its widest string column.
+func queryInputs(t *testing.T, sys *System) (tableID string, colValues []string) {
+	t.Helper()
+	tbls := sys.Catalog.Tables()
+	q := tbls[len(tbls)/2]
+	for _, c := range q.Columns {
+		if c.Type == table.TypeString && len(c.Values) > len(colValues) {
+			colValues = c.Values
+		}
+	}
+	if len(colValues) == 0 {
+		colValues = q.Columns[0].Values
+	}
+	return q.ID, colValues
+}
+
+// TestConcurrentQueriesAllSurfaces exercises every System read surface
+// from many goroutines against one shared build. Run under -race
+// (make race) this is the proof behind the query-path concurrency
+// contract documented in core.go and DESIGN.md.
+func TestConcurrentQueriesAllSurfaces(t *testing.T) {
+	sys, gen := demoSystem(t)
+	qid, vals := queryInputs(t, sys)
+	query := sys.Catalog.Table(qid)
+	kw := gen.Tables[0].Name
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				sys.KeywordSearch(kw, 5)
+				sys.ValueSearch(vals[0], 5)
+				sys.JoinableColumns(vals, 5)
+				if _, err := sys.ContainmentSearch(vals, 0.5, 5); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sys.UnionableTables(query, 5); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sys.Santos.Search(query, 5, union.Hybrid); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sys.Starmie.SearchTables(query, 5, 0, false); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := sys.Navigate(kw); err != nil {
+					// Navigate can legitimately miss a topic; only hard
+					// failures on the shared structures matter here.
+					_ = err
+				}
+				if sys.Fuzzy != nil {
+					sys.Fuzzy.Search(vals[:min(len(vals), 20)], 0.9, 0.5)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSystemQueryParallelismParity flips the query-parallelism knobs
+// on one built system and checks that every surface returns results
+// bit-identical to its sequential scan.
+func TestSystemQueryParallelismParity(t *testing.T) {
+	sys, _ := demoSystem(t)
+	qid, vals := queryInputs(t, sys)
+	query := sys.Catalog.Table(qid)
+	setWorkers := func(n int) {
+		sys.TUS.QueryParallelism = n
+		sys.Santos.QueryParallelism = n
+		sys.Join.QueryParallelism = n
+		if sys.Fuzzy != nil {
+			sys.Fuzzy.QueryParallelism = n
+		}
+	}
+	type result struct {
+		name string
+		val  interface{}
+	}
+	snapshot := func() []result {
+		tusRes, err := sys.UnionableTables(query, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		santosRes, err := sys.Santos.Search(query, 5, union.Hybrid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contRes, err := sys.ContainmentSearch(vals, 0.5, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := []result{
+			{"UnionableTables", tusRes},
+			{"Santos", santosRes},
+			{"Containment", contRes},
+			{"Jaccard", sys.Join.JaccardSearch(vals, 0.05)},
+			{"Keyword", sys.KeywordSearch("data", 5)},
+		}
+		if sys.Fuzzy != nil {
+			fr, fs := sys.Fuzzy.Search(vals[:min(len(vals), 20)], 0.9, 0.3)
+			out = append(out, result{"Fuzzy", fmt.Sprintf("%+v %+v", fr, fs)})
+		}
+		return out
+	}
+	setWorkers(1)
+	want := snapshot()
+	for _, n := range []int{2, 8} {
+		setWorkers(n)
+		got := snapshot()
+		for i := range got {
+			if !reflect.DeepEqual(got[i].val, want[i].val) {
+				t.Errorf("workers=%d surface %s differs\ngot  %+v\nwant %+v",
+					n, got[i].name, got[i].val, want[i].val)
+			}
+		}
+	}
+}

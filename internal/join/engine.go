@@ -20,6 +20,7 @@ import (
 	"tablehound/internal/josie"
 	"tablehound/internal/lshensemble"
 	"tablehound/internal/minhash"
+	"tablehound/internal/parallel"
 	"tablehound/internal/table"
 	"tablehound/internal/tokenize"
 )
@@ -108,22 +109,39 @@ func (b *Builder) Build() (*Engine, error) {
 	if err := ens.Build(); err != nil {
 		return nil, err
 	}
+	sets := make(map[string]minhash.Set, len(b.cols))
+	for key, vals := range b.cols {
+		sets[key] = minhash.NewSet(vals)
+	}
 	return &Engine{
 		inv:      ix,
 		searcher: josie.NewSearcher(ix),
 		ensemble: ens,
 		hasher:   hasher,
 		cols:     b.cols,
+		sets:     sets,
+		keys:     b.order,
 	}, nil
 }
 
-// Engine answers joinable-column queries. Safe for concurrent reads.
+// Engine answers joinable-column queries. Every search method is a
+// pure read over state frozen by Builder.Build, so the engine is safe
+// for concurrent queries.
 type Engine struct {
 	inv      *invindex.Index
 	searcher *josie.Searcher
 	ensemble *lshensemble.Index
 	hasher   *minhash.Hasher
 	cols     map[string][]string
+	sets     map[string]minhash.Set // per-column value sets, built once
+	keys     []string               // sorted column keys (scan order)
+
+	// QueryParallelism bounds the per-query fan-out of candidate
+	// verification (ContainmentSearch) and the exact-scan baselines
+	// (JaccardSearch, ExactContainmentScan): 0 = GOMAXPROCS, negative
+	// or 1 = sequential. Results are bit-identical at every setting.
+	// Set before serving queries.
+	QueryParallelism int
 }
 
 // NumColumns returns the number of indexed columns.
@@ -136,9 +154,13 @@ func (e *Engine) ColumnValues(key string) ([]string, bool) {
 }
 
 // TopKOverlap returns the k columns with largest exact value overlap
-// with the query (JOSIE). Values are normalized before matching.
+// with the query (JOSIE). Values are normalized before matching; a
+// query with no usable values returns nil.
 func (e *Engine) TopKOverlap(values []string, k int) []Match {
 	q := tokenize.NormalizeSet(values)
+	if len(q) == 0 {
+		return nil
+	}
 	res := e.searcher.TopK(q, k, josie.Adaptive)
 	out := make([]Match, len(res))
 	for i, r := range res {
@@ -155,6 +177,9 @@ func (e *Engine) TopKOverlap(values []string, k int) []Match {
 // the benchmark ablation.
 func (e *Engine) TopKOverlapAlgo(values []string, k int, algo josie.Algorithm) ([]Match, josie.Stats) {
 	q := tokenize.NormalizeSet(values)
+	if len(q) == 0 {
+		return nil, josie.Stats{}
+	}
 	res, st := e.searcher.TopKStats(q, k, algo)
 	out := make([]Match, len(res))
 	for i, r := range res {
@@ -165,7 +190,9 @@ func (e *Engine) TopKOverlapAlgo(values []string, k int, algo josie.Algorithm) (
 
 // ContainmentSearch returns columns whose containment of the query is
 // likely >= threshold, via LSH Ensemble. With verify, candidates are
-// checked against exact containment and false positives dropped.
+// checked against exact containment (precomputed per-column sets, so
+// no per-query map rebuilds) and false positives dropped; the
+// verification fans out over QueryParallelism workers.
 func (e *Engine) ContainmentSearch(values []string, threshold float64, verify bool) ([]Match, error) {
 	q := tokenize.NormalizeSet(values)
 	if len(q) == 0 {
@@ -176,76 +203,79 @@ func (e *Engine) ContainmentSearch(values []string, threshold float64, verify bo
 	if err != nil {
 		return nil, err
 	}
-	var out []Match
-	for _, key := range cands {
-		m := Match{ColumnKey: key}
+	qset := minhash.NewSet(q)
+	type verdict struct {
+		m    Match
+		keep bool
+	}
+	verdicts, _ := parallel.Map(len(cands), parallel.Resolve(e.QueryParallelism), func(i int) (verdict, error) {
+		m := Match{ColumnKey: cands[i]}
 		if verify {
-			c := minhash.ExactContainment(q, e.cols[key])
+			c := minhash.ContainmentSets(qset, e.sets[cands[i]])
 			if c < threshold {
-				continue
+				return verdict{}, nil
 			}
 			m.Containment = c
 			m.Overlap = int(c*float64(len(q)) + 0.5)
 		}
-		out = append(out, m)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Containment != out[j].Containment {
-			return out[i].Containment > out[j].Containment
-		}
-		return out[i].ColumnKey < out[j].ColumnKey
+		return verdict{m: m, keep: true}, nil
 	})
+	var out []Match
+	for _, v := range verdicts {
+		if v.keep {
+			out = append(out, v.m)
+		}
+	}
+	sortMatches(out, func(m Match) float64 { return m.Containment })
 	return out, nil
 }
 
 // JaccardSearch is the exact-scan baseline: every indexed column is
 // compared with exact Jaccard similarity; columns >= threshold are
 // returned sorted by similarity. Illustrates both the cost of
-// scanning and Jaccard's bias against large domains.
+// scanning and Jaccard's bias against large domains. The scan fans
+// out over QueryParallelism workers.
 func (e *Engine) JaccardSearch(values []string, threshold float64) []Match {
-	q := tokenize.NormalizeSet(values)
-	keys := make([]string, 0, len(e.cols))
-	for k := range e.cols {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var out []Match
-	for _, key := range keys {
-		j := minhash.ExactJaccard(q, e.cols[key])
-		if j >= threshold {
-			out = append(out, Match{ColumnKey: key, Jaccard: j})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Jaccard != out[j].Jaccard {
-			return out[i].Jaccard > out[j].Jaccard
-		}
-		return out[i].ColumnKey < out[j].ColumnKey
+	qset := minhash.NewSet(tokenize.NormalizeSet(values))
+	scores, _ := parallel.Map(len(e.keys), parallel.Resolve(e.QueryParallelism), func(i int) (float64, error) {
+		return minhash.JaccardSets(qset, e.sets[e.keys[i]]), nil
 	})
+	var out []Match
+	for i, key := range e.keys {
+		if scores[i] >= threshold {
+			out = append(out, Match{ColumnKey: key, Jaccard: scores[i]})
+		}
+	}
+	sortMatches(out, func(m Match) float64 { return m.Jaccard })
 	return out
 }
 
 // ExactContainmentScan is the brute-force containment baseline used to
-// measure LSH Ensemble recall.
+// measure LSH Ensemble recall. The scan fans out over
+// QueryParallelism workers.
 func (e *Engine) ExactContainmentScan(values []string, threshold float64) []Match {
-	q := tokenize.NormalizeSet(values)
-	keys := make([]string, 0, len(e.cols))
-	for k := range e.cols {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var out []Match
-	for _, key := range keys {
-		c := minhash.ExactContainment(q, e.cols[key])
-		if c >= threshold {
-			out = append(out, Match{ColumnKey: key, Containment: c})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Containment != out[j].Containment {
-			return out[i].Containment > out[j].Containment
-		}
-		return out[i].ColumnKey < out[j].ColumnKey
+	qset := minhash.NewSet(tokenize.NormalizeSet(values))
+	scores, _ := parallel.Map(len(e.keys), parallel.Resolve(e.QueryParallelism), func(i int) (float64, error) {
+		return minhash.ContainmentSets(qset, e.sets[e.keys[i]]), nil
 	})
+	var out []Match
+	for i, key := range e.keys {
+		if scores[i] >= threshold {
+			out = append(out, Match{ColumnKey: key, Containment: scores[i]})
+		}
+	}
+	sortMatches(out, func(m Match) float64 { return m.Containment })
 	return out
+}
+
+// sortMatches orders matches by score descending, breaking ties by
+// column key — the shared result order of every scan surface.
+func sortMatches(ms []Match, score func(Match) float64) {
+	sort.Slice(ms, func(i, j int) bool {
+		si, sj := score(ms[i]), score(ms[j])
+		if si != sj {
+			return si > sj
+		}
+		return ms[i].ColumnKey < ms[j].ColumnKey
+	})
 }

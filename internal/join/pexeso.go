@@ -44,6 +44,12 @@ type FuzzyJoiner struct {
 	pivots    []embedding.Vector
 	cols      map[string]*fuzzyColumn
 	keys      []string
+
+	// QueryParallelism bounds the per-query fan-out in Search (query-
+	// value embedding and per-column verification): 0 = GOMAXPROCS,
+	// negative or 1 = sequential. Results and stats are bit-identical
+	// at every setting. Set before serving queries.
+	QueryParallelism int
 }
 
 type fuzzyColumn struct {
@@ -186,32 +192,47 @@ func euclid(a, b embedding.Vector) float64 {
 
 // Search returns columns where at least minFraction of the query's
 // distinct values fuzzy-match some target value at cosine >= tau,
-// ranked by matched fraction.
+// ranked by matched fraction. Search is a pure read and safe for
+// concurrent use; query embedding and per-column verification fan out
+// over QueryParallelism workers into indexed slots, with the stats
+// summed in column order, so results are bit-identical to the
+// sequential scan.
 func (f *FuzzyJoiner) Search(values []string, tau, minFraction float64) ([]FuzzyMatch, FuzzyStats) {
 	var st FuzzyStats
 	q := tokenize.NormalizeSet(values)
 	if len(q) == 0 {
 		return nil, st
 	}
+	workers := parallel.Resolve(f.QueryParallelism)
 	qv := make([]embedding.Vector, len(q))
 	qp := make([][]float64, len(q))
-	for i, v := range q {
-		qv[i] = f.model.ValueVector(v)
+	parallel.ForEach(len(q), workers, func(i int) error {
+		qv[i] = f.model.ValueVector(q[i])
 		qp[i] = f.pivotDistances(qv[i])
-	}
+		return nil
+	})
 	// Matching radius: cosine >= tau on unit vectors means Euclidean
 	// distance <= sqrt(2 - 2 tau).
 	r := math.Sqrt(math.Max(0, 2-2*tau))
-	var out []FuzzyMatch
-	for _, key := range f.keys {
-		fc := f.cols[key]
-		matched := 0
-		for i := range q {
-			if f.valueMatches(qv[i], qp[i], fc, tau, r, &st) {
-				matched++
+	type colResult struct {
+		matched int
+		st      FuzzyStats
+	}
+	results, _ := parallel.Map(len(f.keys), workers, func(i int) (colResult, error) {
+		fc := f.cols[f.keys[i]]
+		var cr colResult
+		for j := range q {
+			if f.valueMatches(qv[j], qp[j], fc, tau, r, &cr.st) {
+				cr.matched++
 			}
 		}
-		frac := float64(matched) / float64(len(q))
+		return cr, nil
+	})
+	var out []FuzzyMatch
+	for i, key := range f.keys {
+		st.Comparisons += results[i].st.Comparisons
+		st.PivotSkips += results[i].st.PivotSkips
+		frac := float64(results[i].matched) / float64(len(q))
 		if frac >= minFraction {
 			out = append(out, FuzzyMatch{ColumnKey: key, MatchedFraction: frac})
 		}

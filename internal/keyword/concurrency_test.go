@@ -1,0 +1,59 @@
+package keyword
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSearchLazyFinish hits Search from many goroutines on
+// an index that was never explicitly Finished — the worst case for
+// the lazy path. Under -race this proves the mutex-guarded
+// ensureFinished keeps concurrent reads safe and consistent.
+func TestConcurrentSearchLazyFinish(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(mkTable("t1", "city population", "population counts", []string{"demo"}, "city", "population"))
+	ix.Add(mkTable("t2", "city weather", "weather by city", []string{"climate"}, "city", "temp"))
+	ix.Add(mkTable("t3", "bird sightings", "rare birds", []string{"nature"}, "species"))
+	// No Finish() on purpose: first Search triggers the lazy path.
+	var once sync.Once
+	var want []Result
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got := ix.Search("city population", 3)
+				once.Do(func() { want = got })
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("concurrent Search diverged: %+v vs %+v", got, want)
+					return
+				}
+				ix.BooleanSearch("city", 3, false)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestValueIndexConcurrentSearch mirrors the lazy-Finish race test for
+// the cell-value index, including cluster grouping.
+func TestValueIndexConcurrentSearch(t *testing.T) {
+	ix := NewValueIndex()
+	ix.Add(mkTable("t1", "cities", "", nil, "city", "country"))
+	ix.Add(mkTable("t2", "towns", "", nil, "city", "country"))
+	ix.Add(mkTable("t3", "birds", "", nil, "species"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				ix.Search("x", 3)
+				ix.SearchClusters("x", 3)
+			}
+		}()
+	}
+	wg.Wait()
+}

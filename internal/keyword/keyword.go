@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"tablehound/internal/table"
 	"tablehound/internal/tokenize"
@@ -37,13 +38,16 @@ type Result struct {
 }
 
 // Index is a BM25 inverted index over table metadata. Build once with
-// Add + Finish; then query concurrently.
+// Add + Finish; then query concurrently. Add must not run
+// concurrently with anything; Search is safe for concurrent use (the
+// lazy Finish it performs on first use is mutex-guarded).
 type Index struct {
 	docs     []string             // doc -> table ID
 	termFreq []map[string]float64 // doc -> term -> weighted tf
 	docLen   []float64            // weighted token count
 	df       map[string]int
 	avgLen   float64
+	mu       sync.Mutex // guards frozen/avgLen for the lazy Finish
 	frozen   bool
 }
 
@@ -90,6 +94,12 @@ func (ix *Index) Add(t *table.Table) {
 
 // Finish precomputes corpus statistics. Called implicitly by Search.
 func (ix *Index) Finish() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.finishLocked()
+}
+
+func (ix *Index) finishLocked() {
 	var sum float64
 	for _, l := range ix.docLen {
 		sum += l
@@ -98,6 +108,17 @@ func (ix *Index) Finish() {
 		ix.avgLen = sum / float64(len(ix.docLen))
 	}
 	ix.frozen = true
+}
+
+// ensureFinished runs the lazy Finish exactly when needed. The mutex
+// gives concurrent Searches a happens-before edge on avgLen, keeping
+// the read path race-free even when no explicit Finish was called.
+func (ix *Index) ensureFinished() {
+	ix.mu.Lock()
+	if !ix.frozen {
+		ix.finishLocked()
+	}
+	ix.mu.Unlock()
 }
 
 // Len returns the number of indexed tables.
@@ -113,9 +134,7 @@ func (ix *Index) idf(term string) float64 {
 // Search ranks tables by BM25 score against the query keywords and
 // returns the top k (fewer when fewer match).
 func (ix *Index) Search(query string, k int) []Result {
-	if !ix.frozen {
-		ix.Finish()
-	}
+	ix.ensureFinished()
 	terms := queryTerms(query)
 	if len(terms) == 0 || k <= 0 {
 		return nil

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"tablehound/internal/table"
 	"tablehound/internal/tokenize"
@@ -12,7 +13,9 @@ import (
 // ValueIndex supports keyword search over cell values — the OCTOPUS
 // SEARCH operator (Cafarella et al., VLDB 2009): queries hit the data
 // itself rather than metadata, and results come back as clusters of
-// same-schema tables ready for union.
+// same-schema tables ready for union. Add must not run concurrently
+// with anything; Search/SearchClusters are safe for concurrent use
+// (the lazy Finish on first use is mutex-guarded).
 type ValueIndex struct {
 	docs     []string
 	schemas  []string             // schema signature per doc
@@ -20,6 +23,7 @@ type ValueIndex struct {
 	docLen   []float64
 	df       map[string]int
 	avgLen   float64
+	mu       sync.Mutex // guards frozen/avgLen for the lazy Finish
 	frozen   bool
 }
 
@@ -71,6 +75,12 @@ func schemaSig(t *table.Table) string {
 
 // Finish precomputes corpus statistics; Search calls it implicitly.
 func (ix *ValueIndex) Finish() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.finishLocked()
+}
+
+func (ix *ValueIndex) finishLocked() {
 	var sum float64
 	for _, l := range ix.docLen {
 		sum += l
@@ -79,6 +89,16 @@ func (ix *ValueIndex) Finish() {
 		ix.avgLen = sum / float64(len(ix.docLen))
 	}
 	ix.frozen = true
+}
+
+// ensureFinished runs the lazy Finish exactly when needed, mutex-
+// guarded so concurrent Searches stay race-free.
+func (ix *ValueIndex) ensureFinished() {
+	ix.mu.Lock()
+	if !ix.frozen {
+		ix.finishLocked()
+	}
+	ix.mu.Unlock()
 }
 
 // Len returns the number of indexed tables.
@@ -92,9 +112,7 @@ func (ix *ValueIndex) idf(term string) float64 {
 
 // Search ranks tables by BM25 over cell values.
 func (ix *ValueIndex) Search(query string, k int) []Result {
-	if !ix.frozen {
-		ix.Finish()
-	}
+	ix.ensureFinished()
 	terms := queryTerms(query)
 	if len(terms) == 0 || k <= 0 {
 		return nil

@@ -141,61 +141,68 @@ func Containment(q, x Signature, qSize, xSize int) float64 {
 	return c
 }
 
-// ExactJaccard computes exact Jaccard similarity of two string sets
-// (which may contain duplicates); used as ground truth in tests.
-func ExactJaccard(a, b []string) float64 {
-	sa := toSet(a)
-	sb := toSet(b)
-	if len(sa) == 0 && len(sb) == 0 {
-		return 0
-	}
-	inter := 0
-	for v := range sa {
-		if sb[v] {
-			inter++
+// Set is a precomputed value set for repeated exact comparisons.
+// Indexes that verify many queries against the same columns build a
+// Set per column once (at index-build time) instead of rebuilding a
+// hash map on every query. Empty strings are dropped, matching the
+// Exact* functions' treatment of missing values. A Set is read-only
+// after construction and safe for concurrent use.
+type Set map[string]struct{}
+
+// NewSet builds a Set from values (duplicates and empties dropped).
+func NewSet(vs []string) Set {
+	s := make(Set, len(vs))
+	for _, v := range vs {
+		if v != "" {
+			s[v] = struct{}{}
 		}
 	}
-	return float64(inter) / float64(len(sa)+len(sb)-inter)
+	return s
 }
 
-// ExactContainment computes exact |Q∩X|/|Q| treating inputs as sets.
-func ExactContainment(q, x []string) float64 {
-	sq := toSet(q)
-	if len(sq) == 0 {
-		return 0
-	}
-	sx := toSet(x)
-	inter := 0
-	for v := range sq {
-		if sx[v] {
-			inter++
-		}
-	}
-	return float64(inter) / float64(len(sq))
-}
-
-// ExactOverlap computes |A∩B| treating inputs as sets.
-func ExactOverlap(a, b []string) int {
-	sa := toSet(a)
-	sb := toSet(b)
-	if len(sb) < len(sa) {
-		sa, sb = sb, sa
+// OverlapSets computes |A∩B| by iterating the smaller set.
+func OverlapSets(a, b Set) int {
+	if len(b) < len(a) {
+		a, b = b, a
 	}
 	inter := 0
-	for v := range sa {
-		if sb[v] {
+	for v := range a {
+		if _, ok := b[v]; ok {
 			inter++
 		}
 	}
 	return inter
 }
 
-func toSet(vs []string) map[string]bool {
-	m := make(map[string]bool, len(vs))
-	for _, v := range vs {
-		if v != "" {
-			m[v] = true
-		}
+// JaccardSets computes exact Jaccard similarity of two Sets.
+func JaccardSets(a, b Set) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
 	}
-	return m
+	inter := OverlapSets(a, b)
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// ContainmentSets computes exact |Q∩X|/|Q|.
+func ContainmentSets(q, x Set) float64 {
+	if len(q) == 0 {
+		return 0
+	}
+	return float64(OverlapSets(q, x)) / float64(len(q))
+}
+
+// ExactJaccard computes exact Jaccard similarity of two string sets
+// (which may contain duplicates); used as ground truth in tests.
+func ExactJaccard(a, b []string) float64 {
+	return JaccardSets(NewSet(a), NewSet(b))
+}
+
+// ExactContainment computes exact |Q∩X|/|Q| treating inputs as sets.
+func ExactContainment(q, x []string) float64 {
+	return ContainmentSets(NewSet(q), NewSet(x))
+}
+
+// ExactOverlap computes |A∩B| treating inputs as sets.
+func ExactOverlap(a, b []string) int {
+	return OverlapSets(NewSet(a), NewSet(b))
 }

@@ -1,0 +1,48 @@
+package minhash
+
+import "testing"
+
+func TestNewSetDropsEmpties(t *testing.T) {
+	s := NewSet([]string{"a", "", "b", "a", ""})
+	if len(s) != 2 {
+		t.Fatalf("len = %d, want 2", len(s))
+	}
+	if _, ok := s[""]; ok {
+		t.Error("empty string retained")
+	}
+}
+
+// TestSetHelpersMatchExact pins the precomputed-set path to the
+// legacy slice-based functions: same inputs, same answers.
+func TestSetHelpersMatchExact(t *testing.T) {
+	cases := []struct{ a, b []string }{
+		{[]string{"a", "b", "c"}, []string{"b", "c", "d"}},
+		{[]string{"a", "a", ""}, []string{"a"}},
+		{nil, []string{"x"}},
+		{nil, nil},
+		{[]string{"p", "q", "r", "s"}, []string{"q"}},
+	}
+	for _, c := range cases {
+		sa, sb := NewSet(c.a), NewSet(c.b)
+		if got, want := OverlapSets(sa, sb), ExactOverlap(c.a, c.b); got != want {
+			t.Errorf("OverlapSets(%v,%v) = %d, want %d", c.a, c.b, got, want)
+		}
+		if got, want := JaccardSets(sa, sb), ExactJaccard(c.a, c.b); got != want {
+			t.Errorf("JaccardSets(%v,%v) = %v, want %v", c.a, c.b, got, want)
+		}
+		if got, want := ContainmentSets(sa, sb), ExactContainment(c.a, c.b); got != want {
+			t.Errorf("ContainmentSets(%v,%v) = %v, want %v", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestOverlapSetsSymmetric(t *testing.T) {
+	big := NewSet([]string{"a", "b", "c", "d", "e"})
+	small := NewSet([]string{"c", "d", "x"})
+	if OverlapSets(big, small) != OverlapSets(small, big) {
+		t.Error("OverlapSets is not symmetric")
+	}
+	if OverlapSets(big, small) != 2 {
+		t.Errorf("overlap = %d, want 2", OverlapSets(big, small))
+	}
+}

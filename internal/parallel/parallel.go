@@ -29,6 +29,20 @@ func Limit(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Resolve resolves a parallelism knob with the Options convention
+// shared by construction and query paths: 0 means GOMAXPROCS, any
+// negative value means 1 (exact sequential execution), positive n
+// means n workers.
+func Resolve(n int) int {
+	switch {
+	case n == 0:
+		return runtime.GOMAXPROCS(0)
+	case n < 0:
+		return 1
+	}
+	return n
+}
+
 // ForEach runs fn(i) for every i in [0, n) on at most workers
 // goroutines and returns the lowest-index error, or nil.
 //

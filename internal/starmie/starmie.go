@@ -187,13 +187,18 @@ func (ix *Index) Build() error {
 // NumColumns returns the number of indexed column vectors.
 func (ix *Index) NumColumns() int { return len(ix.colKeys) }
 
+// ErrNotBuilt is returned (or nil results, for SearchColumns) when a
+// search runs before Build has frozen the staged tables.
+var ErrNotBuilt = errors.New("starmie: index not built (call Build after adding tables)")
+
 // SearchColumns returns the k nearest indexed columns to a vector.
 // Approximate (HNSW) unless exact is set, which linearly scans.
+// SearchColumns is a pure read: it requires a prior Build (nil
+// otherwise, never an implicit rebuild) and is safe for concurrent
+// use.
 func (ix *Index) SearchColumns(v embedding.Vector, k, efSearch int, exact bool) []hnsw.Result {
 	if !ix.built {
-		if err := ix.Build(); err != nil {
-			return nil
-		}
+		return nil
 	}
 	if exact {
 		return ix.graph.BruteForce(v, k)
@@ -205,11 +210,11 @@ func (ix *Index) SearchColumns(v embedding.Vector, k, efSearch int, exact bool) 
 // each query column retrieves its nearest indexed columns, candidate
 // tables are scored by bipartite matching of column cosines, top k
 // returned. exact switches retrieval to the linear-scan baseline.
+// SearchTables is a pure read: it requires a prior Build (ErrNotBuilt
+// otherwise) and is safe for concurrent use.
 func (ix *Index) SearchTables(query *table.Table, k, efSearch int, exact bool) ([]Result, error) {
 	if !ix.built {
-		if err := ix.Build(); err != nil {
-			return nil, err
-		}
+		return nil, ErrNotBuilt
 	}
 	qv := ix.enc.EncodeColumns(query)
 	if len(qv) == 0 {

@@ -176,6 +176,9 @@ func TestSearchTablesSkipsSelf(t *testing.T) {
 	for _, tbl := range lake.Tables {
 		ix.AddTable(tbl)
 	}
+	if err := ix.Build(); err != nil {
+		t.Fatal(err)
+	}
 	q := lake.Tables[0]
 	res, err := ix.SearchTables(q, 30, 64, false)
 	if err != nil {

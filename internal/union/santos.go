@@ -6,6 +6,7 @@ import (
 
 	"tablehound/internal/kb"
 	"tablehound/internal/minhash"
+	"tablehound/internal/parallel"
 	"tablehound/internal/table"
 	"tablehound/internal/tokenize"
 )
@@ -39,6 +40,9 @@ func (m SantosMode) String() string {
 // subject of the table) plus the binary relationships between the
 // intent column and every other column. A candidate is unionable when
 // its columns AND its relationships align with the query's.
+//
+// Search is read-only and safe for concurrent use once Build has
+// returned; AddTable/Build must not run concurrently with Search.
 type Santos struct {
 	curated *kb.KB
 	tables  map[string]*santosTable
@@ -47,6 +51,12 @@ type Santos struct {
 	// synthesized KB, mined from the lake itself.
 	pairIndex map[string][]string
 	built     bool
+
+	// QueryParallelism bounds the per-query candidate-verification
+	// fan-out in Search: 0 = GOMAXPROCS, negative or 1 = sequential.
+	// Results are bit-identical at every setting. Set before serving
+	// queries.
+	QueryParallelism int
 }
 
 type santosTable struct {
@@ -60,6 +70,8 @@ type santosRel struct {
 	colName string
 	// pairs is the set of "subject||object" value-pair tokens.
 	pairs []string
+	// pairSet is the same tokens precomputed for containment scoring.
+	pairSet minhash.Set
 	// pred is the curated-KB dominant predicate, when covered.
 	pred     string
 	predFrac float64
@@ -113,6 +125,7 @@ func (s *Santos) analyze(tbl *table.Table) *santosTable {
 				kbPairs = append(kbPairs, [2]string{a, b})
 			}
 		}
+		rel.pairSet = minhash.NewSet(rel.pairs)
 		if s.curated != nil && len(kbPairs) > 0 {
 			if pred, frac, ok := s.curated.DominantPredicate(kbPairs); ok && frac >= 0.5 {
 				rel.pred, rel.predFrac = pred, frac
@@ -145,12 +158,13 @@ func (s *Santos) Build() error {
 func (s *Santos) NumTables() int { return len(s.tables) }
 
 // Search returns the k tables whose relationships best align with the
-// query's, under the given knowledge mode.
+// query's, under the given knowledge mode. Search is a pure read: it
+// requires a prior Build (ErrNotBuilt otherwise) and is safe for
+// concurrent use; candidate verification fans out over
+// QueryParallelism workers with bit-identical results.
 func (s *Santos) Search(query *table.Table, k int, mode SantosMode) ([]Result, error) {
 	if !s.built {
-		if err := s.Build(); err != nil {
-			return nil, err
-		}
+		return nil, ErrNotBuilt
 	}
 	q := s.analyze(query)
 	if q == nil {
@@ -159,13 +173,19 @@ func (s *Santos) Search(query *table.Table, k int, mode SantosMode) ([]Result, e
 	// Candidates: tables sharing any value pair with the query, plus
 	// (curated modes) tables sharing a predicate.
 	cands := s.candidates(q, mode)
+	scores, _ := parallel.Map(len(cands), parallel.Resolve(s.QueryParallelism), func(i int) (float64, error) {
+		if cands[i] == query.ID {
+			return 0, nil
+		}
+		return s.tableScore(q, s.tables[cands[i]], mode), nil
+	})
 	var res []Result
-	for _, id := range cands {
+	for i, id := range cands {
 		if id == query.ID {
 			continue
 		}
-		if score := s.tableScore(q, s.tables[id], mode); score > 0 {
-			res = append(res, Result{TableID: id, Score: score})
+		if scores[i] > 0 {
+			res = append(res, Result{TableID: id, Score: scores[i]})
 		}
 	}
 	sortResults(res)
@@ -239,11 +259,11 @@ func relScore(a, b santosRel, mode SantosMode) float64 {
 		curated = (a.predFrac + b.predFrac) / 2
 	}
 	if mode != CuratedOnly {
-		small, big := a.pairs, b.pairs
+		small, big := a.pairSet, b.pairSet
 		if len(big) < len(small) {
 			small, big = big, small
 		}
-		synth = minhash.ExactContainment(small, big)
+		synth = minhash.ContainmentSets(small, big)
 	}
 	switch mode {
 	case CuratedOnly:

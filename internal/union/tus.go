@@ -31,6 +31,9 @@ type TUSConfig struct {
 }
 
 // TUS is a table union search engine. Add tables, Build, then Search.
+// Search is read-only and safe for concurrent use once Build has
+// returned; AddTable/AddTables/Build must not run concurrently with
+// each other or with Search.
 type TUS struct {
 	cfg     TUSConfig
 	tables  map[string]*tusTable
@@ -39,7 +42,14 @@ type TUS struct {
 	setLSH  *lsh.Index
 	nlIndex *hnsw.Graph
 	hasher  *minhash.Hasher
+	lfact   logFactTable // ln n! cache for the hypergeometric CDF
 	built   bool
+
+	// QueryParallelism bounds the per-query candidate-scoring fan-out
+	// in Search: 0 = GOMAXPROCS, negative or 1 = sequential. Results
+	// are bit-identical at every setting. Set before serving queries;
+	// it must not change while searches are in flight.
+	QueryParallelism int
 }
 
 type tusTable struct {
@@ -49,7 +59,8 @@ type tusTable struct {
 
 type tusColumn struct {
 	name   string
-	values []string // distinct normalized
+	values []string    // distinct normalized
+	set    minhash.Set // same values, precomputed for overlap counting
 	sig    minhash.Signature
 	vec    embedding.Vector
 	// Semantic annotation (dominant ontology type), when covered.
@@ -131,6 +142,7 @@ func (t *TUS) makeColumn(c *table.Column) *tusColumn {
 	tc := &tusColumn{
 		name:   c.Name,
 		values: values,
+		set:    minhash.NewSet(values),
 		sig:    t.hasher.Sign(values),
 		vec:    t.cfg.Model.ColumnVector(values),
 	}
@@ -164,6 +176,10 @@ func (t *TUS) Build() error {
 			}
 		}
 	}
+	// Freeze the ln n! cache for the hypergeometric CDF: every
+	// logChoose argument is at most d+1 where d = len(t.univ) (query
+	// columns larger than the universe fall back to math.Lgamma).
+	t.lfact = newLogFactTable(len(t.univ) + 1)
 	t.built = true
 	return nil
 }
@@ -205,7 +221,7 @@ func (t *TUS) columnScore(a, b *tusColumn, m Measure) float64 {
 // the observed overlap — i.e. the hypergeometric CDF at the overlap.
 // High observed overlap relative to chance drives the score to 1.
 func (t *TUS) setUnionability(a, b *tusColumn) float64 {
-	overlap := minhash.ExactOverlap(a.values, b.values)
+	overlap := minhash.OverlapSets(a.set, b.set)
 	if overlap == 0 {
 		return 0
 	}
@@ -214,11 +230,40 @@ func (t *TUS) setUnionability(a, b *tusColumn) float64 {
 	if d < na+nb { // universe estimate too small for a valid model
 		d = na + nb
 	}
-	return hypergeomCDF(overlap-1, d, na, nb)
+	return t.lfact.hypergeomCDF(overlap-1, d, na, nb)
+}
+
+// logFactTable caches ln(n!) = Lgamma(n+1) for n in [0, len). Indexes
+// beyond the table (or a nil table) fall back to math.Lgamma, so every
+// lookup is bit-identical to the uncached computation. Read-only after
+// construction; safe for concurrent use.
+type logFactTable []float64
+
+func newLogFactTable(maxN int) logFactTable {
+	lf := make(logFactTable, maxN+1)
+	for i := range lf {
+		lf[i], _ = math.Lgamma(float64(i + 1))
+	}
+	return lf
+}
+
+func (lf logFactTable) logFact(n int) float64 {
+	if n >= 0 && n < len(lf) {
+		return lf[n]
+	}
+	v, _ := math.Lgamma(float64(n + 1))
+	return v
+}
+
+func (lf logFactTable) logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return lf.logFact(n) - lf.logFact(k) - lf.logFact(n-k)
 }
 
 // hypergeomCDF returns P[X <= k] for X ~ Hypergeom(D, na, nb).
-func hypergeomCDF(k, d, na, nb int) float64 {
+func (lf logFactTable) hypergeomCDF(k, d, na, nb int) float64 {
 	lo := na + nb - d
 	if lo < 0 {
 		lo = 0
@@ -230,10 +275,10 @@ func hypergeomCDF(k, d, na, nb int) float64 {
 	if k >= hi {
 		return 1
 	}
-	denom := logChoose(d, nb)
+	denom := lf.logChoose(d, nb)
 	var cdf float64
 	for x := lo; x <= k; x++ {
-		cdf += math.Exp(logChoose(na, x) + logChoose(d-na, nb-x) - denom)
+		cdf += math.Exp(lf.logChoose(na, x) + lf.logChoose(d-na, nb-x) - denom)
 	}
 	if cdf > 1 {
 		cdf = 1
@@ -241,14 +286,9 @@ func hypergeomCDF(k, d, na, nb int) float64 {
 	return cdf
 }
 
-func logChoose(n, k int) float64 {
-	if k < 0 || k > n {
-		return math.Inf(-1)
-	}
-	ln, _ := math.Lgamma(float64(n + 1))
-	lk, _ := math.Lgamma(float64(k + 1))
-	lnk, _ := math.Lgamma(float64(n - k + 1))
-	return ln - lk - lnk
+// hypergeomCDF is the uncached variant (reference for tests).
+func hypergeomCDF(k, d, na, nb int) float64 {
+	return logFactTable(nil).hypergeomCDF(k, d, na, nb)
 }
 
 // semUnionability scores by ontology: Wu-Palmer similarity of the
@@ -271,13 +311,20 @@ func nlUnionability(a, b *tusColumn) float64 {
 	return (embedding.Cosine(a.vec, b.vec) + 1) / 2
 }
 
+// ErrNotBuilt is returned by Search when the index has pending tables
+// that Build has not frozen yet.
+var ErrNotBuilt = errors.New("union: index not built (call Build after adding tables)")
+
 // Search returns the k tables most unionable with the query under the
-// measure. The query need not be indexed.
+// measure. The query need not be indexed. Search is a pure read: it
+// requires a prior Build (ErrNotBuilt otherwise, never an implicit
+// rebuild) and is safe for concurrent use. Candidate scoring — the
+// bipartite-matching + hypergeometric hot loop — fans out over
+// QueryParallelism workers into indexed slots, so results are
+// bit-identical to the sequential scan.
 func (t *TUS) Search(query *table.Table, k int, m Measure) ([]Result, error) {
 	if !t.built {
-		if err := t.Build(); err != nil {
-			return nil, err
-		}
+		return nil, ErrNotBuilt
 	}
 	qcols := make([]*tusColumn, 0)
 	for _, c := range stringColumns(query) {
@@ -287,14 +334,19 @@ func (t *TUS) Search(query *table.Table, k int, m Measure) ([]Result, error) {
 		return nil, errors.New("union: query table has no usable string columns")
 	}
 	cands := t.candidateTables(query, qcols)
+	scores, _ := parallel.Map(len(cands), parallel.Resolve(t.QueryParallelism), func(i int) (float64, error) {
+		if cands[i] == query.ID {
+			return 0, nil
+		}
+		return t.tableScore(qcols, t.tables[cands[i]].cols, m), nil
+	})
 	var res []Result
-	for _, id := range cands {
+	for i, id := range cands {
 		if id == query.ID {
 			continue
 		}
-		score := t.tableScore(qcols, t.tables[id].cols, m)
-		if score > 0 {
-			res = append(res, Result{TableID: id, Score: score})
+		if scores[i] > 0 {
+			res = append(res, Result{TableID: id, Score: scores[i]})
 		}
 	}
 	sortResults(res)
