@@ -6,7 +6,7 @@
 GO ?= go
 COUNT ?= 1
 
-.PHONY: check race bench-build bench-query
+.PHONY: check race bench-build bench-query bench-mem
 
 check:
 	$(GO) vet ./...
@@ -16,7 +16,8 @@ check:
 race:
 	$(GO) test -race ./internal/core/... ./internal/hnsw/... ./internal/join/... \
 		./internal/union/... ./internal/starmie/... ./internal/table/... \
-		./internal/lake/... ./internal/parallel/... ./internal/keyword/...
+		./internal/lake/... ./internal/parallel/... ./internal/keyword/... \
+		./internal/dict/...
 
 bench-build:
 	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchtime 2x .
@@ -25,3 +26,9 @@ bench-build:
 # benchstat-worthy samples: make bench-query COUNT=10 > new.txt
 bench-query:
 	$(GO) test -run xxx -bench 'BenchmarkQuery' -benchmem -count $(COUNT) .
+
+# Allocation-focused comparison of the string query surfaces against
+# their dictionary-encoded (pre-interned query) variants.
+bench-mem:
+	$(GO) test -run xxx -bench 'BenchmarkQuery(Josie|TUS|Containment)(Dict)?$$' \
+		-benchmem -count $(COUNT) .

@@ -63,6 +63,8 @@ func main() {
 		err = cmdJoinPath(os.Args[2:])
 	case "bench-qps":
 		err = cmdBenchQPS(os.Args[2:])
+	case "memstats":
+		err = cmdMemStats(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
 	case "help", "-h", "--help":
@@ -93,6 +95,7 @@ commands:
   match     align the schemas of two tables
   joinpath  find a chain of joins connecting two tables
   bench-qps measure query throughput across the search surfaces
+  memstats  report per-index memory footprint vs the string forms
   exp       run a reproduction experiment (e1..e23 or "all")`)
 }
 
@@ -181,6 +184,20 @@ func cmdStats(args []string) error {
 	s := cat.Stats()
 	fmt.Printf("tables:          %d\ncolumns:         %d\nrows:            %d\ndistinct values: %d\n",
 		s.Tables, s.Columns, s.Rows, s.DistinctValues)
+	return nil
+}
+
+func cmdMemStats(args []string) error {
+	fs := flag.NewFlagSet("memstats", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	bf := addBuildFlags(fs)
+	fs.Parse(args)
+	sys, err := bf.buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("value dictionary: %d distinct values\n", sys.Dict.Size())
+	fmt.Print(sys.MemStats().Report())
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"tablehound/internal/annotate"
 	"tablehound/internal/apps"
 	"tablehound/internal/aurum"
+	"tablehound/internal/dict"
 	"tablehound/internal/embedding"
 	"tablehound/internal/join"
 	"tablehound/internal/kb"
@@ -25,6 +26,7 @@ import (
 	"tablehound/internal/schema"
 	"tablehound/internal/starmie"
 	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
 	"tablehound/internal/union"
 )
 
@@ -96,6 +98,10 @@ type System struct {
 	Catalog *lake.Catalog
 	Model   *embedding.Model
 	KB      *kb.KB
+	// Dict is the lake-wide value dictionary: every distinct normalized
+	// cell value interned to a dense uint32 ID. The set-based indexes
+	// (Join, TUS, Fuzzy) encode their columns against it.
+	Dict *dict.Dict
 
 	Keyword  *keyword.Index
 	Values   *keyword.ValueIndex
@@ -158,6 +164,31 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 		return nil, err
 	}
 
+	// The lake-wide value dictionary is the second shared dependency:
+	// every set index encodes its columns against it. Per-table value
+	// extraction fans out; the dictionary build itself sorts once and
+	// is deterministic regardless of accumulation order.
+	if err := stats.time(stageDict, func() (int, error) {
+		perTable, err := parallel.Map(len(tables), opts.Parallelism, func(i int) ([]string, error) {
+			var vals []string
+			for _, c := range tables[i].Columns {
+				vals = append(vals, tokenize.NormalizeSet(c.Values)...)
+			}
+			return vals, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		db := dict.NewBuilder()
+		for _, vals := range perTable {
+			db.Add(vals...)
+		}
+		s.Dict = db.Build()
+		return s.Dict.Size(), nil
+	}); err != nil {
+		return nil, err
+	}
+
 	// The remaining stages are mutually independent: each reads the
 	// catalog, model, and KB, and writes one System field. They run on
 	// the worker pool in declaration order (exactly sequentially when
@@ -191,8 +222,10 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 			return len(tables), nil
 		}},
 		{stageJoin, false, func() (int, error) {
-			// Joinable search: exact overlap + containment indexes.
+			// Joinable search: exact overlap + containment indexes,
+			// encoded against the lake dictionary.
 			jb := join.NewBuilder(opts.MinJoinCardinality)
+			jb.UseDict(s.Dict)
 			for _, t := range tables {
 				jb.AddTable(t)
 			}
@@ -208,6 +241,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 			// Fuzzy join (PEXESO-style): embedding a vector per value is
 			// the single heaviest stage, so it fans out per column.
 			s.Fuzzy = join.NewFuzzyJoiner(s.Model, 4)
+			s.Fuzzy.UseDict(s.Dict)
 			s.Fuzzy.QueryParallelism = opts.QueryParallelism
 			var batch []join.FuzzyColumn
 			for _, t := range tables {
@@ -267,7 +301,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 			return len(tables), nil
 		}},
 		{stageTUS, false, func() (int, error) {
-			tus, err := union.NewTUS(union.TUSConfig{Model: s.Model, KB: opts.KB, NumHashes: 128})
+			tus, err := union.NewTUS(union.TUSConfig{Model: s.Model, KB: opts.KB, Dict: s.Dict, NumHashes: 128})
 			if err != nil {
 				return 0, err
 			}

@@ -10,12 +10,14 @@ import (
 	"time"
 )
 
-// Stage indices. stageModel is the single shared dependency and always
-// runs first; every other stage reads only the catalog, the trained
-// model, and the optional KB, so the scheduler may run them in any
-// order or concurrently.
+// Stage indices. stageModel and stageDict are the shared dependencies
+// and always run first (model, then the value dictionary); every other
+// stage reads only the catalog, the trained model, the dictionary, and
+// the optional KB, so the scheduler may run them in any order or
+// concurrently.
 const (
 	stageModel = iota
+	stageDict
 	stageKeyword
 	stageProfiles
 	stageEntities
@@ -33,7 +35,7 @@ const (
 )
 
 var stageNames = [numStages]string{
-	"model", "keyword", "profiles", "entities", "join", "fuzzy",
+	"model", "dict", "keyword", "profiles", "entities", "join", "fuzzy",
 	"corr", "mate", "tus", "santos", "d3l", "starmie", "org", "graph",
 }
 

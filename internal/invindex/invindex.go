@@ -20,10 +20,19 @@ type Posting struct {
 	Pos int32 // position of the token within the set's rank-ordered tokens
 }
 
-// Index is a frozen inverted index over string sets. Build with a
-// Builder; a frozen Index is safe for concurrent reads.
+// Index is a frozen inverted index over string sets or over
+// dictionary-ID sets. Build with a Builder; a frozen Index is safe
+// for concurrent reads.
+//
+// Tokens may be strings (Add) or pre-interned dictionary IDs
+// (AddIDs). The two forms behave identically because a value
+// dictionary assigns IDs in lexicographic value order, so the
+// (df, token) ranking tie-break yields the same rank permutation
+// either way.
 type Index struct {
-	tokenIDs map[string]int32 // token -> rank (ascending document frequency)
+	tokenIDs map[string]int32 // token -> rank; string-built indexes only
+	idOf     []uint32         // rank -> dictionary ID; ID-built indexes only
+	rankOfID []int32          // dictionary ID -> rank, -1 absent; ID-built only
 	df       []int32          // rank -> document frequency
 	postings [][]Posting      // rank -> posting list sorted by set ID
 	sets     [][]int32        // set ID -> rank-ordered token ranks
@@ -31,11 +40,14 @@ type Index struct {
 	keyToSet map[string]int32
 }
 
-// Builder accumulates sets before freezing them into an Index.
+// Builder accumulates sets before freezing them into an Index. A
+// Builder is either string-staged (Add) or ID-staged (AddIDs); mixing
+// the two is an error.
 type Builder struct {
-	keys   []string
-	values [][]string
-	seen   map[string]bool
+	keys     []string
+	values   [][]string
+	idValues [][]uint32
+	seen     map[string]bool
 }
 
 // NewBuilder returns an empty Builder.
@@ -46,6 +58,9 @@ func NewBuilder() *Builder {
 // Add stages a set under a unique key. Values are deduplicated; empty
 // strings are ignored.
 func (b *Builder) Add(key string, values []string) error {
+	if b.idValues != nil {
+		return fmt.Errorf("invindex: Add after AddIDs on the same builder")
+	}
 	if b.seen[key] {
 		return fmt.Errorf("invindex: duplicate key %q", key)
 	}
@@ -63,6 +78,32 @@ func (b *Builder) Add(key string, values []string) error {
 	return nil
 }
 
+// AddIDs stages a set of pre-interned dictionary IDs under a unique
+// key. IDs are deduplicated; the slice is copied.
+func (b *Builder) AddIDs(key string, ids []uint32) error {
+	if b.values != nil {
+		return fmt.Errorf("invindex: AddIDs after Add on the same builder")
+	}
+	if b.seen[key] {
+		return fmt.Errorf("invindex: duplicate key %q", key)
+	}
+	if b.seen == nil {
+		b.seen = make(map[string]bool)
+	}
+	b.seen[key] = true
+	b.keys = append(b.keys, key)
+	dedup := make(map[uint32]bool, len(ids))
+	vs := make([]uint32, 0, len(ids))
+	for _, id := range ids {
+		if !dedup[id] {
+			dedup[id] = true
+			vs = append(vs, id)
+		}
+	}
+	b.idValues = append(b.idValues, vs)
+	return nil
+}
+
 // Len returns the number of staged sets.
 func (b *Builder) Len() int { return len(b.keys) }
 
@@ -70,6 +111,9 @@ func (b *Builder) Len() int { return len(b.keys) }
 func (b *Builder) Build() (*Index, error) {
 	if len(b.keys) == 0 {
 		return nil, errors.New("invindex: no sets added")
+	}
+	if b.idValues != nil {
+		return b.buildIDs()
 	}
 	// Document frequency per token.
 	df := make(map[string]int32)
@@ -116,6 +160,68 @@ func (b *Builder) Build() (*Index, error) {
 	return ix, nil
 }
 
+// buildIDs freezes ID-staged sets. The token ranking ties on the
+// dictionary ID, which — because dictionaries assign IDs in
+// lexicographic value order — is the same order the string path's
+// token tie-break produces.
+func (b *Builder) buildIDs() (*Index, error) {
+	maxID := uint32(0)
+	for _, vs := range b.idValues {
+		for _, id := range vs {
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	df := make([]int32, maxID+1)
+	for _, vs := range b.idValues {
+		for _, id := range vs {
+			df[id]++
+		}
+	}
+	tokens := make([]uint32, 0, len(df))
+	for id, n := range df {
+		if n > 0 {
+			tokens = append(tokens, uint32(id))
+		}
+	}
+	sort.Slice(tokens, func(i, j int) bool {
+		if df[tokens[i]] != df[tokens[j]] {
+			return df[tokens[i]] < df[tokens[j]]
+		}
+		return tokens[i] < tokens[j]
+	})
+	ix := &Index{
+		idOf:     tokens,
+		rankOfID: make([]int32, maxID+1),
+		df:       make([]int32, len(tokens)),
+		postings: make([][]Posting, len(tokens)),
+		sets:     make([][]int32, len(b.keys)),
+		keys:     b.keys,
+		keyToSet: make(map[string]int32, len(b.keys)),
+	}
+	for i := range ix.rankOfID {
+		ix.rankOfID[i] = -1
+	}
+	for rank, id := range tokens {
+		ix.rankOfID[id] = int32(rank)
+		ix.df[rank] = df[id]
+	}
+	for sid, vs := range b.idValues {
+		ranks := make([]int32, len(vs))
+		for i, id := range vs {
+			ranks[i] = ix.rankOfID[id]
+		}
+		sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+		ix.sets[sid] = ranks
+		ix.keyToSet[b.keys[sid]] = int32(sid)
+		for pos, r := range ranks {
+			ix.postings[r] = append(ix.postings[r], Posting{Set: int32(sid), Pos: int32(pos)})
+		}
+	}
+	return ix, nil
+}
+
 // NumSets returns the number of indexed sets.
 func (ix *Index) NumSets() int { return len(ix.sets) }
 
@@ -150,6 +256,24 @@ func (ix *Index) Set(set int32) []int32 { return ix.sets[set] }
 
 // SetSize returns the distinct-token count of a set.
 func (ix *Index) SetSize(set int32) int { return len(ix.sets[set]) }
+
+// QueryRanksIDs maps deduplicated query dictionary IDs to the ranks
+// of those present in the index, sorted ascending (rarest first).
+// Unknown IDs — including ephemeral out-of-vocabulary IDs, which lie
+// past the rank table — cannot contribute to overlap and are dropped.
+// Only valid on ID-built indexes.
+func (ix *Index) QueryRanksIDs(ids []uint32) []int32 {
+	out := make([]int32, 0, len(ids))
+	for _, id := range ids {
+		if int(id) < len(ix.rankOfID) {
+			if r := ix.rankOfID[id]; r >= 0 {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // QueryRanks maps query values to the ranks of those present in the
 // dictionary, sorted ascending (rarest first). Unknown values cannot

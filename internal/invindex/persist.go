@@ -10,7 +10,8 @@ import (
 // rebuilt on load from the stored sets — they are fully determined by
 // them and roughly double the on-disk size if stored.
 type snapshot struct {
-	Tokens []string // rank order
+	Tokens []string // rank order; string-built indexes
+	IDs    []uint32 // rank order; dictionary-ID-built indexes
 	DF     []int32
 	Keys   []string
 	Sets   [][]int32
@@ -19,13 +20,17 @@ type snapshot struct {
 // Save writes the index in binary form.
 func (ix *Index) Save(w io.Writer) error {
 	s := snapshot{
-		Tokens: make([]string, len(ix.df)),
-		DF:     ix.df,
-		Keys:   ix.keys,
-		Sets:   ix.sets,
+		DF:   ix.df,
+		Keys: ix.keys,
+		Sets: ix.sets,
 	}
-	for tok, rank := range ix.tokenIDs {
-		s.Tokens[rank] = tok
+	if ix.idOf != nil {
+		s.IDs = ix.idOf
+	} else {
+		s.Tokens = make([]string, len(ix.df))
+		for tok, rank := range ix.tokenIDs {
+			s.Tokens[rank] = tok
+		}
 	}
 	return gob.NewEncoder(w).Encode(s)
 }
@@ -36,19 +41,41 @@ func Load(r io.Reader) (*Index, error) {
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("invindex: decode: %w", err)
 	}
-	if len(s.Tokens) != len(s.DF) || len(s.Keys) != len(s.Sets) {
+	idBuilt := len(s.IDs) > 0
+	if idBuilt {
+		if len(s.IDs) != len(s.DF) || len(s.Keys) != len(s.Sets) {
+			return nil, fmt.Errorf("invindex: corrupt snapshot")
+		}
+	} else if len(s.Tokens) != len(s.DF) || len(s.Keys) != len(s.Sets) {
 		return nil, fmt.Errorf("invindex: corrupt snapshot")
 	}
 	ix := &Index{
-		tokenIDs: make(map[string]int32, len(s.Tokens)),
 		df:       s.DF,
-		postings: make([][]Posting, len(s.Tokens)),
+		postings: make([][]Posting, len(s.DF)),
 		sets:     s.Sets,
 		keys:     s.Keys,
 		keyToSet: make(map[string]int32, len(s.Keys)),
 	}
-	for rank, tok := range s.Tokens {
-		ix.tokenIDs[tok] = int32(rank)
+	if idBuilt {
+		ix.idOf = s.IDs
+		maxID := uint32(0)
+		for _, id := range s.IDs {
+			if id > maxID {
+				maxID = id
+			}
+		}
+		ix.rankOfID = make([]int32, maxID+1)
+		for i := range ix.rankOfID {
+			ix.rankOfID[i] = -1
+		}
+		for rank, id := range s.IDs {
+			ix.rankOfID[id] = int32(rank)
+		}
+	} else {
+		ix.tokenIDs = make(map[string]int32, len(s.Tokens))
+		for rank, tok := range s.Tokens {
+			ix.tokenIDs[tok] = int32(rank)
+		}
 	}
 	for sid, set := range s.Sets {
 		ix.keyToSet[s.Keys[sid]] = int32(sid)

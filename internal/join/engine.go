@@ -10,12 +10,19 @@
 //   - fuzzy/semantic join via embeddings with pivot filtering (PEXESO),
 //   - multi-attribute join via row super-keys (MATE), and
 //   - correlation-aware join discovery via QCR sketches.
+//
+// All exact set arithmetic runs on dictionary-interned integer
+// postings (see internal/dict): columns are encoded once at build
+// time, queries once at query entry, and every overlap/containment/
+// Jaccard is a sorted-integer merge instead of a string-map probe.
 package join
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
+	"tablehound/internal/dict"
 	"tablehound/internal/invindex"
 	"tablehound/internal/josie"
 	"tablehound/internal/lshensemble"
@@ -41,6 +48,7 @@ type Builder struct {
 	minCardinality int
 	numHashes      int
 	numPartitions  int
+	dict           *dict.Dict
 	cols           map[string][]string
 	order          []string
 }
@@ -59,6 +67,13 @@ func NewBuilder(minCardinality int) *Builder {
 		cols:           make(map[string][]string),
 	}
 }
+
+// UseDict supplies a lake-wide value dictionary covering every staged
+// value. Build encodes columns through it so the engine shares one ID
+// space with the rest of the system; if the dictionary turns out not
+// to cover some staged value, Build falls back to a self-built
+// dictionary (cross-column matching must stay within one ID space).
+func (b *Builder) UseDict(d *dict.Dict) { b.dict = d }
 
 // AddTable stages every string-typed column of the table.
 func (b *Builder) AddTable(t *table.Table) {
@@ -89,16 +104,46 @@ func (b *Builder) Build() (*Engine, error) {
 		return nil, errors.New("join: no columns staged")
 	}
 	sort.Strings(b.order)
+	// Encode every column through the provided dictionary; if it lacks
+	// coverage (or none was given), build one over the staged values.
+	d := b.dict
+	idsets := make(map[string]dict.IDSet, len(b.cols))
+	covered := d != nil
+	if covered {
+		for _, key := range b.order {
+			ids, ok := d.EncodeKnown(b.cols[key])
+			if !ok {
+				covered = false
+				break
+			}
+			idsets[key] = ids
+		}
+	}
+	if !covered {
+		db := dict.NewBuilder()
+		for _, vals := range b.cols {
+			db.Add(vals...)
+		}
+		d = db.Build()
+		idsets = make(map[string]dict.IDSet, len(b.cols))
+		for _, key := range b.order {
+			ids, ok := d.EncodeKnown(b.cols[key])
+			if !ok {
+				return nil, fmt.Errorf("join: self-built dictionary missing value of column %q", key)
+			}
+			idsets[key] = ids
+		}
+	}
 	inv := invindex.NewBuilder()
 	hasher := minhash.NewHasher(b.numHashes, 42)
 	ens := lshensemble.New(b.numHashes, b.numPartitions)
 	for _, key := range b.order {
-		vals := b.cols[key]
-		if err := inv.Add(key, vals); err != nil {
+		ids := idsets[key]
+		if err := inv.AddIDs(key, ids); err != nil {
 			return nil, err
 		}
-		sig := hasher.Sign(vals)
-		if err := ens.Add(lshensemble.Domain{Key: key, Size: len(vals), Sig: sig}); err != nil {
+		sig := d.Sign(hasher, ids)
+		if err := ens.Add(lshensemble.Domain{Key: key, Size: len(ids), Sig: sig}); err != nil {
 			return nil, err
 		}
 	}
@@ -109,17 +154,13 @@ func (b *Builder) Build() (*Engine, error) {
 	if err := ens.Build(); err != nil {
 		return nil, err
 	}
-	sets := make(map[string]minhash.Set, len(b.cols))
-	for key, vals := range b.cols {
-		sets[key] = minhash.NewSet(vals)
-	}
 	return &Engine{
 		inv:      ix,
 		searcher: josie.NewSearcher(ix),
 		ensemble: ens,
 		hasher:   hasher,
-		cols:     b.cols,
-		sets:     sets,
+		dict:     d,
+		idsets:   idsets,
 		keys:     b.order,
 	}, nil
 }
@@ -132,9 +173,9 @@ type Engine struct {
 	searcher *josie.Searcher
 	ensemble *lshensemble.Index
 	hasher   *minhash.Hasher
-	cols     map[string][]string
-	sets     map[string]minhash.Set // per-column value sets, built once
-	keys     []string               // sorted column keys (scan order)
+	dict     *dict.Dict
+	idsets   map[string]dict.IDSet // per-column ID-encoded value sets
+	keys     []string              // sorted column keys (scan order)
 
 	// QueryParallelism bounds the per-query fan-out of candidate
 	// verification (ContainmentSearch) and the exact-scan baselines
@@ -145,29 +186,68 @@ type Engine struct {
 }
 
 // NumColumns returns the number of indexed columns.
-func (e *Engine) NumColumns() int { return len(e.cols) }
+func (e *Engine) NumColumns() int { return len(e.keys) }
 
-// ColumnValues returns the indexed distinct values of a column key.
+// Dict returns the dictionary the engine's sets are encoded in.
+func (e *Engine) Dict() *dict.Dict { return e.dict }
+
+// ColumnValues returns the indexed distinct values of a column key,
+// sorted ascending.
 func (e *Engine) ColumnValues(key string) ([]string, bool) {
-	v, ok := e.cols[key]
-	return v, ok
+	ids, ok := e.idsets[key]
+	if !ok {
+		return nil, false
+	}
+	return e.dict.Decode(ids), true
+}
+
+// SetsFootprint reports the resident cost of the engine's ID-encoded
+// column sets next to an estimate of the per-column string maps they
+// replaced.
+func (e *Engine) SetsFootprint() dict.Footprint {
+	var f dict.Footprint
+	for _, key := range e.keys {
+		f.Accumulate(e.dict.SetFootprint(e.idsets[key]))
+	}
+	return f
+}
+
+// Query is a query column encoded once against the engine's
+// dictionary: the sorted ID set of its distinct normalized values and
+// the parallel minhash base hashes. Encode once, reuse across the
+// engine's *Query methods; a Query is plain data and safe to share.
+type Query struct {
+	IDs    dict.IDSet
+	Hashes []uint64
+}
+
+// EncodeQuery normalizes, deduplicates, and dictionary-encodes a query
+// column. Out-of-vocabulary values get ephemeral IDs that can never
+// match an indexed value but still count toward the query cardinality.
+func (e *Engine) EncodeQuery(values []string) Query {
+	ids, hashes := e.dict.Encoder().EncodeHashes(tokenize.NormalizeSet(values))
+	return Query{IDs: ids, Hashes: hashes}
 }
 
 // TopKOverlap returns the k columns with largest exact value overlap
 // with the query (JOSIE). Values are normalized before matching; a
 // query with no usable values returns nil.
 func (e *Engine) TopKOverlap(values []string, k int) []Match {
-	q := tokenize.NormalizeSet(values)
-	if len(q) == 0 {
+	return e.TopKOverlapQuery(e.EncodeQuery(values), k)
+}
+
+// TopKOverlapQuery is TopKOverlap over a pre-encoded query.
+func (e *Engine) TopKOverlapQuery(q Query, k int) []Match {
+	if len(q.IDs) == 0 {
 		return nil
 	}
-	res := e.searcher.TopK(q, k, josie.Adaptive)
+	res := e.searcher.TopKIDs(q.IDs, k, josie.Adaptive)
 	out := make([]Match, len(res))
 	for i, r := range res {
 		out[i] = Match{
 			ColumnKey:   r.Key,
 			Overlap:     r.Overlap,
-			Containment: float64(r.Overlap) / float64(len(q)),
+			Containment: float64(r.Overlap) / float64(len(q.IDs)),
 		}
 	}
 	return out
@@ -176,34 +256,37 @@ func (e *Engine) TopKOverlap(values []string, k int) []Match {
 // TopKOverlapAlgo is TopKOverlap with an explicit JOSIE strategy, for
 // the benchmark ablation.
 func (e *Engine) TopKOverlapAlgo(values []string, k int, algo josie.Algorithm) ([]Match, josie.Stats) {
-	q := tokenize.NormalizeSet(values)
-	if len(q) == 0 {
+	q := e.EncodeQuery(values)
+	if len(q.IDs) == 0 {
 		return nil, josie.Stats{}
 	}
-	res, st := e.searcher.TopKStats(q, k, algo)
+	res, st := e.searcher.TopKIDsStats(q.IDs, k, algo)
 	out := make([]Match, len(res))
 	for i, r := range res {
-		out[i] = Match{ColumnKey: r.Key, Overlap: r.Overlap, Containment: float64(r.Overlap) / float64(len(q))}
+		out[i] = Match{ColumnKey: r.Key, Overlap: r.Overlap, Containment: float64(r.Overlap) / float64(len(q.IDs))}
 	}
 	return out, st
 }
 
 // ContainmentSearch returns columns whose containment of the query is
 // likely >= threshold, via LSH Ensemble. With verify, candidates are
-// checked against exact containment (precomputed per-column sets, so
-// no per-query map rebuilds) and false positives dropped; the
+// checked against exact containment (integer-set merges against the
+// precomputed per-column ID sets) and false positives dropped; the
 // verification fans out over QueryParallelism workers.
 func (e *Engine) ContainmentSearch(values []string, threshold float64, verify bool) ([]Match, error) {
-	q := tokenize.NormalizeSet(values)
-	if len(q) == 0 {
+	return e.ContainmentSearchQuery(e.EncodeQuery(values), threshold, verify)
+}
+
+// ContainmentSearchQuery is ContainmentSearch over a pre-encoded query.
+func (e *Engine) ContainmentSearchQuery(q Query, threshold float64, verify bool) ([]Match, error) {
+	if len(q.IDs) == 0 {
 		return nil, errors.New("join: empty query column")
 	}
-	sig := e.hasher.Sign(q)
-	cands, err := e.ensemble.Query(sig, len(q), threshold)
+	sig := e.hasher.SignHashes(q.Hashes)
+	cands, err := e.ensemble.Query(sig, len(q.IDs), threshold)
 	if err != nil {
 		return nil, err
 	}
-	qset := minhash.NewSet(q)
 	type verdict struct {
 		m    Match
 		keep bool
@@ -211,12 +294,12 @@ func (e *Engine) ContainmentSearch(values []string, threshold float64, verify bo
 	verdicts, _ := parallel.Map(len(cands), parallel.Resolve(e.QueryParallelism), func(i int) (verdict, error) {
 		m := Match{ColumnKey: cands[i]}
 		if verify {
-			c := minhash.ContainmentSets(qset, e.sets[cands[i]])
+			c := dict.Containment(q.IDs, e.idsets[cands[i]])
 			if c < threshold {
 				return verdict{}, nil
 			}
 			m.Containment = c
-			m.Overlap = int(c*float64(len(q)) + 0.5)
+			m.Overlap = int(c*float64(len(q.IDs)) + 0.5)
 		}
 		return verdict{m: m, keep: true}, nil
 	})
@@ -236,9 +319,9 @@ func (e *Engine) ContainmentSearch(values []string, threshold float64, verify bo
 // scanning and Jaccard's bias against large domains. The scan fans
 // out over QueryParallelism workers.
 func (e *Engine) JaccardSearch(values []string, threshold float64) []Match {
-	qset := minhash.NewSet(tokenize.NormalizeSet(values))
+	qids := e.dict.Encoder().Encode(tokenize.NormalizeSet(values))
 	scores, _ := parallel.Map(len(e.keys), parallel.Resolve(e.QueryParallelism), func(i int) (float64, error) {
-		return minhash.JaccardSets(qset, e.sets[e.keys[i]]), nil
+		return dict.Jaccard(qids, e.idsets[e.keys[i]]), nil
 	})
 	var out []Match
 	for i, key := range e.keys {
@@ -254,9 +337,9 @@ func (e *Engine) JaccardSearch(values []string, threshold float64) []Match {
 // measure LSH Ensemble recall. The scan fans out over
 // QueryParallelism workers.
 func (e *Engine) ExactContainmentScan(values []string, threshold float64) []Match {
-	qset := minhash.NewSet(tokenize.NormalizeSet(values))
+	qids := e.dict.Encoder().Encode(tokenize.NormalizeSet(values))
 	scores, _ := parallel.Map(len(e.keys), parallel.Resolve(e.QueryParallelism), func(i int) (float64, error) {
-		return minhash.ContainmentSets(qset, e.sets[e.keys[i]]), nil
+		return dict.Containment(qids, e.idsets[e.keys[i]]), nil
 	})
 	var out []Match
 	for i, key := range e.keys {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"tablehound/internal/dict"
 	"tablehound/internal/embedding"
 	"tablehound/internal/parallel"
 	"tablehound/internal/tokenize"
@@ -38,10 +39,20 @@ type FuzzyStats struct {
 // |d(q,pi) - d(x,pi)| <= r for every pivot, where r is the distance
 // radius corresponding to tau. Vectors failing the test are skipped
 // without a similarity computation.
+//
+// Each distinct lake value is embedded exactly once: columns hold
+// integer slots into shared vector and pivot-distance tables, so a
+// value appearing in many columns costs one embedding, one distance
+// row, and one canonical string (interned through the lake
+// dictionary when one is supplied).
 type FuzzyJoiner struct {
 	model     *embedding.Model
 	numPivots int
 	pivots    []embedding.Vector
+	dict      *dict.Dict
+	slotOf    map[string]int32   // distinct value -> slot
+	slotVec   []embedding.Vector // slot -> embedding
+	slotPD    [][]float64        // slot -> distance per pivot
 	cols      map[string]*fuzzyColumn
 	keys      []string
 
@@ -52,11 +63,10 @@ type FuzzyJoiner struct {
 	QueryParallelism int
 }
 
+// fuzzyColumn is one indexed column: slots into the joiner's shared
+// vector tables, in normalized distinct-value order.
 type fuzzyColumn struct {
-	values []string
-	vecs   []embedding.Vector
-	// pivotDist[i][p] = Euclidean distance of vecs[i] to pivot p.
-	pivotDist [][]float64
+	slots []int32
 }
 
 // NewFuzzyJoiner creates a joiner over the given embedding model with
@@ -65,8 +75,18 @@ func NewFuzzyJoiner(model *embedding.Model, numPivots int) *FuzzyJoiner {
 	if numPivots <= 0 {
 		numPivots = 4
 	}
-	return &FuzzyJoiner{model: model, numPivots: numPivots, cols: make(map[string]*fuzzyColumn)}
+	return &FuzzyJoiner{
+		model:     model,
+		numPivots: numPivots,
+		slotOf:    make(map[string]int32),
+		cols:      make(map[string]*fuzzyColumn),
+	}
 }
+
+// UseDict supplies the lake dictionary, used to intern the canonical
+// string behind each vector slot so slot keys share storage with the
+// rest of the system.
+func (f *FuzzyJoiner) UseDict(d *dict.Dict) { f.dict = d }
 
 // choosePivots runs farthest-point selection over the first indexed
 // column's vectors. Pivots drawn from the data spread across the
@@ -101,22 +121,54 @@ func (f *FuzzyJoiner) choosePivots(vecs []embedding.Vector) {
 	}
 }
 
+// slot returns the shared slot of a value, embedding it on first
+// sight. Pivot distances are filled separately (pivots may not exist
+// yet). Not safe for concurrent use.
+func (f *FuzzyJoiner) slot(v string) int32 {
+	if s, ok := f.slotOf[v]; ok {
+		return s
+	}
+	s := int32(len(f.slotVec))
+	f.slotOf[f.dict.Intern(v)] = s
+	f.slotVec = append(f.slotVec, f.model.ValueVector(v))
+	f.slotPD = append(f.slotPD, nil)
+	return s
+}
+
+// colVecs materializes a column's vectors in value order (for pivot
+// selection).
+func (f *FuzzyJoiner) colVecs(fc *fuzzyColumn) []embedding.Vector {
+	out := make([]embedding.Vector, len(fc.slots))
+	for i, s := range fc.slots {
+		out[i] = f.slotVec[s]
+	}
+	return out
+}
+
+// fillPivotDistances computes distance rows for every slot that lacks
+// one. Sequential; the batch path parallelizes the same work per slot.
+func (f *FuzzyJoiner) fillPivotDistances() {
+	for s := range f.slotPD {
+		if f.slotPD[s] == nil {
+			f.slotPD[s] = f.pivotDistances(f.slotVec[s])
+		}
+	}
+}
+
 // AddColumn indexes a column's distinct values.
 func (f *FuzzyJoiner) AddColumn(key string, values []string) error {
 	if _, dup := f.cols[key]; dup {
 		return errors.New("join: duplicate fuzzy column " + key)
 	}
 	distinct := tokenize.NormalizeSet(values)
-	fc := &fuzzyColumn{values: distinct}
-	for _, v := range distinct {
-		fc.vecs = append(fc.vecs, f.model.ValueVector(v))
+	fc := &fuzzyColumn{slots: make([]int32, len(distinct))}
+	for j, v := range distinct {
+		fc.slots[j] = f.slot(v)
 	}
 	if len(f.pivots) == 0 {
-		f.choosePivots(fc.vecs)
+		f.choosePivots(f.colVecs(fc))
 	}
-	for _, vec := range fc.vecs {
-		fc.pivotDist = append(fc.pivotDist, f.pivotDistances(vec))
-	}
+	f.fillPivotDistances()
 	f.cols[key] = fc
 	f.keys = append(f.keys, key)
 	sort.Strings(f.keys)
@@ -131,50 +183,86 @@ type FuzzyColumn struct {
 
 // AddColumns indexes a batch of columns using up to workers goroutines
 // for the embedding work, producing exactly the state a sequential
-// AddColumn loop over the same batch would. Value embedding and pivot
-// distances (the dominant costs) fan out per column; pivot selection
-// and map insertion — the order-sensitive steps — run sequentially in
+// AddColumn loop over the same batch would. Normalization, the
+// embedding of newly seen values, and pivot-distance rows (the
+// dominant costs) fan out; duplicate checks, slot assignment, and
+// pivot selection — the order-sensitive steps — run sequentially in
 // batch order. The embedding model is only read, never written.
 func (f *FuzzyJoiner) AddColumns(cols []FuzzyColumn, workers int) error {
-	// Phase 1 (parallel): normalize and embed every column.
-	fcs, err := parallel.Map(len(cols), workers, func(i int) (*fuzzyColumn, error) {
-		distinct := tokenize.NormalizeSet(cols[i].Values)
-		fc := &fuzzyColumn{values: distinct}
-		fc.vecs = make([]embedding.Vector, len(distinct))
-		for j, v := range distinct {
-			fc.vecs[j] = f.model.ValueVector(v)
-		}
-		return fc, nil
+	// Phase 1 (parallel): normalize every column.
+	distincts, err := parallel.Map(len(cols), workers, func(i int) ([]string, error) {
+		return tokenize.NormalizeSet(cols[i].Values), nil
 	})
 	if err != nil {
 		return err
 	}
-	// Phase 2 (sequential): duplicate checks and pivot selection, in
-	// batch order — pivots come from the first committed column with
-	// vectors, exactly as in the incremental path.
-	for i, fc := range fcs {
+	// Phase 2 (sequential): duplicate checks and slot assignment in
+	// batch order; embedding of new slots is deferred to phase 3.
+	var newVals []string
+	base := len(f.slotVec)
+	fcs := make([]*fuzzyColumn, len(cols))
+	for i, distinct := range distincts {
 		if _, dup := f.cols[cols[i].Key]; dup {
 			return errors.New("join: duplicate fuzzy column " + cols[i].Key)
 		}
+		fc := &fuzzyColumn{slots: make([]int32, len(distinct))}
+		for j, v := range distinct {
+			s, ok := f.slotOf[v]
+			if !ok {
+				s = int32(len(f.slotVec))
+				f.slotOf[f.dict.Intern(v)] = s
+				f.slotVec = append(f.slotVec, nil)
+				f.slotPD = append(f.slotPD, nil)
+				newVals = append(newVals, v)
+			}
+			fc.slots[j] = s
+		}
+		fcs[i] = fc
 		f.cols[cols[i].Key] = fc
 		f.keys = append(f.keys, cols[i].Key)
-		if len(f.pivots) == 0 {
-			f.choosePivots(fc.vecs)
+	}
+	// Phase 3 (parallel): embed newly seen values, one writer per slot.
+	if err := parallel.ForEach(len(newVals), workers, func(i int) error {
+		f.slotVec[base+i] = f.model.ValueVector(newVals[i])
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Phase 4 (sequential): pivot selection from the first committed
+	// column with vectors, exactly as in the incremental path.
+	for _, fc := range fcs {
+		if len(f.pivots) > 0 {
+			break
+		}
+		f.choosePivots(f.colVecs(fc))
+	}
+	// Phase 5 (parallel): distance rows for slots lacking one.
+	missing := make([]int32, 0, len(newVals))
+	for s := range f.slotPD {
+		if f.slotPD[s] == nil {
+			missing = append(missing, int32(s))
 		}
 	}
-	// Phase 3 (parallel): pivot distances per column.
-	if err := parallel.ForEach(len(fcs), workers, func(i int) error {
-		fc := fcs[i]
-		fc.pivotDist = make([][]float64, len(fc.vecs))
-		for j, vec := range fc.vecs {
-			fc.pivotDist[j] = f.pivotDistances(vec)
-		}
+	if err := parallel.ForEach(len(missing), workers, func(i int) error {
+		s := missing[i]
+		f.slotPD[s] = f.pivotDistances(f.slotVec[s])
 		return nil
 	}); err != nil {
 		return err
 	}
 	sort.Strings(f.keys)
 	return nil
+}
+
+// VectorStats returns the number of distinct embedded vectors (shared
+// slots) and the total per-column value references into them — the
+// dedup ratio the slot tables buy.
+func (f *FuzzyJoiner) VectorStats() (slots, refs int) {
+	slots = len(f.slotVec)
+	for _, fc := range f.cols {
+		refs += len(fc.slots)
+	}
+	return slots, refs
 }
 
 func (f *FuzzyJoiner) pivotDistances(v embedding.Vector) []float64 {
@@ -196,7 +284,8 @@ func euclid(a, b embedding.Vector) float64 {
 // concurrent use; query embedding and per-column verification fan out
 // over QueryParallelism workers into indexed slots, with the stats
 // summed in column order, so results are bit-identical to the
-// sequential scan.
+// sequential scan. Query values already present in the slot tables
+// reuse their cached vector and distance row instead of re-embedding.
 func (f *FuzzyJoiner) Search(values []string, tau, minFraction float64) ([]FuzzyMatch, FuzzyStats) {
 	var st FuzzyStats
 	q := tokenize.NormalizeSet(values)
@@ -207,6 +296,10 @@ func (f *FuzzyJoiner) Search(values []string, tau, minFraction float64) ([]Fuzzy
 	qv := make([]embedding.Vector, len(q))
 	qp := make([][]float64, len(q))
 	parallel.ForEach(len(q), workers, func(i int) error {
+		if s, ok := f.slotOf[q[i]]; ok {
+			qv[i], qp[i] = f.slotVec[s], f.slotPD[s]
+			return nil
+		}
 		qv[i] = f.model.ValueVector(q[i])
 		qp[i] = f.pivotDistances(qv[i])
 		return nil
@@ -248,9 +341,10 @@ func (f *FuzzyJoiner) Search(values []string, tau, minFraction float64) ([]Fuzzy
 
 func (f *FuzzyJoiner) valueMatches(qv embedding.Vector, qp []float64, fc *fuzzyColumn, tau, r float64, st *FuzzyStats) bool {
 candidates:
-	for i := range fc.vecs {
+	for _, s := range fc.slots {
+		pd := f.slotPD[s]
 		for p := range f.pivots {
-			d := qp[p] - fc.pivotDist[i][p]
+			d := qp[p] - pd[p]
 			if d < 0 {
 				d = -d
 			}
@@ -260,7 +354,7 @@ candidates:
 			}
 		}
 		st.Comparisons++
-		if qv.Dot(fc.vecs[i]) >= tau {
+		if qv.Dot(f.slotVec[s]) >= tau {
 			return true
 		}
 	}

@@ -100,11 +100,31 @@ func (s *Searcher) TopK(values []string, k int, algo Algorithm) []Result {
 
 // TopKStats is TopK plus work counters.
 func (s *Searcher) TopKStats(values []string, k int, algo Algorithm) ([]Result, Stats) {
-	var st Stats
 	if k <= 0 {
-		return nil, st
+		return nil, Stats{}
 	}
-	q := s.ix.QueryRanks(values)
+	return s.topK(s.ix.QueryRanks(values), k, algo)
+}
+
+// TopKIDs is TopK for a query already interned to deduplicated
+// dictionary IDs (an ID-built index); out-of-vocabulary IDs are
+// dropped, exactly as unknown strings are. Results are identical to
+// TopK over the decoded values.
+func (s *Searcher) TopKIDs(ids []uint32, k int, algo Algorithm) []Result {
+	r, _ := s.TopKIDsStats(ids, k, algo)
+	return r
+}
+
+// TopKIDsStats is TopKIDs plus work counters.
+func (s *Searcher) TopKIDsStats(ids []uint32, k int, algo Algorithm) ([]Result, Stats) {
+	if k <= 0 {
+		return nil, Stats{}
+	}
+	return s.topK(s.ix.QueryRanksIDs(ids), k, algo)
+}
+
+func (s *Searcher) topK(q []int32, k int, algo Algorithm) ([]Result, Stats) {
+	var st Stats
 	if len(q) == 0 {
 		return nil, st
 	}

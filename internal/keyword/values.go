@@ -16,20 +16,32 @@ import (
 // same-schema tables ready for union. Add must not run concurrently
 // with anything; Search/SearchClusters are safe for concurrent use
 // (the lazy Finish on first use is mutex-guarded).
+//
+// Terms are interned into a dense index-local ID space at Finish, and
+// each document stores sorted (term ID, tf) postings: scoring a term
+// against a document is a binary search over integers instead of a
+// string-map probe, and the per-document string maps are dropped.
 type ValueIndex struct {
-	docs     []string
-	schemas  []string             // schema signature per doc
-	termFreq []map[string]float64 // doc -> term -> tf
-	docLen   []float64
-	df       map[string]int
-	avgLen   float64
-	mu       sync.Mutex // guards frozen/avgLen for the lazy Finish
-	frozen   bool
+	docs    []string
+	schemas []string // schema signature per doc
+	docLen  []float64
+	termID  map[string]uint32 // term -> dense ID (index-local vocabulary)
+	df      []int             // term ID -> document frequency
+	// docTerms/docTF are each document's postings, sorted by term ID.
+	docTerms [][]uint32
+	docTF    [][]float64
+	// pending holds term-frequency maps of documents added since the
+	// last Finish (a suffix of docs, in order); finishLocked encodes
+	// them and assigns IDs to unseen terms deterministically.
+	pending []map[string]float64
+	avgLen  float64
+	mu      sync.Mutex // guards frozen/avgLen for the lazy Finish
+	frozen  bool
 }
 
 // NewValueIndex returns an empty value index.
 func NewValueIndex() *ValueIndex {
-	return &ValueIndex{df: make(map[string]int)}
+	return &ValueIndex{termID: make(map[string]uint32)}
 }
 
 // Add indexes one table's cell values (word tokens, stopwords
@@ -56,11 +68,8 @@ func (ix *ValueIndex) Add(t *table.Table) {
 	}
 	ix.docs = append(ix.docs, t.ID)
 	ix.schemas = append(ix.schemas, schemaSig(t))
-	ix.termFreq = append(ix.termFreq, tf)
 	ix.docLen = append(ix.docLen, l)
-	for term := range tf {
-		ix.df[term]++
-	}
+	ix.pending = append(ix.pending, tf)
 	ix.frozen = false
 }
 
@@ -81,6 +90,43 @@ func (ix *ValueIndex) Finish() {
 }
 
 func (ix *ValueIndex) finishLocked() {
+	// Encode pending documents. New terms get IDs in per-document
+	// sorted order, so the vocabulary is a pure function of the add
+	// sequence regardless of map iteration order.
+	for _, tf := range ix.pending {
+		terms := make([]string, 0, len(tf))
+		for t := range tf {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		ids := make([]uint32, len(terms))
+		for i, t := range terms {
+			id, ok := ix.termID[t]
+			if !ok {
+				id = uint32(len(ix.df))
+				ix.termID[t] = id
+				ix.df = append(ix.df, 0)
+			}
+			ix.df[id]++
+			ids[i] = id
+		}
+		// Order postings by term ID (string order above only applies to
+		// newly assigned IDs; revisited terms carry older, smaller IDs).
+		ord := make([]int, len(terms))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(i, j int) bool { return ids[ord[i]] < ids[ord[j]] })
+		sortedIDs := make([]uint32, len(terms))
+		sortedTF := make([]float64, len(terms))
+		for i, o := range ord {
+			sortedIDs[i] = ids[o]
+			sortedTF[i] = tf[terms[o]]
+		}
+		ix.docTerms = append(ix.docTerms, sortedIDs)
+		ix.docTF = append(ix.docTF, sortedTF)
+	}
+	ix.pending = nil
 	var sum float64
 	for _, l := range ix.docLen {
 		sum += l
@@ -104,10 +150,31 @@ func (ix *ValueIndex) ensureFinished() {
 // Len returns the number of indexed tables.
 func (ix *ValueIndex) Len() int { return len(ix.docs) }
 
-func (ix *ValueIndex) idf(term string) float64 {
+// Stats returns the vocabulary size and the total posting count across
+// documents (valid after Finish).
+func (ix *ValueIndex) Stats() (terms, postings int) {
+	terms = len(ix.df)
+	for _, ts := range ix.docTerms {
+		postings += len(ts)
+	}
+	return terms, postings
+}
+
+func (ix *ValueIndex) idf(df int) float64 {
 	n := float64(len(ix.docs))
-	d := float64(ix.df[term])
+	d := float64(df)
 	return math.Log(1 + (n-d+0.5)/(d+0.5))
+}
+
+// tfOf returns the term frequency of a term ID in a document via
+// binary search over its sorted postings.
+func (ix *ValueIndex) tfOf(doc int, id uint32) float64 {
+	ts := ix.docTerms[doc]
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= id })
+	if i < len(ts) && ts[i] == id {
+		return ix.docTF[doc][i]
+	}
+	return 0
 }
 
 // Search ranks tables by BM25 over cell values.
@@ -117,16 +184,28 @@ func (ix *ValueIndex) Search(query string, k int) []Result {
 	if len(terms) == 0 || k <= 0 {
 		return nil
 	}
+	// Resolve query terms once: unknown terms can never score and are
+	// skipped per document exactly as a zero term frequency was. The
+	// per-term idf is a pure function of the df, so hoisting it out of
+	// the document loop changes no bits.
+	qids := make([]uint32, 0, len(terms))
+	qidf := make([]float64, 0, len(terms))
+	for _, t := range terms {
+		if id, ok := ix.termID[t]; ok {
+			qids = append(qids, id)
+			qidf = append(qidf, ix.idf(ix.df[id]))
+		}
+	}
 	var res []Result
 	for d := range ix.docs {
 		var score float64
-		for _, t := range terms {
-			f := ix.termFreq[d][t]
+		for i, id := range qids {
+			f := ix.tfOf(d, id)
 			if f == 0 {
 				continue
 			}
 			norm := f * (bm25K1 + 1) / (f + bm25K1*(1-bm25B+bm25B*ix.docLen[d]/ix.avgLen))
-			score += ix.idf(t) * norm
+			score += qidf[i] * norm
 		}
 		if score > 0 {
 			res = append(res, Result{TableID: ix.docs[d], Score: score})

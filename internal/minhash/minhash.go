@@ -7,10 +7,7 @@
 // can be derived from the Jaccard estimate plus the set cardinalities.
 package minhash
 
-import (
-	"fmt"
-	"hash/fnv"
-)
+import "fmt"
 
 // Signature is a MinHash signature: one minimum per permutation.
 type Signature []uint64
@@ -50,13 +47,28 @@ func NewHasher(k int, seed uint64) *Hasher {
 // K returns the number of permutations.
 func (h *Hasher) K() int { return h.k }
 
-// HashValue returns the base 64-bit hash of a value. The FNV digest is
-// passed through a splitmix64 finalizer: raw FNV of short sequential
-// strings is not uniform enough for order-statistic sketches (KMV).
+// FNV-1a parameters (hash/fnv), inlined so hashing a value allocates
+// nothing: the stdlib digest costs a heap object plus a []byte copy of
+// the string per call, and HashValue sits on every signing hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashValue returns the base 64-bit hash of a value: FNV-1a over the
+// string bytes, passed through a splitmix64 finalizer — raw FNV of
+// short sequential strings is not uniform enough for order-statistic
+// sketches (KMV). Allocation-free; bit-identical to the historical
+// hash/fnv implementation. Callers holding dictionary IDs should
+// prefer the dict package's cached HashID path, which avoids
+// re-hashing the string entirely.
 func HashValue(v string) uint64 {
-	f := fnv.New64a()
-	f.Write([]byte(v))
-	return splitmix64(f.Sum64())
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= fnvPrime64
+	}
+	return splitmix64(h)
 }
 
 // Sign computes the signature of a value set. Duplicates are harmless

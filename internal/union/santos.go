@@ -4,8 +4,8 @@ import (
 	"errors"
 	"sort"
 
+	"tablehound/internal/dict"
 	"tablehound/internal/kb"
-	"tablehound/internal/minhash"
 	"tablehound/internal/parallel"
 	"tablehound/internal/table"
 	"tablehound/internal/tokenize"
@@ -47,9 +47,14 @@ type Santos struct {
 	curated *kb.KB
 	tables  map[string]*santosTable
 	ids     []string
-	// pairIndex maps a value-pair token to tables containing it — the
+	// pairDict interns every "subject||object" pair token mined from
+	// the lake; relationships hold sorted ID sets over it, so pair
+	// containment is an integer merge. Rebuilt by Build (the pair
+	// vocabulary is lake-derived, never external).
+	pairDict *dict.Dict
+	// pairIndex maps a pair token ID to tables containing it — the
 	// synthesized KB, mined from the lake itself.
-	pairIndex map[string][]string
+	pairIndex map[uint32][]string
 	built     bool
 
 	// QueryParallelism bounds the per-query candidate-verification
@@ -68,10 +73,12 @@ type santosTable struct {
 
 type santosRel struct {
 	colName string
-	// pairs is the set of "subject||object" value-pair tokens.
+	// pairs holds the "subject||object" value-pair tokens between
+	// staging and Build; Build encodes them into pairIDs and clears the
+	// slice. Query relationships are encoded immediately.
 	pairs []string
-	// pairSet is the same tokens precomputed for containment scoring.
-	pairSet minhash.Set
+	// pairIDs is the same token set as sorted pair-dictionary IDs.
+	pairIDs dict.IDSet
 	// pred is the curated-KB dominant predicate, when covered.
 	pred     string
 	predFrac float64
@@ -82,7 +89,7 @@ func NewSantos(curated *kb.KB) *Santos {
 	return &Santos{
 		curated:   curated,
 		tables:    make(map[string]*santosTable),
-		pairIndex: make(map[string][]string),
+		pairIndex: make(map[uint32][]string),
 	}
 }
 
@@ -125,7 +132,6 @@ func (s *Santos) analyze(tbl *table.Table) *santosTable {
 				kbPairs = append(kbPairs, [2]string{a, b})
 			}
 		}
-		rel.pairSet = minhash.NewSet(rel.pairs)
 		if s.curated != nil && len(kbPairs) > 0 {
 			if pred, frac, ok := s.curated.DominantPredicate(kbPairs); ok && frac >= 0.5 {
 				rel.pred, rel.predFrac = pred, frac
@@ -136,16 +142,34 @@ func (s *Santos) analyze(tbl *table.Table) *santosTable {
 	return st
 }
 
-// Build freezes the synthesized pair index.
+// Build freezes the synthesized pair index: it interns the pair
+// vocabulary into a fresh dictionary, encodes every relationship's
+// pair set to sorted IDs, and indexes pair ID -> owning tables.
+// Relationships encoded by an earlier Build are first decoded through
+// the old dictionary — IDs from two dictionaries must never mix.
 func (s *Santos) Build() error {
 	if len(s.tables) == 0 {
 		return errors.New("union: no tables added to SANTOS")
 	}
 	sort.Strings(s.ids)
-	s.pairIndex = make(map[string][]string)
+	db := dict.NewBuilder()
 	for _, id := range s.ids {
-		for _, rel := range s.tables[id].rels {
-			for _, p := range rel.pairs {
+		for i := range s.tables[id].rels {
+			rel := &s.tables[id].rels[i]
+			if rel.pairs == nil && rel.pairIDs != nil {
+				rel.pairs = s.pairDict.Decode(rel.pairIDs)
+			}
+			db.Add(rel.pairs...)
+		}
+	}
+	s.pairDict = db.Build()
+	s.pairIndex = make(map[uint32][]string)
+	for _, id := range s.ids {
+		for i := range s.tables[id].rels {
+			rel := &s.tables[id].rels[i]
+			rel.pairIDs, _ = s.pairDict.EncodeKnown(rel.pairs)
+			rel.pairs = nil
+			for _, p := range rel.pairIDs {
 				s.pairIndex[p] = append(s.pairIndex[p], id)
 			}
 		}
@@ -156,6 +180,22 @@ func (s *Santos) Build() error {
 
 // NumTables returns the number of indexed tables.
 func (s *Santos) NumTables() int { return len(s.tables) }
+
+// PairDict returns the pair-token dictionary (nil before Build).
+func (s *Santos) PairDict() *dict.Dict { return s.pairDict }
+
+// PairFootprint reports the resident cost of the ID-encoded pair sets
+// next to an estimate of the per-relationship string maps they
+// replaced.
+func (s *Santos) PairFootprint() dict.Footprint {
+	var f dict.Footprint
+	for _, id := range s.ids {
+		for _, rel := range s.tables[id].rels {
+			f.Accumulate(s.pairDict.SetFootprint(rel.pairIDs))
+		}
+	}
+	return f
+}
 
 // Search returns the k tables whose relationships best align with the
 // query's, under the given knowledge mode. Search is a pure read: it
@@ -169,6 +209,15 @@ func (s *Santos) Search(query *table.Table, k int, mode SantosMode) ([]Result, e
 	q := s.analyze(query)
 	if q == nil {
 		return nil, errors.New("union: query table needs an intent column and one other string column")
+	}
+	// Encode the query's pair sets against the frozen pair dictionary.
+	// One encoder across relationships: pairs absent from the lake get
+	// ephemeral IDs (never matching an indexed pair) that are shared
+	// between query relationships.
+	enc := s.pairDict.Encoder()
+	for i := range q.rels {
+		q.rels[i].pairIDs = enc.Encode(q.rels[i].pairs)
+		q.rels[i].pairs = nil
 	}
 	// Candidates: tables sharing any value pair with the query, plus
 	// (curated modes) tables sharing a predicate.
@@ -206,7 +255,7 @@ func (s *Santos) candidates(q *santosTable, mode SantosMode) []string {
 	}
 	if mode != CuratedOnly {
 		for _, rel := range q.rels {
-			for _, p := range rel.pairs {
+			for _, p := range rel.pairIDs {
 				for _, id := range s.pairIndex[p] {
 					add(id)
 				}
@@ -259,11 +308,11 @@ func relScore(a, b santosRel, mode SantosMode) float64 {
 		curated = (a.predFrac + b.predFrac) / 2
 	}
 	if mode != CuratedOnly {
-		small, big := a.pairSet, b.pairSet
+		small, big := a.pairIDs, b.pairIDs
 		if len(big) < len(small) {
 			small, big = big, small
 		}
-		synth = minhash.ContainmentSets(small, big)
+		synth = dict.Containment(small, big)
 	}
 	switch mode {
 	case CuratedOnly:

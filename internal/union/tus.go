@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"tablehound/internal/dict"
 	"tablehound/internal/embedding"
 	"tablehound/internal/graph"
 	"tablehound/internal/hnsw"
@@ -23,6 +24,11 @@ type TUSConfig struct {
 	// KB supplies the ontology for the semantic measure; optional —
 	// without it the semantic measure scores 0 everywhere.
 	KB *kb.KB
+	// Dict is the lake-wide value dictionary; optional. When it covers
+	// every staged value, columns are encoded through it so the set
+	// measure shares the lake ID space; otherwise Build falls back to a
+	// self-built dictionary over the staged universe.
+	Dict *dict.Dict
 	// Exhaustive disables index-based candidate generation and scores
 	// every table (the accuracy ceiling; slow).
 	Exhaustive bool
@@ -39,6 +45,7 @@ type TUS struct {
 	tables  map[string]*tusTable
 	ids     []string
 	univ    map[string]bool // distinct value universe (for set measure)
+	dict    *dict.Dict      // dictionary the columns are encoded in
 	setLSH  *lsh.Index
 	nlIndex *hnsw.Graph
 	hasher  *minhash.Hasher
@@ -58,9 +65,12 @@ type tusTable struct {
 }
 
 type tusColumn struct {
-	name   string
-	values []string    // distinct normalized
-	set    minhash.Set // same values, precomputed for overlap counting
+	name string
+	// values holds the distinct normalized values between staging and
+	// Build; Build encodes them into ids and clears the slice. Query
+	// columns are encoded immediately and never carry values.
+	values []string
+	ids    dict.IDSet // same values as sorted dictionary IDs
 	sig    minhash.Signature
 	vec    embedding.Vector
 	// Semantic annotation (dominant ontology type), when covered.
@@ -94,7 +104,7 @@ func (t *TUS) AddTable(tbl *table.Table) {
 		tc := t.makeColumn(c)
 		entry.cols = append(entry.cols, tc)
 		for _, v := range tc.values {
-			t.univ[v] = true
+			t.univ[t.cfg.Dict.Intern(v)] = true
 		}
 	}
 	if len(entry.cols) == 0 {
@@ -128,7 +138,7 @@ func (t *TUS) AddTables(tbls []*table.Table, workers int) {
 		}
 		for _, tc := range entry.cols {
 			for _, v := range tc.values {
-				t.univ[v] = true
+				t.univ[t.cfg.Dict.Intern(v)] = true
 			}
 		}
 		t.tables[entry.tbl.ID] = entry
@@ -142,7 +152,6 @@ func (t *TUS) makeColumn(c *table.Column) *tusColumn {
 	tc := &tusColumn{
 		name:   c.Name,
 		values: values,
-		set:    minhash.NewSet(values),
 		sig:    t.hasher.Sign(values),
 		vec:    t.cfg.Model.ColumnVector(values),
 	}
@@ -154,12 +163,24 @@ func (t *TUS) makeColumn(c *table.Column) *tusColumn {
 	return tc
 }
 
+// queryColumn analyzes an ad-hoc column and encodes it through enc.
+// Out-of-vocabulary values get ephemeral IDs shared across columns of
+// the same encoder, so two query columns still see their mutual
+// overlap even off the lake vocabulary.
+func (t *TUS) queryColumn(c *table.Column, enc *dict.Encoder) *tusColumn {
+	tc := t.makeColumn(c)
+	tc.ids = enc.Encode(tc.values)
+	tc.values = nil
+	return tc
+}
+
 // Build freezes the candidate-generation indexes.
 func (t *TUS) Build() error {
 	if len(t.tables) == 0 {
 		return errors.New("union: no tables added")
 	}
 	sort.Strings(t.ids)
+	t.encodeColumns()
 	// Low-threshold LSH: candidate columns need only weak set overlap;
 	// scoring decides.
 	b, r := lsh.OptimalParams(0.3, t.cfg.NumHashes, 0.8, 0.2)
@@ -184,15 +205,74 @@ func (t *TUS) Build() error {
 	return nil
 }
 
+// encodeColumns picks the dictionary for this build and encodes every
+// column's values into sorted ID sets. The configured lake dictionary
+// is used when it covers the whole staged universe; otherwise a
+// dictionary is built over the universe itself. When the dictionary
+// changes between builds (the self-built one grows with new tables),
+// previously encoded columns are re-encoded — IDs from different
+// dictionaries must never mix, or cross-column overlap breaks.
+func (t *TUS) encodeColumns() {
+	d := t.cfg.Dict
+	covered := d != nil
+	if covered {
+		for v := range t.univ {
+			if _, ok := d.ID(v); !ok {
+				covered = false
+				break
+			}
+		}
+	}
+	if !covered {
+		db := dict.NewBuilder()
+		for v := range t.univ {
+			db.Add(v)
+		}
+		d = db.Build()
+	}
+	rebuild := d != t.dict
+	for _, id := range t.ids {
+		for _, c := range t.tables[id].cols {
+			if c.ids != nil && !rebuild {
+				continue
+			}
+			if c.values == nil {
+				c.values = t.dict.Decode(c.ids)
+			}
+			c.ids, _ = d.EncodeKnown(c.values)
+			c.values = nil
+		}
+	}
+	t.dict = d
+}
+
 // NumTables returns the number of indexed tables.
 func (t *TUS) NumTables() int { return len(t.tables) }
+
+// Dict returns the dictionary the engine's columns are encoded in
+// (nil before the first Build).
+func (t *TUS) Dict() *dict.Dict { return t.dict }
+
+// SetsFootprint reports the resident cost of the ID-encoded column
+// sets next to an estimate of the per-column string maps they
+// replaced.
+func (t *TUS) SetsFootprint() dict.Footprint {
+	var f dict.Footprint
+	for _, id := range t.ids {
+		for _, c := range t.tables[id].cols {
+			f.Accumulate(t.dict.SetFootprint(c.ids))
+		}
+	}
+	return f
+}
 
 // ColumnUnionability scores two value sets under a measure; exported
 // for benchmarking the measures in isolation. Inputs are raw values
 // (normalized internally).
 func (t *TUS) ColumnUnionability(a, b []string, m Measure) float64 {
-	ca := t.makeColumn(table.NewColumn("a", a))
-	cb := t.makeColumn(table.NewColumn("b", b))
+	enc := t.dict.Encoder()
+	ca := t.queryColumn(table.NewColumn("a", a), enc)
+	cb := t.queryColumn(table.NewColumn("b", b), enc)
 	return t.columnScore(ca, cb, m)
 }
 
@@ -221,12 +301,12 @@ func (t *TUS) columnScore(a, b *tusColumn, m Measure) float64 {
 // the observed overlap — i.e. the hypergeometric CDF at the overlap.
 // High observed overlap relative to chance drives the score to 1.
 func (t *TUS) setUnionability(a, b *tusColumn) float64 {
-	overlap := minhash.OverlapSets(a.set, b.set)
+	overlap := dict.Overlap(a.ids, b.ids)
 	if overlap == 0 {
 		return 0
 	}
 	d := len(t.univ)
-	na, nb := len(a.values), len(b.values)
+	na, nb := len(a.ids), len(b.ids)
 	if d < na+nb { // universe estimate too small for a valid model
 		d = na + nb
 	}
@@ -326,9 +406,10 @@ func (t *TUS) Search(query *table.Table, k int, m Measure) ([]Result, error) {
 	if !t.built {
 		return nil, ErrNotBuilt
 	}
+	enc := t.dict.Encoder()
 	qcols := make([]*tusColumn, 0)
 	for _, c := range stringColumns(query) {
-		qcols = append(qcols, t.makeColumn(c))
+		qcols = append(qcols, t.queryColumn(c, enc))
 	}
 	if len(qcols) == 0 {
 		return nil, errors.New("union: query table has no usable string columns")
