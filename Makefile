@@ -6,7 +6,7 @@
 GO ?= go
 COUNT ?= 1
 
-.PHONY: check race bench-build bench-query bench-mem
+.PHONY: check race bench-build bench-query bench-mem serve-smoke
 
 check:
 	$(GO) vet ./...
@@ -17,15 +17,23 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/hnsw/... ./internal/join/... \
 		./internal/union/... ./internal/starmie/... ./internal/table/... \
 		./internal/lake/... ./internal/parallel/... ./internal/keyword/... \
-		./internal/dict/...
+		./internal/dict/... ./internal/server/... ./internal/qcache/... \
+		./internal/obs/...
+
+# End-to-end smoke of the serving layer: real lakeserved process over
+# a generated 100-table lake, one query per endpoint via lakectl's
+# client mode, graceful SIGTERM shutdown.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 bench-build:
 	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchtime 2x .
 
-# Query-serving benchmarks over the 500-table lake. Set COUNT=10 for
-# benchstat-worthy samples: make bench-query COUNT=10 > new.txt
+# Query-serving benchmarks over the 500-table lake, including the
+# loopback-HTTP serving benchmark (cold vs warm cache). Set COUNT=10
+# for benchstat-worthy samples: make bench-query COUNT=10 > new.txt
 bench-query:
-	$(GO) test -run xxx -bench 'BenchmarkQuery' -benchmem -count $(COUNT) .
+	$(GO) test -run xxx -bench 'BenchmarkQuery|BenchmarkServeQPS' -benchmem -count $(COUNT) .
 
 # Allocation-focused comparison of the string query surfaces against
 # their dictionary-encoded (pre-interned query) variants.

@@ -261,7 +261,9 @@ func BenchmarkQueryKeyword(b *testing.B) {
 	sys := queryBenchSystem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys.KeywordSearch("records data", 10)
+		if _, err := sys.KeywordSearch("records data", 10); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -281,7 +283,9 @@ func BenchmarkQueryQPS(b *testing.B) {
 		for pb.Next() {
 			switch i % 4 {
 			case 0:
-				sys.KeywordSearch("records data", 10)
+				if _, err := sys.KeywordSearch("records data", 10); err != nil {
+					b.Fatal(err)
+				}
 			case 1:
 				sys.Join.TopKOverlap(qvals, 10)
 			case 2:

@@ -85,8 +85,8 @@ func cmdBenchQPS(args []string) error {
 		name string
 		run  func() error
 	}{
-		{"keyword", func() error { sys.KeywordSearch(kw, *k); return nil }},
-		{"join-overlap", func() error { sys.JoinableColumns(vals, *k); return nil }},
+		{"keyword", func() error { _, err := sys.KeywordSearch(kw, *k); return err }},
+		{"join-overlap", func() error { _, err := sys.JoinableColumns(vals, *k); return err }},
 		{"containment", func() error { _, err := sys.ContainmentSearch(vals, 0.5, *k); return err }},
 		{"union-tus", func() error { _, err := sys.TUS.Search(qt, *k, union.EnsembleMeasure); return err }},
 	}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	lakectl gen -out DIR [-templates N] [-tables N] [-seed S]
-//	lakectl stats -lake DIR
+//	lakectl stats -lake DIR | -addr HOST:PORT
+//	lakectl query <search|vsearch|join|union> -addr HOST:PORT [flags]
 //	lakectl search -lake DIR -q "topic keywords" [-k 10]
 //	lakectl join -lake DIR -table ID -column NAME [-k 10]
 //	lakectl union -lake DIR -table ID [-k 10] [-method tus|santos|starmie]
@@ -61,6 +62,8 @@ func main() {
 		err = cmdMatch(os.Args[2:])
 	case "joinpath":
 		err = cmdJoinPath(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
 	case "bench-qps":
 		err = cmdBenchQPS(os.Args[2:])
 	case "memstats":
@@ -85,7 +88,8 @@ func usage() {
 
 commands:
   gen       generate a synthetic data lake as a directory of CSVs
-  stats     print catalog statistics for a lake directory
+  stats     print catalog statistics for a lake (or -addr for a daemon)
+  query     run a search against a running lakeserved daemon
   search    keyword search over table metadata
   join      find joinable columns for a query column
   union     find unionable tables for a query table
@@ -175,8 +179,12 @@ func cmdGen(args []string) error {
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("lake", "", "lake directory")
+	addr := fs.String("addr", "", "running lakeserved address (replaces -lake)")
 	bf := addBuildFlags(fs)
 	fs.Parse(args)
+	if *addr != "" {
+		return remoteStats(*addr)
+	}
 	cat, err := bf.loadCatalog(*dir)
 	if err != nil {
 		return err
@@ -215,7 +223,11 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
-	for i, r := range sys.KeywordSearch(*q, *k) {
+	res, err := sys.KeywordSearch(*q, *k)
+	if err != nil {
+		return err
+	}
+	for i, r := range res {
 		t := sys.Catalog.Table(r.TableID)
 		fmt.Printf("%2d. %-20s %6.2f  %s\n", i+1, r.TableID, r.Score, t.Name)
 	}
@@ -242,7 +254,11 @@ func cmdJoin(args []string) error {
 	if c == nil {
 		return fmt.Errorf("join: table %q has no column %q", *tableID, *column)
 	}
-	for i, m := range sys.JoinableColumns(c.Values, *k) {
+	ms, err := sys.JoinableColumns(c.Values, *k)
+	if err != nil {
+		return err
+	}
+	for i, m := range ms {
 		fmt.Printf("%2d. %-32s overlap=%-5d containment=%.2f\n", i+1, m.ColumnKey, m.Overlap, m.Containment)
 	}
 	return nil
@@ -346,7 +362,11 @@ func cmdVSearch(args []string) error {
 	if err != nil {
 		return err
 	}
-	for i, cl := range sys.ValueSearch(*q, *k) {
+	clusters, err := sys.ValueSearch(*q, *k)
+	if err != nil {
+		return err
+	}
+	for i, cl := range clusters {
 		fmt.Printf("cluster %d (score %.2f, schema [%s]):\n", i+1, cl.Score, strings.Join(cl.Schema, ", "))
 		for _, id := range cl.TableIDs {
 			fmt.Printf("  %s\n", id)

@@ -1,0 +1,121 @@
+// Command lakeserved builds a discovery system over a lake directory
+// once and serves it over HTTP: joinable-column, unionable-table, and
+// keyword search as JSON endpoints, plus /healthz, /stats, and a
+// Prometheus-format /metrics.
+//
+// Usage:
+//
+//	lakeserved -lake DIR [-addr :8080] [-parallel N] [-qparallel N]
+//	           [-max-inflight N] [-queue N] [-cache-entries N]
+//	           [-timeout D] [-drain D]
+//
+// The serving layer bounds concurrent query execution (-max-inflight)
+// with a bounded wait queue (-queue); beyond both, requests are shed
+// with 429. Query results are cached (-cache-entries; 0 disables).
+// SIGINT/SIGTERM trigger a graceful shutdown: new requests get 503
+// while in-flight queries get up to -drain to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tablehound/internal/core"
+	"tablehound/internal/lake"
+	"tablehound/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lakeserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("lakeserved", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory of CSV files (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	parallel := fs.Int("parallel", 0, "construction workers (0 = all CPUs)")
+	qparallel := fs.Int("qparallel", 0, "per-query workers (0 = all CPUs)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing queries (0 = NumCPU)")
+	queue := fs.Int("queue", 0, "max queries waiting for a slot (0 = 4x max-inflight)")
+	cacheEntries := fs.Int("cache-entries", 4096, "query-result cache size (0 disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-query execution budget")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline")
+	timing := fs.Bool("timing", false, "print per-stage build timing to stderr")
+	fs.Parse(os.Args[1:])
+	if *dir == "" {
+		return fmt.Errorf("-lake is required")
+	}
+
+	log.SetPrefix("lakeserved: ")
+	log.SetFlags(log.LstdFlags)
+
+	start := time.Now()
+	cat, err := lake.LoadCSVDirN(*dir, *parallel)
+	if err != nil {
+		return err
+	}
+	sys, err := core.Build(cat, core.Options{
+		Parallelism:      *parallel,
+		QueryParallelism: *qparallel,
+	})
+	if err != nil {
+		return err
+	}
+	if *timing {
+		fmt.Fprint(os.Stderr, sys.BuildStats.Report())
+	}
+	st := cat.Stats()
+	log.Printf("built system over %s: %d tables, %d columns, %d distinct values in %v",
+		*dir, st.Tables, st.Columns, st.DistinctValues, time.Since(start).Round(time.Millisecond))
+
+	srv := server.New(sys, server.Config{
+		MaxInFlight:  *maxInflight,
+		MaxQueue:     *queue,
+		QueryTimeout: *timeout,
+		DrainTimeout: *drain,
+		CacheEntries: *cacheEntries,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("received %v, draining", sig)
+	}
+
+	// Drain in-flight queries first (new requests get 503), then close
+	// the listener and idle connections.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	log.Printf("shutdown complete")
+	return nil
+}

@@ -45,7 +45,11 @@ func main() {
 	// 3. Keyword search over table metadata.
 	topic := gen.DomainNames[gen.Templates[0].Domains[0]]
 	fmt.Printf("keyword search %q:\n", topic)
-	for _, r := range sys.KeywordSearch(topic, 3) {
+	kres, err := sys.KeywordSearch(topic, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range kres {
 		fmt.Printf("  %-12s score=%.2f  %s\n", r.TableID, r.Score, catalog.Table(r.TableID).Name)
 	}
 
@@ -54,7 +58,11 @@ func main() {
 	query := gen.Tables[0]
 	qcol := query.Columns[0]
 	fmt.Printf("\njoinable columns for %s.%s:\n", query.ID, qcol.Name)
-	for _, m := range sys.JoinableColumns(qcol.Values, 3) {
+	jres, err := sys.JoinableColumns(qcol.Values, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range jres {
 		fmt.Printf("  %-28s overlap=%d containment=%.2f\n", m.ColumnKey, m.Overlap, m.Containment)
 	}
 

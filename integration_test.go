@@ -65,7 +65,10 @@ func TestEndToEndDiscoveryPipeline(t *testing.T) {
 
 	// 1. Keyword search reaches topically relevant tables.
 	topic := gen.DomainNames[gen.Templates[2].Domains[0]]
-	kres := sys.KeywordSearch(topic, 5)
+	kres, err := sys.KeywordSearch(topic, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(kres) == 0 {
 		t.Fatalf("keyword search for %q found nothing", topic)
 	}
@@ -74,7 +77,10 @@ func TestEndToEndDiscoveryPipeline(t *testing.T) {
 	// surface for a query column.
 	qt := gen.Tables[7]
 	qc := qt.Columns[0]
-	jres := sys.JoinableColumns(qc.Values, 10)
+	jres, err := sys.JoinableColumns(qc.Values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(jres) == 0 {
 		t.Fatal("joinable search found nothing")
 	}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"tablehound/internal/annotate"
@@ -439,15 +440,26 @@ func (s *System) AnnotateTable(t *table.Table) ([]annotate.Prediction, error) {
 // Options.QueryParallelism bounds the fan-out *inside* one query;
 // results are bit-identical at every setting.
 
-// KeywordSearch ranks tables by metadata relevance.
-func (s *System) KeywordSearch(query string, k int) []keyword.Result {
-	return s.Keyword.Search(query, k)
+// KeywordSearch ranks tables by metadata relevance. A query with no
+// content wraps table.ErrBadQuery instead of silently matching
+// nothing.
+func (s *System) KeywordSearch(query string, k int) ([]keyword.Result, error) {
+	if strings.TrimSpace(query) == "" {
+		return nil, fmt.Errorf("core: empty keyword query: %w", table.ErrBadQuery)
+	}
+	return s.Keyword.Search(query, k), nil
 }
 
 // JoinableColumns returns the top-k columns by exact value overlap
-// with the query column values.
-func (s *System) JoinableColumns(values []string, k int) []join.Match {
-	return s.Join.TopKOverlap(values, k)
+// with the query column values. A query column that is empty after
+// normalization (no values, or whitespace-only values) wraps
+// table.ErrBadQuery instead of silently returning no matches.
+func (s *System) JoinableColumns(values []string, k int) ([]join.Match, error) {
+	q := s.Join.EncodeQuery(values)
+	if len(q.IDs) == 0 {
+		return nil, fmt.Errorf("core: query column has no usable values: %w", table.ErrBadQuery)
+	}
+	return s.Join.TopKOverlapQuery(q, k), nil
 }
 
 // ContainmentSearch returns columns whose containment of the query
@@ -482,8 +494,12 @@ func (s *System) Navigate(topic string) (labels []string, tableID string, err er
 
 // ValueSearch ranks tables by keyword hits in cell values and groups
 // the results into same-schema clusters (the OCTOPUS SEARCH shape).
-func (s *System) ValueSearch(query string, k int) []keyword.Cluster {
-	return s.Values.SearchClusters(query, k)
+// A query with no content wraps table.ErrBadQuery.
+func (s *System) ValueSearch(query string, k int) ([]keyword.Cluster, error) {
+	if strings.TrimSpace(query) == "" {
+		return nil, fmt.Errorf("core: empty value-search query: %w", table.ErrBadQuery)
+	}
+	return s.Values.SearchClusters(query, k), nil
 }
 
 // MatchSchemas aligns the columns of two tables with the combined

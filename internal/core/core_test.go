@@ -48,7 +48,10 @@ func TestValueSearchEndToEnd(t *testing.T) {
 	sys, gen := demoSystem(t)
 	// Query a concrete cell value from a table.
 	val := gen.Tables[3].Columns[0].Values[0]
-	clusters := sys.ValueSearch(val, 10)
+	clusters, err := sys.ValueSearch(val, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(clusters) == 0 {
 		t.Fatalf("no clusters for value %q", val)
 	}
@@ -157,7 +160,10 @@ func TestKeywordSearchEndToEnd(t *testing.T) {
 	sys, gen := demoSystem(t)
 	// Search for the first template's first domain name.
 	topic := gen.DomainNames[gen.Templates[0].Domains[0]]
-	res := sys.KeywordSearch(topic, 5)
+	res, err := sys.KeywordSearch(topic, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) == 0 {
 		t.Fatalf("no results for topic %q", topic)
 	}
@@ -166,7 +172,10 @@ func TestKeywordSearchEndToEnd(t *testing.T) {
 func TestJoinableColumnsEndToEnd(t *testing.T) {
 	sys, gen := demoSystem(t)
 	q := gen.Tables[0].Columns[0]
-	res := sys.JoinableColumns(q.Values, 5)
+	res, err := sys.JoinableColumns(q.Values, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) == 0 {
 		t.Fatal("no joinable columns")
 	}

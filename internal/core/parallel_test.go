@@ -38,13 +38,29 @@ func TestParallelBuildMatchesSequential(t *testing.T) {
 	par, _ := buildAt(t, 8)
 
 	topic := gen.DomainNames[gen.Templates[0].Domains[0]]
-	if got, want := par.KeywordSearch(topic, 10), seq.KeywordSearch(topic, 10); !reflect.DeepEqual(got, want) {
-		t.Errorf("keyword results differ:\npar %+v\nseq %+v", got, want)
+	gotK, err := par.KeywordSearch(topic, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK, err := seq.KeywordSearch(topic, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotK, wantK) {
+		t.Errorf("keyword results differ:\npar %+v\nseq %+v", gotK, wantK)
 	}
 
 	qcol := gen.Tables[0].Columns[0]
-	if got, want := par.JoinableColumns(qcol.Values, 10), seq.JoinableColumns(qcol.Values, 10); !reflect.DeepEqual(got, want) {
-		t.Errorf("joinable results differ:\npar %+v\nseq %+v", got, want)
+	gotJ, err := par.JoinableColumns(qcol.Values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJ, err := seq.JoinableColumns(qcol.Values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotJ, wantJ) {
+		t.Errorf("joinable results differ:\npar %+v\nseq %+v", gotJ, wantJ)
 	}
 
 	q := gen.Tables[0]
@@ -103,8 +119,16 @@ func TestParallelBuildMatchesSequential(t *testing.T) {
 	}
 
 	val := gen.Tables[3].Columns[0].Values[0]
-	if got, want := par.ValueSearch(val, 10), seq.ValueSearch(val, 10); !reflect.DeepEqual(got, want) {
-		t.Errorf("value-search results differ:\npar %+v\nseq %+v", got, want)
+	gotV, err := par.ValueSearch(val, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, err := seq.ValueSearch(val, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotV, wantV) {
+		t.Errorf("value-search results differ:\npar %+v\nseq %+v", gotV, wantV)
 	}
 }
 

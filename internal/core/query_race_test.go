@@ -42,9 +42,18 @@ func TestConcurrentQueriesAllSurfaces(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
-				sys.KeywordSearch(kw, 5)
-				sys.ValueSearch(vals[0], 5)
-				sys.JoinableColumns(vals, 5)
+				if _, err := sys.KeywordSearch(kw, 5); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sys.ValueSearch(vals[0], 5); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sys.JoinableColumns(vals, 5); err != nil {
+					t.Error(err)
+					return
+				}
 				if _, err := sys.ContainmentSearch(vals, 0.5, 5); err != nil {
 					t.Error(err)
 					return
@@ -107,12 +116,16 @@ func TestSystemQueryParallelismParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		kwRes, err := sys.KeywordSearch("data", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
 		out := []result{
 			{"UnionableTables", tusRes},
 			{"Santos", santosRes},
 			{"Containment", contRes},
 			{"Jaccard", sys.Join.JaccardSearch(vals, 0.05)},
-			{"Keyword", sys.KeywordSearch("data", 5)},
+			{"Keyword", kwRes},
 		}
 		if sys.Fuzzy != nil {
 			fr, fs := sys.Fuzzy.Search(vals[:min(len(vals), 20)], 0.9, 0.3)

@@ -2,19 +2,30 @@ package invindex
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrCorruptSnapshot marks a snapshot whose structure is internally
+// inconsistent (wrong section lengths, out-of-range ranks). Callers
+// distinguish it from plain decode errors with errors.Is.
+var ErrCorruptSnapshot = errors.New("invindex: corrupt snapshot")
 
 // snapshot is the gob-encodable form of an Index. Postings are
 // rebuilt on load from the stored sets — they are fully determined by
 // them and roughly double the on-disk size if stored.
 type snapshot struct {
-	Tokens []string // rank order; string-built indexes
-	IDs    []uint32 // rank order; dictionary-ID-built indexes
-	DF     []int32
-	Keys   []string
-	Sets   [][]int32
+	// IDBuilt records explicitly whether the index was built from
+	// dictionary IDs (AddIDs) or strings (Add). It must not be
+	// inferred from len(IDs): an ID-built index over all-empty sets
+	// has zero tokens and would silently round-trip as string-built.
+	IDBuilt bool
+	Tokens  []string // rank order; string-built indexes
+	IDs     []uint32 // rank order; dictionary-ID-built indexes
+	DF      []int32
+	Keys    []string
+	Sets    [][]int32
 }
 
 // Save writes the index in binary form.
@@ -25,6 +36,7 @@ func (ix *Index) Save(w io.Writer) error {
 		Sets: ix.sets,
 	}
 	if ix.idOf != nil {
+		s.IDBuilt = true
 		s.IDs = ix.idOf
 	} else {
 		s.Tokens = make([]string, len(ix.df))
@@ -41,13 +53,21 @@ func Load(r io.Reader) (*Index, error) {
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("invindex: decode: %w", err)
 	}
-	idBuilt := len(s.IDs) > 0
+	// Snapshots written before the explicit flag carried only the IDs
+	// slice; honor them.
+	idBuilt := s.IDBuilt || len(s.IDs) > 0
+	if len(s.Keys) != len(s.Sets) {
+		return nil, fmt.Errorf("%w: %d keys vs %d sets", ErrCorruptSnapshot, len(s.Keys), len(s.Sets))
+	}
 	if idBuilt {
-		if len(s.IDs) != len(s.DF) || len(s.Keys) != len(s.Sets) {
-			return nil, fmt.Errorf("invindex: corrupt snapshot")
+		if len(s.IDs) != len(s.DF) {
+			return nil, fmt.Errorf("%w: %d IDs vs %d token frequencies", ErrCorruptSnapshot, len(s.IDs), len(s.DF))
 		}
-	} else if len(s.Tokens) != len(s.DF) || len(s.Keys) != len(s.Sets) {
-		return nil, fmt.Errorf("invindex: corrupt snapshot")
+		if len(s.Tokens) != 0 {
+			return nil, fmt.Errorf("%w: ID-built snapshot carries string tokens", ErrCorruptSnapshot)
+		}
+	} else if len(s.Tokens) != len(s.DF) {
+		return nil, fmt.Errorf("%w: %d tokens vs %d token frequencies", ErrCorruptSnapshot, len(s.Tokens), len(s.DF))
 	}
 	ix := &Index{
 		df:       s.DF,
@@ -57,6 +77,10 @@ func Load(r io.Reader) (*Index, error) {
 		keyToSet: make(map[string]int32, len(s.Keys)),
 	}
 	if idBuilt {
+		if s.IDs == nil {
+			// Preserve the "ID-built" marker even with zero tokens.
+			s.IDs = []uint32{}
+		}
 		ix.idOf = s.IDs
 		maxID := uint32(0)
 		for _, id := range s.IDs {
@@ -81,7 +105,7 @@ func Load(r io.Reader) (*Index, error) {
 		ix.keyToSet[s.Keys[sid]] = int32(sid)
 		for pos, rank := range set {
 			if rank < 0 || int(rank) >= len(ix.postings) {
-				return nil, fmt.Errorf("invindex: corrupt snapshot: rank %d out of range", rank)
+				return nil, fmt.Errorf("%w: rank %d out of range in set %d", ErrCorruptSnapshot, rank, sid)
 			}
 			ix.postings[rank] = append(ix.postings[rank], Posting{Set: int32(sid), Pos: int32(pos)})
 		}

@@ -2,6 +2,8 @@ package invindex
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -64,5 +66,127 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
 		t.Error("garbage should fail to load")
+	}
+}
+
+// TestSaveLoadRoundTripIDs is the ID-built twin of the round trip
+// above: an index built from dictionary IDs (AddIDs, the join
+// engine's path) must reload with identical structure and identical
+// QueryRanksIDs behavior.
+func TestSaveLoadRoundTripIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBuilder()
+	for i := 0; i < 80; i++ {
+		n := 1 + rng.Intn(25)
+		ids := make([]uint32, n)
+		for j := range ids {
+			ids[j] = uint32(rng.Intn(150))
+		}
+		if err := b.AddIDs(fmt.Sprintf("s%02d", i), ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSets() != orig.NumSets() || back.NumTokens() != orig.NumTokens() {
+		t.Fatalf("dims changed: %d/%d vs %d/%d",
+			back.NumSets(), back.NumTokens(), orig.NumSets(), orig.NumTokens())
+	}
+	for sid := int32(0); sid < int32(orig.NumSets()); sid++ {
+		if back.Key(sid) != orig.Key(sid) {
+			t.Fatalf("key %d changed", sid)
+		}
+		if !reflect.DeepEqual(back.Set(sid), orig.Set(sid)) {
+			t.Fatalf("set %d changed", sid)
+		}
+	}
+	for r := int32(0); r < int32(orig.NumTokens()); r++ {
+		if back.DF(r) != orig.DF(r) {
+			t.Fatalf("df %d changed", r)
+		}
+		if !reflect.DeepEqual(back.Postings(r), orig.Postings(r)) {
+			t.Fatalf("postings %d changed", r)
+		}
+	}
+	// ID query behavior preserved, including unknown and ephemeral
+	// (past-the-table) IDs.
+	q := []uint32{1, 2, 3, 149, 5000}
+	if got, want := back.QueryRanksIDs(q), orig.QueryRanksIDs(q); !reflect.DeepEqual(got, want) {
+		t.Errorf("QueryRanksIDs changed after reload: %v vs %v", got, want)
+	}
+}
+
+// TestSaveLoadEmptyIDIndexStaysIDBuilt guards the explicit IDBuilt
+// flag: an ID-built index whose sets are all empty has zero tokens,
+// and inferring "ID-built" from a non-empty ID table would silently
+// reload it as a string-built index.
+func TestSaveLoadEmptyIDIndexStaysIDBuilt(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddIDs("empty-a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddIDs("empty-b", []uint32{}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.idOf == nil || back.tokenIDs != nil {
+		t.Error("empty ID-built index reloaded as string-built")
+	}
+	if got := back.QueryRanksIDs([]uint32{0, 1, 2}); len(got) != 0 {
+		t.Errorf("QueryRanksIDs on empty index = %v", got)
+	}
+}
+
+// TestLoadRejectsInconsistentSnapshots checks the typed corruption
+// error for structurally broken snapshots.
+func TestLoadRejectsInconsistentSnapshots(t *testing.T) {
+	cases := []struct {
+		name string
+		s    snapshot
+	}{
+		{"keys vs sets", snapshot{Tokens: []string{"a"}, DF: []int32{1}, Keys: []string{"k"}, Sets: nil}},
+		{"tokens vs df", snapshot{Tokens: []string{"a", "b"}, DF: []int32{1}}},
+		{"ids vs df", snapshot{IDBuilt: true, IDs: []uint32{1, 2}, DF: []int32{1}}},
+		{"id-built with tokens", snapshot{IDBuilt: true, IDs: []uint32{1}, DF: []int32{1}, Tokens: []string{"a"}}},
+		{"rank out of range", snapshot{
+			Tokens: []string{"a"}, DF: []int32{1},
+			Keys: []string{"k"}, Sets: [][]int32{{7}},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(c.s); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Load(&buf)
+			if err == nil {
+				t.Fatal("inconsistent snapshot loaded without error")
+			}
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Errorf("err = %v, does not wrap ErrCorruptSnapshot", err)
+			}
+		})
 	}
 }

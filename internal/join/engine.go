@@ -18,6 +18,7 @@
 package join
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -279,8 +280,17 @@ func (e *Engine) ContainmentSearch(values []string, threshold float64, verify bo
 
 // ContainmentSearchQuery is ContainmentSearch over a pre-encoded query.
 func (e *Engine) ContainmentSearchQuery(q Query, threshold float64, verify bool) ([]Match, error) {
+	return e.ContainmentSearchQueryCtx(context.Background(), q, threshold, verify)
+}
+
+// ContainmentSearchQueryCtx is ContainmentSearchQuery with cooperative
+// cancellation: candidate verification checks ctx between candidates,
+// so a cancelled request stops burning verification work and returns
+// ctx.Err(). Results of a run that completes are bit-identical to the
+// context-free call. An empty query wraps table.ErrBadQuery.
+func (e *Engine) ContainmentSearchQueryCtx(ctx context.Context, q Query, threshold float64, verify bool) ([]Match, error) {
 	if len(q.IDs) == 0 {
-		return nil, errors.New("join: empty query column")
+		return nil, fmt.Errorf("join: empty query column: %w", table.ErrBadQuery)
 	}
 	sig := e.hasher.SignHashes(q.Hashes)
 	cands, err := e.ensemble.Query(sig, len(q.IDs), threshold)
@@ -291,7 +301,7 @@ func (e *Engine) ContainmentSearchQuery(q Query, threshold float64, verify bool)
 		m    Match
 		keep bool
 	}
-	verdicts, _ := parallel.Map(len(cands), parallel.Resolve(e.QueryParallelism), func(i int) (verdict, error) {
+	verdicts, err := parallel.MapCtx(ctx, len(cands), parallel.Resolve(e.QueryParallelism), func(i int) (verdict, error) {
 		m := Match{ColumnKey: cands[i]}
 		if verify {
 			c := dict.Containment(q.IDs, e.idsets[cands[i]])
@@ -303,6 +313,9 @@ func (e *Engine) ContainmentSearchQuery(q Query, threshold float64, verify bool)
 		}
 		return verdict{m: m, keep: true}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Match
 	for _, v := range verdicts {
 		if v.keep {

@@ -1,0 +1,328 @@
+// Package obs provides the lock-cheap observability primitives behind
+// the serving layer's /metrics endpoint: monotonic counters, gauges,
+// and streaming latency histograms with quantile estimation, collected
+// in a Registry that renders the Prometheus text exposition format.
+//
+// Every write path is a single atomic add — no locks, no allocation —
+// so instrumenting a hot query path costs nanoseconds and is safe for
+// unbounded concurrent use. Reads (quantiles, the /metrics render) are
+// lock-free snapshots: they may tear across concurrent writes, which
+// for monitoring is the standard and acceptable trade.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (in-flight requests, queue
+// depth).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram bucket geometry: bucket i covers durations in
+// [base*ratio^i, base*ratio^(i+1)), from 1µs up to ~17 minutes. The
+// 1.3 ratio bounds the quantile estimation error at ±15% — plenty for
+// latency monitoring — while keeping the whole histogram at 81 atomic
+// words.
+const (
+	histBuckets = 80
+	histBase    = float64(time.Microsecond)
+	histRatio   = 1.3
+)
+
+// bucketBounds[i] is the inclusive upper bound of bucket i, in
+// nanoseconds. Computed once at init.
+var bucketBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	v := histBase
+	for i := range b {
+		v *= histRatio
+		b[i] = v
+	}
+	return b
+}()
+
+// Histogram is a streaming latency histogram over log-spaced buckets.
+// Observe is one atomic add; Quantile reads a lock-free snapshot.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64 // last bucket also absorbs overflow
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if float64(d) <= histBase {
+		return 0
+	}
+	i := int(math.Log(float64(d)/histBase) / math.Log(histRatio))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the q-th quantile (q in [0, 1]) of the observed
+// durations by linear interpolation inside the bucket where the
+// cumulative count crosses q. Returns 0 when nothing was observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := 0; i < histBuckets; i++ {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo := histBase
+			if i > 0 {
+				lo = bucketBounds[i-1]
+			}
+			hi := bucketBounds[i]
+			frac := 0.0
+			if n > 0 {
+				frac = (target - cum) / n
+			}
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		cum += n
+	}
+	return time.Duration(bucketBounds[histBuckets-1])
+}
+
+// Registry collects named metrics and renders them in the Prometheus
+// text exposition format. Metric handles (Counter, Gauge, Histogram)
+// are registered once — typically at server construction — and written
+// to concurrently; WriteText may run at any time.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+type family struct {
+	name, help, typ string
+	series          []series
+}
+
+type series struct {
+	labels string // rendered label set without braces, "" for none
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	f      func() float64
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) add(name, help, typ, labels string, s series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+	}
+	s.labels = labels
+	fam.series = append(fam.series, s)
+}
+
+// Counter registers and returns a counter. labels is a rendered
+// Prometheus label set without braces (e.g. `endpoint="join"`), or ""
+// for an unlabeled series.
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	c := &Counter{}
+	r.add(name, help, "counter", labels, series{c: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help, labels string) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, "gauge", labels, series{g: g})
+	return g
+}
+
+// GaugeFunc registers a derived gauge evaluated at render time (e.g. a
+// cache hit ratio).
+func (r *Registry) GaugeFunc(name, help, labels string, fn func() float64) {
+	r.add(name, help, "gauge", labels, series{f: fn})
+}
+
+// Histogram registers and returns a latency histogram, rendered as a
+// Prometheus summary with p50/p95/p99 quantiles plus _sum and _count.
+func (r *Registry) Histogram(name, help, labels string) *Histogram {
+	h := &Histogram{}
+	r.add(name, help, "summary", labels, series{h: h})
+	return h
+}
+
+// summaryQuantiles are the quantiles every histogram exposes.
+var summaryQuantiles = []struct {
+	q     float64
+	label string
+}{
+	{0.5, "0.5"},
+	{0.95, "0.95"},
+	{0.99, "0.99"},
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format, families in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.order))
+	for i, name := range r.order {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, fam := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, fam.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, s := range fam.series {
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", fam.name, braces(s.labels), s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", fam.name, braces(s.labels), s.g.Value())
+			case s.f != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.name, braces(s.labels), formatFloat(s.f()))
+			case s.h != nil:
+				for _, sq := range summaryQuantiles {
+					fmt.Fprintf(&b, "%s%s %s\n", fam.name,
+						braces(joinLabels(s.labels, `quantile="`+sq.label+`"`)),
+						formatFloat(s.h.Quantile(sq.q).Seconds()))
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam.name, braces(s.labels), formatFloat(s.h.Sum().Seconds()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam.name, braces(s.labels), s.h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot returns (name without labels -> rendered series lines) for
+// tests and the /stats endpoint; keys are "name{labels}" strings.
+func (r *Registry) Snapshot() map[string]float64 {
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	out := make(map[string]float64)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out
+}
+
+// Names returns the registered family names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}
+
+func braces(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "," + b
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, no exponent for common magnitudes.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Errorf("gauge = %d, want 1", g.Value())
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Errorf("gauge after Set = %d, want 42", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+	// 1000 observations uniformly spread over 1ms..100ms: the median
+	// must land near 50ms and p99 near 100ms, within the bucket
+	// geometry's ±30% envelope.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	within := func(got time.Duration, want time.Duration, tol float64) bool {
+		return math.Abs(float64(got)-float64(want)) <= tol*float64(want)
+	}
+	if p50 := h.Quantile(0.5); !within(p50, 50*time.Millisecond, 0.31) {
+		t.Errorf("p50 = %v, want ~50ms", p50)
+	}
+	if p99 := h.Quantile(0.99); !within(p99, 99*time.Millisecond, 0.31) {
+		t.Errorf("p99 = %v, want ~99ms", p99)
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p50 >= p99 {
+		t.Errorf("quantiles not monotone: p50 %v >= p99 %v", p50, p99)
+	}
+}
+
+func TestHistogramSeparatesFastAndSlow(t *testing.T) {
+	// A bimodal workload — many cache hits at ~20µs, few misses at
+	// ~20ms — must keep p50 at the fast mode and p99 at the slow one.
+	var h Histogram
+	for i := 0; i < 950; i++ {
+		h.Observe(20 * time.Microsecond)
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(20 * time.Millisecond)
+	}
+	if p50 := h.Quantile(0.5); p50 > 100*time.Microsecond {
+		t.Errorf("p50 = %v, want fast mode (<100µs)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 5*time.Millisecond {
+		t.Errorf("p99 = %v, want slow mode (>5ms)", p99)
+	}
+}
+
+func TestHistogramOverflowAndUnderflow(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)    // clamps to 0
+	h.Observe(time.Nanosecond) // below the first bucket
+	h.Observe(24 * time.Hour)  // beyond the last bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(1); q <= 0 {
+		t.Errorf("max quantile = %v, want positive", q)
+	}
+}
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lakeserved_requests_total", "Total requests.", `endpoint="join"`)
+	c2 := r.Counter("lakeserved_requests_total", "Total requests.", `endpoint="union"`)
+	g := r.Gauge("lakeserved_inflight", "In-flight queries.", "")
+	h := r.Histogram("lakeserved_request_seconds", "Request latency.", `endpoint="join"`)
+	r.GaugeFunc("lakeserved_cache_hit_ratio", "Cache hit ratio.", "", func() float64 { return 0.75 })
+
+	c.Add(3)
+	c2.Inc()
+	g.Set(2)
+	h.Observe(10 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lakeserved_requests_total counter",
+		`lakeserved_requests_total{endpoint="join"} 3`,
+		`lakeserved_requests_total{endpoint="union"} 1`,
+		"# TYPE lakeserved_inflight gauge",
+		"lakeserved_inflight 2",
+		"# TYPE lakeserved_request_seconds summary",
+		`lakeserved_request_seconds{endpoint="join",quantile="0.5"}`,
+		`lakeserved_request_seconds{endpoint="join",quantile="0.99"}`,
+		`lakeserved_request_seconds_count{endpoint="join"} 1`,
+		"lakeserved_cache_hit_ratio 0.75",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with several series.
+	if n := strings.Count(out, "# TYPE lakeserved_requests_total"); n != 1 {
+		t.Errorf("family header repeated %d times", n)
+	}
+
+	snap := r.Snapshot()
+	if snap[`lakeserved_requests_total{endpoint="join"}`] != 3 {
+		t.Errorf("snapshot miss: %v", snap)
+	}
+}
+
+// TestConcurrentObserve hammers every primitive from many goroutines;
+// run under -race this is the lock-cheap write-path contract.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c", "")
+	g := r.Gauge("g", "g", "")
+	h := r.Histogram("h_seconds", "h", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(time.Duration(j) * time.Microsecond)
+				if j%100 == 0 {
+					_ = h.Quantile(0.5)
+					var b strings.Builder
+					_ = r.WriteText(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}

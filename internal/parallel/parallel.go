@@ -15,6 +15,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -102,6 +103,42 @@ func ForEach(n, workers int, fn func(i int) error) error {
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: ctx is checked
+// before each task starts, so a cancelled context aborts the remaining
+// unstarted tasks and the call returns ctx.Err(). Tasks already running
+// when the context is cancelled finish normally — fn itself never
+// observes a half-cancelled state, preserving the determinism contract
+// for every run that completes without error.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return ForEach(n, workers, fn)
+	}
+	return ForEach(n, workers, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i)
+	})
+}
+
+// MapCtx runs fn over [0, n) with ForEachCtx and collects the results
+// in index order. A cancelled context returns (nil, ctx.Err()).
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachCtx(ctx, n, workers, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,0 +1,55 @@
+package qcache
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// KeyBuilder assembles an unambiguous cache key from typed fields.
+// Every field is self-delimiting — strings are length-prefixed and
+// integers fixed-width — so no two distinct field sequences can render
+// to the same key. This matters because query values outside the lake
+// dictionary have no stable ID and must be keyed by their literal
+// text; naive concatenation would let ("ab","c") collide with
+// ("a","bc").
+type KeyBuilder struct {
+	b strings.Builder
+}
+
+// Str appends a length-prefixed string field.
+func (k *KeyBuilder) Str(s string) *KeyBuilder {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	k.b.Write(n[:])
+	k.b.WriteString(s)
+	return k
+}
+
+// U32 appends a fixed-width uint32 field (e.g. a dictionary value ID
+// or a top-k limit).
+func (k *KeyBuilder) U32(v uint32) *KeyBuilder {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], v)
+	k.b.Write(n[:])
+	return k
+}
+
+// U64 appends a fixed-width uint64 field (e.g. a float threshold's
+// bit pattern).
+func (k *KeyBuilder) U64(v uint64) *KeyBuilder {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], v)
+	k.b.Write(n[:])
+	return k
+}
+
+// Byte appends a one-byte tag, used to separate key namespaces (one
+// per endpoint/mode) and to distinguish in-vocabulary IDs from
+// out-of-vocabulary literals.
+func (k *KeyBuilder) Byte(v byte) *KeyBuilder {
+	k.b.WriteByte(v)
+	return k
+}
+
+// String returns the assembled key.
+func (k *KeyBuilder) String() string { return k.b.String() }

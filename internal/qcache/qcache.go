@@ -1,0 +1,213 @@
+// Package qcache is the serving layer's query-result cache: a sharded
+// LRU keyed on an exact encoding of the query and holding the exact
+// response bytes, so a cache hit is bit-identical to recomputing.
+//
+// The cache is sharded to keep lock hold times short under concurrent
+// load: each key hashes to one of 16 shards, each with its own mutex,
+// map, and intrusive LRU list. Hit/miss/eviction counters are atomics
+// read by the /metrics endpoint without taking any shard lock.
+//
+// A nil *Cache is valid and means "caching disabled": Get always
+// misses, Put and Purge are no-ops. This lets the server thread a
+// single pointer through the request path without branching on a
+// config flag.
+package qcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const numShards = 16
+
+// Cache is a sharded LRU over immutable byte values.
+type Cache struct {
+	shards [numShards]shard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	purges    atomic.Int64
+}
+
+type shard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*entry
+	// Intrusive doubly-linked LRU list with a sentinel head: head.next
+	// is most recent, head.prev is least recent.
+	head entry
+}
+
+type entry struct {
+	key        string
+	val        []byte
+	prev, next *entry
+}
+
+// New returns a cache holding at most capacity entries in total.
+// capacity <= 0 returns nil — the disabled cache.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	perShard := (capacity + numShards - 1) / numShards
+	c := &Cache{}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.cap = perShard
+		s.m = make(map[string]*entry, perShard)
+		s.head.next = &s.head
+		s.head.prev = &s.head
+	}
+	return c
+}
+
+// Get returns the cached value for key and whether it was present,
+// promoting the entry to most-recently-used. The returned slice is
+// shared and must not be mutated.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := &c.shards[shardOf(key)]
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	val := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put stores val under key, evicting the least-recently-used entry of
+// the shard if it is full. The cache takes ownership of val; callers
+// must not mutate it afterwards.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	s := &c.shards[shardOf(key)]
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		e.val = val
+		s.unlink(e)
+		s.pushFront(e)
+		s.mu.Unlock()
+		return
+	}
+	var evicted bool
+	if len(s.m) >= s.cap {
+		lru := s.head.prev
+		s.unlink(lru)
+		delete(s.m, lru.key)
+		evicted = true
+	}
+	e := &entry{key: key, val: val}
+	s.m[key] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Purge drops every entry. The server calls this when the underlying
+// snapshot is swapped, so no response computed against the old lake
+// can be served against the new one.
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]*entry, s.cap)
+		s.head.next = &s.head
+		s.head.prev = &s.head
+		s.mu.Unlock()
+	}
+	c.purges.Add(1)
+}
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time view of the cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Purges    int64
+	Entries   int
+}
+
+// Stats returns the current counters. Safe on a nil cache (all zero).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Purges:    c.purges.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (c *Cache) HitRatio() float64 {
+	if c == nil {
+		return 0
+	}
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = &s.head
+	e.next = s.head.next
+	s.head.next.prev = e
+	s.head.next = e
+}
+
+// shardOf hashes a key to its shard with FNV-1a.
+func shardOf(key string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime
+	}
+	return h % numShards
+}

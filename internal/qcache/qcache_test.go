@@ -1,0 +1,180 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutAndCounters(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("va"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "va" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Overwrite replaces the value.
+	c.Put("a", []byte("vb"))
+	if got, _ := c.Get("a"); string(got) != "vb" {
+		t.Errorf("after overwrite Get = %q", got)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if r := c.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Errorf("hit ratio = %v, want 2/3", r)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Single-entry-per-shard capacity: 16 entries over 16 shards.
+	c := New(16)
+	// Fill well past capacity; evictions must occur and Len stay
+	// bounded by capacity.
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+	}
+	if n := c.Len(); n > 16 {
+		t.Errorf("Len = %d, want <= 16", n)
+	}
+	if ev := c.Stats().Evictions; ev < 200-16 {
+		t.Errorf("evictions = %d, want >= %d", ev, 200-16)
+	}
+}
+
+func TestLRUOrderWithinShard(t *testing.T) {
+	// Craft keys that land in the same shard so the per-shard LRU
+	// order is observable: with capacity 16 each shard holds 1 entry,
+	// so use a larger cache and same-shard keys.
+	c := New(numShards * 2) // 2 entries per shard
+	var same []string
+	want := shardOf("seed")
+	for i := 0; len(same) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if shardOf(k) == want {
+			same = append(same, k)
+		}
+	}
+	c.Put(same[0], []byte("0"))
+	c.Put(same[1], []byte("1"))
+	// Touch same[0] so same[1] becomes LRU, then insert a third.
+	if _, ok := c.Get(same[0]); !ok {
+		t.Fatal("expected hit")
+	}
+	c.Put(same[2], []byte("2"))
+	if _, ok := c.Get(same[1]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(same[0]); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c.Get(same[2]); !ok {
+		t.Error("new entry missing")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(64)
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	c.Purge()
+	if n := c.Len(); n != 0 {
+		t.Errorf("Len after purge = %d", n)
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Error("hit after purge")
+	}
+	if p := c.Stats().Purges; p != 1 {
+		t.Errorf("purges = %d", p)
+	}
+	// Cache still works after a purge.
+	c.Put("x", []byte("y"))
+	if _, ok := c.Get("x"); !ok {
+		t.Error("cache dead after purge")
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c := New(0); c != nil {
+		t.Fatal("New(0) should return the nil disabled cache")
+	}
+	c.Put("a", []byte("v"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	c.Purge()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil stats = %+v", st)
+	}
+	if c.HitRatio() != 0 || c.Len() != 0 {
+		t.Error("nil cache ratio/len not zero")
+	}
+}
+
+// TestKeyBuilderUnambiguous verifies the self-delimiting property:
+// distinct field sequences whose naive concatenations collide must
+// produce distinct keys.
+func TestKeyBuilderUnambiguous(t *testing.T) {
+	key := func(fields ...string) string {
+		var k KeyBuilder
+		for _, f := range fields {
+			k.Str(f)
+		}
+		return k.String()
+	}
+	if key("ab", "c") == key("a", "bc") {
+		t.Error(`("ab","c") collides with ("a","bc")`)
+	}
+	if key("ab") == key("a", "b") {
+		t.Error(`("ab") collides with ("a","b")`)
+	}
+	var a, b KeyBuilder
+	a.Byte(1).U32(0x01020304).Str("q")
+	b.Byte(1).U32(0x01020304).Str("q")
+	if a.String() != b.String() {
+		t.Error("identical field sequences differ")
+	}
+	var d, e KeyBuilder
+	d.U32(1).U32(2)
+	e.U64(1<<32 | 2)
+	if d.String() == e.String() {
+		// Two uint32s and one uint64 have the same width; the caller
+		// separates namespaces with a leading tag byte, but the raw
+		// integer encodings genuinely can collide — document it.
+		t.Log("U32+U32 == U64 at matching bit patterns (expected; callers tag namespaces)")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", i%200)
+				if v, ok := c.Get(k); ok && len(v) == 0 {
+					t.Error("empty cached value")
+					return
+				}
+				c.Put(k, []byte{byte(i)})
+				if i%500 == 0 {
+					c.Purge()
+				}
+				_ = c.Stats()
+				_ = c.HitRatio()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 128 {
+		t.Errorf("Len = %d beyond capacity", c.Len())
+	}
+}

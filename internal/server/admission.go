@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+
+	"tablehound/internal/obs"
+)
+
+// limiter is the admission controller: a semaphore of execution slots
+// plus a bounded wait queue. A request first tries to grab a slot; if
+// none is free it joins the queue; if the queue is full it is shed
+// immediately (the caller maps that to 429). Queued requests block
+// until a slot frees or their context expires.
+type limiter struct {
+	slots chan struct{}
+	queue chan struct{}
+}
+
+func newLimiter(maxInFlight, maxQueue int) *limiter {
+	return &limiter{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, maxQueue),
+	}
+}
+
+// acquire obtains an execution slot, waiting in the bounded queue if
+// necessary. On success it returns a release func that MUST be called
+// exactly once when the query finishes. Returns errShed when the
+// queue is full, or the context error if it expires while queued.
+// depth, when non-nil, tracks the live queue length.
+func (l *limiter) acquire(ctx context.Context, depth *obs.Gauge) (func(), error) {
+	// Fast path: free slot right now.
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	default:
+	}
+	// Join the bounded queue or shed.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return nil, errShed
+	}
+	if depth != nil {
+		depth.Inc()
+	}
+	defer func() {
+		<-l.queue
+		if depth != nil {
+			depth.Dec()
+		}
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.slots }

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a running lakeserved over HTTP. The zero value is
+// not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the given base address. addr may be
+// "host:port" or a full "http://host:port" URL.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base: strings.TrimRight(addr, "/"),
+		http: &http.Client{},
+	}
+}
+
+// APIError is a non-2xx answer from the server.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
+}
+
+// Join runs a joinable-column search.
+func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
+	var out JoinResponse
+	if err := c.post(ctx, "/v1/join", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Union runs a unionable-table search.
+func (c *Client) Union(ctx context.Context, req UnionRequest) (*UnionResponse, error) {
+	var out UnionResponse
+	if err := c.post(ctx, "/v1/union", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Keyword runs a keyword or value search.
+func (c *Client) Keyword(ctx context.Context, req KeywordRequest) (*KeywordResponse, error) {
+	var out KeywordResponse
+	if err := c.post(ctx, "/v1/keyword", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the live serving statistics.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.get(ctx, "/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.get(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return &APIError{Status: resp.StatusCode, Message: e.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return json.Unmarshal(body, out)
+}

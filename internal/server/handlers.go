@@ -1,0 +1,501 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"tablehound/internal/join"
+	"tablehound/internal/qcache"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+	"tablehound/internal/union"
+)
+
+// maxBodyBytes bounds request bodies; inline query tables fit well
+// under this, and it keeps a misbehaving client from ballooning the
+// heap.
+const maxBodyBytes = 8 << 20
+
+// defaultK is the top-k when a request omits or zeroes k; maxK is the
+// server-side ceiling.
+const (
+	defaultK = 10
+	maxK     = 1000
+)
+
+// --- request / response types (shared with the client) ---
+
+// JoinRequest asks for joinable columns for a query column.
+type JoinRequest struct {
+	// Values is the query column.
+	Values []string `json:"values"`
+	K      int      `json:"k,omitempty"`
+	// Mode is "overlap" (default; exact top-k by value overlap) or
+	// "containment" (LSH Ensemble candidates above Threshold, exactly
+	// verified).
+	Mode string `json:"mode,omitempty"`
+	// Threshold is the containment cutoff for mode "containment"
+	// (default 0.5).
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// JoinMatch is one joinable column hit.
+type JoinMatch struct {
+	ColumnKey   string  `json:"column_key"`
+	Overlap     int     `json:"overlap"`
+	Containment float64 `json:"containment"`
+	Jaccard     float64 `json:"jaccard"`
+}
+
+// JoinResponse is the /v1/join answer.
+type JoinResponse struct {
+	Matches []JoinMatch `json:"matches"`
+}
+
+// InlineColumn is one column of an inline query table.
+type InlineColumn struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// InlineTable carries a query table in the request body for union
+// search against tables not in the lake.
+type InlineTable struct {
+	ID      string         `json:"id,omitempty"`
+	Name    string         `json:"name,omitempty"`
+	Columns []InlineColumn `json:"columns"`
+}
+
+// UnionRequest asks for unionable tables. Exactly one of TableID (a
+// lake table) or Table (an inline query table) must be set.
+type UnionRequest struct {
+	TableID string       `json:"table_id,omitempty"`
+	Table   *InlineTable `json:"table,omitempty"`
+	K       int          `json:"k,omitempty"`
+	// Method is "tus" (default), "santos", "starmie", or "d3l".
+	Method string `json:"method,omitempty"`
+}
+
+// TableScore is one ranked table.
+type TableScore struct {
+	TableID string  `json:"table_id"`
+	Score   float64 `json:"score"`
+}
+
+// UnionResponse is the /v1/union answer.
+type UnionResponse struct {
+	Results []TableScore `json:"results"`
+}
+
+// KeywordRequest asks for tables by keyword.
+type KeywordRequest struct {
+	Query string `json:"q"`
+	K     int    `json:"k,omitempty"`
+	// Mode is "meta" (default; BM25 over table metadata) or "values"
+	// (keyword hits in cell values, grouped into same-schema
+	// clusters).
+	Mode string `json:"mode,omitempty"`
+}
+
+// ValueCluster is one same-schema group of value-search results.
+type ValueCluster struct {
+	Schema   []string `json:"schema"`
+	TableIDs []string `json:"table_ids"`
+	Score    float64  `json:"score"`
+}
+
+// KeywordResponse is the /v1/keyword answer; Results is set in mode
+// "meta", Clusters in mode "values".
+type KeywordResponse struct {
+	Results  []TableScore   `json:"results,omitempty"`
+	Clusters []ValueCluster `json:"clusters,omitempty"`
+}
+
+// HealthResponse is the /healthz answer.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Tables        int     `json:"tables"`
+}
+
+// StatsResponse is the /stats answer.
+type StatsResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	SnapshotGen   uint64                   `json:"snapshot_gen"`
+	Lake          LakeStats                `json:"lake"`
+	Cache         CacheStats               `json:"cache"`
+	InFlight      int64                    `json:"inflight"`
+	QueueDepth    int64                    `json:"queue_depth"`
+	Shed          int64                    `json:"shed"`
+	Timeouts      int64                    `json:"timeouts"`
+	Panics        int64                    `json:"panics"`
+	SnapshotSwaps int64                    `json:"snapshot_swaps"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// LakeStats mirrors lake.Stats for the wire.
+type LakeStats struct {
+	Tables         int `json:"tables"`
+	Columns        int `json:"columns"`
+	Rows           int `json:"rows"`
+	DistinctValues int `json:"distinct_values"`
+}
+
+// CacheStats mirrors qcache.Stats plus the derived hit ratio.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// EndpointStats is the per-endpoint serving summary.
+type EndpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// --- endpoint handlers ---
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	k := clampK(req.K)
+	mode := req.Mode
+	if mode == "" {
+		mode = "overlap"
+	}
+	threshold := req.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	var modeByte byte
+	switch mode {
+	case "overlap":
+		modeByte = 0
+	case "containment":
+		modeByte = 1
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown join mode %q (want overlap or containment)", mode))
+		return
+	}
+
+	snap := s.snap.Load()
+	key := s.joinKey(snap, modeByte, k, threshold, req.Values)
+	s.serveQuery(w, r, key, func(ctx context.Context) (any, error) {
+		var (
+			ms  []join.Match
+			err error
+		)
+		if modeByte == 0 {
+			ms, err = snap.sys.JoinableColumns(req.Values, k)
+		} else {
+			q := snap.sys.Join.EncodeQuery(req.Values)
+			if len(q.IDs) == 0 {
+				return nil, fmt.Errorf("query column has no usable values: %w", table.ErrBadQuery)
+			}
+			ms, err = snap.sys.Join.ContainmentSearchQueryCtx(ctx, q, threshold, true)
+			if err == nil && len(ms) > k {
+				ms = ms[:k]
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := make([]JoinMatch, len(ms))
+		for i, m := range ms {
+			out[i] = JoinMatch{
+				ColumnKey: m.ColumnKey, Overlap: m.Overlap,
+				Containment: m.Containment, Jaccard: m.Jaccard,
+			}
+		}
+		return JoinResponse{Matches: out}, nil
+	})
+}
+
+func (s *Server) handleUnion(w http.ResponseWriter, r *http.Request) {
+	var req UnionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	k := clampK(req.K)
+	method := req.Method
+	if method == "" {
+		method = "tus"
+	}
+	var methodByte byte
+	switch method {
+	case "tus":
+		methodByte = 0
+	case "santos":
+		methodByte = 1
+	case "starmie":
+		methodByte = 2
+	case "d3l":
+		methodByte = 3
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown union method %q (want tus, santos, starmie, or d3l)", method))
+		return
+	}
+	if (req.TableID == "") == (req.Table == nil) {
+		writeError(w, http.StatusBadRequest, "exactly one of table_id or table must be set")
+		return
+	}
+
+	snap := s.snap.Load()
+	var key string
+	resolve := func() (*table.Table, error) {
+		if req.TableID != "" {
+			t := snap.sys.Catalog.Table(req.TableID)
+			if t == nil {
+				return nil, fmt.Errorf("table %q: %w", req.TableID, errNotFound)
+			}
+			return t, nil
+		}
+		cols := make([]*table.Column, len(req.Table.Columns))
+		for i, c := range req.Table.Columns {
+			cols[i] = table.NewColumn(c.Name, c.Values)
+		}
+		id := req.Table.ID
+		if id == "" {
+			id = "inline-query"
+		}
+		t, err := table.New(id, req.Table.Name, cols)
+		if err != nil {
+			return nil, fmt.Errorf("inline table: %v: %w", err, table.ErrBadQuery)
+		}
+		return t, nil
+	}
+	if req.TableID != "" {
+		// Inline tables are not cached: their content is the key and
+		// hashing it wholesale buys little for one-off queries.
+		var kb qcache.KeyBuilder
+		kb.Byte('U').U64(snap.gen).Byte(methodByte).U32(uint32(k)).Str(req.TableID)
+		key = kb.String()
+	}
+	s.serveQuery(w, r, key, func(ctx context.Context) (any, error) {
+		q, err := resolve()
+		if err != nil {
+			return nil, err
+		}
+		var results []TableScore
+		switch methodByte {
+		case 0:
+			rs, err := snap.sys.TUS.SearchCtx(ctx, q, k, union.EnsembleMeasure)
+			if err != nil {
+				return nil, err
+			}
+			results = unionScores(rs)
+		case 1:
+			rs, err := snap.sys.Santos.SearchCtx(ctx, q, k, union.Hybrid)
+			if err != nil {
+				return nil, err
+			}
+			results = unionScores(rs)
+		case 2:
+			rs, err := snap.sys.Starmie.SearchTables(q, k, 64, false)
+			if err != nil {
+				return nil, err
+			}
+			results = make([]TableScore, len(rs))
+			for i, m := range rs {
+				results[i] = TableScore{TableID: m.TableID, Score: m.Score}
+			}
+		default:
+			rs, err := snap.sys.D3L.Search(q, k)
+			if err != nil {
+				return nil, err
+			}
+			results = unionScores(rs)
+		}
+		return UnionResponse{Results: results}, nil
+	})
+}
+
+func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
+	var req KeywordRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	k := clampK(req.K)
+	mode := req.Mode
+	if mode == "" {
+		mode = "meta"
+	}
+	var modeByte byte
+	switch mode {
+	case "meta":
+		modeByte = 0
+	case "values":
+		modeByte = 1
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown keyword mode %q (want meta or values)", mode))
+		return
+	}
+
+	snap := s.snap.Load()
+	var kb qcache.KeyBuilder
+	kb.Byte('K').U64(snap.gen).Byte(modeByte).U32(uint32(k)).Str(req.Query)
+	s.serveQuery(w, r, kb.String(), func(ctx context.Context) (any, error) {
+		if modeByte == 0 {
+			rs, err := snap.sys.KeywordSearch(req.Query, k)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]TableScore, len(rs))
+			for i, m := range rs {
+				out[i] = TableScore{TableID: m.TableID, Score: m.Score}
+			}
+			return KeywordResponse{Results: out}, nil
+		}
+		cls, err := snap.sys.ValueSearch(req.Query, k)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]ValueCluster, len(cls))
+		for i, c := range cls {
+			out[i] = ValueCluster{Schema: c.Schema, TableIDs: c.TableIDs, Score: c.Score}
+		}
+		return KeywordResponse{Clusters: out}, nil
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Tables:        snap.stats.Tables,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	cs := s.cache.Stats()
+	uptime := time.Since(s.start).Seconds()
+	eps := make(map[string]EndpointStats, len(s.endpoints))
+	for name, m := range s.endpoints {
+		reqs := m.requests.Value()
+		qps := 0.0
+		if uptime > 0 {
+			qps = float64(reqs) / uptime
+		}
+		eps[name] = EndpointStats{
+			Requests: reqs,
+			Errors:   m.errors.Value(),
+			QPS:      qps,
+			P50Ms:    ms(m.latency.Quantile(0.5)),
+			P95Ms:    ms(m.latency.Quantile(0.95)),
+			P99Ms:    ms(m.latency.Quantile(0.99)),
+		}
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: uptime,
+		SnapshotGen:   snap.gen,
+		Lake: LakeStats{
+			Tables:         snap.stats.Tables,
+			Columns:        snap.stats.Columns,
+			Rows:           snap.stats.Rows,
+			DistinctValues: snap.stats.DistinctValues,
+		},
+		Cache: CacheStats{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			Entries: cs.Entries, HitRatio: s.cache.HitRatio(),
+		},
+		InFlight:      s.inflight.Value(),
+		QueueDepth:    s.queued.Value(),
+		Shed:          s.shed.Value(),
+		Timeouts:      s.timeouts.Value(),
+		Panics:        s.panics.Value(),
+		SnapshotSwaps: s.swaps.Value(),
+		Endpoints:     eps,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WriteText(w)
+}
+
+// --- helpers ---
+
+// joinKey builds the cache key for a join query: the snapshot
+// generation, mode, k, threshold, and the normalized distinct query
+// values — in-vocabulary values as their stable dictionary ID,
+// out-of-vocabulary ones as length-prefixed literals (ephemeral
+// encoder IDs are not stable across queries and must not be keys).
+// This matches exactly the information join.EncodeQuery extracts, so
+// two requests with the same key provably produce the same result.
+func (s *Server) joinKey(snap *snapshot, modeByte byte, k int, threshold float64, values []string) string {
+	vals := tokenize.NormalizeSet(values)
+	sort.Strings(vals)
+	var kb qcache.KeyBuilder
+	kb.Byte('J').U64(snap.gen).Byte(modeByte).U32(uint32(k))
+	if modeByte == 1 {
+		kb.U64(math.Float64bits(threshold))
+	}
+	d := snap.sys.Dict
+	for _, v := range vals {
+		if d != nil {
+			if id, ok := d.ID(v); ok {
+				kb.Byte(0).U32(id)
+				continue
+			}
+		}
+		kb.Byte(1).Str(v)
+	}
+	return kb.String()
+}
+
+func unionScores(rs []union.Result) []TableScore {
+	out := make([]TableScore, len(rs))
+	for i, r := range rs {
+		out[i] = TableScore{TableID: r.TableID, Score: r.Score}
+	}
+	return out
+}
+
+func clampK(k int) int {
+	if k <= 0 {
+		return defaultK
+	}
+	if k > maxK {
+		return maxK
+	}
+	return k
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// decodeBody enforces POST, bounds the body, and parses JSON. On
+// failure it writes the error response and returns false.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing JSON body: "+err.Error())
+		return false
+	}
+	return true
+}

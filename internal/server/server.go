@@ -1,0 +1,420 @@
+// Package server is the lakeserved serving layer: it wraps a built
+// core.System in an HTTP API with admission control, a query-result
+// cache, live observability, and graceful lifecycle management.
+//
+// Layering, outermost first:
+//
+//	panic recovery  → a handler panic becomes HTTP 500 + a counter,
+//	                  never a dead process
+//	drain gate      → during shutdown new requests get 503 while
+//	                  in-flight ones finish
+//	metrics         → per-endpoint request counts, error counts, and
+//	                  streaming latency quantiles (internal/obs)
+//	admission       → a semaphore bounds concurrent queries, a bounded
+//	                  queue absorbs bursts, and beyond that requests
+//	                  are shed with 429 + Retry-After
+//	cache           → exact-key query-result cache (internal/qcache);
+//	                  a hit returns the bit-identical bytes of the
+//	                  original response
+//	query           → the core.System search surfaces, run under a
+//	                  per-request timeout with cooperative cancellation
+//
+// The lake snapshot is an atomic pointer: Swap installs a new
+// core.System without pausing traffic and invalidates the cache (both
+// eagerly, via Purge, and structurally — cache keys embed the snapshot
+// generation, so a response computed against an old snapshot can never
+// be served against a new one).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tablehound/internal/core"
+	"tablehound/internal/lake"
+	"tablehound/internal/obs"
+	"tablehound/internal/qcache"
+	"tablehound/internal/table"
+)
+
+// Config tunes the serving layer. The zero value gets sensible
+// defaults from New.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries. Default:
+	// NumCPU, min 2.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; beyond
+	// it requests are shed with 429. Default: 4*MaxInFlight.
+	MaxQueue int
+	// QueryTimeout is the per-request execution budget. Expired
+	// requests get 504; surfaces with context plumbing abort early.
+	// Default: 30s.
+	QueryTimeout time.Duration
+	// DrainTimeout bounds how long Shutdown waits for in-flight
+	// queries. Default: 10s.
+	DrainTimeout time.Duration
+	// CacheEntries sizes the query-result cache; 0 disables caching.
+	CacheEntries int
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.NumCPU()
+		if c.MaxInFlight < 2 {
+			c.MaxInFlight = 2
+		}
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// snapshot bundles a built system with its precomputed lake stats and
+// a generation number used to namespace cache keys.
+type snapshot struct {
+	sys   *core.System
+	stats lake.Stats
+	gen   uint64
+}
+
+// Server serves discovery queries over one atomically swappable lake
+// snapshot.
+type Server struct {
+	cfg   Config
+	snap  atomic.Pointer[snapshot]
+	gen   atomic.Uint64
+	cache *qcache.Cache
+	lim   *limiter
+	mux   *http.ServeMux
+	start time.Time
+
+	draining atomic.Bool
+	queries  sync.WaitGroup // query goroutines, incl. ones orphaned by timeout
+
+	// Observability.
+	reg       *obs.Registry
+	endpoints map[string]*endpointMetrics
+	inflight  *obs.Gauge
+	queued    *obs.Gauge
+	shed      *obs.Counter
+	timeouts  *obs.Counter
+	panics    *obs.Counter
+	swaps     *obs.Counter
+
+	// testHookQueryStart, when set, runs at the start of every query
+	// goroutine while its admission slot is held. Tests use it to pin
+	// queries and saturate admission deterministically.
+	testHookQueryStart func()
+}
+
+type endpointMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// New builds a Server around an already-built system.
+func New(sys *core.System, cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: qcache.New(cfg.CacheEntries),
+		lim:   newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		reg:   obs.NewRegistry(),
+		start: time.Now(),
+	}
+	s.snap.Store(&snapshot{sys: sys, stats: sys.Catalog.Stats(), gen: 0})
+
+	s.endpoints = make(map[string]*endpointMetrics)
+	for _, name := range []string{"join", "union", "keyword"} {
+		lbl := fmt.Sprintf("endpoint=%q", name)
+		s.endpoints[name] = &endpointMetrics{
+			requests: s.reg.Counter("lakeserved_requests_total", "Requests handled, by endpoint.", lbl),
+			errors:   s.reg.Counter("lakeserved_errors_total", "Requests answered with a non-2xx status, by endpoint.", lbl),
+			latency:  s.reg.Histogram("lakeserved_request_seconds", "Request latency, by endpoint.", lbl),
+		}
+	}
+	s.inflight = s.reg.Gauge("lakeserved_inflight", "Queries currently executing.", "")
+	s.queued = s.reg.Gauge("lakeserved_queue_depth", "Queries waiting for an execution slot.", "")
+	s.shed = s.reg.Counter("lakeserved_shed_total", "Requests shed with 429 because the wait queue was full.", "")
+	s.timeouts = s.reg.Counter("lakeserved_timeouts_total", "Queries that exceeded the per-request timeout.", "")
+	s.panics = s.reg.Counter("lakeserved_panics_total", "Handler panics recovered into HTTP 500.", "")
+	s.swaps = s.reg.Counter("lakeserved_snapshot_swaps_total", "Lake snapshot swaps.", "")
+	s.reg.GaugeFunc("lakeserved_cache_hit_ratio", "Query cache hit ratio since start.", "", s.cache.HitRatio)
+	s.reg.GaugeFunc("lakeserved_cache_entries", "Query cache resident entries.", "", func() float64 {
+		return float64(s.cache.Len())
+	})
+	s.reg.GaugeFunc("lakeserved_uptime_seconds", "Seconds since the server started.", "", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/join", s.queryEndpoint("join", s.handleJoin))
+	s.mux.HandleFunc("/v1/union", s.queryEndpoint("union", s.handleUnion))
+	s.mux.HandleFunc("/v1/keyword", s.queryEndpoint("keyword", s.handleKeyword))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the full middleware-wrapped HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return s.recoverMiddleware(s.drainMiddleware(s.mux))
+}
+
+// System returns the currently served system snapshot.
+func (s *Server) System() *core.System { return s.snap.Load().sys }
+
+// Swap atomically installs a new lake snapshot and invalidates the
+// query cache. In-flight queries finish against the snapshot they
+// started with.
+func (s *Server) Swap(sys *core.System) {
+	gen := s.gen.Add(1)
+	s.snap.Store(&snapshot{sys: sys, stats: sys.Catalog.Stats(), gen: gen})
+	// Keys embed gen, so stale entries are already unreachable; Purge
+	// just reclaims their memory eagerly.
+	s.cache.Purge()
+	s.swaps.Inc()
+}
+
+// Shutdown drains the server: new requests are refused with 503 and
+// in-flight queries get until ctx (or Config.DrainTimeout, whichever
+// is sooner) to finish. Returns an error if the drain deadline passed
+// with queries still running.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	drainCtx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		s.queries.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-drainCtx.Done():
+		return fmt.Errorf("server: drain deadline exceeded with queries still in flight: %w", drainCtx.Err())
+	}
+}
+
+// Metrics exposes the registry (for embedding and tests).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// CacheStats exposes the query-cache counters.
+func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+// --- middleware ---
+
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Inc()
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) drainMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Connection", "close")
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// queryEndpoint wraps a query handler with per-endpoint metrics. The
+// inner handler reports its final status code through statusWriter.
+func (s *Server) queryEndpoint(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	m := s.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		m.requests.Inc()
+		if sw.status >= 400 {
+			m.errors.Inc()
+		}
+		m.latency.Observe(time.Since(start))
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// --- query execution ---
+
+// errShed marks a request refused by admission control.
+var errShed = errors.New("server: overloaded, request shed")
+
+// runQuery executes fn under admission control and the per-request
+// timeout. The admission slot is released when fn actually returns —
+// if the deadline fires first the caller gets the timeout error
+// immediately but the slot stays held by the orphaned goroutine, so
+// MaxInFlight truly bounds concurrent execution.
+func (s *Server) runQuery(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	release, err := s.lim.acquire(ctx, s.queued)
+	if err != nil {
+		return nil, err
+	}
+	qctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
+
+	type out struct {
+		v   any
+		err error
+	}
+	ch := make(chan out, 1)
+	s.queries.Add(1)
+	s.inflight.Inc()
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				ch <- out{err: fmt.Errorf("query panic: %v", v)}
+			}
+			s.inflight.Dec()
+			s.queries.Done()
+			cancel()
+			release()
+		}()
+		if hook := s.testHookQueryStart; hook != nil {
+			hook()
+		}
+		v, err := fn(qctx)
+		ch <- out{v: v, err: err}
+	}()
+
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-qctx.Done():
+		s.timeouts.Inc()
+		return nil, qctx.Err()
+	}
+}
+
+// serveQuery is the shared tail of every query endpoint: cache lookup,
+// admission, execution, error mapping, cache fill, response. key == ""
+// bypasses the cache.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, key string, fn func(context.Context) (any, error)) {
+	if key != "" {
+		if body, ok := s.cache.Get(key); ok {
+			w.Header().Set("X-Cache", "HIT")
+			writeJSONBytes(w, http.StatusOK, body)
+			return
+		}
+		w.Header().Set("X-Cache", "MISS")
+	} else {
+		w.Header().Set("X-Cache", "BYPASS")
+	}
+
+	v, err := s.runQuery(r.Context(), fn)
+	if err != nil {
+		status, msg := errorStatus(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+			s.shed.Inc()
+		}
+		writeError(w, status, msg)
+		return
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
+	}
+	if key != "" {
+		s.cache.Put(key, body)
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// errorStatus maps a query error to an HTTP status.
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, errShed):
+		return http.StatusTooManyRequests, "server overloaded, retry later"
+	case errors.Is(err, table.ErrBadQuery):
+		return http.StatusBadRequest, err.Error()
+	case errors.Is(err, errNotFound):
+		return http.StatusNotFound, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "query exceeded the server's time budget"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "request canceled"
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+// errNotFound marks a lookup of an unknown table ID.
+var errNotFound = errors.New("not found")
+
+// --- response plumbing ---
+
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSONBytes(w, status, body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSONBytes(w, status, mustMarshal(ErrorResponse{Error: msg}))
+}
+
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -12,6 +12,7 @@ package starmie
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"tablehound/internal/embedding"
@@ -218,7 +219,7 @@ func (ix *Index) SearchTables(query *table.Table, k, efSearch int, exact bool) (
 	}
 	qv := ix.enc.EncodeColumns(query)
 	if len(qv) == 0 {
-		return nil, errors.New("starmie: query table has no columns")
+		return nil, fmt.Errorf("starmie: query table has no columns: %w", table.ErrBadQuery)
 	}
 	// Candidate tables from per-column retrieval.
 	seen := make(map[string]bool)

@@ -1,0 +1,11 @@
+package table
+
+import "errors"
+
+// ErrBadQuery is the sentinel wrapped by every search surface when a
+// query carries no usable content — an empty or whitespace-only query
+// column, a keyword query with no terms, a query table without usable
+// string columns. Callers (notably the HTTP serving layer, which maps
+// it to 400 Bad Request) detect it with errors.Is; the wrapping error
+// names the surface and the specific defect.
+var ErrBadQuery = errors.New("bad query")

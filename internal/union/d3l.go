@@ -2,6 +2,7 @@ package union
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -229,7 +230,7 @@ func (d *D3L) Search(query *table.Table, k int) ([]Result, error) {
 		qcols = append(qcols, d.analyzeColumn(c))
 	}
 	if len(qcols) == 0 {
-		return nil, errors.New("union: D3L query has no usable string columns")
+		return nil, fmt.Errorf("union: D3L query has no usable string columns: %w", table.ErrBadQuery)
 	}
 	var res []Result
 	for _, id := range d.ids {

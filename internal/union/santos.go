@@ -1,7 +1,9 @@
 package union
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sort"
 
 	"tablehound/internal/dict"
@@ -203,12 +205,19 @@ func (s *Santos) PairFootprint() dict.Footprint {
 // concurrent use; candidate verification fans out over
 // QueryParallelism workers with bit-identical results.
 func (s *Santos) Search(query *table.Table, k int, mode SantosMode) ([]Result, error) {
+	return s.SearchCtx(context.Background(), query, k, mode)
+}
+
+// SearchCtx is Search with cooperative cancellation: candidate
+// verification checks ctx between candidate tables. A query table
+// without the shape SANTOS needs wraps table.ErrBadQuery.
+func (s *Santos) SearchCtx(ctx context.Context, query *table.Table, k int, mode SantosMode) ([]Result, error) {
 	if !s.built {
 		return nil, ErrNotBuilt
 	}
 	q := s.analyze(query)
 	if q == nil {
-		return nil, errors.New("union: query table needs an intent column and one other string column")
+		return nil, fmt.Errorf("union: query table needs an intent column and one other string column: %w", table.ErrBadQuery)
 	}
 	// Encode the query's pair sets against the frozen pair dictionary.
 	// One encoder across relationships: pairs absent from the lake get
@@ -222,12 +231,15 @@ func (s *Santos) Search(query *table.Table, k int, mode SantosMode) ([]Result, e
 	// Candidates: tables sharing any value pair with the query, plus
 	// (curated modes) tables sharing a predicate.
 	cands := s.candidates(q, mode)
-	scores, _ := parallel.Map(len(cands), parallel.Resolve(s.QueryParallelism), func(i int) (float64, error) {
+	scores, err := parallel.MapCtx(ctx, len(cands), parallel.Resolve(s.QueryParallelism), func(i int) (float64, error) {
 		if cands[i] == query.ID {
 			return 0, nil
 		}
 		return s.tableScore(q, s.tables[cands[i]], mode), nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var res []Result
 	for i, id := range cands {
 		if id == query.ID {

@@ -1,7 +1,9 @@
 package union
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -403,6 +405,15 @@ var ErrNotBuilt = errors.New("union: index not built (call Build after adding ta
 // QueryParallelism workers into indexed slots, so results are
 // bit-identical to the sequential scan.
 func (t *TUS) Search(query *table.Table, k int, m Measure) ([]Result, error) {
+	return t.SearchCtx(context.Background(), query, k, m)
+}
+
+// SearchCtx is Search with cooperative cancellation: candidate scoring
+// checks ctx between candidate tables and a cancelled context returns
+// ctx.Err() instead of finishing the scan. A query without usable
+// string columns wraps table.ErrBadQuery. Results of a run that
+// completes are bit-identical to Search.
+func (t *TUS) SearchCtx(ctx context.Context, query *table.Table, k int, m Measure) ([]Result, error) {
 	if !t.built {
 		return nil, ErrNotBuilt
 	}
@@ -412,15 +423,18 @@ func (t *TUS) Search(query *table.Table, k int, m Measure) ([]Result, error) {
 		qcols = append(qcols, t.queryColumn(c, enc))
 	}
 	if len(qcols) == 0 {
-		return nil, errors.New("union: query table has no usable string columns")
+		return nil, fmt.Errorf("union: query table has no usable string columns: %w", table.ErrBadQuery)
 	}
 	cands := t.candidateTables(query, qcols)
-	scores, _ := parallel.Map(len(cands), parallel.Resolve(t.QueryParallelism), func(i int) (float64, error) {
+	scores, err := parallel.MapCtx(ctx, len(cands), parallel.Resolve(t.QueryParallelism), func(i int) (float64, error) {
 		if cands[i] == query.ID {
 			return 0, nil
 		}
 		return t.tableScore(qcols, t.tables[cands[i]].cols, m), nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var res []Result
 	for i, id := range cands {
 		if id == query.ID {

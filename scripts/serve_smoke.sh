@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Serving-layer smoke test: build the binaries, generate a 100-table
+# lake, start lakeserved, run one query per endpoint through lakectl's
+# client mode, and verify a clean SIGTERM shutdown.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+ADDR=127.0.0.1:18742
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$TMP/lakectl" ./cmd/lakectl
+go build -o "$TMP/lakeserved" ./cmd/lakeserved
+
+echo "== generating 100-table lake"
+"$TMP/lakectl" gen -out "$TMP/lake" -templates 20 -tables 5 -domains 16 -seed 3
+
+echo "== starting lakeserved on $ADDR"
+"$TMP/lakeserved" -lake "$TMP/lake" -addr "$ADDR" -cache-entries 1024 &
+SERVER_PID=$!
+
+echo "== waiting for readiness"
+ready=""
+for _ in $(seq 1 150); do
+    if "$TMP/lakectl" stats -addr "$ADDR" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL: server exited during startup" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+[ -n "$ready" ] || { echo "FAIL: server never became ready" >&2; exit 1; }
+
+TABLE=$(basename "$(ls "$TMP/lake"/*.csv | head -1)" .csv)
+VALUES=$(awk -F, 'NR>1 && $1 != "" {print $1}' "$TMP/lake/$TABLE.csv" | head -8 | paste -sd, -)
+FIRST_VALUE=${VALUES%%,*}
+
+echo "== /v1/keyword (lakectl query search)"
+"$TMP/lakectl" query search -addr "$ADDR" -q "$FIRST_VALUE data" -k 5
+
+echo "== /v1/keyword values mode (lakectl query vsearch)"
+"$TMP/lakectl" query vsearch -addr "$ADDR" -q "$FIRST_VALUE" -k 5
+
+echo "== /v1/join (lakectl query join)"
+"$TMP/lakectl" query join -addr "$ADDR" -values "$VALUES" -k 5
+
+echo "== /v1/join containment mode"
+"$TMP/lakectl" query join -addr "$ADDR" -values "$VALUES" -k 5 -mode containment -threshold 0.3
+
+echo "== /v1/union (lakectl query union)"
+"$TMP/lakectl" query union -addr "$ADDR" -table "$TABLE" -k 5
+
+echo "== /stats (lakectl stats -addr)"
+"$TMP/lakectl" stats -addr "$ADDR"
+
+echo "== graceful shutdown"
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+    echo "FAIL: lakeserved exited non-zero on SIGTERM" >&2
+    exit 1
+fi
+SERVER_PID=""
+
+echo "PASS: serve smoke"
