@@ -6,7 +6,7 @@
 GO ?= go
 COUNT ?= 1
 
-.PHONY: check race bench-build bench-query bench-mem serve-smoke
+.PHONY: check race bench-build bench-query bench-mem bench-snapshot serve-smoke snapshot-smoke
 
 check:
 	$(GO) vet ./...
@@ -18,7 +18,8 @@ race:
 		./internal/union/... ./internal/starmie/... ./internal/table/... \
 		./internal/lake/... ./internal/parallel/... ./internal/keyword/... \
 		./internal/dict/... ./internal/server/... ./internal/qcache/... \
-		./internal/obs/...
+		./internal/obs/... ./internal/snap/... ./internal/invindex/... \
+		./internal/lshensemble/...
 
 # End-to-end smoke of the serving layer: real lakeserved process over
 # a generated 100-table lake, one query per endpoint via lakectl's
@@ -26,8 +27,19 @@ race:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
+# End-to-end smoke of the snapshot lifecycle: lakectl build writes a
+# snapshot, lakeserved serves from it, hot reload via SIGHUP and
+# POST /v1/admin/reload, graceful SIGTERM shutdown.
+snapshot-smoke:
+	bash scripts/snapshot_smoke.sh
+
 bench-build:
 	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchtime 2x .
+
+# Snapshot save/load over the 500-table lake. The Load/BuildPar ratio
+# is the startup speedup of serving from a snapshot.
+bench-snapshot:
+	$(GO) test -run xxx -bench 'BenchmarkSnapshot|BenchmarkSystemBuildPar' -benchtime 2x .
 
 # Query-serving benchmarks over the 500-table lake, including the
 # loopback-HTTP serving benchmark (cold vs warm cache). Set COUNT=10

@@ -9,6 +9,7 @@
 package tablehound
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -19,10 +20,10 @@ import (
 	"tablehound/internal/datagen"
 	"tablehound/internal/embedding"
 	"tablehound/internal/exp"
-	"tablehound/internal/lake"
 	"tablehound/internal/hnsw"
 	"tablehound/internal/invindex"
 	"tablehound/internal/josie"
+	"tablehound/internal/lake"
 	"tablehound/internal/lsh"
 	"tablehound/internal/lshensemble"
 	"tablehound/internal/minhash"
@@ -116,6 +117,63 @@ func BenchmarkSystemBuildSeq(b *testing.B) { benchBuild(b, 1) }
 // (Parallelism=0 → GOMAXPROCS). On a single-core runner the two are
 // expected to tie; the speedup needs real cores.
 func BenchmarkSystemBuildPar(b *testing.B) { benchBuild(b, 0) }
+
+// ---- Snapshot save/load (vs BenchmarkSystemBuildPar) ----
+
+// snapshotBench builds the 500-table bench system once and serializes
+// it once; both run outside every timer.
+var snapshotBench struct {
+	once sync.Once
+	sys  *core.System
+	blob []byte
+}
+
+func snapshotBenchBlob(b *testing.B) (*core.System, []byte) {
+	snapshotBench.once.Do(func() {
+		cat, opts := benchLake()
+		sys, err := core.Build(cat, opts)
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if err := sys.Save(&buf); err != nil {
+			panic(err)
+		}
+		snapshotBench.sys = sys
+		snapshotBench.blob = buf.Bytes()
+	})
+	if snapshotBench.sys == nil {
+		b.Fatal("snapshot bench system failed to build")
+	}
+	return snapshotBench.sys, snapshotBench.blob
+}
+
+// BenchmarkSnapshotSave serializes the built 500-table system.
+func BenchmarkSnapshotSave(b *testing.B) {
+	sys, blob := snapshotBenchBlob(b)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := sys.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad deserializes the snapshot back into a serving
+// system. Compare against BenchmarkSystemBuildPar: the ratio is the
+// startup speedup `lakeserved -snapshot` gets over building from CSVs.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	_, blob := snapshotBenchBlob(b)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Load(bytes.NewReader(blob), core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // ---- Query serving (per-surface latency + QPS throughput) ----
 

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lakectl gen -out DIR [-templates N] [-tables N] [-seed S]
+//	lakectl build -lake DIR -o FILE.snap
 //	lakectl stats -lake DIR | -addr HOST:PORT
 //	lakectl query <search|vsearch|join|union> -addr HOST:PORT [flags]
 //	lakectl search -lake DIR -q "topic keywords" [-k 10]
@@ -15,8 +16,10 @@
 //	lakectl exp ID|all
 //
 // Every command that builds a discovery system accepts -parallel N
-// (construction worker count; 0 = all CPUs, 1 = sequential) and
-// -timing (print the per-stage build report to stderr).
+// (construction worker count; 0 = all CPUs, 1 = sequential), -timing
+// (print the per-stage build report to stderr), and -snapshot FILE
+// (load a prebuilt system from a `lakectl build -o` snapshot instead
+// of rebuilding from CSVs).
 //
 // A lake is a directory of CSV files (one table per file).
 package main
@@ -27,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"tablehound/internal/core"
 	"tablehound/internal/datagen"
@@ -44,6 +48,8 @@ func main() {
 	switch os.Args[1] {
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "search":
@@ -88,6 +94,7 @@ func usage() {
 
 commands:
   gen       generate a synthetic data lake as a directory of CSVs
+  build     build the discovery system and save it as a snapshot file
   stats     print catalog statistics for a lake (or -addr for a daemon)
   query     run a search against a running lakeserved daemon
   search    keyword search over table metadata
@@ -108,12 +115,14 @@ commands:
 type buildFlags struct {
 	parallel *int
 	timing   *bool
+	snapshot *string
 }
 
 func addBuildFlags(fs *flag.FlagSet) buildFlags {
 	return buildFlags{
 		parallel: fs.Int("parallel", 0, "construction workers (0 = all CPUs, 1 = sequential)"),
 		timing:   fs.Bool("timing", false, "print per-stage build timing to stderr"),
+		snapshot: fs.String("snapshot", "", "load the system from a snapshot file instead of building from -lake"),
 	}
 }
 
@@ -125,18 +134,56 @@ func (bf buildFlags) loadCatalog(dir string) (*lake.Catalog, error) {
 }
 
 func (bf buildFlags) buildSystem(dir string) (*core.System, error) {
-	cat, err := bf.loadCatalog(dir)
-	if err != nil {
-		return nil, err
-	}
-	sys, err := core.Build(cat, core.Options{Parallelism: *bf.parallel})
-	if err != nil {
-		return nil, err
+	var sys *core.System
+	if *bf.snapshot != "" {
+		var err error
+		sys, err = core.LoadFile(*bf.snapshot, core.Options{Parallelism: *bf.parallel})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cat, err := bf.loadCatalog(dir)
+		if err != nil {
+			return nil, err
+		}
+		sys, err = core.Build(cat, core.Options{Parallelism: *bf.parallel})
+		if err != nil {
+			return nil, err
+		}
 	}
 	if *bf.timing {
 		fmt.Fprint(os.Stderr, sys.BuildStats.Report())
 	}
 	return sys, nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dir := fs.String("lake", "", "lake directory")
+	out := fs.String("o", "", "output snapshot file (required)")
+	bf := addBuildFlags(fs)
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("build: -o is required")
+	}
+	start := time.Now()
+	sys, err := bf.buildSystem(*dir)
+	if err != nil {
+		return err
+	}
+	built := time.Since(start)
+	if err := sys.SaveFile(*out); err != nil {
+		return err
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	st := sys.Catalog.Stats()
+	fmt.Printf("built %d tables (%d columns, %d distinct values) in %v\nwrote %s (%.1f MiB) in %v\n",
+		st.Tables, st.Columns, st.DistinctValues, built.Round(time.Millisecond),
+		*out, float64(fi.Size())/(1<<20), time.Since(start).Round(time.Millisecond)-built.Round(time.Millisecond))
+	return nil
 }
 
 func cmdGen(args []string) error {

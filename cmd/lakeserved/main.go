@@ -1,19 +1,27 @@
-// Command lakeserved builds a discovery system over a lake directory
-// once and serves it over HTTP: joinable-column, unionable-table, and
-// keyword search as JSON endpoints, plus /healthz, /stats, and a
-// Prometheus-format /metrics.
+// Command lakeserved serves a discovery system over HTTP:
+// joinable-column, unionable-table, and keyword search as JSON
+// endpoints, plus /healthz, /stats, a Prometheus-format /metrics, and
+// an admin reload endpoint.
 //
 // Usage:
 //
-//	lakeserved -lake DIR [-addr :8080] [-parallel N] [-qparallel N]
+//	lakeserved -lake DIR | -snapshot FILE
+//	           [-addr :8080] [-parallel N] [-qparallel N]
 //	           [-max-inflight N] [-queue N] [-cache-entries N]
 //	           [-timeout D] [-drain D]
 //
+// With -lake the system is built from a directory of CSVs at startup;
+// with -snapshot it is loaded from a file written by `lakectl build
+// -o`, which starts in a small fraction of the build time. SIGHUP (or
+// POST /v1/admin/reload) re-reads the source and atomically swaps the
+// new system in without dropping traffic; with both flags given,
+// -snapshot is what startup and reloads read.
+//
 // The serving layer bounds concurrent query execution (-max-inflight)
-// with a bounded wait queue (-queue); beyond both, requests are shed
-// with 429. Query results are cached (-cache-entries; 0 disables).
-// SIGINT/SIGTERM trigger a graceful shutdown: new requests get 503
-// while in-flight queries get up to -drain to finish.
+// with a bounded FIFO wait queue (-queue); beyond both, requests are
+// shed with 429. Query results are cached (-cache-entries; 0
+// disables). SIGINT/SIGTERM trigger a graceful shutdown: new requests
+// get 503 while in-flight queries get up to -drain to finish.
 package main
 
 import (
@@ -41,7 +49,8 @@ func main() {
 
 func run() error {
 	fs := flag.NewFlagSet("lakeserved", flag.ExitOnError)
-	dir := fs.String("lake", "", "lake directory of CSV files (required)")
+	dir := fs.String("lake", "", "lake directory of CSV files")
+	snapPath := fs.String("snapshot", "", "system snapshot file from `lakectl build -o` (replaces -lake)")
 	addr := fs.String("addr", ":8080", "listen address")
 	parallel := fs.Int("parallel", 0, "construction workers (0 = all CPUs)")
 	qparallel := fs.Int("qparallel", 0, "per-query workers (0 = all CPUs)")
@@ -52,31 +61,48 @@ func run() error {
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline")
 	timing := fs.Bool("timing", false, "print per-stage build timing to stderr")
 	fs.Parse(os.Args[1:])
-	if *dir == "" {
-		return fmt.Errorf("-lake is required")
+	if *dir == "" && *snapPath == "" {
+		return fmt.Errorf("one of -lake or -snapshot is required")
 	}
 
 	log.SetPrefix("lakeserved: ")
 	log.SetFlags(log.LstdFlags)
 
-	start := time.Now()
-	cat, err := lake.LoadCSVDirN(*dir, *parallel)
-	if err != nil {
-		return err
+	// load produces a fresh system from the configured source; it backs
+	// both startup and every subsequent reload.
+	load := func() (*core.System, error) {
+		if *snapPath != "" {
+			return core.LoadFile(*snapPath, core.Options{
+				Parallelism:      *parallel,
+				QueryParallelism: *qparallel,
+			})
+		}
+		cat, err := lake.LoadCSVDirN(*dir, *parallel)
+		if err != nil {
+			return nil, err
+		}
+		return core.Build(cat, core.Options{
+			Parallelism:      *parallel,
+			QueryParallelism: *qparallel,
+		})
 	}
-	sys, err := core.Build(cat, core.Options{
-		Parallelism:      *parallel,
-		QueryParallelism: *qparallel,
-	})
+
+	start := time.Now()
+	sys, err := load()
 	if err != nil {
 		return err
 	}
 	if *timing {
 		fmt.Fprint(os.Stderr, sys.BuildStats.Report())
 	}
-	st := cat.Stats()
-	log.Printf("built system over %s: %d tables, %d columns, %d distinct values in %v",
-		*dir, st.Tables, st.Columns, st.DistinctValues, time.Since(start).Round(time.Millisecond))
+	st := sys.Catalog.Stats()
+	source := *snapPath
+	verb := "loaded snapshot"
+	if source == "" {
+		source, verb = *dir, "built system over"
+	}
+	log.Printf("%s %s: %d tables, %d columns, %d distinct values in %v",
+		verb, source, st.Tables, st.Columns, st.DistinctValues, time.Since(start).Round(time.Millisecond))
 
 	srv := server.New(sys, server.Config{
 		MaxInFlight:  *maxInflight,
@@ -85,6 +111,7 @@ func run() error {
 		DrainTimeout: *drain,
 		CacheEntries: *cacheEntries,
 	})
+	srv.SetReloader(load)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
@@ -97,13 +124,29 @@ func run() error {
 		errCh <- nil
 	}()
 
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		return err
-	case sig := <-sigCh:
-		log.Printf("received %v, draining", sig)
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			return err
+		case sig := <-sigCh:
+			if sig != syscall.SIGHUP {
+				log.Printf("received %v, draining", sig)
+				break loop
+			}
+			// SIGHUP: reload off the serving path and swap atomically.
+			t0 := time.Now()
+			newSys, err := srv.Reload()
+			if err != nil {
+				log.Printf("reload failed (still serving the old snapshot): %v", err)
+				continue
+			}
+			ns := newSys.Catalog.Stats()
+			log.Printf("reloaded: %d tables, %d columns in %v",
+				ns.Tables, ns.Columns, time.Since(t0).Round(time.Millisecond))
+		}
 	}
 
 	// Drain in-flight queries first (new requests get 503), then close

@@ -125,6 +125,11 @@ type System struct {
 	// BuildStats records per-stage wall time and item counts for the
 	// construction pipeline that produced this system.
 	BuildStats *BuildStats
+
+	// buildOpts is the resolved Options the system was constructed
+	// with; Save persists it so Load can replay the rebuild-on-load
+	// stages with the same parameters.
+	buildOpts Options
 }
 
 // Build indexes the catalog into a System.
@@ -144,7 +149,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 	if len(tables) == 0 {
 		return nil, errors.New("core: empty catalog")
 	}
-	s := &System{Catalog: catalog, KB: opts.KB}
+	s := &System{Catalog: catalog, KB: opts.KB, buildOpts: opts}
 	stats := newBuildStats(opts.Parallelism)
 	start := time.Now()
 
@@ -241,21 +246,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 		{stageFuzzy, opts.SkipFuzzy, func() (int, error) {
 			// Fuzzy join (PEXESO-style): embedding a vector per value is
 			// the single heaviest stage, so it fans out per column.
-			s.Fuzzy = join.NewFuzzyJoiner(s.Model, 4)
-			s.Fuzzy.UseDict(s.Dict)
-			s.Fuzzy.QueryParallelism = opts.QueryParallelism
-			var batch []join.FuzzyColumn
-			for _, t := range tables {
-				for _, c := range t.Columns {
-					if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
-						batch = append(batch, join.FuzzyColumn{Key: table.ColumnKey(t.ID, c.Name), Values: c.Values})
-					}
-				}
-			}
-			if err := s.Fuzzy.AddColumns(batch, opts.Parallelism); err != nil {
-				return 0, err
-			}
-			return len(batch), nil
+			return buildFuzzy(s, tables, opts)
 		}},
 		{stageCorr, false, func() (int, error) {
 			// Correlation search: first string column as key, numeric
@@ -386,6 +377,28 @@ func (s *System) JoinPath(fromTable, toTable string, maxHops int) []aurum.JoinHo
 		return nil
 	}
 	return s.Graph.JoinPath(fromTable, toTable, aurum.ContentSim, maxHops)
+}
+
+// buildFuzzy constructs the fuzzy join index over the catalog. It is
+// shared by Build's stageFuzzy and by Load, which re-derives the index
+// from the loaded model/dictionary/catalog instead of storing a vector
+// per value on disk; both paths produce bit-identical indexes.
+func buildFuzzy(s *System, tables []*table.Table, opts Options) (int, error) {
+	s.Fuzzy = join.NewFuzzyJoiner(s.Model, 4)
+	s.Fuzzy.UseDict(s.Dict)
+	s.Fuzzy.QueryParallelism = opts.QueryParallelism
+	var batch []join.FuzzyColumn
+	for _, t := range tables {
+		for _, c := range t.Columns {
+			if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
+				batch = append(batch, join.FuzzyColumn{Key: table.ColumnKey(t.ID, c.Name), Values: c.Values})
+			}
+		}
+	}
+	if err := s.Fuzzy.AddColumns(batch, opts.Parallelism); err != nil {
+		return 0, err
+	}
+	return len(batch), nil
 }
 
 type keyedNums struct {

@@ -1,0 +1,468 @@
+// Unified on-disk snapshots: Save serializes a fully built System into
+// one versioned, checksummed binary stream; Load reconstructs a System
+// that answers every search surface bit-identically to the one that
+// was saved — without re-running the build pipeline.
+//
+// The format is a snap header followed by a fixed sequence of
+// length-framed, CRC-checked sections, one per subsystem. Structures
+// whose construction is deterministic-but-expensive are stored
+// verbatim (embedding model, dictionary, inverted indexes, column
+// analyses, HNSW topology); structures that are cheap, deterministic
+// functions of already-stored state are rebuilt on load (LSH banding
+// tables, posting maps, profile/entity/fuzzy indexes). Optional
+// subsystems carry a presence flag so a snapshot of a system built
+// with Skip* options round-trips exactly.
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"tablehound/internal/apps"
+	"tablehound/internal/aurum"
+	"tablehound/internal/dict"
+	"tablehound/internal/embedding"
+	"tablehound/internal/join"
+	"tablehound/internal/kb"
+	"tablehound/internal/keyword"
+	"tablehound/internal/lake"
+	"tablehound/internal/navigation"
+	"tablehound/internal/parallel"
+	"tablehound/internal/profile"
+	"tablehound/internal/snap"
+	"tablehound/internal/starmie"
+	"tablehound/internal/union"
+)
+
+// ErrCorruptSnapshot marks a system snapshot whose bytes or structure
+// are invalid: truncation, checksum mismatch, trailing garbage, or
+// internally inconsistent sections. It aliases the shared snap
+// sentinel, so errors.Is matches either spelling.
+var ErrCorruptSnapshot = snap.ErrCorrupt
+
+// Snapshot framing.
+const (
+	snapMagic   uint32 = 0x54485342 // "THSB": tablehound system binary
+	snapVersion uint16 = 1
+)
+
+// Section IDs, in stream order. The sequence is fixed; optional
+// subsystems encode a presence flag inside their section rather than
+// omitting it.
+const (
+	secOptions uint16 = iota + 1
+	secCatalog
+	secModel
+	secKB
+	secDict
+	secKeyword
+	secValues
+	secJoin
+	secCorr
+	secMate
+	secTUS
+	secSantos
+	secD3L
+	secStarmie
+	secOrg
+	secGraph
+)
+
+// Save writes the system as one self-contained snapshot stream.
+// The system must be fully built (a Build result); partially
+// constructed systems are rejected rather than half-written.
+func (s *System) Save(w io.Writer) error {
+	if s.Catalog == nil || s.Model == nil || s.Dict == nil || s.Keyword == nil ||
+		s.Values == nil || s.Join == nil || s.Mate == nil || s.TUS == nil ||
+		s.Santos == nil || s.D3L == nil || s.Starmie == nil {
+		return fmt.Errorf("core: cannot snapshot a partially built system")
+	}
+	if err := snap.WriteHeader(w, snapMagic, snapVersion, 0); err != nil {
+		return err
+	}
+	sw := snap.NewWriter(w)
+	opts := s.buildOpts
+	if err := sw.Section(secOptions, func(e *snap.Encoder) {
+		e.U32(uint32(opts.EmbeddingDim))
+		e.I64(opts.Seed)
+		e.U32(uint32(opts.MinJoinCardinality))
+		e.F64(opts.ContextWeight)
+		e.U32(uint32(opts.OrgFanout))
+		e.Bool(opts.SkipOrganization)
+		e.Bool(opts.SkipFuzzy)
+		e.Bool(opts.SkipGraph)
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(secCatalog, s.Catalog.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(secModel, s.Model.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(secKB, func(e *snap.Encoder) {
+		e.Bool(s.KB != nil)
+		if s.KB != nil {
+			s.KB.AppendSnapshot(e)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(secDict, s.Dict.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(secKeyword, s.Keyword.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(secValues, s.Values.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(secJoin, func(e *snap.Encoder) {
+		s.Join.AppendSnapshot(e, s.Dict)
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(secCorr, func(e *snap.Encoder) {
+		e.Bool(s.Corr != nil)
+		if s.Corr != nil {
+			s.Corr.AppendSnapshot(e)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(secMate, s.Mate.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(secTUS, func(e *snap.Encoder) {
+		s.TUS.AppendSnapshot(e, s.Dict)
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(secSantos, s.Santos.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(secD3L, s.D3L.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(secStarmie, s.Starmie.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(secOrg, func(e *snap.Encoder) {
+		e.Bool(s.Org != nil)
+		if s.Org != nil {
+			s.Org.AppendSnapshot(e)
+		}
+	}); err != nil {
+		return err
+	}
+	return sw.Section(secGraph, func(e *snap.Encoder) {
+		e.Bool(s.Graph != nil)
+		if s.Graph != nil {
+			s.Graph.AppendSnapshot(e)
+		}
+	})
+}
+
+// Load reconstructs a system from a snapshot written by Save. Only the
+// runtime concurrency knobs are taken from opts (Parallelism for the
+// rebuild-on-load stages, QueryParallelism for the per-query fan-out
+// of the loaded engines); everything else — catalog, model, KB,
+// build parameters — comes from the snapshot. The loaded system
+// answers every search surface bit-identically to the saved one.
+func Load(r io.Reader, opts Options) (*System, error) {
+	start := time.Now()
+	version, _, err := snap.ReadHeader(r, snapMagic)
+	if err != nil {
+		return nil, err
+	}
+	if version != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d (want %d)", ErrCorruptSnapshot, version, snapVersion)
+	}
+	// Phase 1: read and checksum every section frame sequentially;
+	// decoding is deferred so independent sections can decode in
+	// parallel below.
+	sr := snap.NewReader(r)
+	secs := make(map[uint16]*snap.Decoder, secGraph)
+	for id := secOptions; id <= secGraph; id++ {
+		d, err := sr.Payload(id)
+		if err != nil {
+			return nil, err
+		}
+		secs[id] = d
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+
+	// Build options decode inline: they govern the rebuild stages.
+	bopts := Options{}
+	if err := decodeSection(secOptions, secs, func(d *snap.Decoder) error {
+		bopts.EmbeddingDim = int(d.U32())
+		bopts.Seed = d.I64()
+		bopts.MinJoinCardinality = int(d.U32())
+		bopts.ContextWeight = d.F64()
+		bopts.OrgFanout = int(d.U32())
+		bopts.SkipOrganization = d.Bool()
+		bopts.SkipFuzzy = d.Bool()
+		bopts.SkipGraph = d.Bool()
+		return d.Err()
+	}); err != nil {
+		return nil, err
+	}
+	bopts.Parallelism = parallel.Resolve(opts.Parallelism)
+	bopts.QueryParallelism = parallel.Resolve(opts.QueryParallelism)
+
+	s := &System{}
+
+	// Phase 2a: the foundation sections — everything later decodes
+	// against the catalog, model, KB, and dictionary, so this wave runs
+	// first; its members are mutually independent.
+	g := newDecodeGroup(bopts.Parallelism > 1)
+	g.run(secCatalog, secs, func(d *snap.Decoder) error {
+		var derr error
+		s.Catalog, derr = lake.DecodeSnapshot(d)
+		return derr
+	})
+	g.run(secModel, secs, func(d *snap.Decoder) error {
+		var derr error
+		s.Model, derr = embedding.DecodeSnapshot(d)
+		return derr
+	})
+	g.run(secKB, secs, func(d *snap.Decoder) error {
+		if !d.Bool() {
+			return d.Err()
+		}
+		var derr error
+		s.KB, derr = kb.DecodeSnapshot(d)
+		return derr
+	})
+	g.run(secDict, secs, func(d *snap.Decoder) error {
+		var derr error
+		s.Dict, derr = dict.DecodeSnapshot(d)
+		return derr
+	})
+	g.run(secKeyword, secs, func(d *snap.Decoder) error {
+		var derr error
+		s.Keyword, derr = keyword.DecodeIndexSnapshot(d)
+		return derr
+	})
+	g.run(secValues, secs, func(d *snap.Decoder) error {
+		var derr error
+		s.Values, derr = keyword.DecodeValueIndexSnapshot(d)
+		return derr
+	})
+	g.run(secCorr, secs, func(d *snap.Decoder) error {
+		if !d.Bool() {
+			return d.Err()
+		}
+		var derr error
+		s.Corr, derr = join.DecodeCorrSnapshot(d)
+		return derr
+	})
+	g.run(secOrg, secs, func(d *snap.Decoder) error {
+		if !d.Bool() {
+			return d.Err()
+		}
+		var derr error
+		s.Org, derr = navigation.DecodeSnapshot(d)
+		return derr
+	})
+	g.run(secGraph, secs, func(d *snap.Decoder) error {
+		if !d.Bool() {
+			return d.Err()
+		}
+		var derr error
+		s.Graph, derr = aurum.DecodeSnapshot(d)
+		return derr
+	})
+	if err := g.wait(); err != nil {
+		return nil, err
+	}
+	bopts.KB = s.KB
+	s.buildOpts = bopts
+	lookup := s.Catalog.Table
+	tables := s.Catalog.Tables()
+	stats := newBuildStats(bopts.Parallelism)
+
+	// Phase 2b: the search engines, each depending only on phase-2a
+	// results, plus the rebuild-on-load stages (profiles, entities,
+	// fuzzy) — cheap deterministic functions of the loaded catalog,
+	// model, and dictionary that are not worth serializing.
+	g = newDecodeGroup(bopts.Parallelism > 1)
+	g.run(secJoin, secs, func(d *snap.Decoder) error {
+		eng, derr := join.DecodeEngineSnapshot(d, s.Dict, bopts.Parallelism)
+		if derr != nil {
+			return derr
+		}
+		eng.QueryParallelism = bopts.QueryParallelism
+		s.Join = eng
+		return nil
+	})
+	g.run(secMate, secs, func(d *snap.Decoder) error {
+		var derr error
+		s.Mate, derr = join.DecodeMateSnapshot(d, lookup)
+		return derr
+	})
+	g.run(secTUS, secs, func(d *snap.Decoder) error {
+		tus, derr := union.DecodeTUSSnapshot(d, union.TUSConfig{Model: s.Model, KB: s.KB, Dict: s.Dict}, lookup)
+		if derr != nil {
+			return derr
+		}
+		tus.QueryParallelism = bopts.QueryParallelism
+		s.TUS = tus
+		return nil
+	})
+	g.run(secSantos, secs, func(d *snap.Decoder) error {
+		santos, derr := union.DecodeSantosSnapshot(d, s.KB, lookup)
+		if derr != nil {
+			return derr
+		}
+		santos.QueryParallelism = bopts.QueryParallelism
+		s.Santos = santos
+		return nil
+	})
+	g.run(secD3L, secs, func(d *snap.Decoder) error {
+		var derr error
+		s.D3L, derr = union.DecodeD3LSnapshot(d, s.Model, lookup)
+		return derr
+	})
+	g.run(secStarmie, secs, func(d *snap.Decoder) error {
+		var derr error
+		s.Starmie, derr = starmie.DecodeSnapshot(d, s.Model)
+		return derr
+	})
+	g.do(func() error {
+		return stats.time(stageProfiles, func() (int, error) {
+			s.Profiles = profile.NewIndexN(tables, bopts.Parallelism)
+			return s.Profiles.Len(), nil
+		})
+	})
+	g.do(func() error {
+		return stats.time(stageEntities, func() (int, error) {
+			s.Entities = apps.NewEntityAugmenter(tables)
+			return len(tables), nil
+		})
+	})
+	if bopts.SkipFuzzy {
+		stats.skip(stageFuzzy)
+	} else {
+		g.do(func() error {
+			return stats.time(stageFuzzy, func() (int, error) {
+				return buildFuzzy(s, tables, bopts)
+			})
+		})
+	}
+	if err := g.wait(); err != nil {
+		return nil, err
+	}
+
+	for _, st := range []int{stageModel, stageDict, stageKeyword, stageJoin,
+		stageCorr, stageMate, stageTUS, stageSantos, stageD3L, stageStarmie} {
+		stats.Stages[st].Items = -1 // loaded from snapshot, not rebuilt
+	}
+	if bopts.SkipOrganization {
+		stats.skip(stageOrg)
+	}
+	if bopts.SkipGraph {
+		stats.skip(stageGraph)
+	}
+	stats.Total = time.Since(start)
+	s.BuildStats = stats
+	return s, nil
+}
+
+// decodeSection runs fn over one deferred section payload and applies
+// the full-consumption check, wrapping failures with the section id.
+func decodeSection(id uint16, secs map[uint16]*snap.Decoder, fn func(*snap.Decoder) error) error {
+	d := secs[id]
+	if err := fn(d); err != nil {
+		return fmt.Errorf("section %d: %w", id, err)
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("section %d: %w", id, err)
+	}
+	return nil
+}
+
+// decodeGroup runs decode tasks, concurrently when parallel (they are
+// bounded in number, so no worker pool), and keeps the first error.
+type decodeGroup struct {
+	parallel bool
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	err      error
+}
+
+func newDecodeGroup(parallel bool) *decodeGroup {
+	return &decodeGroup{parallel: parallel}
+}
+
+func (g *decodeGroup) do(fn func() error) {
+	if !g.parallel {
+		if g.err == nil {
+			if err := fn(); err != nil {
+				g.setErr(err)
+			}
+		}
+		return
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.setErr(err)
+		}
+	}()
+}
+
+func (g *decodeGroup) run(id uint16, secs map[uint16]*snap.Decoder, fn func(*snap.Decoder) error) {
+	g.do(func() error { return decodeSection(id, secs, fn) })
+}
+
+func (g *decodeGroup) setErr(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+}
+
+func (g *decodeGroup) wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// SaveFile writes the snapshot to a file, buffered; the file is
+// created (or truncated) and synced before return.
+func (s *System) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := s.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile loads a snapshot from a file written by SaveFile.
+func LoadFile(path string, opts Options) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReaderSize(f, 1<<20), opts)
+}

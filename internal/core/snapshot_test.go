@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"tablehound/internal/datagen"
+	"tablehound/internal/lake"
+	"tablehound/internal/union"
+)
+
+// roundTrip saves built to a buffer and loads it back at the given
+// query parallelism, failing the test on any snapshot error.
+func roundTrip(t *testing.T, built *System, qparallel int) *System {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Options{QueryParallelism: qparallel})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return loaded
+}
+
+// TestSnapshotRoundTripParity is the snapshot subsystem's core
+// contract: a loaded system must answer every search surface
+// bit-identically to the system it was saved from.
+func TestSnapshotRoundTripParity(t *testing.T) {
+	built, gen := buildAt(t, 4)
+	loaded := roundTrip(t, built, 0)
+
+	check := func(surface string, got, want any, err, werr error) {
+		t.Helper()
+		if err != nil || werr != nil {
+			t.Fatalf("%s: loaded err %v, built err %v", surface, err, werr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s results differ:\nloaded %+v\nbuilt  %+v", surface, got, want)
+		}
+	}
+
+	topic := gen.DomainNames[gen.Templates[0].Domains[0]]
+	gotK, err := loaded.KeywordSearch(topic, 10)
+	wantK, werr := built.KeywordSearch(topic, 10)
+	check("keyword", gotK, wantK, err, werr)
+
+	val := gen.Tables[3].Columns[0].Values[0]
+	gotV, err := loaded.ValueSearch(val, 10)
+	wantV, werr := built.ValueSearch(val, 10)
+	check("value", gotV, wantV, err, werr)
+
+	qcol := gen.Tables[0].Columns[0]
+	gotJ, err := loaded.JoinableColumns(qcol.Values, 10)
+	wantJ, werr := built.JoinableColumns(qcol.Values, 10)
+	check("join-overlap", gotJ, wantJ, err, werr)
+
+	gotC, err := loaded.ContainmentSearch(qcol.Values, 0.5, 10)
+	wantC, werr := built.ContainmentSearch(qcol.Values, 0.5, 10)
+	check("join-containment", gotC, wantC, err, werr)
+
+	// Queries mixing indexed values with dictionary-OOV strings must
+	// agree too: the loaded dictionary has to treat unseen values the
+	// same way the built one does.
+	oov := append([]string{"zzz-snapshot-oov-1", "zzz-snapshot-oov-2"}, qcol.Values[:4]...)
+	gotO, err := loaded.JoinableColumns(oov, 10)
+	wantO, werr := built.JoinableColumns(oov, 10)
+	check("join-oov", gotO, wantO, err, werr)
+
+	q := gen.Tables[0]
+	gotU, err := loaded.UnionableTables(q, 10)
+	wantU, werr := built.UnionableTables(q, 10)
+	check("tus-union", gotU, wantU, err, werr)
+
+	gotSa, err := loaded.Santos.Search(q, 5, union.Hybrid)
+	wantSa, werr := built.Santos.Search(q, 5, union.Hybrid)
+	check("santos", gotSa, wantSa, err, werr)
+
+	gotD, err := loaded.D3L.Search(q, 5)
+	wantD, werr := built.D3L.Search(q, 5)
+	check("d3l", gotD, wantD, err, werr)
+
+	gotS, err := loaded.Starmie.SearchTables(q, 5, 64, false)
+	wantS, werr := built.Starmie.SearchTables(q, 5, 64, false)
+	check("starmie", gotS, wantS, err, werr)
+
+	gotF, _ := loaded.Fuzzy.Search(qcol.Values, 0.85, 0.5)
+	wantF, _ := built.Fuzzy.Search(qcol.Values, 0.85, 0.5)
+	check("fuzzy", gotF, wantF, nil, nil)
+
+	gotLabels, gotID, err := loaded.Navigate(topic)
+	wantLabels, wantID, werr := built.Navigate(topic)
+	check("navigate-labels", gotLabels, wantLabels, err, werr)
+	check("navigate-table", gotID, wantID, nil, nil)
+
+	from, to := gen.Tables[0].ID, gen.Tables[len(gen.Tables)-1].ID
+	gotP := loaded.JoinPath(from, to, 3)
+	wantP := built.JoinPath(from, to, 3)
+	check("joinpath", gotP, wantP, nil, nil)
+
+	gotM := loaded.MatchSchemas(gen.Tables[0], gen.Tables[1], 0.5)
+	wantM := built.MatchSchemas(gen.Tables[0], gen.Tables[1], 0.5)
+	check("match-schemas", gotM, wantM, nil, nil)
+}
+
+// TestSnapshotSkipFlagsRoundTrip checks that a snapshot of a system
+// built with Skip* options loads with the same subsystems absent and
+// the same stages marked skipped.
+func TestSnapshotSkipFlagsRoundTrip(t *testing.T) {
+	gen := datagen.Generate(datagen.Config{Seed: 5, NumTemplates: 2, TablesPerTemplate: 2})
+	cat := lake.NewCatalog()
+	if err := cat.AddBatch(gen.Tables); err != nil {
+		t.Fatal(err)
+	}
+	built, err := Build(cat, Options{SkipFuzzy: true, SkipGraph: true, SkipOrganization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, built, 0)
+	if loaded.Fuzzy != nil {
+		t.Error("fuzzy joiner rebuilt despite SkipFuzzy snapshot")
+	}
+	if loaded.Graph != nil {
+		t.Error("graph present despite SkipGraph snapshot")
+	}
+	if loaded.Org != nil {
+		t.Error("organization present despite SkipOrganization snapshot")
+	}
+	for _, name := range []string{"fuzzy", "graph", "org"} {
+		st, ok := loaded.BuildStats.Stage(name)
+		if !ok || !st.Skipped {
+			t.Errorf("stage %s not marked skipped after load: %+v", name, st)
+		}
+	}
+}
+
+// TestSnapshotRejectsCorruption exercises the corruption contract on
+// the full-system format: truncation at every prefix length, a flipped
+// byte at every offset, trailing garbage, and a wrong version must all
+// surface ErrCorruptSnapshot (never a panic or a silent success).
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	gen := datagen.Generate(datagen.Config{Seed: 5, NumTemplates: 2, TablesPerTemplate: 2})
+	cat := lake.NewCatalog()
+	if err := cat.AddBatch(gen.Tables); err != nil {
+		t.Fatal(err)
+	}
+	built, err := Build(cat, Options{KB: gen.BuildKB(0.8), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("trailing garbage", func(t *testing.T) {
+		bad := append(append([]byte{}, good...), 0xFF)
+		if _, err := Load(bytes.NewReader(bad), Options{}); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("err = %v, want ErrCorruptSnapshot", err)
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[4] = 0xEE // version lives at header bytes 4..5
+		if _, err := Load(bytes.NewReader(bad), Options{}); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("err = %v, want ErrCorruptSnapshot", err)
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		// Every strict prefix must fail; step keeps runtime sane.
+		for n := 0; n < len(good); n += 997 {
+			if _, err := Load(bytes.NewReader(good[:n]), Options{}); !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("truncated to %d bytes: err = %v, want ErrCorruptSnapshot", n, err)
+			}
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		bad := make([]byte, len(good))
+		for off := 0; off < len(good); off += 1009 {
+			copy(bad, good)
+			bad[off] ^= 0x40
+			if _, err := Load(bytes.NewReader(bad), Options{}); err == nil {
+				t.Fatalf("flipped byte at %d: Load succeeded", off)
+			} else if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("flipped byte at %d: err = %v, want ErrCorruptSnapshot", off, err)
+			}
+		}
+	})
+}
+
+// TestSaveRejectsPartialSystem pins that Save refuses to serialize a
+// system that never went through Build.
+func TestSaveRejectsPartialSystem(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&System{}).Save(&buf); err == nil {
+		t.Fatal("Save of empty system succeeded")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("partial Save wrote %d bytes", buf.Len())
+	}
+}

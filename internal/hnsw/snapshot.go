@@ -1,0 +1,94 @@
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tablehound/internal/snap"
+)
+
+// AppendSnapshot encodes the full graph topology. HNSW construction
+// is insertion-order- and RNG-dependent, so unlike the LSH indexes it
+// cannot be rebuilt deterministically from its inputs alone — the
+// nodes, their per-level neighbor lists, the entry point, and the top
+// level are all serialized verbatim.
+func (g *Graph) AppendSnapshot(e *snap.Encoder) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e.U32(uint32(g.cfg.M))
+	e.U32(uint32(g.cfg.EfConstruction))
+	e.I64(g.cfg.Seed)
+	e.I64(int64(g.entry))
+	e.U32(uint32(g.maxLevel))
+	e.U32(uint32(len(g.nodes)))
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		e.Str(n.key)
+		e.F32s(n.vec)
+		e.U32(uint32(len(n.neighbors)))
+		for _, level := range n.neighbors {
+			e.I32s(level)
+		}
+	}
+}
+
+// DecodeSnapshot rebuilds a graph written by AppendSnapshot. The RNG
+// is re-seeded from the stored config; it only matters if the caller
+// keeps inserting after load.
+func DecodeSnapshot(d *snap.Decoder) (*Graph, error) {
+	cfg := Config{
+		M:              int(d.U32()),
+		EfConstruction: int(d.U32()),
+		Seed:           d.I64(),
+	}
+	entry := int32(d.I64())
+	maxLevel := int(d.U32())
+	numNodes := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if cfg.M <= 0 {
+		return nil, fmt.Errorf("%w: hnsw M=%d", snap.ErrCorrupt, cfg.M)
+	}
+	g := &Graph{
+		cfg:      cfg,
+		ml:       1 / math.Log(float64(cfg.M)),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		byKey:    make(map[string]int32, numNodes),
+		entry:    entry,
+		maxLevel: maxLevel,
+	}
+	g.nodes = make([]node, numNodes)
+	for i := 0; i < numNodes; i++ {
+		key := d.Str()
+		vec := d.F32s()
+		levels := int(d.U32())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		neighbors := make([][]int32, levels)
+		for l := range neighbors {
+			nbs := d.I32s()
+			for _, nb := range nbs {
+				if nb < 0 || int(nb) >= numNodes {
+					return nil, fmt.Errorf("%w: hnsw neighbor %d out of range", snap.ErrCorrupt, nb)
+				}
+			}
+			neighbors[l] = nbs
+		}
+		if _, dup := g.byKey[key]; dup {
+			return nil, fmt.Errorf("%w: hnsw duplicate key %q", snap.ErrCorrupt, key)
+		}
+		g.nodes[i] = node{key: key, vec: vec, neighbors: neighbors}
+		g.byKey[key] = int32(i)
+	}
+	if numNodes == 0 {
+		if entry != -1 {
+			return nil, fmt.Errorf("%w: hnsw empty graph with entry %d", snap.ErrCorrupt, entry)
+		}
+	} else if entry < 0 || int(entry) >= numNodes {
+		return nil, fmt.Errorf("%w: hnsw entry %d out of range", snap.ErrCorrupt, entry)
+	}
+	return g, nil
+}

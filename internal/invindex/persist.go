@@ -1,89 +1,95 @@
 package invindex
 
 import (
-	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
+
+	"tablehound/internal/snap"
 )
 
-// ErrCorruptSnapshot marks a snapshot whose structure is internally
-// inconsistent (wrong section lengths, out-of-range ranks). Callers
-// distinguish it from plain decode errors with errors.Is.
-var ErrCorruptSnapshot = errors.New("invindex: corrupt snapshot")
+// ErrCorruptSnapshot marks a snapshot whose bytes or structure are
+// invalid: truncation, checksum mismatch, trailing garbage, wrong
+// section lengths, or out-of-range ranks. It aliases the shared
+// snapshot-format sentinel so callers can match either.
+var ErrCorruptSnapshot = snap.ErrCorrupt
 
-// snapshot is the gob-encodable form of an Index. Postings are
-// rebuilt on load from the stored sets — they are fully determined by
-// them and roughly double the on-disk size if stored.
-type snapshot struct {
-	// IDBuilt records explicitly whether the index was built from
-	// dictionary IDs (AddIDs) or strings (Add). It must not be
-	// inferred from len(IDs): an ID-built index over all-empty sets
-	// has zero tokens and would silently round-trip as string-built.
-	IDBuilt bool
-	Tokens  []string // rank order; string-built indexes
-	IDs     []uint32 // rank order; dictionary-ID-built indexes
-	DF      []int32
-	Keys    []string
-	Sets    [][]int32
-}
+// Standalone snapshot framing (Save/Load). When the index is embedded
+// in a larger snapshot (core.Save), only AppendSnapshot/DecodeSnapshot
+// run and the container owns the framing.
+const (
+	saveMagic   uint32 = 0x58494854 // "THIX"
+	saveVersion uint16 = 1
+	saveSection uint16 = 1
+)
 
-// Save writes the index in binary form.
-func (ix *Index) Save(w io.Writer) error {
-	s := snapshot{
-		DF:   ix.df,
-		Keys: ix.keys,
-		Sets: ix.sets,
-	}
-	if ix.idOf != nil {
-		s.IDBuilt = true
-		s.IDs = ix.idOf
+// AppendSnapshot encodes the index payload. Postings are rebuilt on
+// decode from the stored sets — they are fully determined by them and
+// roughly double the on-disk size if stored.
+func (ix *Index) AppendSnapshot(e *snap.Encoder) {
+	// The built-from-IDs flag is explicit: an ID-built index over
+	// all-empty sets has zero tokens and would otherwise silently
+	// round-trip as string-built.
+	idBuilt := ix.idOf != nil
+	e.Bool(idBuilt)
+	if idBuilt {
+		e.U32s(ix.idOf)
 	} else {
-		s.Tokens = make([]string, len(ix.df))
+		tokens := make([]string, len(ix.df))
 		for tok, rank := range ix.tokenIDs {
-			s.Tokens[rank] = tok
+			tokens[rank] = tok
 		}
+		e.Strs(tokens)
 	}
-	return gob.NewEncoder(w).Encode(s)
+	e.I32s(ix.df)
+	e.Strs(ix.keys)
+	e.U32(uint32(len(ix.sets)))
+	for _, set := range ix.sets {
+		e.I32s(set)
+	}
 }
 
-// Load reads an index previously written by Save.
-func Load(r io.Reader) (*Index, error) {
-	var s snapshot
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("invindex: decode: %w", err)
+// DecodeSnapshot rebuilds an index written by AppendSnapshot,
+// validating every structural invariant the query paths rely on.
+func DecodeSnapshot(d *snap.Decoder) (*Index, error) {
+	idBuilt := d.Bool()
+	var ids []uint32
+	var tokens []string
+	if idBuilt {
+		ids = d.U32s()
+	} else {
+		tokens = d.Strs()
 	}
-	// Snapshots written before the explicit flag carried only the IDs
-	// slice; honor them.
-	idBuilt := s.IDBuilt || len(s.IDs) > 0
-	if len(s.Keys) != len(s.Sets) {
-		return nil, fmt.Errorf("%w: %d keys vs %d sets", ErrCorruptSnapshot, len(s.Keys), len(s.Sets))
+	df := d.I32s()
+	keys := d.Strs()
+	numSets := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if len(keys) != numSets {
+		return nil, fmt.Errorf("%w: %d keys vs %d sets", ErrCorruptSnapshot, len(keys), numSets)
 	}
 	if idBuilt {
-		if len(s.IDs) != len(s.DF) {
-			return nil, fmt.Errorf("%w: %d IDs vs %d token frequencies", ErrCorruptSnapshot, len(s.IDs), len(s.DF))
+		if len(ids) != len(df) {
+			return nil, fmt.Errorf("%w: %d IDs vs %d token frequencies", ErrCorruptSnapshot, len(ids), len(df))
 		}
-		if len(s.Tokens) != 0 {
-			return nil, fmt.Errorf("%w: ID-built snapshot carries string tokens", ErrCorruptSnapshot)
-		}
-	} else if len(s.Tokens) != len(s.DF) {
-		return nil, fmt.Errorf("%w: %d tokens vs %d token frequencies", ErrCorruptSnapshot, len(s.Tokens), len(s.DF))
+	} else if len(tokens) != len(df) {
+		return nil, fmt.Errorf("%w: %d tokens vs %d token frequencies", ErrCorruptSnapshot, len(tokens), len(df))
 	}
 	ix := &Index{
-		df:       s.DF,
-		postings: make([][]Posting, len(s.DF)),
-		sets:     s.Sets,
-		keys:     s.Keys,
-		keyToSet: make(map[string]int32, len(s.Keys)),
+		df:       df,
+		postings: make([][]Posting, len(df)),
+		sets:     make([][]int32, numSets),
+		keys:     keys,
+		keyToSet: make(map[string]int32, numSets),
 	}
 	if idBuilt {
-		if s.IDs == nil {
+		if ids == nil {
 			// Preserve the "ID-built" marker even with zero tokens.
-			s.IDs = []uint32{}
+			ids = []uint32{}
 		}
-		ix.idOf = s.IDs
+		ix.idOf = ids
 		maxID := uint32(0)
-		for _, id := range s.IDs {
+		for _, id := range ids {
 			if id > maxID {
 				maxID = id
 			}
@@ -92,23 +98,66 @@ func Load(r io.Reader) (*Index, error) {
 		for i := range ix.rankOfID {
 			ix.rankOfID[i] = -1
 		}
-		for rank, id := range s.IDs {
+		for rank, id := range ids {
 			ix.rankOfID[id] = int32(rank)
 		}
 	} else {
-		ix.tokenIDs = make(map[string]int32, len(s.Tokens))
-		for rank, tok := range s.Tokens {
+		ix.tokenIDs = make(map[string]int32, len(tokens))
+		for rank, tok := range tokens {
 			ix.tokenIDs[tok] = int32(rank)
 		}
 	}
-	for sid, set := range s.Sets {
-		ix.keyToSet[s.Keys[sid]] = int32(sid)
+	for sid := 0; sid < numSets; sid++ {
+		set := d.I32s()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		ix.sets[sid] = set
+		if _, dup := ix.keyToSet[keys[sid]]; dup {
+			return nil, fmt.Errorf("%w: duplicate set key %q", ErrCorruptSnapshot, keys[sid])
+		}
+		ix.keyToSet[keys[sid]] = int32(sid)
 		for pos, rank := range set {
 			if rank < 0 || int(rank) >= len(ix.postings) {
 				return nil, fmt.Errorf("%w: rank %d out of range in set %d", ErrCorruptSnapshot, rank, sid)
 			}
 			ix.postings[rank] = append(ix.postings[rank], Posting{Set: int32(sid), Pos: int32(pos)})
 		}
+	}
+	return ix, nil
+}
+
+// Save writes the index in the framed binary snapshot form: header,
+// one checksummed section, nothing after it.
+func (ix *Index) Save(w io.Writer) error {
+	if err := snap.WriteHeader(w, saveMagic, saveVersion, 0); err != nil {
+		return err
+	}
+	return snap.NewWriter(w).Section(saveSection, ix.AppendSnapshot)
+}
+
+// Load reads an index previously written by Save. Truncated input,
+// checksum mismatches, and trailing garbage after the final section
+// all return ErrCorruptSnapshot.
+func Load(r io.Reader) (*Index, error) {
+	version, _, err := snap.ReadHeader(r, saveMagic)
+	if err != nil {
+		return nil, err
+	}
+	if version != saveVersion {
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorruptSnapshot, version)
+	}
+	sr := snap.NewReader(r)
+	var ix *Index
+	if err := sr.Section(saveSection, func(d *snap.Decoder) error {
+		var derr error
+		ix, derr = DecodeSnapshot(d)
+		return derr
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
 	}
 	return ix, nil
 }

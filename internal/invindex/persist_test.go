@@ -2,12 +2,13 @@ package invindex
 
 import (
 	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"tablehound/internal/snap"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -158,29 +159,84 @@ func TestSaveLoadEmptyIDIndexStaysIDBuilt(t *testing.T) {
 	}
 }
 
+// frameSnapshot wraps a hand-built payload in valid framing (header,
+// section, checksum), so the structural validators — not the
+// checksums — are what reject it.
+func frameSnapshot(t *testing.T, encode func(*snap.Encoder)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := snap.WriteHeader(&buf, saveMagic, saveVersion, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.NewWriter(&buf).Section(saveSection, encode); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // TestLoadRejectsInconsistentSnapshots checks the typed corruption
-// error for structurally broken snapshots.
+// error for snapshots whose framing is intact but whose structure is
+// internally inconsistent.
 func TestLoadRejectsInconsistentSnapshots(t *testing.T) {
 	cases := []struct {
-		name string
-		s    snapshot
+		name   string
+		encode func(*snap.Encoder)
 	}{
-		{"keys vs sets", snapshot{Tokens: []string{"a"}, DF: []int32{1}, Keys: []string{"k"}, Sets: nil}},
-		{"tokens vs df", snapshot{Tokens: []string{"a", "b"}, DF: []int32{1}}},
-		{"ids vs df", snapshot{IDBuilt: true, IDs: []uint32{1, 2}, DF: []int32{1}}},
-		{"id-built with tokens", snapshot{IDBuilt: true, IDs: []uint32{1}, DF: []int32{1}, Tokens: []string{"a"}}},
-		{"rank out of range", snapshot{
-			Tokens: []string{"a"}, DF: []int32{1},
-			Keys: []string{"k"}, Sets: [][]int32{{7}},
+		{"keys vs sets", func(e *snap.Encoder) {
+			e.Bool(false)
+			e.Strs([]string{"a"}) // tokens
+			e.I32s([]int32{1})    // df
+			e.Strs([]string{"k"}) // keys
+			e.U32(0)              // sets: none, but one key
+		}},
+		{"tokens vs df", func(e *snap.Encoder) {
+			e.Bool(false)
+			e.Strs([]string{"a", "b"})
+			e.I32s([]int32{1})
+			e.Strs(nil)
+			e.U32(0)
+		}},
+		{"ids vs df", func(e *snap.Encoder) {
+			e.Bool(true)
+			e.U32s([]uint32{1, 2})
+			e.I32s([]int32{1})
+			e.Strs(nil)
+			e.U32(0)
+		}},
+		{"rank out of range", func(e *snap.Encoder) {
+			e.Bool(false)
+			e.Strs([]string{"a"})
+			e.I32s([]int32{1})
+			e.Strs([]string{"k"})
+			e.U32(1)
+			e.I32s([]int32{7})
+		}},
+		{"duplicate key", func(e *snap.Encoder) {
+			e.Bool(false)
+			e.Strs([]string{"a"})
+			e.I32s([]int32{2})
+			e.Strs([]string{"k", "k"})
+			e.U32(2)
+			e.I32s([]int32{0})
+			e.I32s([]int32{0})
+		}},
+		{"payload too short", func(e *snap.Encoder) {
+			e.Bool(false)
+			e.Strs([]string{"a"})
+		}},
+		{"trailing payload bytes", func(e *snap.Encoder) {
+			e.Bool(false)
+			e.Strs(nil)
+			e.I32s(nil)
+			e.Strs([]string{"k"})
+			e.U32(1)
+			e.I32s(nil)
+			e.U8(0xff) // one byte the decoder never consumes
 		}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			var buf bytes.Buffer
-			if err := gob.NewEncoder(&buf).Encode(c.s); err != nil {
-				t.Fatal(err)
-			}
-			_, err := Load(&buf)
+			_, err := Load(bytes.NewReader(frameSnapshot(t, c.encode)))
 			if err == nil {
 				t.Fatal("inconsistent snapshot loaded without error")
 			}
@@ -188,5 +244,63 @@ func TestLoadRejectsInconsistentSnapshots(t *testing.T) {
 				t.Errorf("err = %v, does not wrap ErrCorruptSnapshot", err)
 			}
 		})
+	}
+}
+
+// validSnapshotBytes returns the saved form of a small real index.
+func validSnapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < 10; i++ {
+		if err := b.AddIDs(fmt.Sprintf("s%d", i), []uint32{uint32(i), uint32(i + 1), 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadRejectsTruncation cuts a valid snapshot at every byte
+// offset: no proper prefix may load.
+func TestLoadRejectsTruncation(t *testing.T) {
+	data := validSnapshotBytes(t)
+	for n := 0; n < len(data); n++ {
+		_, err := Load(bytes.NewReader(data[:n]))
+		if err == nil {
+			t.Fatalf("truncated snapshot (%d/%d bytes) loaded", n, len(data))
+		}
+		if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("truncation at %d: err = %v, want ErrCorruptSnapshot", n, err)
+		}
+	}
+}
+
+// TestLoadRejectsTrailingGarbage appends bytes after the final
+// section; the old gob format accepted any parseable prefix.
+func TestLoadRejectsTrailingGarbage(t *testing.T) {
+	data := append(validSnapshotBytes(t), 'x')
+	_, err := Load(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("trailing garbage: err = %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+// TestLoadRejectsBitFlips flips one byte at every offset past the
+// header; the section checksum must catch each one.
+func TestLoadRejectsBitFlips(t *testing.T) {
+	data := validSnapshotBytes(t)
+	for i := 8; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x20
+		if _, err := Load(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at offset %d loaded", i)
+		}
 	}
 }

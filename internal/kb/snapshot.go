@@ -1,0 +1,114 @@
+package kb
+
+import (
+	"sort"
+
+	"tablehound/internal/snap"
+)
+
+// AppendSnapshot encodes the KB's assertions: the type hierarchy,
+// entity typings, and relation facts, each in sorted key order. Slice
+// order within an assertion (a child's parent list, a value's type
+// list) is preserved verbatim; every read path either sorts its output
+// or reduces by max, so only content matters, but preserving order
+// keeps the loaded KB byte-comparable to the saved one.
+func (k *KB) AppendSnapshot(e *snap.Encoder) {
+	children := make([]string, 0, len(k.parents))
+	for c := range k.parents {
+		children = append(children, c)
+	}
+	sort.Strings(children)
+	e.U32(uint32(len(children)))
+	for _, c := range children {
+		e.Str(c)
+		e.Strs(k.parents[c])
+	}
+
+	values := make([]string, 0, len(k.entities))
+	for v := range k.entities {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	e.U32(uint32(len(values)))
+	for _, v := range values {
+		e.Str(v)
+		e.Strs(k.entities[v])
+	}
+
+	pairs := make([]pair, 0, len(k.rels))
+	for p := range k.rels {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].s != pairs[j].s {
+			return pairs[i].s < pairs[j].s
+		}
+		return pairs[i].o < pairs[j].o
+	})
+	e.U32(uint32(len(pairs)))
+	for _, p := range pairs {
+		e.Str(p.s)
+		e.Str(p.o)
+		preds := make([]string, 0, len(k.rels[p]))
+		for pred := range k.rels[p] {
+			preds = append(preds, pred)
+		}
+		sort.Strings(preds)
+		e.Strs(preds)
+	}
+}
+
+// DecodeSnapshot rebuilds a KB written by AppendSnapshot. The
+// children index and predicate fact counts are derived from the
+// stored assertions; the depth memo starts empty and repopulates
+// lazily exactly as on a freshly built KB.
+func DecodeSnapshot(d *snap.Decoder) (*KB, error) {
+	k := New()
+	numTypes := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	for i := 0; i < numTypes; i++ {
+		child := d.Str()
+		parents := d.Strs()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		k.parents[child] = parents
+		for _, p := range parents {
+			k.children[p] = append(k.children[p], child)
+		}
+	}
+	numEntities := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	for i := 0; i < numEntities; i++ {
+		v := d.Str()
+		types := d.Strs()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		k.entities[v] = types
+	}
+	numPairs := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	for i := 0; i < numPairs; i++ {
+		p := pair{s: d.Str(), o: d.Str()}
+		preds := d.Strs()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		m := make(map[string]bool, len(preds))
+		for _, pred := range preds {
+			if !m[pred] {
+				m[pred] = true
+				k.relNames[pred]++
+			}
+		}
+		k.rels[p] = m
+	}
+	return k, nil
+}

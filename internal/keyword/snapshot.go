@@ -1,0 +1,177 @@
+package keyword
+
+import (
+	"fmt"
+	"sort"
+
+	"tablehound/internal/snap"
+)
+
+// AppendSnapshot encodes the metadata BM25 index. Per-document term
+// frequencies are stored in sorted term order (map iteration order
+// must never reach the wire); the corpus statistics are finalized
+// before encoding so the loaded index is immediately frozen.
+func (ix *Index) AppendSnapshot(e *snap.Encoder) {
+	ix.ensureFinished()
+	e.U32(uint32(len(ix.docs)))
+	for d, id := range ix.docs {
+		e.Str(id)
+		e.F64(ix.docLen[d])
+		terms := make([]string, 0, len(ix.termFreq[d]))
+		for t := range ix.termFreq[d] {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		e.U32(uint32(len(terms)))
+		for _, t := range terms {
+			e.Str(t)
+			e.F64(ix.termFreq[d][t])
+		}
+	}
+	dfTerms := make([]string, 0, len(ix.df))
+	for t := range ix.df {
+		dfTerms = append(dfTerms, t)
+	}
+	sort.Strings(dfTerms)
+	e.U32(uint32(len(dfTerms)))
+	for _, t := range dfTerms {
+		e.Str(t)
+		e.U32(uint32(ix.df[t]))
+	}
+	e.F64(ix.avgLen)
+}
+
+// DecodeIndexSnapshot rebuilds a metadata index written by
+// AppendSnapshot.
+func DecodeIndexSnapshot(d *snap.Decoder) (*Index, error) {
+	ix := NewIndex()
+	numDocs := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	for i := 0; i < numDocs; i++ {
+		id := d.Str()
+		dl := d.F64()
+		numTerms := int(d.U32())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		tf := make(map[string]float64, numTerms)
+		for j := 0; j < numTerms; j++ {
+			t := d.Str()
+			f := d.F64()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			tf[t] = f
+		}
+		if len(tf) != numTerms {
+			return nil, fmt.Errorf("%w: duplicate term in document %q", snap.ErrCorrupt, id)
+		}
+		ix.docs = append(ix.docs, id)
+		ix.docLen = append(ix.docLen, dl)
+		ix.termFreq = append(ix.termFreq, tf)
+	}
+	numDF := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	for i := 0; i < numDF; i++ {
+		t := d.Str()
+		c := d.U32()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		ix.df[t] = int(c)
+	}
+	ix.avgLen = d.F64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	ix.frozen = true
+	return ix, nil
+}
+
+// AppendSnapshot encodes the cell-value BM25 index: the dense term
+// vocabulary in ID order and each document's sorted integer postings.
+// Pending documents are finalized first, so the loaded index needs no
+// lazy Finish.
+func (ix *ValueIndex) AppendSnapshot(e *snap.Encoder) {
+	ix.ensureFinished()
+	vocab := make([]string, len(ix.df))
+	for t, id := range ix.termID {
+		vocab[id] = t
+	}
+	e.Strs(vocab)
+	dfs := make([]int32, len(ix.df))
+	for i, c := range ix.df {
+		dfs[i] = int32(c)
+	}
+	e.I32s(dfs)
+	e.U32(uint32(len(ix.docs)))
+	for i, id := range ix.docs {
+		e.Str(id)
+		e.Str(ix.schemas[i])
+		e.F64(ix.docLen[i])
+		e.U32s(ix.docTerms[i])
+		e.F64s(ix.docTF[i])
+	}
+	e.F64(ix.avgLen)
+}
+
+// DecodeValueIndexSnapshot rebuilds a value index written by
+// AppendSnapshot, validating posting shape and term-ID ranges.
+func DecodeValueIndexSnapshot(d *snap.Decoder) (*ValueIndex, error) {
+	vocab := d.Strs()
+	dfs := d.I32s()
+	numDocs := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if len(vocab) != len(dfs) {
+		return nil, fmt.Errorf("%w: %d terms vs %d document frequencies", snap.ErrCorrupt, len(vocab), len(dfs))
+	}
+	ix := NewValueIndex()
+	for id, t := range vocab {
+		ix.termID[t] = uint32(id)
+	}
+	if len(ix.termID) != len(vocab) {
+		return nil, fmt.Errorf("%w: duplicate term in value-index vocabulary", snap.ErrCorrupt)
+	}
+	ix.df = make([]int, len(dfs))
+	for i, c := range dfs {
+		ix.df[i] = int(c)
+	}
+	for i := 0; i < numDocs; i++ {
+		id := d.Str()
+		schema := d.Str()
+		dl := d.F64()
+		terms := d.U32s()
+		tfs := d.F64s()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if len(terms) != len(tfs) {
+			return nil, fmt.Errorf("%w: document %q has %d terms vs %d frequencies", snap.ErrCorrupt, id, len(terms), len(tfs))
+		}
+		for j, t := range terms {
+			if int(t) >= len(vocab) {
+				return nil, fmt.Errorf("%w: document %q term ID %d out of range", snap.ErrCorrupt, id, t)
+			}
+			if j > 0 && terms[j-1] >= t {
+				return nil, fmt.Errorf("%w: document %q postings not sorted", snap.ErrCorrupt, id)
+			}
+		}
+		ix.docs = append(ix.docs, id)
+		ix.schemas = append(ix.schemas, schema)
+		ix.docLen = append(ix.docLen, dl)
+		ix.docTerms = append(ix.docTerms, terms)
+		ix.docTF = append(ix.docTF, tfs)
+	}
+	ix.avgLen = d.F64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	ix.frozen = true
+	return ix, nil
+}

@@ -25,14 +25,24 @@ type Index struct {
 // New creates an index with b bands of r rows. Signatures added must
 // have at least b*r hashes; extra hashes are ignored.
 func New(bands, rows int) *Index {
+	return NewSized(bands, rows, 0)
+}
+
+// NewSized is New with capacity hints: each band's bucket map and the
+// key map are presized for `expected` keys, skipping the incremental
+// map growth that dominates bulk index construction.
+func NewSized(bands, rows, expected int) *Index {
 	if bands <= 0 || rows <= 0 {
 		panic(fmt.Sprintf("lsh: bands=%d rows=%d must be positive", bands, rows))
 	}
+	if expected < 0 {
+		expected = 0
+	}
 	t := make([]map[uint64][]string, bands)
 	for i := range t {
-		t[i] = make(map[uint64][]string)
+		t[i] = make(map[uint64][]string, expected)
 	}
-	return &Index{bands: bands, rows: rows, tables: t, keys: make(map[string]minhash.Signature)}
+	return &Index{bands: bands, rows: rows, tables: t, keys: make(map[string]minhash.Signature, expected)}
 }
 
 // Params returns the (bands, rows) configuration.

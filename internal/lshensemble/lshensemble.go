@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tablehound/internal/lsh"
 	"tablehound/internal/minhash"
@@ -87,7 +88,14 @@ func (ix *Index) Add(d Domain) error {
 
 // Build partitions the staged domains by cardinality (equi-depth) and
 // constructs the per-partition banded indexes.
-func (ix *Index) Build() error {
+func (ix *Index) Build() error { return ix.BuildN(1) }
+
+// BuildN is Build with the per-partition banded indexes constructed by
+// up to `parallelism` workers (<=1 means sequential). Each (partition,
+// row-count) index is independent and is filled by one worker in the
+// same sorted domain order the sequential build uses, so the built
+// index is identical at every parallelism level.
+func (ix *Index) BuildN(parallelism int) error {
 	if ix.built {
 		return errors.New("lshensemble: Build called twice")
 	}
@@ -105,6 +113,12 @@ func (ix *Index) Build() error {
 	if p > n {
 		p = n
 	}
+	type job struct {
+		part  *partition
+		chunk []Domain
+		rows  int
+	}
+	var jobs []job
 	for i := 0; i < p; i++ {
 		lo, hi := i*n/p, (i+1)*n/p
 		if lo >= hi {
@@ -117,18 +131,64 @@ func (ix *Index) Build() error {
 			byRows: make(map[int]*lsh.Index),
 			sizes:  make(map[string]int, len(chunk)),
 		}
-		for _, r := range rowChoices(ix.numHashes) {
-			part.byRows[r] = lsh.New(ix.numHashes/r, r)
-		}
 		for _, d := range chunk {
 			part.sizes[d.Key] = d.Size
-			for _, sub := range part.byRows {
-				if err := sub.Add(d.Key, d.Sig); err != nil {
-					return err
-				}
-			}
+		}
+		for _, r := range rowChoices(ix.numHashes) {
+			part.byRows[r] = lsh.NewSized(ix.numHashes/r, r, len(chunk))
+			jobs = append(jobs, job{part: part, chunk: chunk, rows: r})
 		}
 		ix.parts = append(ix.parts, part)
+	}
+	fill := func(j job) error {
+		sub := j.part.byRows[j.rows]
+		for _, d := range j.chunk {
+			if err := sub.Add(d.Key, d.Sig); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if parallelism <= 1 || len(jobs) <= 1 {
+		for _, j := range jobs {
+			if err := fill(j); err != nil {
+				return err
+			}
+		}
+	} else {
+		if parallelism > len(jobs) {
+			parallelism = len(jobs)
+		}
+		var (
+			next int64 = -1
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			ferr error
+		)
+		wg.Add(parallelism)
+		for w := 0; w < parallelism; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(jobs) {
+						return
+					}
+					if err := fill(jobs[i]); err != nil {
+						mu.Lock()
+						if ferr == nil {
+							ferr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if ferr != nil {
+			return ferr
+		}
 	}
 	ix.pending = nil
 	ix.built = true
@@ -137,6 +197,12 @@ func (ix *Index) Build() error {
 
 // NumPartitions returns the number of non-empty partitions built.
 func (ix *Index) NumPartitions() int { return len(ix.parts) }
+
+// Params returns the configured signature length and target partition
+// count — the New arguments that, together with the added domains,
+// fully determine the built index (Build sorts domains itself, so
+// reconstruction from the same inputs is deterministic).
+func (ix *Index) Params() (numHashes, numPart int) { return ix.numHashes, ix.numPart }
 
 // jaccardThreshold converts a containment threshold into the Jaccard
 // lower bound within a partition with cardinality upper bound u.

@@ -1,0 +1,30 @@
+package minhash
+
+import (
+	"fmt"
+
+	"tablehound/internal/snap"
+)
+
+// AppendSnapshot encodes the hasher's permutation parameters. Hashers
+// are tiny (k pairs of uint64), so storing them beats relying on
+// every index remembering its construction seed.
+func (h *Hasher) AppendSnapshot(e *snap.Encoder) {
+	e.U32(uint32(h.k))
+	e.U64s(h.a)
+	e.U64s(h.b)
+}
+
+// DecodeSnapshot rebuilds a hasher written by AppendSnapshot.
+func DecodeSnapshot(d *snap.Decoder) (*Hasher, error) {
+	k := int(d.U32())
+	a := d.U64s()
+	b := d.U64s()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if k <= 0 || len(a) != k || len(b) != k {
+		return nil, fmt.Errorf("%w: hasher k=%d with %d/%d parameters", snap.ErrCorrupt, k, len(a), len(b))
+	}
+	return &Hasher{k: k, a: a, b: b}, nil
+}

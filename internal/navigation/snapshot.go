@@ -1,0 +1,64 @@
+package navigation
+
+import (
+	"fmt"
+
+	"tablehound/internal/snap"
+)
+
+// maxOrgDepth bounds recursion when decoding a node tree, so a
+// corrupt snapshot cannot drive unbounded stack growth.
+const maxOrgDepth = 64
+
+// AppendSnapshot encodes the organization's node tree recursively.
+// The table-ID-to-path index is rebuilt on decode.
+func (o *Organization) AppendSnapshot(e *snap.Encoder) {
+	appendNode(e, o.Root)
+}
+
+func appendNode(e *snap.Encoder, n *Node) {
+	e.Str(n.Label)
+	e.Str(n.TableID)
+	e.F32s(n.Vec)
+	e.U32(uint32(len(n.Children)))
+	for _, c := range n.Children {
+		appendNode(e, c)
+	}
+}
+
+// DecodeSnapshot rebuilds an organization written by AppendSnapshot.
+func DecodeSnapshot(d *snap.Decoder) (*Organization, error) {
+	root, err := decodeNode(d, 0)
+	if err != nil {
+		return nil, err
+	}
+	o := &Organization{Root: root, paths: make(map[string][]*Node)}
+	o.indexPaths(root, nil)
+	return o, nil
+}
+
+func decodeNode(d *snap.Decoder, depth int) (*Node, error) {
+	if depth > maxOrgDepth {
+		return nil, fmt.Errorf("%w: organization deeper than %d levels", snap.ErrCorrupt, maxOrgDepth)
+	}
+	n := &Node{
+		Label:   d.Str(),
+		TableID: d.Str(),
+		Vec:     d.F32s(),
+	}
+	numChildren := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n.TableID != "" && numChildren > 0 {
+		return nil, fmt.Errorf("%w: organization leaf %q has children", snap.ErrCorrupt, n.TableID)
+	}
+	for i := 0; i < numChildren; i++ {
+		c, err := decodeNode(d, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
+}

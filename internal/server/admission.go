@@ -2,60 +2,109 @@ package server
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync"
 
 	"tablehound/internal/obs"
 )
 
-// limiter is the admission controller: a semaphore of execution slots
-// plus a bounded wait queue. A request first tries to grab a slot; if
-// none is free it joins the queue; if the queue is full it is shed
-// immediately (the caller maps that to 429). Queued requests block
-// until a slot frees or their context expires.
+// errSlotWait marks a request whose context expired while it waited in
+// the admission queue. It is an overload signal — the query never ran —
+// so the HTTP layer maps it to 503 + Retry-After rather than the 504
+// reserved for queries that timed out while executing.
+var errSlotWait = errors.New("server: timed out waiting for an execution slot")
+
+// limiter is the admission controller: a fixed pool of execution slots
+// plus a bounded FIFO wait queue. A request takes a free slot if the
+// queue is empty; otherwise it queues behind earlier arrivals; if the
+// queue is full it is shed immediately (the caller maps that to 429).
+//
+// Freed slots are handed directly to the queue head under the lock, so
+// a fresh arrival can never steal a slot from a request that has been
+// waiting — the starvation bug of the earlier channel-based design,
+// where release() returned capacity to a shared channel and the fast
+// path raced the queued waiters for it.
 type limiter struct {
-	slots chan struct{}
-	queue chan struct{}
+	mu       sync.Mutex
+	free     int // execution slots not held by anyone
+	maxQueue int
+	waiters  []chan struct{} // FIFO; a granted waiter is removed before its channel is signaled
 }
 
 func newLimiter(maxInFlight, maxQueue int) *limiter {
-	return &limiter{
-		slots: make(chan struct{}, maxInFlight),
-		queue: make(chan struct{}, maxQueue),
-	}
+	return &limiter{free: maxInFlight, maxQueue: maxQueue}
 }
 
-// acquire obtains an execution slot, waiting in the bounded queue if
-// necessary. On success it returns a release func that MUST be called
-// exactly once when the query finishes. Returns errShed when the
-// queue is full, or the context error if it expires while queued.
-// depth, when non-nil, tracks the live queue length.
+// acquire obtains an execution slot, waiting in the bounded FIFO queue
+// if necessary. On success it returns a release func that MUST be
+// called exactly once when the query finishes. Returns errShed when
+// the queue is full, or an errSlotWait-wrapped context error if the
+// context expires while queued. depth, when non-nil, tracks the live
+// queue length.
 func (l *limiter) acquire(ctx context.Context, depth *obs.Gauge) (func(), error) {
-	// Fast path: free slot right now.
-	select {
-	case l.slots <- struct{}{}:
+	l.mu.Lock()
+	// A free slot goes to a fresh arrival only when nobody is queued;
+	// with hand-off on release the two cannot coexist, but the guard
+	// keeps the invariant local.
+	if l.free > 0 && len(l.waiters) == 0 {
+		l.free--
+		l.mu.Unlock()
 		return l.release, nil
-	default:
 	}
-	// Join the bounded queue or shed.
-	select {
-	case l.queue <- struct{}{}:
-	default:
+	if len(l.waiters) >= l.maxQueue {
+		l.mu.Unlock()
 		return nil, errShed
 	}
+	grant := make(chan struct{}, 1)
+	l.waiters = append(l.waiters, grant)
+	l.mu.Unlock()
 	if depth != nil {
 		depth.Inc()
+		defer depth.Dec()
 	}
-	defer func() {
-		<-l.queue
-		if depth != nil {
-			depth.Dec()
-		}
-	}()
+
 	select {
-	case l.slots <- struct{}{}:
+	case <-grant:
 		return l.release, nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		l.mu.Lock()
+		for i, w := range l.waiters {
+			if w == grant {
+				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+				l.mu.Unlock()
+				return nil, fmt.Errorf("%w: %v", errSlotWait, ctx.Err())
+			}
+		}
+		// Not in the queue anymore: a concurrent release already granted
+		// us the slot (the send happened under the lock, so it is in the
+		// buffered channel by now). Consume it and pass it on so the slot
+		// is not leaked.
+		l.mu.Unlock()
+		<-grant
+		l.release()
+		return nil, fmt.Errorf("%w: %v", errSlotWait, ctx.Err())
 	}
 }
 
-func (l *limiter) release() { <-l.slots }
+// release returns a slot: to the queue head if anyone is waiting,
+// otherwise back to the free pool.
+func (l *limiter) release() {
+	l.mu.Lock()
+	if len(l.waiters) > 0 {
+		grant := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		grant <- struct{}{} // buffered; never blocks, even under the lock
+		l.mu.Unlock()
+		return
+	}
+	l.free++
+	l.mu.Unlock()
+}
+
+// queueLen reports the current number of queued waiters (for tests).
+func (l *limiter) queueLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.waiters)
+}

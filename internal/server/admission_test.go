@@ -1,0 +1,233 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tablehound/internal/core"
+)
+
+// TestQueuedWaiterBeatsNewArrival is the regression test for the
+// admission starvation bug: with the old channel-based limiter, a
+// freed slot went back to shared capacity and a fresh arrival's fast
+// path could grab it before a long-queued waiter's select fired. The
+// FIFO limiter hands the slot to the queue head at release time, so a
+// new arrival must never win against an already-queued request.
+func TestQueuedWaiterBeatsNewArrival(t *testing.T) {
+	l := newLimiter(1, 4)
+	rel, err := l.acquire(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	granted := make(chan func(), 1)
+	go func() {
+		r, err := l.acquire(context.Background(), nil)
+		if err == nil {
+			granted <- r
+		}
+	}()
+	waitFor(t, func() bool { return l.queueLen() == 1 })
+
+	// Free the slot: it must be assigned to the queued waiter at this
+	// instant, even before the waiter's goroutine gets scheduled.
+	rel()
+
+	// A fresh arrival right behind the release must queue (and here,
+	// time out), not steal the slot.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := l.acquire(ctx, nil); err == nil {
+		t.Fatal("new arrival stole the slot from a queued waiter")
+	} else if !errors.Is(err, errSlotWait) {
+		t.Fatalf("queued-expiry error = %v, want errSlotWait", err)
+	}
+
+	select {
+	case r := <-granted:
+		r()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter never received the freed slot")
+	}
+}
+
+// TestReleaseOrderIsFIFO checks that multiple queued waiters are
+// granted strictly in arrival order.
+func TestReleaseOrderIsFIFO(t *testing.T) {
+	l := newLimiter(1, 8)
+	rel, err := l.acquire(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 5
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		// Enqueue one at a time so arrival order is deterministic.
+		prev := l.queueLen()
+		go func(i int) {
+			r, err := l.acquire(context.Background(), nil)
+			if err != nil {
+				t.Error(err)
+				done <- struct{}{}
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			done <- struct{}{}
+			r()
+		}(i)
+		waitFor(t, func() bool { return l.queueLen() == prev+1 })
+	}
+
+	rel() // start the chain; each waiter releases to the next
+	for i := 0; i < waiters; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d waiters were granted", i, waiters)
+		}
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+// TestCanceledWaiterDoesNotLeakSlot drives the cancel/release race: a
+// waiter whose context expires just as release grants it the slot must
+// hand the slot onward instead of leaking it.
+func TestCanceledWaiterDoesNotLeakSlot(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		l := newLimiter(1, 4)
+		rel, err := l.acquire(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		errCh := make(chan error, 1)
+		go func() {
+			r, err := l.acquire(ctx, nil)
+			if err == nil {
+				r()
+			}
+			errCh <- err
+		}()
+		waitFor(t, func() bool { return l.queueLen() == 1 })
+		// Race the grant against the cancellation.
+		go rel()
+		go cancel()
+		<-errCh
+		// Whatever the race outcome, the slot must be reusable.
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+		r2, err := l.acquire(ctx2, nil)
+		cancel2()
+		if err != nil {
+			t.Fatalf("iteration %d: slot leaked after cancel/release race: %v", i, err)
+		}
+		r2()
+	}
+}
+
+// TestQueueWaitExpiryMaps503 pins the HTTP contract for requests that
+// expire while queued for admission: 503 + Retry-After (overload,
+// retryable), not the 504 reserved for queries that timed out while
+// executing. The handler is driven in-process so the response written
+// after the request context expires is still observable.
+func TestQueueWaitExpiryMaps503(t *testing.T) {
+	sys, _ := demoSystem(t)
+	srv := New(sys, Config{MaxInFlight: 1, MaxQueue: 4, CacheEntries: 0})
+
+	// Pin the only execution slot so the request under test queues.
+	rel, err := srv.lim.acquire(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/join",
+		strings.NewReader(`{"values":["a","b","c"],"k":3}`)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", rec.Code, rec.Body.Bytes())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 queue-expiry response without Retry-After")
+	}
+}
+
+// TestAdminReload exercises the reload endpoint: method gating, the
+// no-reloader case, and a successful swap bumping the generation.
+func TestAdminReload(t *testing.T) {
+	sys, _ := demoSystem(t)
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/admin/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/admin/reload", "", http.NoBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("reload without reloader: status = %d, want 501", resp.StatusCode)
+	}
+
+	srv.SetReloader(func() (*core.System, error) { return sys, nil })
+	resp, err = http.Post(ts.URL+"/v1/admin/reload", "", http.NoBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status = %d", resp.StatusCode)
+	}
+	if out.Generation != 1 || out.Tables == 0 {
+		t.Errorf("reload response = %+v", out)
+	}
+	if srv.swaps.Value() != 1 {
+		t.Errorf("swap counter = %d", srv.swaps.Value())
+	}
+
+	srv.SetReloader(func() (*core.System, error) { return nil, errors.New("disk ate the snapshot") })
+	resp, err = http.Post(ts.URL+"/v1/admin/reload", "", http.NoBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("failed reload: status = %d, want 500", resp.StatusCode)
+	}
+	if srv.swaps.Value() != 1 {
+		t.Error("failed reload must not swap")
+	}
+}

@@ -104,6 +104,13 @@ type Server struct {
 	draining atomic.Bool
 	queries  sync.WaitGroup // query goroutines, incl. ones orphaned by timeout
 
+	// reloader, when set, produces a replacement system for the
+	// /v1/admin/reload endpoint (typically by loading a snapshot file).
+	// reloadMu serializes reloads so concurrent requests install their
+	// snapshots one at a time, in order.
+	reloadMu sync.Mutex
+	reloader func() (*core.System, error)
+
 	// Observability.
 	reg       *obs.Registry
 	endpoints map[string]*endpointMetrics
@@ -165,6 +172,7 @@ func New(sys *core.System, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/join", s.queryEndpoint("join", s.handleJoin))
 	s.mux.HandleFunc("/v1/union", s.queryEndpoint("union", s.handleUnion))
 	s.mux.HandleFunc("/v1/keyword", s.queryEndpoint("keyword", s.handleKeyword))
+	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -189,6 +197,69 @@ func (s *Server) Swap(sys *core.System) {
 	// just reclaims their memory eagerly.
 	s.cache.Purge()
 	s.swaps.Inc()
+}
+
+// SetReloader installs the function /v1/admin/reload uses to produce
+// a replacement system (typically core.LoadFile over a snapshot path).
+// Without one, reload requests get 501.
+func (s *Server) SetReloader(fn func() (*core.System, error)) {
+	s.reloadMu.Lock()
+	s.reloader = fn
+	s.reloadMu.Unlock()
+}
+
+// Reload runs the configured reloader and, on success, installs the
+// new system via Swap. It is the programmatic twin of the HTTP
+// endpoint (the daemon's SIGHUP handler calls it too). Reloads are
+// serialized; the snapshot load runs outside the admission limiter so
+// serving is never blocked behind it.
+func (s *Server) Reload() (*core.System, error) {
+	s.reloadMu.Lock()
+	fn := s.reloader
+	if fn == nil {
+		s.reloadMu.Unlock()
+		return nil, errNoReloader
+	}
+	defer s.reloadMu.Unlock()
+	sys, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	s.Swap(sys)
+	return sys, nil
+}
+
+// errNoReloader marks a reload request on a server with no reloader.
+var errNoReloader = errors.New("server: no reloader configured")
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	sys, err := s.Reload()
+	if err != nil {
+		if errors.Is(err, errNoReloader) {
+			writeError(w, http.StatusNotImplemented, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+		return
+	}
+	st := sys.Catalog.Stats()
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Generation: s.gen.Load(),
+		Tables:     st.Tables,
+		Columns:    st.Columns,
+	})
+}
+
+// ReloadResponse is the body of a successful /v1/admin/reload.
+type ReloadResponse struct {
+	Generation uint64 `json:"generation"`
+	Tables     int    `json:"tables"`
+	Columns    int    `json:"columns"`
 }
 
 // Shutdown drains the server: new requests are refused with 503 and
@@ -349,6 +420,8 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, key string, 
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 			s.shed.Inc()
+		} else if errors.Is(err, errSlotWait) {
+			w.Header().Set("Retry-After", "1")
 		}
 		writeError(w, status, msg)
 		return
@@ -369,6 +442,10 @@ func errorStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, errShed):
 		return http.StatusTooManyRequests, "server overloaded, retry later"
+	case errors.Is(err, errSlotWait):
+		// Expired while queued for admission: the query never executed,
+		// so this is overload (retryable), not an execution timeout.
+		return http.StatusServiceUnavailable, "server overloaded, gave up waiting for an execution slot"
 	case errors.Is(err, table.ErrBadQuery):
 		return http.StatusBadRequest, err.Error()
 	case errors.Is(err, errNotFound):

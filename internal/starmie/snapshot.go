@@ -1,0 +1,85 @@
+package starmie
+
+import (
+	"fmt"
+	"sort"
+
+	"tablehound/internal/embedding"
+	"tablehound/internal/hnsw"
+	"tablehound/internal/snap"
+)
+
+// AppendSnapshot encodes a built index: the column keys in their
+// sorted (post-Build) order, each key's contextual vector, the
+// per-table key grouping in registration order, and the HNSW graph
+// verbatim (its topology depends on insertion order and the
+// construction RNG, so it cannot be re-derived from the vectors).
+func (ix *Index) AppendSnapshot(e *snap.Encoder) {
+	e.F64(ix.enc.contextWeight)
+	e.Strs(ix.colKeys)
+	for _, k := range ix.colKeys {
+		e.F32s(ix.vecs[k])
+	}
+	// byTable key lists keep each table's original column order (the
+	// order bipartite matching iterates), which sorted colKeys cannot
+	// reproduce — store them verbatim, tables in sorted ID order.
+	ids := make([]string, 0, len(ix.byTable))
+	for id := range ix.byTable {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.Str(id)
+		e.Strs(ix.byTable[id])
+	}
+	ix.graph.AppendSnapshot(e)
+}
+
+// DecodeSnapshot rebuilds an index written by AppendSnapshot over the
+// loaded embedding model.
+func DecodeSnapshot(d *snap.Decoder, model *embedding.Model) (*Index, error) {
+	contextWeight := d.F64()
+	colKeys := d.Strs()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	ix := NewIndex(NewEncoder(model, contextWeight))
+	ix.colKeys = colKeys
+	for _, k := range colKeys {
+		vec := d.F32s()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if _, dup := ix.vecs[k]; dup {
+			return nil, fmt.Errorf("%w: duplicate starmie column %q", snap.ErrCorrupt, k)
+		}
+		ix.vecs[k] = vec
+	}
+	numTables := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	for i := 0; i < numTables; i++ {
+		id := d.Str()
+		keys := d.Strs()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if _, dup := ix.byTable[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate starmie table %q", snap.ErrCorrupt, id)
+		}
+		for _, k := range keys {
+			if _, ok := ix.vecs[k]; !ok {
+				return nil, fmt.Errorf("%w: starmie table %q references unknown column %q", snap.ErrCorrupt, id, k)
+			}
+		}
+		ix.byTable[id] = keys
+	}
+	var err error
+	if ix.graph, err = hnsw.DecodeSnapshot(d); err != nil {
+		return nil, err
+	}
+	ix.built = true
+	return ix, nil
+}
