@@ -6,7 +6,7 @@
 GO ?= go
 COUNT ?= 1
 
-.PHONY: check race bench-build bench-query bench-mem bench-snapshot serve-smoke snapshot-smoke
+.PHONY: check race bench-build bench-query bench-mem bench-snapshot serve-smoke snapshot-smoke shard-smoke
 
 check:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ race:
 		./internal/lake/... ./internal/parallel/... ./internal/keyword/... \
 		./internal/dict/... ./internal/server/... ./internal/qcache/... \
 		./internal/obs/... ./internal/snap/... ./internal/invindex/... \
-		./internal/lshensemble/...
+		./internal/lshensemble/... ./internal/router/...
 
 # End-to-end smoke of the serving layer: real lakeserved process over
 # a generated 100-table lake, one query per endpoint via lakectl's
@@ -32,6 +32,12 @@ serve-smoke:
 # POST /v1/admin/reload, graceful SIGTERM shutdown.
 snapshot-smoke:
 	bash scripts/snapshot_smoke.sh
+
+# End-to-end smoke of sharded serving: lakectl build -shards 2, two
+# shard servers plus the router, queries through the fan-out, graceful
+# degradation when a shard dies, recovery, and a rolling reload.
+shard-smoke:
+	bash scripts/shard_smoke.sh
 
 bench-build:
 	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchtime 2x .

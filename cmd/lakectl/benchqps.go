@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,12 @@ import (
 // on each search surface under concurrent load. With no -lake it
 // generates the same 500-table synthetic lake the Go benchmarks use,
 // so numbers are comparable with `make bench-query`.
+//
+// With -addr the bench runs over HTTP against running lakeserved
+// daemons instead: each comma-separated address is benched alone, and
+// several addresses get a final aggregate pass driving all of them
+// concurrently (per-shard vs fleet throughput). Remote mode takes its
+// queries from -q, -values, and -table.
 func cmdBenchQPS(args []string) error {
 	fs := flag.NewFlagSet("bench-qps", flag.ExitOnError)
 	dir := fs.String("lake", "", "lake directory (omit for the 500-table synthetic lake)")
@@ -26,8 +33,28 @@ func cmdBenchQPS(args []string) error {
 	goroutines := fs.Int("goroutines", 4, "concurrent client goroutines")
 	k := fs.Int("k", 10, "top-k per query")
 	qpar := fs.Int("qparallel", 1, "per-query scoring workers (0 = all CPUs)")
+	addrFlag := fs.String("addr", "", "comma-separated lakeserved addresses (remote mode; replaces -lake)")
+	q := fs.String("q", "", "keyword query (remote mode)")
+	valuesFlag := fs.String("values", "", "comma-separated join query values (remote mode)")
+	tableID := fs.String("table", "", "union query table ID (remote mode)")
 	bf := addBuildFlags(fs)
 	fs.Parse(args)
+
+	if *addrFlag != "" {
+		var addrs []string
+		for _, a := range strings.Split(*addrFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		var values []string
+		for _, v := range strings.Split(*valuesFlag, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				values = append(values, v)
+			}
+		}
+		return benchRemote(addrs, *queries, *goroutines, *k, *q, values, *tableID)
+	}
 
 	var (
 		cat  *lake.Catalog

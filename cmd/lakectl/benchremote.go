@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tablehound/internal/server"
+)
+
+// benchRemote measures query throughput against running lakeserved
+// daemons. Each address is benched alone (per-shard numbers), and with
+// more than one address a final aggregate pass drives all of them
+// concurrently — the scatter-gather scaling check: aggregate QPS
+// should approach the per-shard sum when shards don't contend.
+func benchRemote(addrs []string, queries, goroutines, k int, q string, values []string, tableID string) error {
+	type surface struct {
+		name string
+		run  func(c *server.Client) error
+	}
+	var surfaces []surface
+	if q != "" {
+		surfaces = append(surfaces, surface{"keyword", func(c *server.Client) error {
+			_, err := c.Keyword(context.Background(), server.KeywordRequest{Query: q, K: k})
+			return err
+		}})
+	}
+	if len(values) > 0 {
+		surfaces = append(surfaces, surface{"join-overlap", func(c *server.Client) error {
+			_, err := c.Join(context.Background(), server.JoinRequest{Values: values, K: k})
+			return err
+		}})
+	}
+	if tableID != "" {
+		surfaces = append(surfaces, surface{"union-tus", func(c *server.Client) error {
+			_, err := c.Union(context.Background(), server.UnionRequest{TableID: tableID, K: k})
+			return err
+		}})
+	}
+	if len(surfaces) == 0 {
+		return fmt.Errorf("bench-qps: remote mode needs a query: -q, -values, and/or -table")
+	}
+
+	clients := make([]*server.Client, len(addrs))
+	for i, a := range addrs {
+		clients[i] = server.NewClient(a)
+	}
+
+	fmt.Printf("load: %d queries/surface/target, %d goroutines, k=%d\n\n", queries, goroutines, k)
+	fmt.Printf("%-14s %-22s %10s %12s %10s %10s\n", "surface", "target", "queries", "qps", "p50", "p99")
+	for _, s := range surfaces {
+		for i, c := range clients {
+			r, err := driveLoad([]*server.Client{c}, queries, goroutines, s.run)
+			if err != nil {
+				return fmt.Errorf("bench-qps: %s against %s: %w", s.name, addrs[i], err)
+			}
+			fmt.Printf("%-14s %-22s %10d %12.1f %10v %10v\n",
+				s.name, addrs[i], queries, r.qps, r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond))
+		}
+		if len(clients) > 1 {
+			total := queries * len(clients)
+			r, err := driveLoad(clients, total, goroutines*len(clients), s.run)
+			if err != nil {
+				return fmt.Errorf("bench-qps: %s aggregate: %w", s.name, err)
+			}
+			fmt.Printf("%-14s %-22s %10d %12.1f %10v %10v\n",
+				s.name, "aggregate", total, r.qps, r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
+type loadResult struct {
+	qps      float64
+	p50, p99 time.Duration
+}
+
+// driveLoad runs total requests over the clients (round-robin across
+// goroutines) and reports throughput and latency quantiles.
+func driveLoad(clients []*server.Client, total, goroutines int, run func(c *server.Client) error) (loadResult, error) {
+	var (
+		next     int64
+		mu       sync.Mutex
+		lat      = make([]time.Duration, 0, total)
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		c := clients[g%len(clients)]
+		wg.Add(1)
+		go func(c *server.Client) {
+			defer wg.Done()
+			for atomic.AddInt64(&next, 1) <= int64(total) {
+				t0 := time.Now()
+				if err := run(c); err != nil {
+					once.Do(func() { firstErr = err })
+					return
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				lat = append(lat, d)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return loadResult{}, firstErr
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return loadResult{
+		qps: float64(len(lat)) / elapsed.Seconds(),
+		p50: quantileDur(lat, 0.50),
+		p99: quantileDur(lat, 0.99),
+	}, nil
+}
+
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

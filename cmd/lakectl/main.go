@@ -6,7 +6,7 @@
 // Usage:
 //
 //	lakectl gen -out DIR [-templates N] [-tables N] [-seed S]
-//	lakectl build -lake DIR -o FILE.snap
+//	lakectl build -lake DIR -o FILE.snap [-shards N]
 //	lakectl stats -lake DIR | -addr HOST:PORT
 //	lakectl query <search|vsearch|join|union> -addr HOST:PORT [flags]
 //	lakectl search -lake DIR -q "topic keywords" [-k 10]
@@ -95,6 +95,7 @@ func usage() {
 commands:
   gen       generate a synthetic data lake as a directory of CSVs
   build     build the discovery system and save it as a snapshot file
+            (-shards N partitions into N shard snapshots + a manifest)
   stats     print catalog statistics for a lake (or -addr for a daemon)
   query     run a search against a running lakeserved daemon
   search    keyword search over table metadata
@@ -161,10 +162,14 @@ func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	dir := fs.String("lake", "", "lake directory")
 	out := fs.String("o", "", "output snapshot file (required)")
+	shards := fs.Int("shards", 1, "partition the lake into N shard snapshots plus a manifest")
 	bf := addBuildFlags(fs)
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("build: -o is required")
+	}
+	if *shards > 1 {
+		return buildSharded(*dir, *out, *shards, bf)
 	}
 	start := time.Now()
 	sys, err := bf.buildSystem(*dir)

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tablehound/internal/core"
+	"tablehound/internal/lake"
+	"tablehound/internal/parallel"
+	"tablehound/internal/snap"
+	"tablehound/internal/table"
+)
+
+// shardSnapshotPath names shard i's snapshot: "lake.snap" with
+// -shards 4 becomes lake.0.snap … lake.3.snap.
+func shardSnapshotPath(out string, i int) string {
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s.%d%s", strings.TrimSuffix(out, ext), i, ext)
+}
+
+// shardManifestPath names the manifest next to the shard snapshots:
+// "lake.snap" becomes "lake.manifest".
+func shardManifestPath(out string) string {
+	return strings.TrimSuffix(out, filepath.Ext(out)) + ".manifest"
+}
+
+// buildSharded partitions the lake by the stable table→shard
+// assignment (snap.ShardOf), builds one independent discovery system
+// per shard, writes each as its own snapshot, and records the
+// partitioning in a manifest so lakeserved shard servers and the
+// router agree on who owns what. The -parallel budget is split: up to
+// N shard builds run concurrently, each with the remaining workers.
+func buildSharded(dir, out string, n int, bf buildFlags) error {
+	if *bf.snapshot != "" {
+		return fmt.Errorf("build: -shards partitions a lake directory; it cannot repartition -snapshot")
+	}
+	start := time.Now()
+	cat, err := bf.loadCatalog(dir)
+	if err != nil {
+		return err
+	}
+	tbls := cat.Tables()
+	parts := make([][]*table.Table, n)
+	ids := make([][]string, n)
+	for _, t := range tbls {
+		i := snap.ShardOf(t.ID, n)
+		parts[i] = append(parts[i], t)
+		ids[i] = append(ids[i], t.ID)
+	}
+	for i, p := range parts {
+		if len(p) == 0 {
+			return fmt.Errorf("build: shard %d of %d is empty (%d tables in the lake): use fewer shards", i, n, len(tbls))
+		}
+	}
+
+	workers := parallel.Resolve(*bf.parallel)
+	outer := workers
+	if outer > n {
+		outer = n
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+
+	type shardResult struct {
+		path   string
+		size   int64
+		built  time.Duration
+		report string
+	}
+	results, err := parallel.Map(n, outer, func(i int) (shardResult, error) {
+		sc := lake.NewCatalog()
+		if err := sc.AddBatch(parts[i]); err != nil {
+			return shardResult{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+		t0 := time.Now()
+		sys, err := core.Build(sc, core.Options{Parallelism: inner})
+		if err != nil {
+			return shardResult{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+		r := shardResult{built: time.Since(t0), path: shardSnapshotPath(out, i)}
+		if *bf.timing {
+			r.report = sys.BuildStats.Report()
+		}
+		if err := sys.SaveFile(r.path); err != nil {
+			return shardResult{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+		fi, err := os.Stat(r.path)
+		if err != nil {
+			return shardResult{}, err
+		}
+		r.size = fi.Size()
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	man := &snap.Manifest{Assign: snap.AssignFNV1a}
+	for i, r := range results {
+		man.Shards = append(man.Shards, snap.ShardEntry{
+			Snapshot:   filepath.Base(r.path),
+			Generation: snap.HashIDs(ids[i]),
+			Tables:     len(parts[i]),
+		})
+		if r.report != "" {
+			fmt.Fprintf(os.Stderr, "--- shard %d build ---\n%s", i, r.report)
+		}
+	}
+	manPath := shardManifestPath(out)
+	if err := snap.WriteManifestFile(manPath, man); err != nil {
+		return err
+	}
+
+	st := cat.Stats()
+	fmt.Printf("partitioned %d tables (%d columns) into %d shards in %v\n",
+		st.Tables, st.Columns, n, time.Since(start).Round(time.Millisecond))
+	for i, r := range results {
+		fmt.Printf("  shard %d: %4d tables  %s (%.1f MiB) built in %v\n",
+			i, len(parts[i]), r.path, float64(r.size)/(1<<20), r.built.Round(time.Millisecond))
+	}
+	fmt.Printf("wrote manifest %s (assign %s, hash %016x)\n", manPath, man.Assign, man.Hash())
+	return nil
+}

@@ -6,9 +6,13 @@
 // Usage:
 //
 //	lakeserved -lake DIR | -snapshot FILE
+//	           [-manifest FILE -shard N]
 //	           [-addr :8080] [-parallel N] [-qparallel N]
 //	           [-max-inflight N] [-queue N] [-cache-entries N]
 //	           [-timeout D] [-drain D]
+//	lakeserved -router -shard-addrs HOST:PORT,HOST:PORT,...
+//	           [-addr :8080] [-cache-entries N]
+//	           [-shard-timeout D] [-health-interval D]
 //
 // With -lake the system is built from a directory of CSVs at startup;
 // with -snapshot it is loaded from a file written by `lakectl build
@@ -16,6 +20,17 @@
 // POST /v1/admin/reload) re-reads the source and atomically swaps the
 // new system in without dropping traffic; with both flags given,
 // -snapshot is what startup and reloads read.
+//
+// With -manifest (from `lakectl build -shards N`) the daemon serves
+// one shard of a partitioned lake: -shard picks the index, -snapshot
+// defaults to that shard's entry in the manifest, and /healthz reports
+// the shard identity so a router can verify the partitioning.
+//
+// With -router the daemon serves no lake itself: it fans every query
+// across the shard servers in -shard-addrs (one per shard, in shard
+// order), merges their top-k answers exactly, and degrades to partial
+// 200 responses when shards fail. SIGHUP (or POST /v1/admin/reload)
+// rolls a reload across the shards one at a time.
 //
 // The serving layer bounds concurrent query execution (-max-inflight)
 // with a bounded FIFO wait queue (-queue); beyond both, requests are
@@ -32,12 +47,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"tablehound/internal/core"
 	"tablehound/internal/lake"
+	"tablehound/internal/router"
 	"tablehound/internal/server"
+	"tablehound/internal/snap"
 )
 
 func main() {
@@ -60,13 +79,58 @@ func run() error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-query execution budget")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline")
 	timing := fs.Bool("timing", false, "print per-stage build timing to stderr")
+	routerMode := fs.Bool("router", false, "route queries across shard servers instead of serving a lake")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard server addresses (router mode)")
+	shardTimeout := fs.Duration("shard-timeout", 10*time.Second, "per-shard sub-request budget (router mode)")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "shard health polling period (router mode)")
+	manifestPath := fs.String("manifest", "", "shard manifest from `lakectl build -shards` (serve one shard)")
+	shardIdx := fs.Int("shard", -1, "shard index to serve from -manifest")
 	fs.Parse(os.Args[1:])
-	if *dir == "" && *snapPath == "" {
-		return fmt.Errorf("one of -lake or -snapshot is required")
-	}
 
 	log.SetPrefix("lakeserved: ")
 	log.SetFlags(log.LstdFlags)
+
+	if *routerMode {
+		addrs := strings.Split(*shardAddrs, ",")
+		out := addrs[:0]
+		for _, a := range addrs {
+			if a = strings.TrimSpace(a); a != "" {
+				out = append(out, a)
+			}
+		}
+		if len(out) == 0 {
+			return fmt.Errorf("-router requires -shard-addrs")
+		}
+		return runRouter(*addr, out, *shardTimeout, *healthInterval, *cacheEntries, *drain)
+	}
+
+	// Shard mode: resolve identity (and, by default, the snapshot path)
+	// from the manifest.
+	var shardIdent *server.ShardIdentity
+	if *manifestPath != "" {
+		man, err := snap.ReadManifestFile(*manifestPath)
+		if err != nil {
+			return err
+		}
+		if *shardIdx < 0 || *shardIdx >= len(man.Shards) {
+			return fmt.Errorf("-manifest has %d shards; -shard must be in [0, %d)", len(man.Shards), len(man.Shards))
+		}
+		shardIdent = &server.ShardIdentity{
+			Index:        *shardIdx,
+			Count:        len(man.Shards),
+			ManifestHash: man.Hash(),
+		}
+		if *snapPath == "" {
+			*snapPath = filepath.Join(filepath.Dir(*manifestPath), man.Shards[*shardIdx].Snapshot)
+		}
+		log.Printf("serving shard %d/%d of manifest %s (hash %016x)",
+			*shardIdx, len(man.Shards), *manifestPath, man.Hash())
+	} else if *shardIdx >= 0 {
+		return fmt.Errorf("-shard requires -manifest")
+	}
+	if *dir == "" && *snapPath == "" {
+		return fmt.Errorf("one of -lake, -snapshot, or -manifest is required")
+	}
 
 	// load produces a fresh system from the configured source; it backs
 	// both startup and every subsequent reload.
@@ -110,6 +174,7 @@ func run() error {
 		QueryTimeout: *timeout,
 		DrainTimeout: *drain,
 		CacheEntries: *cacheEntries,
+		Shard:        shardIdent,
 	})
 	srv.SetReloader(load)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -156,6 +221,67 @@ loop:
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain: %v", err)
 	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	log.Printf("shutdown complete")
+	return nil
+}
+
+// runRouter serves the scatter-gather tier: no lake of its own, just a
+// fan-out over the shard servers with exact top-k merging and graceful
+// degradation. SIGHUP rolls a reload across the shards.
+func runRouter(addr string, shardAddrs []string, shardTimeout, healthInterval time.Duration, cacheEntries int, drain time.Duration) error {
+	rt, err := router.New(router.Config{
+		Addrs:          shardAddrs,
+		ShardTimeout:   shardTimeout,
+		HealthInterval: healthInterval,
+		CacheEntries:   cacheEntries,
+	})
+	if err != nil {
+		return err
+	}
+	up := rt.CheckShards(context.Background())
+	log.Printf("routing over %d shards (%d up)", len(shardAddrs), up)
+	rt.Start()
+	defer rt.Stop()
+
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			return err
+		case sig := <-sigCh:
+			if sig != syscall.SIGHUP {
+				log.Printf("received %v, draining", sig)
+				break loop
+			}
+			t0 := time.Now()
+			res := rt.ReloadAll(context.Background())
+			log.Printf("rolling reload: %s shards ok in %v", res.ShardsOK, time.Since(t0).Round(time.Millisecond))
+			for _, sh := range res.Shards {
+				if !sh.OK {
+					log.Printf("  shard %d reload failed: %s", sh.Shard, sh.Error)
+				}
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain+5*time.Second)
+	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return err
 	}

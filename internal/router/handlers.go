@@ -1,0 +1,510 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tablehound/internal/qcache"
+	"tablehound/internal/server"
+	"tablehound/internal/snap"
+)
+
+// --- response types ---
+//
+// Query responses embed the shard server's response struct, so the
+// field layout (and therefore the marshaled bytes) match the unsharded
+// server exactly; ShardsOK is appended only when at least one shard
+// failed to contribute. A complete answer from a 1-shard router is
+// byte-identical to the shard's own answer.
+
+type joinRouterResponse struct {
+	server.JoinResponse
+	ShardsOK string `json:"shards_ok,omitempty"`
+}
+
+type unionRouterResponse struct {
+	server.UnionResponse
+	ShardsOK string `json:"shards_ok,omitempty"`
+}
+
+type keywordRouterResponse struct {
+	server.KeywordResponse
+	ShardsOK string `json:"shards_ok,omitempty"`
+}
+
+// ShardStatus is one shard's health as the router last observed it.
+type ShardStatus struct {
+	Shard        int    `json:"shard"`
+	Addr         string `json:"addr"`
+	Up           bool   `json:"up"`
+	Quarantined  bool   `json:"quarantined,omitempty"`
+	Generation   uint64 `json:"generation"`
+	Tables       int    `json:"tables"`
+	ManifestHash string `json:"manifest_hash,omitempty"`
+}
+
+// HealthResponse is the router's /healthz answer.
+type HealthResponse struct {
+	Status        string        `json:"status"` // ok | degraded | down
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	ShardsOK      string        `json:"shards_ok"`
+	Shards        []ShardStatus `json:"shards"`
+}
+
+// StatsResponse is the router's /stats answer.
+type StatsResponse struct {
+	UptimeSeconds float64                         `json:"uptime_seconds"`
+	ShardsOK      string                          `json:"shards_ok"`
+	Partials      int64                           `json:"partial_responses"`
+	Cache         server.CacheStats               `json:"cache"`
+	Endpoints     map[string]server.EndpointStats `json:"endpoints"`
+	Shards        []ShardStatus                   `json:"shards"`
+}
+
+// ReloadShard is one shard's outcome in a rolling reload.
+type ReloadShard struct {
+	Shard      int    `json:"shard"`
+	OK         bool   `json:"ok"`
+	Generation uint64 `json:"generation,omitempty"`
+	Tables     int    `json:"tables,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// ReloadResponse is the router's /v1/admin/reload answer.
+type ReloadResponse struct {
+	ShardsOK string        `json:"shards_ok"`
+	Shards   []ReloadShard `json:"shards"`
+}
+
+// --- endpoint middleware (mirrors the shard server's) ---
+
+func (rt *Router) queryEndpoint(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	m := rt.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		m.requests.Inc()
+		if sw.status >= 400 {
+			m.errors.Inc()
+		}
+		m.latency.Observe(time.Since(start))
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// --- shared fan-out tail ---
+
+// gather runs the scatter-gather tail shared by every query endpoint:
+// cache lookup (keyed on the endpoint, the generation vector, and the
+// exact request bytes), fan-out of fanBody to every eligible shard,
+// ok/failure triage, and the degradation decision. merge turns the ok
+// shard bodies into the response value; its ShardsOK field is set by
+// the caller-supplied setPartial before marshaling when the answer is
+// incomplete. Only complete answers are cached.
+func (rt *Router) gather(
+	w http.ResponseWriter, r *http.Request,
+	endpoint byte, path string, cacheBody, fanBody []byte,
+	merge func(bodies [][]byte) (any, error),
+	setPartial func(v any, shardsOK string),
+	empty func(shardsOK string) any,
+) {
+	var key string
+	if rt.cache != nil {
+		var kb qcache.KeyBuilder
+		kb.Byte(endpoint).U64(rt.genHash.Load()).Str(string(cacheBody))
+		key = kb.String()
+		if body, ok := rt.cache.Get(key); ok {
+			w.Header().Set("X-Cache", "HIT")
+			writeJSONBytes(w, http.StatusOK, body)
+			return
+		}
+		w.Header().Set("X-Cache", "MISS")
+	} else {
+		w.Header().Set("X-Cache", "BYPASS")
+	}
+
+	total := len(rt.shards)
+	shards := rt.eligible()
+	results := rt.fanout(r.Context(), path, fanBody, shards)
+
+	bodies := make([][]byte, 0, len(results))
+	for _, res := range results {
+		if res.ok() {
+			bodies = append(bodies, res.body)
+		}
+	}
+	if len(bodies) == 0 {
+		// No shard produced a mergeable answer. A deterministic client
+		// error (every shard computes it from the request alone) is
+		// propagated verbatim; operational failure degrades to an empty
+		// 200, never a 5xx.
+		for _, res := range results {
+			if res.clientError() {
+				writeJSONBytes(w, res.status, res.body)
+				return
+			}
+		}
+		rt.allDown.Inc()
+		rt.markPartial(endpoint)
+		writeJSON(w, http.StatusOK, empty(fmt.Sprintf("0/%d", total)))
+		return
+	}
+
+	v, err := merge(bodies)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "merging shard responses: "+err.Error())
+		return
+	}
+	complete := len(bodies) == total
+	if !complete {
+		rt.markPartial(endpoint)
+		setPartial(v, fmt.Sprintf("%d/%d", len(bodies), total))
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
+	}
+	if complete && key != "" {
+		rt.cache.Put(key, body)
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+func (rt *Router) markPartial(endpoint byte) {
+	rt.partials.Inc()
+	switch endpoint {
+	case 'J':
+		rt.endpoints["join"].partial.Inc()
+	case 'U':
+		rt.endpoints["union"].partial.Inc()
+	case 'K':
+		rt.endpoints["keyword"].partial.Inc()
+	}
+}
+
+// --- query endpoints ---
+
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req server.JoinRequest
+	body, ok := decodeBody(w, r, &req)
+	if !ok {
+		return
+	}
+	k := server.ClampK(req.K)
+	mode := req.Mode
+	if mode == "" {
+		mode = "overlap"
+	}
+	if mode != "overlap" && mode != "containment" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown join mode %q (want overlap or containment)", mode))
+		return
+	}
+	rt.gather(w, r, 'J', "/v1/join", body, body,
+		func(bodies [][]byte) (any, error) {
+			lists := make([][]server.JoinMatch, 0, len(bodies))
+			for _, b := range bodies {
+				var resp server.JoinResponse
+				if err := json.Unmarshal(b, &resp); err != nil {
+					return nil, err
+				}
+				lists = append(lists, resp.Matches)
+			}
+			return &joinRouterResponse{
+				JoinResponse: server.JoinResponse{
+					Matches: mergeJoinMatches(mode == "containment", lists, k),
+				},
+			}, nil
+		},
+		func(v any, shardsOK string) { v.(*joinRouterResponse).ShardsOK = shardsOK },
+		func(shardsOK string) any {
+			return &joinRouterResponse{
+				JoinResponse: server.JoinResponse{Matches: []server.JoinMatch{}},
+				ShardsOK:     shardsOK,
+			}
+		},
+	)
+}
+
+func (rt *Router) handleUnion(w http.ResponseWriter, r *http.Request) {
+	var req server.UnionRequest
+	body, ok := decodeBody(w, r, &req)
+	if !ok {
+		return
+	}
+	k := server.ClampK(req.K)
+	method := req.Method
+	if method == "" {
+		method = "tus"
+	}
+	switch method {
+	case "tus", "santos", "starmie", "d3l":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown union method %q (want tus, santos, starmie, or d3l)", method))
+		return
+	}
+	if (req.TableID == "") == (req.Table == nil) {
+		writeError(w, http.StatusBadRequest, "exactly one of table_id or table must be set")
+		return
+	}
+
+	// A table_id query names a lake table that lives on exactly one
+	// shard; the others would answer 404. Fetch it from its owner and
+	// fan out the inline form instead — the table keeps its ID, so the
+	// owner shard still excludes the query table from its own results.
+	fanBody := body
+	total := len(rt.shards)
+	if req.TableID != "" && total > 1 {
+		owner := rt.shards[snap.ShardOf(req.TableID, total)]
+		if owner.state.Load().quarantined {
+			rt.allDown.Inc()
+			rt.markPartial('U')
+			writeJSON(w, http.StatusOK, &unionRouterResponse{
+				UnionResponse: server.UnionResponse{Results: []server.TableScore{}},
+				ShardsOK:      fmt.Sprintf("0/%d", total),
+			})
+			return
+		}
+		t, err := owner.client.Table(r.Context(), req.TableID)
+		if err != nil {
+			if apiErr, isAPI := err.(*server.APIError); isAPI && apiErr.Status/100 == 4 {
+				// Deterministic: the owner has the table or nobody does.
+				writeError(w, apiErr.Status, apiErr.Message)
+				return
+			}
+			// Owner unreachable: without the query table no shard can
+			// answer. Degrade, don't 5xx.
+			owner.fails.Inc()
+			rt.allDown.Inc()
+			rt.markPartial('U')
+			writeJSON(w, http.StatusOK, &unionRouterResponse{
+				UnionResponse: server.UnionResponse{Results: []server.TableScore{}},
+				ShardsOK:      fmt.Sprintf("0/%d", total),
+			})
+			return
+		}
+		inline := req
+		inline.TableID = ""
+		inline.Table = &server.InlineTable{ID: t.ID, Name: t.Name, Columns: t.Columns}
+		fanBody, err = json.Marshal(inline)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding shard request: "+err.Error())
+			return
+		}
+	}
+
+	rt.gather(w, r, 'U', "/v1/union", body, fanBody,
+		func(bodies [][]byte) (any, error) {
+			lists := make([][]server.TableScore, 0, len(bodies))
+			for _, b := range bodies {
+				var resp server.UnionResponse
+				if err := json.Unmarshal(b, &resp); err != nil {
+					return nil, err
+				}
+				lists = append(lists, resp.Results)
+			}
+			return &unionRouterResponse{
+				UnionResponse: server.UnionResponse{Results: mergeScores(lists, k)},
+			}, nil
+		},
+		func(v any, shardsOK string) { v.(*unionRouterResponse).ShardsOK = shardsOK },
+		func(shardsOK string) any {
+			return &unionRouterResponse{
+				UnionResponse: server.UnionResponse{Results: []server.TableScore{}},
+				ShardsOK:      shardsOK,
+			}
+		},
+	)
+}
+
+func (rt *Router) handleKeyword(w http.ResponseWriter, r *http.Request) {
+	var req server.KeywordRequest
+	body, ok := decodeBody(w, r, &req)
+	if !ok {
+		return
+	}
+	k := server.ClampK(req.K)
+	mode := req.Mode
+	if mode == "" {
+		mode = "meta"
+	}
+	if mode != "meta" && mode != "values" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown keyword mode %q (want meta or values)", mode))
+		return
+	}
+	rt.gather(w, r, 'K', "/v1/keyword", body, body,
+		func(bodies [][]byte) (any, error) {
+			var scores [][]server.TableScore
+			var clusters [][]server.ValueCluster
+			for _, b := range bodies {
+				var resp server.KeywordResponse
+				if err := json.Unmarshal(b, &resp); err != nil {
+					return nil, err
+				}
+				scores = append(scores, resp.Results)
+				clusters = append(clusters, resp.Clusters)
+			}
+			out := &keywordRouterResponse{}
+			if mode == "meta" {
+				out.Results = mergeScores(scores, k)
+			} else {
+				out.Clusters = mergeClusters(clusters, k)
+			}
+			return out, nil
+		},
+		func(v any, shardsOK string) { v.(*keywordRouterResponse).ShardsOK = shardsOK },
+		func(shardsOK string) any { return &keywordRouterResponse{ShardsOK: shardsOK} },
+	)
+}
+
+// --- admin & introspection ---
+
+// handleReload is the HTTP face of ReloadAll.
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.ReloadAll(r.Context()))
+}
+
+// ReloadAll rolls a reload across the shards one at a time, in shard
+// order — at most one shard is loading (and briefly cold-cached) at
+// any moment, so a router in front of N shards keeps serving N-1
+// shards' worth of results throughout. The router cache is purged
+// afterwards, and a health sweep picks up the new generations. The
+// daemon's SIGHUP handler calls this too.
+func (rt *Router) ReloadAll(ctx context.Context) ReloadResponse {
+	out := make([]ReloadShard, len(rt.shards))
+	okCount := 0
+	for i, sh := range rt.shards {
+		out[i] = ReloadShard{Shard: i}
+		status, body, err := rt.postShard(ctx, sh, "/v1/admin/reload", nil)
+		if err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		if status/100 != 2 {
+			var e server.ErrorResponse
+			if json.Unmarshal(body, &e) == nil && e.Error != "" {
+				out[i].Error = e.Error
+			} else {
+				out[i].Error = fmt.Sprintf("shard returned %d", status)
+			}
+			continue
+		}
+		var resp server.ReloadResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			out[i].Error = "parsing shard response: " + err.Error()
+			continue
+		}
+		out[i].OK = true
+		out[i].Generation = resp.Generation
+		out[i].Tables = resp.Tables
+		okCount++
+	}
+	rt.cache.Purge()
+	rt.CheckShards(ctx)
+	return ReloadResponse{
+		ShardsOK: fmt.Sprintf("%d/%d", okCount, len(rt.shards)),
+		Shards:   out,
+	}
+}
+
+// shardStatuses snapshots the health loop's view of every shard and
+// the count currently serving.
+func (rt *Router) shardStatuses() ([]ShardStatus, int) {
+	out := make([]ShardStatus, len(rt.shards))
+	up := 0
+	for i, sh := range rt.shards {
+		st := sh.state.Load()
+		out[i] = ShardStatus{
+			Shard: i, Addr: sh.addr,
+			Up: st.up, Quarantined: st.quarantined,
+			Generation: st.generation, Tables: st.tables,
+			ManifestHash: st.manifestHash,
+		}
+		if st.up && !st.quarantined {
+			up++
+		}
+	}
+	return out, up
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	shards, up := rt.shardStatuses()
+	status := "ok"
+	switch {
+	case up == 0:
+		status = "down"
+	case up < len(shards):
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		ShardsOK:      fmt.Sprintf("%d/%d", up, len(shards)),
+		Shards:        shards,
+	})
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	shards, up := rt.shardStatuses()
+	cs := rt.cache.Stats()
+	uptime := time.Since(rt.start).Seconds()
+	eps := make(map[string]server.EndpointStats, len(rt.endpoints))
+	for name, m := range rt.endpoints {
+		reqs := m.requests.Value()
+		qps := 0.0
+		if uptime > 0 {
+			qps = float64(reqs) / uptime
+		}
+		eps[name] = server.EndpointStats{
+			Requests: reqs,
+			Errors:   m.errors.Value(),
+			QPS:      qps,
+			P50Ms:    float64(m.latency.Quantile(0.5)) / float64(time.Millisecond),
+			P95Ms:    float64(m.latency.Quantile(0.95)) / float64(time.Millisecond),
+			P99Ms:    float64(m.latency.Quantile(0.99)) / float64(time.Millisecond),
+		}
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: uptime,
+		ShardsOK:      fmt.Sprintf("%d/%d", up, len(shards)),
+		Partials:      rt.partials.Value(),
+		Cache: server.CacheStats{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			Entries: cs.Entries, HitRatio: rt.cache.HitRatio(),
+		},
+		Endpoints: eps,
+		Shards:    shards,
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = rt.reg.WriteText(w)
+}

@@ -1,0 +1,136 @@
+// Top-k merge: combining per-shard result lists into exactly the list
+// the unsharded engine would have produced.
+//
+// Every search surface orders results by (score descending, key
+// ascending) — join matches by overlap or containment then column key,
+// union and keyword results by score then table ID, value clusters by
+// best-member score then schema. Tables are partitioned across shards,
+// so keys never collide between shard lists and the comparator is a
+// total order: concatenating the per-shard top-k lists and re-sorting
+// with the engine's own comparator yields the global top-k exactly.
+// Per-shard truncation is safe because each shard contributes at most
+// its own k best — the global top-k is always a subset of the union of
+// the shard top-ks.
+package router
+
+import (
+	"sort"
+	"strings"
+
+	"tablehound/internal/server"
+)
+
+// mergeJoinMatches merges per-shard join results. byContainment
+// selects the containment-mode comparator (containment desc, column
+// key asc); otherwise the overlap-mode one (overlap desc, column key
+// asc) — the exact orders join.sortMatches and josie.selectTopK
+// produce. Returns a non-nil slice (the unsharded handler always
+// marshals "matches": []).
+func mergeJoinMatches(byContainment bool, lists [][]server.JoinMatch, k int) []server.JoinMatch {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]server.JoinMatch, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if byContainment {
+			if out[i].Containment != out[j].Containment {
+				return out[i].Containment > out[j].Containment
+			}
+		} else {
+			if out[i].Overlap != out[j].Overlap {
+				return out[i].Overlap > out[j].Overlap
+			}
+		}
+		return out[i].ColumnKey < out[j].ColumnKey
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// mergeScores merges per-shard table rankings by (score desc, table ID
+// asc) — the shared comparator of every union method and keyword
+// search. Returns a non-nil slice.
+func mergeScores(lists [][]server.TableScore, k int) []server.TableScore {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]server.TableScore, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].TableID < out[j].TableID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// mergeClusters merges value-search clusters: clusters with the same
+// schema are folded together (score = best member, members
+// concatenated in shard order), then ordered by (score desc, schema
+// asc) exactly as keyword.SearchClusters orders them, and the total
+// member count is capped at k — the unsharded call's maxTables budget.
+//
+// A single shard list passes through bit-identically. Across shards
+// the fold is deterministic, but member order inside a straddling
+// cluster follows shard order rather than global per-table score
+// (cluster responses do not carry per-member scores); DESIGN.md
+// documents this as the one surface where the cross-shard merge is
+// deterministic-but-not-bitwise against the unsharded engine.
+func mergeClusters(lists [][]server.ValueCluster, k int) []server.ValueCluster {
+	type slot struct {
+		cluster server.ValueCluster
+		sig     string
+	}
+	index := make(map[string]int)
+	var slots []slot
+	for _, l := range lists {
+		for _, c := range l {
+			sig := strings.Join(c.Schema, "\x1f")
+			if i, ok := index[sig]; ok {
+				s := &slots[i]
+				if c.Score > s.cluster.Score {
+					s.cluster.Score = c.Score
+				}
+				s.cluster.TableIDs = append(s.cluster.TableIDs, c.TableIDs...)
+				continue
+			}
+			index[sig] = len(slots)
+			cp := c
+			cp.TableIDs = append([]string(nil), c.TableIDs...)
+			slots = append(slots, slot{cluster: cp, sig: sig})
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].cluster.Score != slots[j].cluster.Score {
+			return slots[i].cluster.Score > slots[j].cluster.Score
+		}
+		return strings.Join(slots[i].cluster.Schema, ",") < strings.Join(slots[j].cluster.Schema, ",")
+	})
+	var out []server.ValueCluster
+	budget := k
+	for _, s := range slots {
+		if budget <= 0 {
+			break
+		}
+		c := s.cluster
+		if len(c.TableIDs) > budget {
+			c.TableIDs = c.TableIDs[:budget]
+		}
+		budget -= len(c.TableIDs)
+		out = append(out, c)
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 )
 
@@ -20,12 +21,19 @@ type Client struct {
 // NewClient returns a client for the given base address. addr may be
 // "host:port" or a full "http://host:port" URL.
 func NewClient(addr string) *Client {
+	return NewClientHTTP(addr, &http.Client{})
+}
+
+// NewClientHTTP is NewClient with a caller-supplied http.Client, so
+// the shard-fanout router can share one transport (and tests can
+// inject an httptest one) across many shard clients.
+func NewClientHTTP(addr string, h *http.Client) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
 	return &Client{
 		base: strings.TrimRight(addr, "/"),
-		http: &http.Client{},
+		http: h,
 	}
 }
 
@@ -61,6 +69,15 @@ func (c *Client) Union(ctx context.Context, req UnionRequest) (*UnionResponse, e
 func (c *Client) Keyword(ctx context.Context, req KeywordRequest) (*KeywordResponse, error) {
 	var out KeywordResponse
 	if err := c.post(ctx, "/v1/keyword", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Table fetches one lake table in inline form.
+func (c *Client) Table(ctx context.Context, id string) (*TableResponse, error) {
+	var out TableResponse
+	if err := c.get(ctx, "/v1/table?id="+url.QueryEscape(id), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -117,11 +117,35 @@ type KeywordResponse struct {
 	Clusters []ValueCluster `json:"clusters,omitempty"`
 }
 
-// HealthResponse is the /healthz answer.
+// HealthResponse is the /healthz answer. Generation is the snapshot
+// generation (bumped on every Swap); Shard is present only on servers
+// serving one shard of a partitioned lake — the router uses it to
+// health-check upstreams and to refuse mixing shards built from
+// different manifests.
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Tables        int     `json:"tables"`
+	Status        string       `json:"status"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Tables        int          `json:"tables"`
+	Generation    uint64       `json:"generation"`
+	Shard         *ShardHealth `json:"shard,omitempty"`
+}
+
+// ShardHealth is the shard identity block of /healthz. The manifest
+// hash travels as a hex string: JSON numbers cannot carry a uint64
+// exactly.
+type ShardHealth struct {
+	Index        int    `json:"index"`
+	Count        int    `json:"count"`
+	ManifestHash string `json:"manifest_hash"`
+}
+
+// TableResponse is the /v1/table answer: one lake table in the inline
+// form union queries accept, so a router can relocate a table_id query
+// to shards that do not own the table.
+type TableResponse struct {
+	ID      string         `json:"id"`
+	Name    string         `json:"name"`
+	Columns []InlineColumn `json:"columns"`
 }
 
 // StatsResponse is the /stats answer.
@@ -375,11 +399,47 @@ func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Tables:        snap.stats.Tables,
-	})
+		Generation:    snap.gen,
+	}
+	if sh := s.cfg.Shard; sh != nil {
+		resp.Shard = &ShardHealth{
+			Index:        sh.Index,
+			Count:        sh.Count,
+			ManifestHash: fmt.Sprintf("%016x", sh.ManifestHash),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTable serves GET /v1/table?id=X: the named lake table in
+// inline form. It reads the current snapshot without admission
+// control — it is a catalog lookup, not a search.
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET with an id parameter")
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing id parameter")
+		return
+	}
+	snap := s.snap.Load()
+	t := snap.sys.Catalog.Table(id)
+	if t == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("table %q: not found", id))
+		return
+	}
+	resp := TableResponse{ID: t.ID, Name: t.Name, Columns: make([]InlineColumn, len(t.Columns))}
+	for i, c := range t.Columns {
+		resp.Columns[i] = InlineColumn{Name: c.Name, Values: c.Values}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -468,7 +528,11 @@ func unionScores(rs []union.Result) []TableScore {
 	return out
 }
 
-func clampK(k int) int {
+// ClampK applies the server-side top-k policy: requests that omit or
+// zero k get defaultK, and k is capped at maxK. Exported so the
+// shard-fanout router truncates its merged results at exactly the k
+// each shard used.
+func ClampK(k int) int {
 	if k <= 0 {
 		return defaultK
 	}
@@ -477,6 +541,8 @@ func clampK(k int) int {
 	}
 	return k
 }
+
+func clampK(k int) int { return ClampK(k) }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 

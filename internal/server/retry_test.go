@@ -1,0 +1,81 @@
+package server
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"tablehound/internal/obs"
+)
+
+// The Retry-After estimate: queued requests drain MaxInFlight at a
+// time, each wave costs about one p95 service time, and the result is
+// clamped to [1s, 60s].
+func TestRetryAfterSeconds(t *testing.T) {
+	s := &Server{cfg: Config{MaxInFlight: 4}}
+	cases := []struct {
+		name  string
+		depth int
+		p95   time.Duration
+		want  int
+	}{
+		{"no history floors at 1s", 0, 0, 1},
+		{"sub-second p95 floors at 1s", 3, 200 * time.Millisecond, 1},
+		{"empty queue is one wave", 0, 2 * time.Second, 2},
+		{"two full waves ahead", 8, 500 * time.Millisecond, 2},
+		{"deep queue multiplies", 20, 2 * time.Second, 12},
+		{"latency spike clamps at 60s", 40, 30 * time.Second, 60},
+	}
+	for _, c := range cases {
+		if got := s.retryAfterSeconds(c.depth, c.p95); got != c.want {
+			t.Errorf("%s: retryAfterSeconds(%d, %v) = %d, want %d", c.name, c.depth, c.p95, got, c.want)
+		}
+	}
+}
+
+// retryAfter derives its estimate from the observed service-time
+// histogram: a server that has been slow tells shed clients to back
+// off longer than a fast one.
+func TestRetryAfterTracksServiceTime(t *testing.T) {
+	mk := func(d time.Duration) *Server {
+		s := &Server{
+			cfg:     Config{MaxInFlight: 2, MaxQueue: 8},
+			service: &obs.Histogram{},
+		}
+		s.lim = newLimiter(s.cfg.MaxInFlight, s.cfg.MaxQueue)
+		for i := 0; i < 100; i++ {
+			s.service.Observe(d)
+		}
+		return s
+	}
+
+	fast, err := strconv.Atoi(mk(time.Millisecond).retryAfter())
+	if err != nil {
+		t.Fatalf("retryAfter not an integer: %v", err)
+	}
+	slow, err := strconv.Atoi(mk(10 * time.Second).retryAfter())
+	if err != nil {
+		t.Fatalf("retryAfter not an integer: %v", err)
+	}
+	if fast != 1 {
+		t.Errorf("fast server Retry-After = %d, want 1", fast)
+	}
+	// One wave of a ~10s p95; the histogram's log buckets cost ±15%.
+	if slow < 8 || slow > 14 {
+		t.Errorf("slow server Retry-After = %d, want roughly 10", slow)
+	}
+}
+
+// New wires the service histogram: zero-value servers in the tests
+// above construct it by hand, so make sure the real constructor does
+// too (a nil histogram would panic the shed path).
+func TestRetryAfterWiredByNew(t *testing.T) {
+	sys, _ := demoSystem(t)
+	s := New(sys, Config{})
+	if s.service == nil {
+		t.Fatal("New left the service histogram nil")
+	}
+	if got := s.retryAfter(); got != "1" {
+		t.Errorf("fresh server retryAfter = %q, want \"1\"", got)
+	}
+}

@@ -31,8 +31,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +64,22 @@ type Config struct {
 	DrainTimeout time.Duration
 	// CacheEntries sizes the query-result cache; 0 disables caching.
 	CacheEntries int
+	// Shard, when non-nil, marks this server as serving one shard of a
+	// partitioned lake. /healthz reports it, so a router can verify
+	// that every upstream was built from the same manifest before
+	// fanning queries across them.
+	Shard *ShardIdentity
+}
+
+// ShardIdentity names the shard a server is serving and the manifest
+// it was partitioned under.
+type ShardIdentity struct {
+	// Index is the shard number in [0, Count).
+	Index int
+	// Count is the total shard count of the partitioning.
+	Count int
+	// ManifestHash fingerprints the build manifest (snap.Manifest.Hash).
+	ManifestHash uint64
 }
 
 func (c *Config) applyDefaults() {
@@ -120,6 +138,9 @@ type Server struct {
 	timeouts  *obs.Counter
 	panics    *obs.Counter
 	swaps     *obs.Counter
+	// service tracks pure query execution time (excluding queueing),
+	// the input to the Retry-After estimate for shed requests.
+	service *obs.Histogram
 
 	// testHookQueryStart, when set, runs at the start of every query
 	// goroutine while its admission slot is held. Tests use it to pin
@@ -160,6 +181,7 @@ func New(sys *core.System, cfg Config) *Server {
 	s.timeouts = s.reg.Counter("lakeserved_timeouts_total", "Queries that exceeded the per-request timeout.", "")
 	s.panics = s.reg.Counter("lakeserved_panics_total", "Handler panics recovered into HTTP 500.", "")
 	s.swaps = s.reg.Counter("lakeserved_snapshot_swaps_total", "Lake snapshot swaps.", "")
+	s.service = s.reg.Histogram("lakeserved_service_seconds", "Query execution time, excluding admission queueing.", "")
 	s.reg.GaugeFunc("lakeserved_cache_hit_ratio", "Query cache hit ratio since start.", "", s.cache.HitRatio)
 	s.reg.GaugeFunc("lakeserved_cache_entries", "Query cache resident entries.", "", func() float64 {
 		return float64(s.cache.Len())
@@ -172,6 +194,7 @@ func New(sys *core.System, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/join", s.queryEndpoint("join", s.handleJoin))
 	s.mux.HandleFunc("/v1/union", s.queryEndpoint("union", s.handleUnion))
 	s.mux.HandleFunc("/v1/keyword", s.queryEndpoint("keyword", s.handleKeyword))
+	s.mux.HandleFunc("/v1/table", s.handleTable)
 	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -186,6 +209,10 @@ func (s *Server) Handler() http.Handler {
 
 // System returns the currently served system snapshot.
 func (s *Server) System() *core.System { return s.snap.Load().sys }
+
+// Generation returns the current snapshot generation (0 at startup,
+// bumped by every Swap).
+func (s *Server) Generation() uint64 { return s.snap.Load().gen }
 
 // Swap atomically installs a new lake snapshot and invalidates the
 // query cache. In-flight queries finish against the snapshot they
@@ -386,7 +413,9 @@ func (s *Server) runQuery(ctx context.Context, fn func(context.Context) (any, er
 		if hook := s.testHookQueryStart; hook != nil {
 			hook()
 		}
+		t0 := time.Now()
 		v, err := fn(qctx)
+		s.service.Observe(time.Since(t0))
 		ch <- out{v: v, err: err}
 	}()
 
@@ -418,10 +447,10 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, key string, 
 	if err != nil {
 		status, msg := errorStatus(err)
 		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			s.shed.Inc()
 		} else if errors.Is(err, errSlotWait) {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 		}
 		writeError(w, status, msg)
 		return
@@ -435,6 +464,28 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, key string, 
 		s.cache.Put(key, body)
 	}
 	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// retryAfter estimates how long a shed client should wait before
+// retrying, as whole seconds: the current queue must drain ahead of a
+// fresh arrival, queued requests drain MaxInFlight at a time, and each
+// wave takes about one p95 service time. With no service history yet
+// (or a sub-second estimate) the floor is 1s; the ceiling is 60s so a
+// latency spike cannot park clients for minutes.
+func (s *Server) retryAfter() string {
+	return strconv.Itoa(s.retryAfterSeconds(s.lim.queueLen(), s.service.Quantile(0.95)))
+}
+
+func (s *Server) retryAfterSeconds(queueDepth int, p95 time.Duration) int {
+	waves := queueDepth/s.cfg.MaxInFlight + 1
+	secs := int(math.Ceil((time.Duration(waves) * p95).Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // errorStatus maps a query error to an HTTP status.

@@ -1,0 +1,134 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func testManifest() *Manifest {
+	return &Manifest{
+		Assign: AssignFNV1a,
+		Shards: []ShardEntry{
+			{Snapshot: "lake.0.snap", Generation: 0xdeadbeef, Tables: 17},
+			{Snapshot: "lake.1.snap", Generation: 42, Tables: 13},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest()
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Assign != m.Assign || len(got.Shards) != len(m.Shards) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	for i := range m.Shards {
+		if got.Shards[i] != m.Shards[i] {
+			t.Errorf("shard %d: got %+v want %+v", i, got.Shards[i], m.Shards[i])
+		}
+	}
+	if got.Hash() != m.Hash() {
+		t.Errorf("hash changed across round trip: %x vs %x", got.Hash(), m.Hash())
+	}
+}
+
+func TestManifestCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("truncation", func(t *testing.T) {
+		for n := 0; n < len(raw); n += 7 {
+			if _, err := ReadManifest(bytes.NewReader(raw[:n])); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncated at %d: err = %v, want ErrCorrupt", n, err)
+			}
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		for off := 0; off < len(raw); off += 5 {
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 0x40
+			if _, err := ReadManifest(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("bit flip at %d silently accepted", off)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		mut := append(append([]byte(nil), raw...), 0xFF)
+		if _, err := ReadManifest(bytes.NewReader(mut)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trailing garbage: err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("unknown assign", func(t *testing.T) {
+		var b bytes.Buffer
+		bad := testManifest()
+		bad.Assign = "md5"
+		if err := WriteManifest(&b, bad); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadManifest(bytes.NewReader(b.Bytes())); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("unknown assign: err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestManifestHashDiscriminates(t *testing.T) {
+	base := testManifest()
+	mut := testManifest()
+	mut.Shards[1].Generation++
+	if base.Hash() == mut.Hash() {
+		t.Error("generation change did not change the manifest hash")
+	}
+	grown := testManifest()
+	grown.Shards = append(grown.Shards, ShardEntry{Snapshot: "lake.2.snap", Generation: 7, Tables: 1})
+	if base.Hash() == grown.Hash() {
+		t.Error("shard count change did not change the manifest hash")
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	if got := ShardOf("anything", 1); got != 0 {
+		t.Fatalf("ShardOf(_, 1) = %d, want 0", got)
+	}
+	if got := ShardOf("anything", 0); got != 0 {
+		t.Fatalf("ShardOf(_, 0) = %d, want 0", got)
+	}
+	// Deterministic, in range, and not degenerate: 1000 distinct IDs
+	// over 4 shards should give every shard a decent share.
+	counts := make([]int, 4)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("table-%d", i)
+		s := ShardOf(id, 4)
+		if s != ShardOf(id, 4) {
+			t.Fatalf("ShardOf(%q, 4) not deterministic", id)
+		}
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardOf(%q, 4) = %d out of range", id, s)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n < 150 {
+			t.Errorf("shard %d got only %d/1000 tables — assignment is skewed", s, n)
+		}
+	}
+}
+
+func TestHashIDsNoConcatCollision(t *testing.T) {
+	if HashIDs([]string{"ab", "c"}) == HashIDs([]string{"a", "bc"}) {
+		t.Error("HashIDs collides on concatenation ambiguity")
+	}
+	if HashIDs([]string{"a", "b"}) == HashIDs([]string{"b", "a"}) {
+		t.Error("HashIDs is order-insensitive")
+	}
+}

@@ -1,0 +1,193 @@
+package tablehound
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tablehound/internal/core"
+	"tablehound/internal/datagen"
+	"tablehound/internal/lake"
+	"tablehound/internal/router"
+	"tablehound/internal/server"
+	"tablehound/internal/snap"
+)
+
+// ---- Sharded serving (router fan-out QPS) ----
+
+// routerBench holds the 2000-table lake the sharding benchmarks
+// partition, plus one built shard set per shard count. Generation and
+// builds run once per process, outside every timer.
+var routerBench struct {
+	mu     sync.Mutex
+	gen    *datagen.Lake
+	shards map[int][]*core.System
+	mans   map[int]*snap.Manifest
+}
+
+// routerBenchShards partitions the shared 2000-table lake into n
+// shards with the production assignment function (snap.ShardOf) and
+// builds one System per shard, exactly as `lakectl build -shards n`
+// does. Results are cached per shard count.
+func routerBenchShards(b *testing.B, n int) ([]*core.System, *snap.Manifest) {
+	b.Helper()
+	routerBench.mu.Lock()
+	defer routerBench.mu.Unlock()
+	if routerBench.gen == nil {
+		routerBench.gen = datagen.Generate(datagen.Config{
+			Seed:              41,
+			NumDomains:        20,
+			DomainSize:        80,
+			NumTemplates:      40,
+			TablesPerTemplate: 50,
+		})
+		routerBench.shards = make(map[int][]*core.System)
+		routerBench.mans = make(map[int]*snap.Manifest)
+	}
+	if sys, ok := routerBench.shards[n]; ok {
+		return sys, routerBench.mans[n]
+	}
+	gen := routerBench.gen
+	// Organization, fuzzy, and graph stages are not exercised by the
+	// fan-out surfaces and would dominate the 7 builds this file needs.
+	opts := core.Options{
+		KB:               gen.BuildKB(0.8),
+		Seed:             7,
+		SkipOrganization: true,
+		SkipFuzzy:        true,
+		SkipGraph:        true,
+	}
+	parts := make([]*lake.Catalog, n)
+	ids := make([][]string, n)
+	for i := range parts {
+		parts[i] = lake.NewCatalog()
+	}
+	for _, tbl := range gen.Tables {
+		i := snap.ShardOf(tbl.ID, n)
+		if err := parts[i].Add(tbl); err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = append(ids[i], tbl.ID)
+	}
+	systems := make([]*core.System, n)
+	man := &snap.Manifest{Assign: snap.AssignFNV1a}
+	for i := range parts {
+		sys, err := core.Build(parts[i], opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		systems[i] = sys
+		man.Shards = append(man.Shards, snap.ShardEntry{
+			Snapshot:   fmt.Sprintf("lake.%d.snap", i),
+			Generation: snap.HashIDs(ids[i]),
+			Tables:     len(ids[i]),
+		})
+	}
+	routerBench.shards[n] = systems
+	routerBench.mans[n] = man
+	return systems, man
+}
+
+// BenchmarkRouterQPS measures aggregate throughput and tail latency of
+// the scatter-gather tier over a 2000-table lake at 1, 2, and 4
+// shards. Each timed request goes through the router: fan-out to every
+// shard, per-shard query, and top-k merge. Caches are disabled on both
+// tiers so every request pays the full engine cost — the number the
+// shard count is supposed to improve. On a single-core runner the
+// curve is expected to be flat (the shards share the CPU the fan-out
+// is trying to multiply); the scaling needs real cores.
+func BenchmarkRouterQPS(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			benchRouterQPS(b, n)
+		})
+	}
+}
+
+func benchRouterQPS(b *testing.B, n int) {
+	systems, man := routerBenchShards(b, n)
+
+	addrs := make([]string, n)
+	for i, sys := range systems {
+		srv := server.New(sys, server.Config{
+			MaxInFlight:  64,
+			MaxQueue:     4096,
+			QueryTimeout: time.Minute,
+			Shard:        &server.ShardIdentity{Index: i, Count: n, ManifestHash: man.Hash()},
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		addrs[i] = ts.URL
+	}
+	rt, err := router.New(router.Config{Addrs: addrs, ShardTimeout: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.CheckShards(context.Background())
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	c := server.NewClient(front.URL)
+	ctx := context.Background()
+
+	gen := routerBench.gen
+	qt := gen.Tables[len(gen.Tables)/2]
+	var qvals []string
+	for _, col := range qt.Columns {
+		if len(col.Values) > len(qvals) {
+			qvals = col.Values
+		}
+	}
+	reqs := []func() error{
+		func() error {
+			_, err := c.Join(ctx, server.JoinRequest{Values: qvals, K: 10})
+			return err
+		},
+		func() error {
+			_, err := c.Union(ctx, server.UnionRequest{TableID: qt.ID, K: 10})
+			return err
+		},
+		func() error {
+			_, err := c.Keyword(ctx, server.KeywordRequest{Query: qt.Name, K: 10})
+			return err
+		},
+	}
+	for _, r := range reqs {
+		if err := r(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	lat := make([]time.Duration, 0, b.N)
+	var next atomic.Uint64
+	b.SetParallelism(4) // concurrent clients: fan-out QPS needs load
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 512)
+		for pb.Next() {
+			i := next.Add(1)
+			t0 := time.Now()
+			if err := reqs[i%uint64(len(reqs))](); err != nil {
+				b.Error(err)
+				return
+			}
+			local = append(local, time.Since(t0))
+		}
+		mu.Lock()
+		lat = append(lat, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)/2])/float64(time.Microsecond), "p50-us")
+	b.ReportMetric(float64(lat[len(lat)*99/100])/float64(time.Microsecond), "p99-us")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
