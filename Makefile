@@ -6,7 +6,7 @@
 GO ?= go
 COUNT ?= 1
 
-.PHONY: check race bench-build bench-query bench-mem bench-snapshot serve-smoke snapshot-smoke shard-smoke
+.PHONY: check race bench-build bench-query bench-mem bench-snapshot bench-vec serve-smoke snapshot-smoke shard-smoke
 
 check:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ race:
 		./internal/lake/... ./internal/parallel/... ./internal/keyword/... \
 		./internal/dict/... ./internal/server/... ./internal/qcache/... \
 		./internal/obs/... ./internal/snap/... ./internal/invindex/... \
-		./internal/lshensemble/... ./internal/router/...
+		./internal/lshensemble/... ./internal/router/... ./internal/vecstore/...
 
 # End-to-end smoke of the serving layer: real lakeserved process over
 # a generated 100-table lake, one query per endpoint via lakectl's
@@ -52,6 +52,17 @@ bench-snapshot:
 # for benchstat-worthy samples: make bench-query COUNT=10 > new.txt
 bench-query:
 	$(GO) test -run xxx -bench 'BenchmarkQuery|BenchmarkServeQPS' -benchmem -count $(COUNT) .
+
+# Vector-store benchmarks over a 100k-column-vector datagen corpus:
+# centroid-pruned exact search (recall@10 + dot-reduction per nprobe),
+# the exhaustive baseline, the heap-vs-mmap section reload ratio, and
+# the cosine-with-precomputed-norms micro-benchmark. Results are
+# recorded in EXPERIMENTS.md.
+bench-vec:
+	$(GO) test -run xxx -bench 'BenchmarkVsearch|BenchmarkVecBlobLoad' \
+		-benchtime 200x -timeout 900s -count $(COUNT) ./internal/vecstore/
+	$(GO) test -run xxx -bench 'BenchmarkCosine' -benchmem -count $(COUNT) \
+		./internal/embedding/
 
 # Allocation-focused comparison of the string query surfaces against
 # their dictionary-encoded (pre-interned query) variants.

@@ -19,7 +19,12 @@
 // (construction worker count; 0 = all CPUs, 1 = sequential), -timing
 // (print the per-stage build report to stderr), and -snapshot FILE
 // (load a prebuilt system from a `lakectl build -o` snapshot instead
-// of rebuilding from CSVs).
+// of rebuilding from CSVs). The snapshot's shared vector block is
+// governed by -centroids K (coarse-quantizer clusters per searchable
+// segment; 0 = automatic ≈√n policy, -1 disables), -nprobe N (clusters
+// visited by pruned exact search; 0 = all, bit-identical to an
+// exhaustive scan), and -vec-mode auto|heap|mmap (how a loaded
+// snapshot materializes vectors; mmap is zero-copy).
 //
 // A lake is a directory of CSV files (one table per file).
 package main
@@ -114,16 +119,31 @@ commands:
 // buildFlags carries the system-construction flags shared by every
 // command that builds a discovery system.
 type buildFlags struct {
-	parallel *int
-	timing   *bool
-	snapshot *string
+	parallel  *int
+	timing    *bool
+	snapshot  *string
+	centroids *int
+	nprobe    *int
+	vecMode   *string
 }
 
 func addBuildFlags(fs *flag.FlagSet) buildFlags {
 	return buildFlags{
-		parallel: fs.Int("parallel", 0, "construction workers (0 = all CPUs, 1 = sequential)"),
-		timing:   fs.Bool("timing", false, "print per-stage build timing to stderr"),
-		snapshot: fs.String("snapshot", "", "load the system from a snapshot file instead of building from -lake"),
+		parallel:  fs.Int("parallel", 0, "construction workers (0 = all CPUs, 1 = sequential)"),
+		timing:    fs.Bool("timing", false, "print per-stage build timing to stderr"),
+		snapshot:  fs.String("snapshot", "", "load the system from a snapshot file instead of building from -lake"),
+		centroids: fs.Int("centroids", 0, "coarse-quantizer clusters per vector segment (0 = auto, -1 = off)"),
+		nprobe:    fs.Int("nprobe", 0, "clusters visited by pruned exact search (0 = all = exhaustive-identical)"),
+		vecMode:   fs.String("vec-mode", "auto", "snapshot vector materialization: auto | heap | mmap"),
+	}
+}
+
+func (bf buildFlags) options() core.Options {
+	return core.Options{
+		Parallelism:  *bf.parallel,
+		VecCentroids: *bf.centroids,
+		VecNProbe:    *bf.nprobe,
+		VecMode:      *bf.vecMode,
 	}
 }
 
@@ -138,7 +158,7 @@ func (bf buildFlags) buildSystem(dir string) (*core.System, error) {
 	var sys *core.System
 	if *bf.snapshot != "" {
 		var err error
-		sys, err = core.LoadFile(*bf.snapshot, core.Options{Parallelism: *bf.parallel})
+		sys, err = core.LoadFile(*bf.snapshot, bf.options())
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +167,7 @@ func (bf buildFlags) buildSystem(dir string) (*core.System, error) {
 		if err != nil {
 			return nil, err
 		}
-		sys, err = core.Build(cat, core.Options{Parallelism: *bf.parallel})
+		sys, err = core.Build(cat, bf.options())
 		if err != nil {
 			return nil, err
 		}
@@ -257,8 +277,33 @@ func cmdMemStats(args []string) error {
 		return err
 	}
 	fmt.Printf("value dictionary: %d distinct values\n", sys.Dict.Size())
+	if v := sys.Vecs; v != nil {
+		residency := "heap"
+		if v.Mapped() {
+			residency = "mmap (file-backed, zero-copy)"
+		}
+		fmt.Printf("vector block:     %d vectors x %d dims in %d segments, %s on disk, residency %s",
+			v.Count(), v.Dim(), len(v.Segments()), memBytes(v.DataBytes()+v.NormBytes()), residency)
+		if cb := v.CentroidBytes(); cb > 0 {
+			fmt.Printf(", centroid tables %s", memBytes(cb))
+		}
+		fmt.Println()
+	}
 	fmt.Print(sys.MemStats().Report())
 	return nil
+}
+
+// memBytes renders a byte count like the memstats table does.
+func memBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func cmdSearch(args []string) error {

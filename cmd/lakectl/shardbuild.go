@@ -78,7 +78,9 @@ func buildSharded(dir, out string, n int, bf buildFlags) error {
 			return shardResult{}, fmt.Errorf("shard %d: %w", i, err)
 		}
 		t0 := time.Now()
-		sys, err := core.Build(sc, core.Options{Parallelism: inner})
+		shardOpts := bf.options()
+		shardOpts.Parallelism = inner
+		sys, err := core.Build(sc, shardOpts)
 		if err != nil {
 			return shardResult{}, fmt.Errorf("shard %d: %w", i, err)
 		}

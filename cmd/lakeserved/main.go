@@ -79,6 +79,9 @@ func run() error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-query execution budget")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline")
 	timing := fs.Bool("timing", false, "print per-stage build timing to stderr")
+	vecMode := fs.String("vec-mode", "auto", "snapshot vector materialization: auto | heap | mmap (zero-copy)")
+	nprobe := fs.Int("nprobe", 0, "clusters visited by pruned exact vector search (0 = all = exhaustive-identical)")
+	centroids := fs.Int("centroids", 0, "coarse-quantizer clusters when building from -lake (0 = auto, -1 = off)")
 	routerMode := fs.Bool("router", false, "route queries across shard servers instead of serving a lake")
 	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard server addresses (router mode)")
 	shardTimeout := fs.Duration("shard-timeout", 10*time.Second, "per-shard sub-request budget (router mode)")
@@ -135,20 +138,21 @@ func run() error {
 	// load produces a fresh system from the configured source; it backs
 	// both startup and every subsequent reload.
 	load := func() (*core.System, error) {
+		opts := core.Options{
+			Parallelism:      *parallel,
+			QueryParallelism: *qparallel,
+			VecMode:          *vecMode,
+			VecNProbe:        *nprobe,
+			VecCentroids:     *centroids,
+		}
 		if *snapPath != "" {
-			return core.LoadFile(*snapPath, core.Options{
-				Parallelism:      *parallel,
-				QueryParallelism: *qparallel,
-			})
+			return core.LoadFile(*snapPath, opts)
 		}
 		cat, err := lake.LoadCSVDirN(*dir, *parallel)
 		if err != nil {
 			return nil, err
 		}
-		return core.Build(cat, core.Options{
-			Parallelism:      *parallel,
-			QueryParallelism: *qparallel,
-		})
+		return core.Build(cat, opts)
 	}
 
 	start := time.Now()

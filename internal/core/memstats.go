@@ -72,6 +72,30 @@ func (s *System) MemStats() MemReport {
 			LegacyBytes: int64(postings) * (16 + 8 + 32),
 		})
 	}
+	if s.Vecs != nil {
+		// The shared vector block. "Legacy" is what the pre-block form
+		// cost: one heap slice per vector (24 B header) behind a map
+		// entry (32 B), with no precomputed norms. Bytes is what is
+		// actually heap-resident now — the full block when heap-loaded,
+		// nothing when the block aliases mmap'd (file-backed, shared,
+		// evictable) pages.
+		blockBytes := s.Vecs.DataBytes() + s.Vecs.NormBytes()
+		resident := blockBytes
+		if s.Vecs.Mapped() {
+			resident = 0
+		}
+		dim := int64(s.Vecs.Dim())
+		add("vec-block", len(s.Vecs.Segments()), dict.Footprint{
+			Count:       s.Vecs.Count(),
+			Bytes:       resident,
+			LegacyBytes: int64(s.Vecs.Count()) * (dim*4 + 24 + 32),
+		})
+		if cb := s.Vecs.CentroidBytes(); cb > 0 {
+			// Pure overhead (like the dictionary), repaid in pruned
+			// distance computations rather than bytes.
+			add("vec-centroids", 0, dict.Footprint{Bytes: cb})
+		}
+	}
 	if s.Fuzzy != nil {
 		slots, refs := s.Fuzzy.VectorStats()
 		// Vectors are float64s of the model dimension; sharing slots

@@ -31,12 +31,14 @@ const (
 	stageStarmie
 	stageOrg
 	stageGraph
+	stageVecs
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"model", "dict", "keyword", "profiles", "entities", "join", "fuzzy",
 	"corr", "mate", "tus", "santos", "d3l", "starmie", "org", "graph",
+	"vecs",
 }
 
 // StageTiming records one pipeline stage's work.

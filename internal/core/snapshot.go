@@ -36,6 +36,7 @@ import (
 	"tablehound/internal/snap"
 	"tablehound/internal/starmie"
 	"tablehound/internal/union"
+	"tablehound/internal/vecstore"
 )
 
 // ErrCorruptSnapshot marks a system snapshot whose bytes or structure
@@ -44,10 +45,18 @@ import (
 // sentinel, so errors.Is matches either spelling.
 var ErrCorruptSnapshot = snap.ErrCorrupt
 
-// Snapshot framing.
+// Snapshot framing. Version 2 added the shared vector block: a
+// directory section (secVecs) inside the framed stream, then the raw
+// float32/norm blob as a 64-byte-aligned tail after the last section,
+// which is what lets LoadFile map it zero-copy.
 const (
 	snapMagic   uint32 = 0x54485342 // "THSB": tablehound system binary
-	snapVersion uint16 = 1
+	snapVersion uint16 = 2
+
+	// snapHeaderLen is the byte length of the snap header (magic,
+	// version, flags) that precedes the first section; blob-offset
+	// arithmetic below counts from it.
+	snapHeaderLen = 8
 )
 
 // Section IDs, in stream order. The sequence is fixed; optional
@@ -70,6 +79,7 @@ const (
 	secStarmie
 	secOrg
 	secGraph
+	secVecs
 )
 
 // Save writes the system as one self-contained snapshot stream.
@@ -78,7 +88,7 @@ const (
 func (s *System) Save(w io.Writer) error {
 	if s.Catalog == nil || s.Model == nil || s.Dict == nil || s.Keyword == nil ||
 		s.Values == nil || s.Join == nil || s.Mate == nil || s.TUS == nil ||
-		s.Santos == nil || s.D3L == nil || s.Starmie == nil {
+		s.Santos == nil || s.D3L == nil || s.Starmie == nil || s.Vecs == nil {
 		return fmt.Errorf("core: cannot snapshot a partially built system")
 	}
 	if err := snap.WriteHeader(w, snapMagic, snapVersion, 0); err != nil {
@@ -95,6 +105,7 @@ func (s *System) Save(w io.Writer) error {
 		e.Bool(opts.SkipOrganization)
 		e.Bool(opts.SkipFuzzy)
 		e.Bool(opts.SkipGraph)
+		e.I64(int64(opts.VecCentroids))
 	}); err != nil {
 		return err
 	}
@@ -159,21 +170,47 @@ func (s *System) Save(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	return sw.Section(secGraph, func(e *snap.Encoder) {
+	if err := sw.Section(secGraph, func(e *snap.Encoder) {
 		e.Bool(s.Graph != nil)
 		if s.Graph != nil {
 			s.Graph.AppendSnapshot(e)
 		}
-	})
+	}); err != nil {
+		return err
+	}
+	// The vector block closes the stream: its directory (shape, segment
+	// table, centroid tables, blob length + CRC) travels as a normal
+	// CRC-framed section, then zero padding aligns the raw blob's first
+	// byte to a 64-byte file offset so an mmap view of the data is
+	// always well aligned, then the blob itself — the only bytes of the
+	// snapshot outside the section framing.
+	if err := sw.Section(secVecs, s.Vecs.AppendDirectory); err != nil {
+		return err
+	}
+	if pad := vecstore.PadTo(snapHeaderLen + sw.Written()); pad > 0 {
+		if _, err := w.Write(make([]byte, pad)); err != nil {
+			return err
+		}
+	}
+	return s.Vecs.WriteBlob(w)
 }
 
 // Load reconstructs a system from a snapshot written by Save. Only the
-// runtime concurrency knobs are taken from opts (Parallelism for the
-// rebuild-on-load stages, QueryParallelism for the per-query fan-out
-// of the loaded engines); everything else — catalog, model, KB,
-// build parameters — comes from the snapshot. The loaded system
-// answers every search surface bit-identically to the saved one.
+// runtime knobs are taken from opts (Parallelism for the rebuild-on-
+// load stages, QueryParallelism for the per-query fan-out of the
+// loaded engines, VecNProbe for pruned search); everything else —
+// catalog, model, KB, build parameters — comes from the snapshot. The
+// loaded system answers every search surface bit-identically to the
+// saved one. Load always reads the vector blob onto the heap; use
+// LoadFile for the zero-copy mmap path.
 func Load(r io.Reader, opts Options) (*System, error) {
+	return load(r, nil, opts)
+}
+
+// load is the shared implementation: when blobFile is non-nil the
+// vector blob is mmap'd from it at its recorded offset instead of
+// being read (and CRC-verified) through r.
+func load(r io.Reader, blobFile *os.File, opts Options) (*System, error) {
 	start := time.Now()
 	version, _, err := snap.ReadHeader(r, snapMagic)
 	if err != nil {
@@ -186,16 +223,68 @@ func Load(r io.Reader, opts Options) (*System, error) {
 	// decoding is deferred so independent sections can decode in
 	// parallel below.
 	sr := snap.NewReader(r)
-	secs := make(map[uint16]*snap.Decoder, secGraph)
-	for id := secOptions; id <= secGraph; id++ {
+	secs := make(map[uint16]*snap.Decoder, secVecs)
+	for id := secOptions; id <= secVecs; id++ {
 		d, err := sr.Payload(id)
 		if err != nil {
 			return nil, err
 		}
 		secs[id] = d
 	}
-	if err := sr.Close(); err != nil {
+
+	// The vector block materializes before anything decodes: the model
+	// and Starmie sections hold no vector bytes of their own, only
+	// references into the block's segments. The directory is decoded
+	// and fully validated (shape vs declared blob length, segment
+	// cover, centroid tables) before any blob slice or mapping is
+	// constructed; then the alignment pad is consumed and checked, and
+	// the blob either decodes onto the heap (CRC-verified) or is
+	// mmap'd at its recorded offset — O(1) in the vector count.
+	var store *vecstore.Store
+	if err := decodeSection(secVecs, secs, func(d *snap.Decoder) error {
+		dir, derr := vecstore.DecodeDirectory(d)
+		if derr != nil {
+			return derr
+		}
+		blobOff := int64(snapHeaderLen) + sr.Consumed()
+		pad := vecstore.PadTo(blobOff)
+		if pad > 0 {
+			var padBuf [64]byte
+			if _, rerr := io.ReadFull(r, padBuf[:pad]); rerr != nil {
+				return fmt.Errorf("%w: short vector-blob padding: %v", ErrCorruptSnapshot, rerr)
+			}
+			for _, pb := range padBuf[:pad] {
+				if pb != 0 {
+					return fmt.Errorf("%w: nonzero vector-blob padding", ErrCorruptSnapshot)
+				}
+			}
+		}
+		if blobFile != nil {
+			store, derr = dir.MmapBlob(blobFile, blobOff+int64(pad))
+			if derr != nil {
+				return derr
+			}
+			// The mmap path never streams the blob through r, so the
+			// reader's trailing-bytes check cannot run; the equivalent
+			// guarantee is that the file ends exactly where the blob does.
+			fi, serr := blobFile.Stat()
+			if serr != nil {
+				return serr
+			}
+			if want := uint64(blobOff) + uint64(pad) + dir.BlobLen; uint64(fi.Size()) != want {
+				return fmt.Errorf("%w: %d trailing bytes after vector blob", ErrCorruptSnapshot, uint64(fi.Size())-want)
+			}
+			return nil
+		}
+		store, derr = dir.ReadBlob(r)
+		return derr
+	}); err != nil {
 		return nil, err
+	}
+	if blobFile == nil {
+		if err := sr.Close(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Build options decode inline: they govern the rebuild stages.
@@ -209,14 +298,17 @@ func Load(r io.Reader, opts Options) (*System, error) {
 		bopts.SkipOrganization = d.Bool()
 		bopts.SkipFuzzy = d.Bool()
 		bopts.SkipGraph = d.Bool()
+		bopts.VecCentroids = int(d.I64())
 		return d.Err()
 	}); err != nil {
 		return nil, err
 	}
 	bopts.Parallelism = parallel.Resolve(opts.Parallelism)
 	bopts.QueryParallelism = parallel.Resolve(opts.QueryParallelism)
+	bopts.VecNProbe = opts.VecNProbe
+	bopts.VecMode = opts.VecMode
 
-	s := &System{}
+	s := &System{Vecs: store}
 
 	// Phase 2a: the foundation sections — everything later decodes
 	// against the catalog, model, KB, and dictionary, so this wave runs
@@ -227,9 +319,10 @@ func Load(r io.Reader, opts Options) (*System, error) {
 		s.Catalog, derr = lake.DecodeSnapshot(d)
 		return derr
 	})
+	mv, _ := store.View("model")
 	g.run(secModel, secs, func(d *snap.Decoder) error {
 		var derr error
-		s.Model, derr = embedding.DecodeSnapshot(d)
+		s.Model, derr = embedding.DecodeSnapshot(d, mv.Vec, mv.Len())
 		return derr
 	})
 	g.run(secKB, secs, func(d *snap.Decoder) error {
@@ -330,10 +423,15 @@ func Load(r io.Reader, opts Options) (*System, error) {
 		s.D3L, derr = union.DecodeD3LSnapshot(d, s.Model, lookup)
 		return derr
 	})
+	sv, _ := store.View("starmie")
 	g.run(secStarmie, secs, func(d *snap.Decoder) error {
-		var derr error
-		s.Starmie, derr = starmie.DecodeSnapshot(d, s.Model)
-		return derr
+		ix, derr := starmie.DecodeSnapshot(d, s.Model, sv)
+		if derr != nil {
+			return derr
+		}
+		ix.SetNProbe(bopts.VecNProbe)
+		s.Starmie = ix
+		return nil
 	})
 	g.do(func() error {
 		return stats.time(stageProfiles, func() (int, error) {
@@ -361,7 +459,8 @@ func Load(r io.Reader, opts Options) (*System, error) {
 	}
 
 	for _, st := range []int{stageModel, stageDict, stageKeyword, stageJoin,
-		stageCorr, stageMate, stageTUS, stageSantos, stageD3L, stageStarmie} {
+		stageCorr, stageMate, stageTUS, stageSantos, stageD3L, stageStarmie,
+		stageVecs} {
 		stats.Stages[st].Items = -1 // loaded from snapshot, not rebuilt
 	}
 	if bopts.SkipOrganization {
@@ -457,12 +556,32 @@ func (s *System) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadFile loads a snapshot from a file written by SaveFile.
+// LoadFile loads a snapshot from a file written by SaveFile. The
+// vector blob is materialized per opts.VecMode: "auto" (or empty)
+// memory-maps it where supported and falls back to a heap read,
+// "mmap" requires the mapping, "heap" forces the portable read.
+// Mapped pages survive the file handle: they stay valid for the life
+// of the process and are shared between replicas by the page cache.
 func LoadFile(path string, opts Options) (*System, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(bufio.NewReaderSize(f, 1<<20), opts)
+	var blobFile *os.File
+	switch opts.VecMode {
+	case "", "auto":
+		if vecstore.MmapSupported() {
+			blobFile = f
+		}
+	case "heap":
+	case "mmap":
+		if !vecstore.MmapSupported() {
+			return nil, fmt.Errorf("core: VecMode \"mmap\": not supported on this platform")
+		}
+		blobFile = f
+	default:
+		return nil, fmt.Errorf("core: unknown VecMode %q (want auto, heap, or mmap)", opts.VecMode)
+	}
+	return load(bufio.NewReaderSize(f, 1<<20), blobFile, opts)
 }

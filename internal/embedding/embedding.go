@@ -17,8 +17,10 @@
 package embedding
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
 
 	"tablehound/internal/tokenize"
 )
@@ -158,6 +160,33 @@ func Train(contexts [][]string, cfg Config) *Model {
 
 // Dim returns the embedding dimension.
 func (m *Model) Dim() int { return m.cfg.Dim }
+
+// Tokens returns the vocabulary in sorted order — the canonical row
+// order of the model's segment in the shared vector store.
+func (m *Model) Tokens() []string {
+	toks := make([]string, 0, len(m.vecs))
+	for t := range m.vecs {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	return toks
+}
+
+// Rebind replaces every token's vector with the store-backed row at
+// the token's sorted position: at(i) must hold exactly the bytes of
+// Tokens()[i]'s vector. Values are unchanged — only the backing
+// memory moves (duplicate heap copies are freed, or mmap'd pages get
+// shared) — so all downstream scores stay bit-identical.
+func (m *Model) Rebind(at func(int) []float32, n int) error {
+	toks := m.Tokens()
+	if n != len(toks) {
+		return fmt.Errorf("embedding: rebind over %d rows, vocabulary has %d", n, len(toks))
+	}
+	for i, t := range toks {
+		m.vecs[t] = Vector(at(i))
+	}
+	return nil
+}
 
 // VocabSize returns the number of trained tokens.
 func (m *Model) VocabSize() int { return len(m.vecs) }

@@ -2,7 +2,6 @@ package embedding
 
 import (
 	"fmt"
-	"sort"
 
 	"tablehound/internal/snap"
 )
@@ -10,52 +9,46 @@ import (
 // AppendSnapshot encodes the trained model: its config (the OOV
 // fallback path re-derives char-gram vectors from Dim/CharGramQ/Seed
 // at query time, so the config is part of the model's behavior) and
-// the token vectors in sorted token order.
+// the vocabulary in sorted order. The vectors themselves live in the
+// snapshot's shared vector block — row i of the model's segment is
+// Tokens()[i]'s vector — so decoding the section never copies them.
 func (m *Model) AppendSnapshot(e *snap.Encoder) {
 	e.U32(uint32(m.cfg.Dim))
 	e.U64(m.cfg.Seed)
 	e.U32(uint32(m.cfg.MinCount))
 	e.U32(uint32(m.cfg.CharGramQ))
-	toks := make([]string, 0, len(m.vecs))
-	for t := range m.vecs {
-		toks = append(toks, t)
-	}
-	sort.Strings(toks)
-	e.U32(uint32(len(toks)))
-	for _, t := range toks {
-		e.Str(t)
-		e.F32s(m.vecs[t])
-	}
+	e.Strs(m.Tokens())
 }
 
-// DecodeSnapshot rebuilds a model written by AppendSnapshot.
-func DecodeSnapshot(d *snap.Decoder) (*Model, error) {
+// DecodeSnapshot rebuilds a model written by AppendSnapshot; at(i)
+// must return row i of the model's vector-store segment, which holds
+// n rows.
+func DecodeSnapshot(d *snap.Decoder, at func(int) []float32, n int) (*Model, error) {
 	cfg := Config{
 		Dim:       int(d.U32()),
 		Seed:      d.U64(),
 		MinCount:  int(d.U32()),
 		CharGramQ: int(d.U32()),
 	}
-	n := int(d.U32())
+	toks := d.Strs()
 	if d.Err() != nil {
 		return nil, d.Err()
 	}
 	if cfg.Dim <= 0 {
 		return nil, fmt.Errorf("%w: model dimension %d", snap.ErrCorrupt, cfg.Dim)
 	}
-	m := &Model{cfg: cfg, vecs: make(map[string]Vector, n)}
-	for i := 0; i < n; i++ {
-		tok := d.Str()
-		vec := d.F32s()
-		if d.Err() != nil {
-			return nil, d.Err()
-		}
+	if len(toks) != n {
+		return nil, fmt.Errorf("%w: model has %d tokens, vector segment %d rows", snap.ErrCorrupt, len(toks), n)
+	}
+	m := &Model{cfg: cfg, vecs: make(map[string]Vector, len(toks))}
+	for i, tok := range toks {
+		vec := Vector(at(i))
 		if len(vec) != cfg.Dim {
 			return nil, fmt.Errorf("%w: token %q vector has %d dims, want %d", snap.ErrCorrupt, tok, len(vec), cfg.Dim)
 		}
 		m.vecs[tok] = vec
 	}
-	if len(m.vecs) != n {
+	if len(m.vecs) != len(toks) {
 		return nil, fmt.Errorf("%w: duplicate token in model snapshot", snap.ErrCorrupt)
 	}
 	return m, nil

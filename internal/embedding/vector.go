@@ -22,7 +22,14 @@ func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
 
 // Cosine returns the cosine similarity of a and b (0 for zero vectors).
 func Cosine(a, b Vector) float64 {
-	na, nb := a.Norm(), b.Norm()
+	return CosineWithNorms(a, b, a.Norm(), b.Norm())
+}
+
+// CosineWithNorms is Cosine for callers that already know both norms
+// (the vector store precomputes them at build time), reducing the hot
+// path to a single dot product. Passing exactly a.Norm() and b.Norm()
+// makes the result bit-identical to Cosine.
+func CosineWithNorms(a, b Vector, na, nb float64) float64 {
 	if na == 0 || nb == 0 {
 		return 0
 	}

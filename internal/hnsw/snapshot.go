@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"tablehound/internal/embedding"
 	"tablehound/internal/snap"
 )
 
@@ -33,10 +34,65 @@ func (g *Graph) AppendSnapshot(e *snap.Encoder) {
 	}
 }
 
+// AppendSnapshotShared encodes the graph topology only: node keys,
+// neighbor lists, entry point. Vectors are omitted — the caller
+// stores them in the shared vector block, whose row i backs node i —
+// which keeps big graphs' snapshot sections small and their decode
+// copy-free. Graphs whose vectors are not externalized (TUS's
+// natural-language index) keep using AppendSnapshot.
+func (g *Graph) AppendSnapshotShared(e *snap.Encoder) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e.U32(uint32(g.cfg.M))
+	e.U32(uint32(g.cfg.EfConstruction))
+	e.I64(g.cfg.Seed)
+	e.I64(int64(g.entry))
+	e.U32(uint32(g.maxLevel))
+	e.U32(uint32(len(g.nodes)))
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		e.Str(n.key)
+		e.U32(uint32(len(n.neighbors)))
+		for _, level := range n.neighbors {
+			e.I32s(level)
+		}
+	}
+}
+
+// DecodeSnapshotShared rebuilds a graph written by
+// AppendSnapshotShared: at(i) supplies node i's vector (typically a
+// vector-store row, possibly mmap-backed) and must be valid for n
+// nodes.
+func DecodeSnapshotShared(d *snap.Decoder, at func(int) []float32, n int) (*Graph, error) {
+	return decodeSnapshot(d, at, n)
+}
+
+// RebindVecs replaces every node's vector with at(i), for callers
+// that move the backing storage after construction. Vector values
+// must be identical; only the memory moves.
+func (g *Graph) RebindVecs(at func(int) []float32, n int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n != len(g.nodes) {
+		return fmt.Errorf("hnsw: rebind over %d rows, graph has %d nodes", n, len(g.nodes))
+	}
+	for i := range g.nodes {
+		g.nodes[i].vec = embedding.Vector(at(i))
+	}
+	return nil
+}
+
 // DecodeSnapshot rebuilds a graph written by AppendSnapshot. The RNG
 // is re-seeded from the stored config; it only matters if the caller
 // keeps inserting after load.
 func DecodeSnapshot(d *snap.Decoder) (*Graph, error) {
+	return decodeSnapshot(d, nil, 0)
+}
+
+// decodeSnapshot handles both layouts: with at == nil vectors are
+// inline per node; otherwise they come from at and n is the required
+// node count.
+func decodeSnapshot(d *snap.Decoder, at func(int) []float32, n int) (*Graph, error) {
 	cfg := Config{
 		M:              int(d.U32()),
 		EfConstruction: int(d.U32()),
@@ -51,6 +107,9 @@ func DecodeSnapshot(d *snap.Decoder) (*Graph, error) {
 	if cfg.M <= 0 {
 		return nil, fmt.Errorf("%w: hnsw M=%d", snap.ErrCorrupt, cfg.M)
 	}
+	if at != nil && numNodes != n {
+		return nil, fmt.Errorf("%w: hnsw has %d nodes, vector segment %d rows", snap.ErrCorrupt, numNodes, n)
+	}
 	g := &Graph{
 		cfg:      cfg,
 		ml:       1 / math.Log(float64(cfg.M)),
@@ -62,7 +121,12 @@ func DecodeSnapshot(d *snap.Decoder) (*Graph, error) {
 	g.nodes = make([]node, numNodes)
 	for i := 0; i < numNodes; i++ {
 		key := d.Str()
-		vec := d.F32s()
+		var vec embedding.Vector
+		if at == nil {
+			vec = d.F32s()
+		} else {
+			vec = embedding.Vector(at(i))
+		}
 		levels := int(d.U32())
 		if d.Err() != nil {
 			return nil, d.Err()

@@ -9,6 +9,7 @@ import (
 	"tablehound/internal/embedding"
 	"tablehound/internal/parallel"
 	"tablehound/internal/tokenize"
+	"tablehound/internal/vecstore"
 )
 
 // FuzzyMatch is one fuzzy-joinable column hit.
@@ -21,10 +22,13 @@ type FuzzyMatch struct {
 }
 
 // FuzzyStats counts the work a fuzzy query performed, exposing the
-// effect of pivot filtering.
+// effect of pivot filtering and (when centroids are built) cluster
+// pruning. Every candidate a query value considers lands in exactly
+// one bucket: compared, pivot-skipped, or cluster-skipped.
 type FuzzyStats struct {
-	Comparisons int // full vector similarity computations
-	PivotSkips  int // candidates pruned by the pivot filter
+	Comparisons  int // full vector similarity computations
+	PivotSkips   int // candidates pruned by the pivot filter
+	ClusterSkips int // candidates pruned wholesale by centroid bounds
 }
 
 // FuzzyJoiner finds columns that join with a query column under
@@ -55,6 +59,11 @@ type FuzzyJoiner struct {
 	slotPD    [][]float64        // slot -> distance per pivot
 	cols      map[string]*fuzzyColumn
 	keys      []string
+	// cents, when built, buckets the shared slots by nearest centroid;
+	// each column then groups its slots per cluster so a query value
+	// can discard a whole group when the cluster's dot upper bound
+	// falls short of tau (lossless — see valueMatchesPruned).
+	cents *vecstore.Centroids
 
 	// QueryParallelism bounds the per-query fan-out in Search (query-
 	// value embedding and per-column verification): 0 = GOMAXPROCS,
@@ -64,9 +73,18 @@ type FuzzyJoiner struct {
 }
 
 // fuzzyColumn is one indexed column: slots into the joiner's shared
-// vector tables, in normalized distinct-value order.
+// vector tables, in normalized distinct-value order. groups is the
+// same slot set bucketed by centroid cluster (built lazily by
+// BuildCentroids; nil means scan slots directly).
 type fuzzyColumn struct {
-	slots []int32
+	slots  []int32
+	groups []slotGroup
+}
+
+// slotGroup is one column's slots that share a centroid cluster.
+type slotGroup struct {
+	cluster int32
+	slots   []int32
 }
 
 // NewFuzzyJoiner creates a joiner over the given embedding model with
@@ -172,6 +190,7 @@ func (f *FuzzyJoiner) AddColumn(key string, values []string) error {
 	f.cols[key] = fc
 	f.keys = append(f.keys, key)
 	sort.Strings(f.keys)
+	f.dropCentroids()
 	return nil
 }
 
@@ -251,7 +270,57 @@ func (f *FuzzyJoiner) AddColumns(cols []FuzzyColumn, workers int) error {
 		return err
 	}
 	sort.Strings(f.keys)
+	f.dropCentroids()
 	return nil
+}
+
+// BuildCentroids trains a deterministic k-means table over the shared
+// slot vectors (seeded k-means++, bit-reproducible for a given seed)
+// and buckets every column's slots by cluster, enabling lossless
+// cluster pruning in Search. Call after all columns are indexed;
+// adding columns afterwards drops the table. k is clamped to the
+// number of slots; k <= 0 is a no-op.
+func (f *FuzzyJoiner) BuildCentroids(k int, seed uint64) {
+	n := len(f.slotVec)
+	if n == 0 || k <= 0 {
+		return
+	}
+	c := vecstore.Train(func(i int) []float32 { return f.slotVec[i] }, n, f.model.Dim(), k, seed)
+	f.cents = c
+	for _, fc := range f.cols {
+		fc.buildGroups(c)
+	}
+}
+
+// buildGroups buckets the column's slots by cluster, clusters in
+// ascending order, slots in original (normalized distinct-value)
+// order within each.
+func (fc *fuzzyColumn) buildGroups(c *vecstore.Centroids) {
+	by := make(map[int32][]int32)
+	clusters := make([]int32, 0, 8)
+	for _, s := range fc.slots {
+		j := c.AssignOf(int(s))
+		if _, ok := by[j]; !ok {
+			clusters = append(clusters, j)
+		}
+		by[j] = append(by[j], s)
+	}
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a] < clusters[b] })
+	fc.groups = make([]slotGroup, len(clusters))
+	for i, j := range clusters {
+		fc.groups[i] = slotGroup{cluster: j, slots: by[j]}
+	}
+}
+
+// dropCentroids invalidates cluster state after post-build mutation.
+func (f *FuzzyJoiner) dropCentroids() {
+	if f.cents == nil {
+		return
+	}
+	f.cents = nil
+	for _, fc := range f.cols {
+		fc.groups = nil
+	}
 }
 
 // VectorStats returns the number of distinct embedded vectors (shared
@@ -295,13 +364,20 @@ func (f *FuzzyJoiner) Search(values []string, tau, minFraction float64) ([]Fuzzy
 	workers := parallel.Resolve(f.QueryParallelism)
 	qv := make([]embedding.Vector, len(q))
 	qp := make([][]float64, len(q))
+	var maxd [][]float64 // per query value: per-cluster dot upper bounds
+	if f.cents != nil {
+		maxd = make([][]float64, len(q))
+	}
 	parallel.ForEach(len(q), workers, func(i int) error {
 		if s, ok := f.slotOf[q[i]]; ok {
 			qv[i], qp[i] = f.slotVec[s], f.slotPD[s]
-			return nil
+		} else {
+			qv[i] = f.model.ValueVector(q[i])
+			qp[i] = f.pivotDistances(qv[i])
 		}
-		qv[i] = f.model.ValueVector(q[i])
-		qp[i] = f.pivotDistances(qv[i])
+		if maxd != nil {
+			maxd[i] = f.cents.MaxDots(qv[i], nil)
+		}
 		return nil
 	})
 	// Matching radius: cosine >= tau on unit vectors means Euclidean
@@ -315,7 +391,13 @@ func (f *FuzzyJoiner) Search(values []string, tau, minFraction float64) ([]Fuzzy
 		fc := f.cols[f.keys[i]]
 		var cr colResult
 		for j := range q {
-			if f.valueMatches(qv[j], qp[j], fc, tau, r, &cr.st) {
+			var hit bool
+			if maxd != nil && fc.groups != nil {
+				hit = f.valueMatchesPruned(qv[j], qp[j], maxd[j], fc, tau, r, &cr.st)
+			} else {
+				hit = f.valueMatches(qv[j], qp[j], fc, tau, r, &cr.st)
+			}
+			if hit {
 				cr.matched++
 			}
 		}
@@ -325,6 +407,7 @@ func (f *FuzzyJoiner) Search(values []string, tau, minFraction float64) ([]Fuzzy
 	for i, key := range f.keys {
 		st.Comparisons += results[i].st.Comparisons
 		st.PivotSkips += results[i].st.PivotSkips
+		st.ClusterSkips += results[i].st.ClusterSkips
 		frac := float64(results[i].matched) / float64(len(q))
 		if frac >= minFraction {
 			out = append(out, FuzzyMatch{ColumnKey: key, MatchedFraction: frac})
@@ -340,8 +423,31 @@ func (f *FuzzyJoiner) Search(values []string, tau, minFraction float64) ([]Fuzzy
 }
 
 func (f *FuzzyJoiner) valueMatches(qv embedding.Vector, qp []float64, fc *fuzzyColumn, tau, r float64, st *FuzzyStats) bool {
+	return f.matchSlots(qv, qp, fc.slots, tau, r, st)
+}
+
+// valueMatchesPruned is valueMatches over the column's cluster
+// groups: a group whose cluster dot bound (plus the bound's error
+// margin) falls below tau cannot contain a match — every member x
+// has qv·x <= maxd[cluster] — so all its candidates are skipped
+// without touching their vectors or pivot rows. The boolean result
+// is always identical to valueMatches; only the work differs.
+func (f *FuzzyJoiner) valueMatchesPruned(qv embedding.Vector, qp, maxd []float64, fc *fuzzyColumn, tau, r float64, st *FuzzyStats) bool {
+	for _, g := range fc.groups {
+		if maxd[g.cluster]+vecstore.BoundEps < tau {
+			st.ClusterSkips += len(g.slots)
+			continue
+		}
+		if f.matchSlots(qv, qp, g.slots, tau, r, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *FuzzyJoiner) matchSlots(qv embedding.Vector, qp []float64, slots []int32, tau, r float64, st *FuzzyStats) bool {
 candidates:
-	for _, s := range fc.slots {
+	for _, s := range slots {
 		pd := f.slotPD[s]
 		for p := range f.pivots {
 			d := qp[p] - pd[p]

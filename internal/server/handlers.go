@@ -127,7 +127,10 @@ type HealthResponse struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Tables        int          `json:"tables"`
 	Generation    uint64       `json:"generation"`
-	Shard         *ShardHealth `json:"shard,omitempty"`
+	// VecMode is how the serving snapshot's vector block is resident:
+	// "mmap" (zero-copy, page-cache shared) or "heap".
+	VecMode string       `json:"vec_mode,omitempty"`
+	Shard   *ShardHealth `json:"shard,omitempty"`
 }
 
 // ShardHealth is the shard identity block of /healthz. The manifest
@@ -160,7 +163,20 @@ type StatsResponse struct {
 	Timeouts      int64                    `json:"timeouts"`
 	Panics        int64                    `json:"panics"`
 	SnapshotSwaps int64                    `json:"snapshot_swaps"`
+	VecStore      *VecStoreStats           `json:"vecstore,omitempty"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// VecStoreStats describes the serving system's shared vector block:
+// residency mode, shape, on-disk bytes, and the coarse-quantizer
+// footprint (0 when no centroid tables are attached).
+type VecStoreStats struct {
+	Mode          string `json:"mode"` // "heap" | "mmap"
+	Vectors       int    `json:"vectors"`
+	Dim           int    `json:"dim"`
+	Segments      int    `json:"segments"`
+	Bytes         int64  `json:"bytes"`
+	CentroidBytes int64  `json:"centroid_bytes"`
 }
 
 // LakeStats mirrors lake.Stats for the wire.
@@ -405,6 +421,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Tables:        snap.stats.Tables,
 		Generation:    snap.gen,
 	}
+	if v := snap.sys.Vecs; v != nil {
+		resp.VecMode = "heap"
+		if v.Mapped() {
+			resp.VecMode = "mmap"
+		}
+	}
 	if sh := s.cfg.Shard; sh != nil {
 		resp.Shard = &ShardHealth{
 			Index:        sh.Index,
@@ -462,9 +484,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			P99Ms:    ms(m.latency.Quantile(0.99)),
 		}
 	}
+	var vs *VecStoreStats
+	if v := snap.sys.Vecs; v != nil {
+		mode := "heap"
+		if v.Mapped() {
+			mode = "mmap"
+		}
+		vs = &VecStoreStats{
+			Mode:          mode,
+			Vectors:       v.Count(),
+			Dim:           v.Dim(),
+			Segments:      len(v.Segments()),
+			Bytes:         v.DataBytes() + v.NormBytes(),
+			CentroidBytes: v.CentroidBytes(),
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: uptime,
 		SnapshotGen:   snap.gen,
+		VecStore:      vs,
 		Lake: LakeStats{
 			Tables:         snap.stats.Tables,
 			Columns:        snap.stats.Columns,

@@ -68,11 +68,17 @@ func ReadHeader(r io.Reader, magic uint32) (version, flags uint16, err error) {
 type Writer struct {
 	w   io.Writer
 	buf []byte
+	n   int64
 }
 
 // NewWriter returns a section writer over w. The caller writes the
 // header first (WriteHeader), then sections in order.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Written reports the total bytes emitted through Section calls
+// (frame headers, payloads, and checksums). It does not include the
+// snapshot header, which the caller writes directly.
+func (sw *Writer) Written() int64 { return sw.n }
 
 // Section encodes one section with encode and writes it framed:
 // id, payload length, payload, CRC32 over all of the former.
@@ -96,8 +102,11 @@ func (sw *Writer) Section(id uint16, encode func(*Encoder)) error {
 	if _, err := sw.w.Write(e.buf); err != nil {
 		return err
 	}
-	_, err := sw.w.Write(sum[:])
-	return err
+	if _, err := sw.w.Write(sum[:]); err != nil {
+		return err
+	}
+	sw.n += int64(len(head)) + int64(len(e.buf)) + int64(len(sum))
+	return nil
 }
 
 // Reader reads framed sections back. Sections must be requested in
@@ -105,11 +114,17 @@ func (sw *Writer) Section(id uint16, encode func(*Encoder)) error {
 type Reader struct {
 	r   io.Reader
 	buf []byte
+	n   int64
 }
 
 // NewReader returns a section reader over r, to be used after the
 // header has been read (ReadHeader).
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Consumed reports the total bytes read through Section and Payload
+// calls (frame headers, payloads, and checksums). It does not include
+// the snapshot header, which the caller reads directly.
+func (sr *Reader) Consumed() int64 { return sr.n }
 
 // Section reads the next section, verifies its id and checksum, runs
 // decode over the payload, and requires the decoder to consume the
@@ -145,6 +160,8 @@ func (sr *Reader) Section(id uint16, decode func(*Decoder) error) error {
 	if got := binary.LittleEndian.Uint32(sum[:]); got != crc.Sum32() {
 		return fmt.Errorf("%w: section %d: checksum mismatch", ErrCorrupt, id)
 	}
+
+	sr.n += int64(len(head)) + int64(n) + int64(len(sum))
 
 	d := Decoder{buf: payload}
 	if err := decode(&d); err != nil {
@@ -192,6 +209,7 @@ func (sr *Reader) Payload(id uint16) (*Decoder, error) {
 	if got := binary.LittleEndian.Uint32(sum[:]); got != crc.Sum32() {
 		return nil, fmt.Errorf("%w: section %d: checksum mismatch", ErrCorrupt, id)
 	}
+	sr.n += int64(len(head)) + int64(n) + int64(len(sum))
 	return &Decoder{buf: payload}, nil
 }
 
@@ -319,6 +337,10 @@ type Decoder struct {
 }
 
 // Err returns the latched decode error, if any.
+// NewDecoder returns a decoder over a raw payload buffer, for
+// callers that obtained the bytes outside the section framing.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
 func (d *Decoder) Err() error { return d.err }
 
 // Finish reports the decoder's terminal state: the latched error if

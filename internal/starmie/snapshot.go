@@ -7,19 +7,20 @@ import (
 	"tablehound/internal/embedding"
 	"tablehound/internal/hnsw"
 	"tablehound/internal/snap"
+	"tablehound/internal/vecstore"
 )
 
 // AppendSnapshot encodes a built index: the column keys in their
-// sorted (post-Build) order, each key's contextual vector, the
-// per-table key grouping in registration order, and the HNSW graph
-// verbatim (its topology depends on insertion order and the
-// construction RNG, so it cannot be re-derived from the vectors).
+// sorted (post-Build) order, the per-table key grouping in
+// registration order, and the HNSW graph topology (its structure
+// depends on insertion order and the construction RNG, so it cannot
+// be re-derived from the vectors). Column vectors are not stored
+// here — row i of the snapshot's "starmie" vector-store segment is
+// colKeys[i]'s vector, shared by the map, the graph, and any
+// centroid table.
 func (ix *Index) AppendSnapshot(e *snap.Encoder) {
 	e.F64(ix.enc.contextWeight)
 	e.Strs(ix.colKeys)
-	for _, k := range ix.colKeys {
-		e.F32s(ix.vecs[k])
-	}
 	// byTable key lists keep each table's original column order (the
 	// order bipartite matching iterates), which sorted colKeys cannot
 	// reproduce — store them verbatim, tables in sorted ID order.
@@ -33,28 +34,33 @@ func (ix *Index) AppendSnapshot(e *snap.Encoder) {
 		e.Str(id)
 		e.Strs(ix.byTable[id])
 	}
-	ix.graph.AppendSnapshot(e)
+	ix.graph.AppendSnapshotShared(e)
 }
 
 // DecodeSnapshot rebuilds an index written by AppendSnapshot over the
-// loaded embedding model.
-func DecodeSnapshot(d *snap.Decoder, model *embedding.Model) (*Index, error) {
+// loaded embedding model and the snapshot's "starmie" vector segment,
+// whose row i backs colKeys[i]. The loaded index comes back bound
+// (norm-precomputed scoring, centroid-pruned exact search if the
+// segment carries a centroid table) with nprobe 0; the caller applies
+// its runtime nprobe via SetNProbe.
+func DecodeSnapshot(d *snap.Decoder, model *embedding.Model, view vecstore.View) (*Index, error) {
 	contextWeight := d.F64()
 	colKeys := d.Strs()
 	if d.Err() != nil {
 		return nil, d.Err()
 	}
+	if view.Len() != len(colKeys) {
+		return nil, fmt.Errorf("%w: starmie has %d columns, vector segment %d rows", snap.ErrCorrupt, len(colKeys), view.Len())
+	}
 	ix := NewIndex(NewEncoder(model, contextWeight))
 	ix.colKeys = colKeys
-	for _, k := range colKeys {
-		vec := d.F32s()
-		if d.Err() != nil {
-			return nil, d.Err()
-		}
+	ix.rowOf = make(map[string]int, len(colKeys))
+	for i, k := range colKeys {
 		if _, dup := ix.vecs[k]; dup {
 			return nil, fmt.Errorf("%w: duplicate starmie column %q", snap.ErrCorrupt, k)
 		}
-		ix.vecs[k] = vec
+		ix.vecs[k] = embedding.Vector(view.Vec(i))
+		ix.rowOf[k] = i
 	}
 	numTables := int(d.U32())
 	if d.Err() != nil {
@@ -77,9 +83,10 @@ func DecodeSnapshot(d *snap.Decoder, model *embedding.Model) (*Index, error) {
 		ix.byTable[id] = keys
 	}
 	var err error
-	if ix.graph, err = hnsw.DecodeSnapshot(d); err != nil {
+	if ix.graph, err = hnsw.DecodeSnapshotShared(d, view.Vec, view.Len()); err != nil {
 		return nil, err
 	}
+	ix.view, ix.hasView = view, true
 	ix.built = true
 	return ix, nil
 }

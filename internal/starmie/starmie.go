@@ -21,6 +21,7 @@ import (
 	"tablehound/internal/parallel"
 	"tablehound/internal/table"
 	"tablehound/internal/tokenize"
+	"tablehound/internal/vecstore"
 )
 
 // Encoder turns table columns into context-aware vectors.
@@ -101,6 +102,15 @@ type Index struct {
 	vecs    map[string]embedding.Vector
 	byTable map[string][]string // table ID -> column keys
 	built   bool
+
+	// Bound vector-store state (see Bind): row i of view backs
+	// colKeys[i], rowOf inverts that for norm lookups, and nprobe
+	// limits centroid-pruned exact search (0 = all = exhaustive-
+	// identical).
+	view    vecstore.View
+	rowOf   map[string]int
+	hasView bool
+	nprobe  int
 }
 
 // NewIndex creates an index over the encoder.
@@ -182,11 +192,51 @@ func (ix *Index) Build() error {
 		}
 	}
 	ix.built = true
+	ix.hasView = false // stale after any re-Build; caller re-Binds
+	ix.rowOf = nil
 	return nil
 }
 
 // NumColumns returns the number of indexed column vectors.
 func (ix *Index) NumColumns() int { return len(ix.colKeys) }
+
+// ColumnKeys returns the indexed column keys in their sorted
+// (post-Build) order — the row order of the index's vector-store
+// segment. The slice is the index's own; callers must not mutate it.
+func (ix *Index) ColumnKeys() []string { return ix.colKeys }
+
+// VectorOf returns the indexed vector for a column key, or nil.
+func (ix *Index) VectorOf(key string) embedding.Vector { return ix.vecs[key] }
+
+// Bind aliases the index onto a vector-store view whose row i holds
+// colKeys[i]'s vector (bit-identical values — only the backing
+// memory moves). It enables norm-precomputed cosine in SearchTables
+// and, when the view's segment has a centroid table, cluster-pruned
+// exact search with the given nprobe (0 = visit every non-excluded
+// cluster = bit-identical to the exhaustive scan).
+func (ix *Index) Bind(view vecstore.View, nprobe int) error {
+	if !ix.built {
+		return ErrNotBuilt
+	}
+	if view.Len() != len(ix.colKeys) {
+		return fmt.Errorf("starmie: bind over %d rows, index has %d columns", view.Len(), len(ix.colKeys))
+	}
+	rowOf := make(map[string]int, len(ix.colKeys))
+	for i, k := range ix.colKeys {
+		ix.vecs[k] = embedding.Vector(view.Vec(i))
+		rowOf[k] = i
+	}
+	if err := ix.graph.RebindVecs(view.Vec, view.Len()); err != nil {
+		return err
+	}
+	ix.view, ix.rowOf, ix.hasView = view, rowOf, true
+	ix.nprobe = nprobe
+	return nil
+}
+
+// SetNProbe adjusts how many clusters pruned exact search visits.
+// Not safe to call concurrently with searches; set it at load time.
+func (ix *Index) SetNProbe(n int) { ix.nprobe = n }
 
 // ErrNotBuilt is returned (or nil results, for SearchColumns) when a
 // search runs before Build has frozen the staged tables.
@@ -202,6 +252,19 @@ func (ix *Index) SearchColumns(v embedding.Vector, k, efSearch int, exact bool) 
 		return nil
 	}
 	if exact {
+		// Centroid-pruned scan when a quantized view is bound: visits
+		// clusters in ascending centroid distance, skips those whose
+		// dot bound cannot reach the current k-th score. With nprobe=0
+		// the results are bit-identical to BruteForce; nprobe>0 trades
+		// recall for work.
+		if ix.hasView && ix.view.Centroids() != nil {
+			hits := ix.view.TopK(v, k, ix.nprobe, nil)
+			out := make([]hnsw.Result, len(hits))
+			for i, h := range hits {
+				out[i] = hnsw.Result{Key: ix.colKeys[h.Row], Score: h.Score}
+			}
+			return out
+		}
 		return ix.graph.BruteForce(v, k)
 	}
 	return ix.graph.Search(v, k, efSearch)
@@ -220,6 +283,13 @@ func (ix *Index) SearchTables(query *table.Table, k, efSearch int, exact bool) (
 	qv := ix.enc.EncodeColumns(query)
 	if len(qv) == 0 {
 		return nil, fmt.Errorf("starmie: query table has no columns: %w", table.ErrBadQuery)
+	}
+	// Query-column norms once per query; indexed-column norms come
+	// precomputed from the vector store when bound, so each matrix
+	// cell below is a single dot product.
+	qn := make([]float64, len(qv))
+	for i, v := range qv {
+		qn[i] = v.Norm()
 	}
 	// Candidate tables from per-column retrieval.
 	seen := make(map[string]bool)
@@ -241,7 +311,7 @@ func (ix *Index) SearchTables(query *table.Table, k, efSearch int, exact bool) (
 		for i, v := range qv {
 			w[i] = make([]float64, len(ckeys))
 			for j, ck := range ckeys {
-				c := embedding.Cosine(v, ix.vecs[ck])
+				c := ix.cosine(v, qn[i], ck)
 				if c > 0 {
 					w[i][j] = c
 				}
@@ -260,4 +330,16 @@ func (ix *Index) SearchTables(query *table.Table, k, efSearch int, exact bool) (
 		res = res[:k]
 	}
 	return res, nil
+}
+
+// cosine scores a query column (norm vn) against an indexed column,
+// using the store's precomputed norm when a view is bound — same
+// value as embedding.Cosine, one dot product instead of three.
+func (ix *Index) cosine(v embedding.Vector, vn float64, ck string) float64 {
+	if ix.hasView {
+		if row, ok := ix.rowOf[ck]; ok {
+			return embedding.CosineWithNorms(v, ix.vecs[ck], vn, ix.view.Norm(row))
+		}
+	}
+	return embedding.CosineWithNorms(v, ix.vecs[ck], vn, ix.vecs[ck].Norm())
 }

@@ -1,0 +1,321 @@
+package vecstore
+
+import (
+	"math"
+	"sort"
+)
+
+// BoundEps is added to every upper dot bound before comparing against
+// a threshold or the current k-th score. The bounds below are exact
+// in real arithmetic; in float64 each is a handful of operations over
+// O(dim)-term sums, so the accumulated error is < 1e-12 for any sane
+// embedding scale. 1e-9 is a conservative margin that keeps pruning
+// lossless without giving up measurable selectivity.
+const BoundEps = 1e-9
+
+// Centroids is a coarse quantizer over one segment: k centers, the
+// rows assigned to each, and per-cluster bounds (max member norm²,
+// max member distance to center) that let a search discard a whole
+// cluster when its best possible dot product is provably too small.
+type Centroids struct {
+	k         int
+	dim       int
+	cents     []float32 // k*dim
+	centNorm2 []float64 // ||c_j||², derived
+	radius    []float64 // max_j member distance to centroid j
+	maxNorm2  []float64 // max_j member norm²
+	assign    []int32   // row -> cluster
+	members   [][]int32 // cluster -> rows, ascending
+}
+
+// K returns the number of clusters.
+func (c *Centroids) K() int { return c.k }
+
+// AssignOf returns the cluster row i belongs to.
+func (c *Centroids) AssignOf(i int) int32 { return c.assign[i] }
+
+// Members returns the rows of cluster j, ascending. Read-only.
+func (c *Centroids) Members(j int) []int32 { return c.members[j] }
+
+func (c *Centroids) footprint() int64 {
+	return int64(len(c.cents))*4 +
+		int64(len(c.centNorm2)+len(c.radius)+len(c.maxNorm2))*8 +
+		int64(len(c.assign))*4 + int64(c.k)*24 // member slice headers
+}
+
+// splitmix64 is the deterministic RNG behind k-means seeding: tiny,
+// well-distributed, and identical on every platform.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (s *splitmix64) float() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// HashStrings is the generation hash used to seed k-means: FNV-1a 64
+// over the given strings in order, NUL-separated. Builds over the
+// same key set always train the same centroids.
+func HashStrings(ss []string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, s := range ss {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0
+		h *= prime64
+	}
+	return h
+}
+
+const kmeansMaxIters = 12
+
+// Train runs deterministic k-means (k-means++ seeding from a
+// splitmix64 stream, Lloyd iterations with smallest-index
+// tie-breaking, float64 accumulation in row order) over rows
+// at(0)..at(n-1) of dimension dim. The same inputs always produce
+// the same table, bit for bit.
+func Train(at func(int) []float32, n, dim, k int, seed uint64) *Centroids {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	rng := splitmix64(seed)
+
+	norm2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		norm2[i] = dot(at(i), at(i))
+	}
+
+	// k-means++ seeding: first center uniform, each next center drawn
+	// proportionally to squared distance from the chosen set.
+	cents := make([]float64, k*dim) // f64 during training
+	centN2 := make([]float64, k)
+	pick := func(j, row int) {
+		v := at(row)
+		for d := 0; d < dim; d++ {
+			cents[j*dim+d] = float64(v[d])
+		}
+		centN2[j] = norm2[row]
+	}
+	pick(0, int(rng.next()%uint64(n)))
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = distSq(at(i), norm2[i], cents[:dim], centN2[0])
+	}
+	for j := 1; j < k; j++ {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		row := 0
+		if sum > 0 {
+			r := rng.float() * sum
+			acc := 0.0
+			for i := 0; i < n; i++ {
+				acc += d2[i]
+				if acc > r {
+					row = i
+					break
+				}
+			}
+		} else {
+			// All points coincide with chosen centers; any row works.
+			row = int(rng.next() % uint64(n))
+		}
+		pick(j, row)
+		cj := cents[j*dim : (j+1)*dim]
+		for i := 0; i < n; i++ {
+			if d := distSq(at(i), norm2[i], cj, centN2[j]); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	// Lloyd iterations: assign to nearest center (smallest index on
+	// ties), recompute centers as float64 means in row order.
+	assign := make([]int32, n)
+	sums := make([]float64, k*dim)
+	counts := make([]int, k)
+	for iter := 0; iter < kmeansMaxIters; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			v := at(i)
+			best, bestD := int32(0), math.Inf(1)
+			for j := 0; j < k; j++ {
+				if d := distSq(v, norm2[i], cents[j*dim:(j+1)*dim], centN2[j]); d < bestD {
+					best, bestD = int32(j), d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for j := range counts {
+			counts[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			j := int(assign[i])
+			v := at(i)
+			for d := 0; d < dim; d++ {
+				sums[j*dim+d] += float64(v[d])
+			}
+			counts[j]++
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] == 0 {
+				continue // empty cluster keeps its previous center
+			}
+			inv := 1 / float64(counts[j])
+			var n2 float64
+			for d := 0; d < dim; d++ {
+				m := sums[j*dim+d] * inv
+				cents[j*dim+d] = m
+				n2 += m * m
+			}
+			centN2[j] = n2
+		}
+	}
+
+	c := &Centroids{
+		k:         k,
+		dim:       dim,
+		cents:     make([]float32, k*dim),
+		assign:    assign,
+		members:   make([][]int32, k),
+		radius:    make([]float64, k),
+		maxNorm2:  make([]float64, k),
+		centNorm2: make([]float64, k),
+	}
+	for i, v := range cents {
+		c.cents[i] = float32(v)
+	}
+	c.finish(at, norm2)
+	return c
+}
+
+// finish derives members, centNorm2, radius, and maxNorm2 from the
+// float32 centroids and assignments — the same derivation snapshot
+// decode performs, so a loaded table equals a trained one.
+func (c *Centroids) finish(at func(int) []float32, norm2 []float64) {
+	for j := 0; j < c.k; j++ {
+		c.centNorm2[j] = dot(c.cent(j), c.cent(j))
+	}
+	for i, j := range c.assign {
+		c.members[j] = append(c.members[j], int32(i))
+	}
+	for j := 0; j < c.k; j++ {
+		cj := f64View(c.cent(j))
+		for _, row := range c.members[j] {
+			n2 := norm2[row]
+			d := distSq(at(int(row)), n2, cj, c.centNorm2[j])
+			if r := math.Sqrt(d); r > c.radius[j] {
+				c.radius[j] = r
+			}
+			if n2 > c.maxNorm2[j] {
+				c.maxNorm2[j] = n2
+			}
+		}
+	}
+}
+
+func (c *Centroids) cent(j int) []float32 { return c.cents[j*c.dim : (j+1)*c.dim] }
+
+// distSq returns ||v - c||² = ||v||² + ||c||² - 2 v·c, clamped at 0.
+func distSq(v []float32, vN2 float64, cent []float64, cN2 float64) float64 {
+	var dp float64
+	for i := range v {
+		dp += float64(v[i]) * cent[i]
+	}
+	d := vN2 + cN2 - 2*dp
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// f64View adapts a float32 centroid row for distSq.
+func f64View(c []float32) []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// queryBounds computes, for a query q, the cluster visit order
+// (ascending distance from q to each centroid, index-ascending on
+// ties) and each cluster's upper dot-product bound:
+//
+//	d(q, x) >= max(0, d(q, c_j) - radius_j)       (triangle inequality)
+//	q·x      = (||q||² + ||x||² - d(q,x)²) / 2
+//	        <= (||q||² + maxNorm2_j - minD_j²) / 2
+func (c *Centroids) queryBounds(q []float32) (order []int32, maxDot []float64) {
+	qn2 := dot(q, q)
+	dist := make([]float64, c.k)
+	maxDot = make([]float64, c.k)
+	for j := 0; j < c.k; j++ {
+		var dp float64
+		cj := c.cent(j)
+		for i := range q {
+			dp += float64(q[i]) * float64(cj[i])
+		}
+		d2 := qn2 + c.centNorm2[j] - 2*dp
+		if d2 < 0 {
+			d2 = 0
+		}
+		d := math.Sqrt(d2)
+		dist[j] = d
+		minD := d - c.radius[j]
+		if minD < 0 {
+			minD = 0
+		}
+		maxDot[j] = (qn2 + c.maxNorm2[j] - minD*minD) / 2
+	}
+	order = make([]int32, c.k)
+	for j := range order {
+		order[j] = int32(j)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := order[a], order[b]
+		if dist[ja] != dist[jb] {
+			return dist[ja] < dist[jb]
+		}
+		return ja < jb
+	})
+	return order, maxDot
+}
+
+// MaxDots fills out (len >= K) with each cluster's upper bound on
+// q·x over members x, for callers that do their own thresholding
+// (PEXESO's tau cut). Returns out[:K].
+func (c *Centroids) MaxDots(q []float32, out []float64) []float64 {
+	_, maxDot := c.queryBounds(q)
+	if out == nil || cap(out) < c.k {
+		return maxDot
+	}
+	out = out[:c.k]
+	copy(out, maxDot)
+	return out
+}

@@ -1,0 +1,46 @@
+//go:build linux || darwin
+
+package vecstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// MmapSupported reports whether this build can serve the vector blob
+// zero-copy: a unix mmap plus a little-endian host (the on-disk
+// float layout). Big-endian hosts fall back to the heap reader.
+func MmapSupported() bool { return hostLittleEndian }
+
+// mmapRegion maps length bytes of f starting at byte offset off
+// (which need not be page-aligned) read-only and shared, returning
+// the requested view and the whole mapping for later munmap.
+func mmapRegion(f *os.File, off int64, length int) (view, mapping []byte, err error) {
+	page := int64(os.Getpagesize())
+	pageOff := off &^ (page - 1)
+	lead := int(off - pageOff)
+	mapping, err = syscall.Mmap(int(f.Fd()), pageOff, lead+length, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("vecstore: mmap: %w", err)
+	}
+	return mapping[lead : lead+length : lead+length], mapping, nil
+}
+
+func munmapRegion(mapping []byte) error {
+	return syscall.Munmap(mapping)
+}
+
+// f32sOf reinterprets little-endian float32 bytes in place. The
+// caller guarantees 4-byte alignment (the blob sits at a 64-aligned
+// file offset inside a page-aligned mapping) and len(b)%4 == 0.
+func f32sOf(b []byte) []float32 {
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// f64sOf reinterprets little-endian float64 bytes in place; the blob
+// layout 8-aligns the norms block.
+func f64sOf(b []byte) []float64 {
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
