@@ -6,7 +6,7 @@
 GO ?= go
 COUNT ?= 1
 
-.PHONY: check race bench-build bench-query bench-mem bench-snapshot bench-vec serve-smoke snapshot-smoke shard-smoke
+.PHONY: check race bench-build bench-query bench-mem bench-snapshot bench-vec bench-delta serve-smoke snapshot-smoke shard-smoke delta-smoke
 
 check:
 	$(GO) vet ./...
@@ -39,6 +39,14 @@ snapshot-smoke:
 shard-smoke:
 	bash scripts/shard_smoke.sh
 
+# End-to-end smoke of incremental maintenance: lakectl add/remove
+# build delta snapshots over a frozen base, lakeserved serves the
+# chain merge-on-read, POST /v1/admin/compact folds it back into the
+# base in place (retiring the delta files), and merged queries are
+# bit-identical to the compacted fold.
+delta-smoke:
+	bash scripts/delta_smoke.sh
+
 bench-build:
 	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchtime 2x .
 
@@ -46,6 +54,13 @@ bench-build:
 # is the startup speedup of serving from a snapshot.
 bench-snapshot:
 	$(GO) test -run xxx -bench 'BenchmarkSnapshot|BenchmarkSystemBuildPar' -benchtime 2x .
+
+# Incremental-vs-full cost of adding 10 tables to the 500-table lake:
+# BenchmarkDeltaAdd10 (lakectl add) against BenchmarkDeltaFullRebuild
+# (the from-scratch build it replaces), plus the merge-on-load cost a
+# compaction reclaims. Results recorded in EXPERIMENTS.md.
+bench-delta:
+	$(GO) test -run xxx -bench 'BenchmarkDelta' -benchtime 2x -timeout 1200s .
 
 # Query-serving benchmarks over the 500-table lake, including the
 # loopback-HTTP serving benchmark (cold vs warm cache). Set COUNT=10

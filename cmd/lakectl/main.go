@@ -7,6 +7,9 @@
 //
 //	lakectl gen -out DIR [-templates N] [-tables N] [-seed S]
 //	lakectl build -lake DIR -o FILE.snap [-shards N]
+//	lakectl add -base FILE.snap [-deltas D1,D2] -o DELTA.thdb FILE.csv...
+//	lakectl remove -base FILE.snap [-deltas D1,D2] -ids ID1,ID2 -o DELTA.thdb
+//	lakectl compact -base FILE.snap -deltas D1,D2 -o NEW.snap
 //	lakectl stats -lake DIR | -addr HOST:PORT
 //	lakectl query <search|vsearch|join|union> -addr HOST:PORT [flags]
 //	lakectl search -lake DIR -q "topic keywords" [-k 10]
@@ -19,7 +22,9 @@
 // (construction worker count; 0 = all CPUs, 1 = sequential), -timing
 // (print the per-stage build report to stderr), and -snapshot FILE
 // (load a prebuilt system from a `lakectl build -o` snapshot instead
-// of rebuilding from CSVs). The snapshot's shared vector block is
+// of rebuilding from CSVs) plus -deltas D1,D2 (delta snapshots from
+// `lakectl add`/`lakectl remove`, applied on top of -snapshot in
+// order; globs allowed). The snapshot's shared vector block is
 // governed by -centroids K (coarse-quantizer clusters per searchable
 // segment; 0 = automatic ≈√n policy, -1 disables), -nprobe N (clusters
 // visited by pruned exact search; 0 = all, bit-identical to an
@@ -41,6 +46,7 @@ import (
 	"tablehound/internal/datagen"
 	"tablehound/internal/exp"
 	"tablehound/internal/lake"
+	"tablehound/internal/table"
 	"tablehound/internal/union"
 )
 
@@ -55,6 +61,12 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "build":
 		err = cmdBuild(os.Args[2:])
+	case "add":
+		err = cmdAdd(os.Args[2:])
+	case "remove":
+		err = cmdRemove(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "search":
@@ -101,6 +113,10 @@ commands:
   gen       generate a synthetic data lake as a directory of CSVs
   build     build the discovery system and save it as a snapshot file
             (-shards N partitions into N shard snapshots + a manifest)
+  add       index new CSV tables as a delta snapshot chained to a base
+            (no rebuild; query with -snapshot BASE -deltas DELTA,...)
+  remove    tombstone tables as a delta snapshot chained to a base
+  compact   fold a delta chain into a fresh full base snapshot
   stats     print catalog statistics for a lake (or -addr for a daemon)
   query     run a search against a running lakeserved daemon
   search    keyword search over table metadata
@@ -122,6 +138,7 @@ type buildFlags struct {
 	parallel  *int
 	timing    *bool
 	snapshot  *string
+	deltas    *string
 	centroids *int
 	nprobe    *int
 	vecMode   *string
@@ -132,11 +149,14 @@ func addBuildFlags(fs *flag.FlagSet) buildFlags {
 		parallel:  fs.Int("parallel", 0, "construction workers (0 = all CPUs, 1 = sequential)"),
 		timing:    fs.Bool("timing", false, "print per-stage build timing to stderr"),
 		snapshot:  fs.String("snapshot", "", "load the system from a snapshot file instead of building from -lake"),
+		deltas:    fs.String("deltas", "", "comma-separated delta snapshots (globs allowed) applied on top of -snapshot, in order"),
 		centroids: fs.Int("centroids", 0, "coarse-quantizer clusters per vector segment (0 = auto, -1 = off)"),
 		nprobe:    fs.Int("nprobe", 0, "clusters visited by pruned exact search (0 = all = exhaustive-identical)"),
 		vecMode:   fs.String("vec-mode", "auto", "snapshot vector materialization: auto | heap | mmap"),
 	}
 }
+
+func (bf buildFlags) deltaPaths() ([]string, error) { return core.ExpandDeltas(*bf.deltas) }
 
 func (bf buildFlags) options() core.Options {
 	return core.Options{
@@ -157,11 +177,16 @@ func (bf buildFlags) loadCatalog(dir string) (*lake.Catalog, error) {
 func (bf buildFlags) buildSystem(dir string) (*core.System, error) {
 	var sys *core.System
 	if *bf.snapshot != "" {
-		var err error
-		sys, err = core.LoadFile(*bf.snapshot, bf.options())
+		chain, err := bf.deltaPaths()
 		if err != nil {
 			return nil, err
 		}
+		sys, err = core.LoadChainFiles(*bf.snapshot, chain, bf.options())
+		if err != nil {
+			return nil, err
+		}
+	} else if *bf.deltas != "" {
+		return nil, fmt.Errorf("-deltas requires -snapshot (deltas chain onto a base snapshot)")
 	} else {
 		cat, err := bf.loadCatalog(dir)
 		if err != nil {
@@ -208,6 +233,124 @@ func cmdBuild(args []string) error {
 	fmt.Printf("built %d tables (%d columns, %d distinct values) in %v\nwrote %s (%.1f MiB) in %v\n",
 		st.Tables, st.Columns, st.DistinctValues, built.Round(time.Millisecond),
 		*out, float64(fi.Size())/(1<<20), time.Since(start).Round(time.Millisecond)-built.Round(time.Millisecond))
+	return nil
+}
+
+// csvTableID derives a table ID from a CSV path the same way
+// lake.LoadCSVDir does: base name minus extension, dots to dashes. A
+// table added incrementally gets the ID a from-scratch directory build
+// would give it.
+func csvTableID(path string) string {
+	name := filepath.Base(path)
+	return strings.ReplaceAll(strings.TrimSuffix(name, filepath.Ext(name)), ".", "-")
+}
+
+func cmdAdd(args []string) error {
+	fs := flag.NewFlagSet("add", flag.ExitOnError)
+	base := fs.String("base", "", "base snapshot file (required)")
+	deltas := fs.String("deltas", "", "delta snapshots already chained onto -base, in order (globs allowed)")
+	out := fs.String("o", "", "output delta file (required)")
+	parallel := fs.Int("parallel", 0, "analysis workers (0 = all CPUs)")
+	fs.Parse(args)
+	if *base == "" || *out == "" {
+		return fmt.Errorf("add: -base and -o are required")
+	}
+	csvs := fs.Args()
+	if len(csvs) == 0 {
+		return fmt.Errorf("add: no CSV files given")
+	}
+	chain, err := core.ExpandDeltas(*deltas)
+	if err != nil {
+		return err
+	}
+	tables := make([]*table.Table, 0, len(csvs))
+	for _, path := range csvs {
+		t, err := table.FromCSVFile(csvTableID(path), path)
+		if err != nil {
+			return fmt.Errorf("add: load %s: %w", path, err)
+		}
+		tables = append(tables, t)
+	}
+	start := time.Now()
+	d, err := core.BuildDelta(*base, chain, tables, nil, core.Options{Parallelism: *parallel})
+	if err != nil {
+		return err
+	}
+	if err := d.SaveFile(*out); err != nil {
+		return err
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("delta %s: +%d tables, %d new values, gen %016x -> %016x (%s) in %v\n",
+		*out, len(tables), len(d.NewValues), d.ParentGen, d.ResultGen,
+		memBytes(fi.Size()), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdRemove(args []string) error {
+	fs := flag.NewFlagSet("remove", flag.ExitOnError)
+	base := fs.String("base", "", "base snapshot file (required)")
+	deltas := fs.String("deltas", "", "delta snapshots already chained onto -base, in order (globs allowed)")
+	ids := fs.String("ids", "", "comma-separated table IDs to remove (required)")
+	out := fs.String("o", "", "output delta file (required)")
+	fs.Parse(args)
+	if *base == "" || *out == "" || *ids == "" {
+		return fmt.Errorf("remove: -base, -ids, and -o are required")
+	}
+	chain, err := core.ExpandDeltas(*deltas)
+	if err != nil {
+		return err
+	}
+	var remove []string
+	for _, id := range strings.Split(*ids, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			remove = append(remove, id)
+		}
+	}
+	d, err := core.BuildDelta(*base, chain, nil, remove, core.Options{})
+	if err != nil {
+		return err
+	}
+	if err := d.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("delta %s: -%d tables (tombstones), gen %016x -> %016x\n",
+		*out, len(d.Tombstones), d.ParentGen, d.ResultGen)
+	return nil
+}
+
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	base := fs.String("base", "", "base snapshot file (required)")
+	deltas := fs.String("deltas", "", "delta chain to fold in, in order (required; globs allowed)")
+	out := fs.String("o", "", "output snapshot file (required)")
+	parallel := fs.Int("parallel", 0, "merge workers (0 = all CPUs)")
+	fs.Parse(args)
+	if *base == "" || *out == "" {
+		return fmt.Errorf("compact: -base and -o are required")
+	}
+	chain, err := core.ExpandDeltas(*deltas)
+	if err != nil {
+		return err
+	}
+	if len(chain) == 0 {
+		return fmt.Errorf("compact: -deltas matched no files (nothing to fold)")
+	}
+	start := time.Now()
+	sys, err := core.CompactFiles(*base, chain, *out, core.Options{Parallelism: *parallel})
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	st := sys.Catalog.Stats()
+	fmt.Printf("compacted %d deltas into %s: %d tables, gen %016x (%s) in %v\n",
+		len(chain), *out, st.Tables, sys.Lineage.Gen,
+		memBytes(fi.Size()), time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -277,6 +420,14 @@ func cmdMemStats(args []string) error {
 		return err
 	}
 	fmt.Printf("value dictionary: %d distinct values\n", sys.Dict.Size())
+	if lin := sys.Lineage; lin.Depth() > 0 {
+		fmt.Printf("delta chain:      depth %d, %d tombstones, base gen %016x, live gen %016x\n",
+			lin.Depth(), lin.TombstoneCount(), lin.LastCompactGen(), lin.Gen)
+		for i, di := range lin.Deltas {
+			fmt.Printf("  delta %d: %-32s +%d tables, %d tombstones, %s on disk, gen %016x\n",
+				i+1, filepath.Base(di.Path), di.Tables, di.Tombstones, memBytes(di.Bytes), di.Gen)
+		}
+	}
 	if v := sys.Vecs; v != nil {
 		residency := "heap"
 		if v.Mapped() {

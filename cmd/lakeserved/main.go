@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lakeserved -lake DIR | -snapshot FILE
+//	           [-deltas GLOB] [-compact-depth N]
 //	           [-manifest FILE -shard N]
 //	           [-addr :8080] [-parallel N] [-qparallel N]
 //	           [-max-inflight N] [-queue N] [-cache-entries N]
@@ -25,6 +26,17 @@
 // one shard of a partitioned lake: -shard picks the index, -snapshot
 // defaults to that shard's entry in the manifest, and /healthz reports
 // the shard identity so a router can verify the partitioning.
+//
+// With -deltas (a glob or comma list of `lakectl add`/`lakectl
+// remove` delta files) the daemon serves the base snapshot with the
+// delta chain merged on top; the spec is re-expanded on every reload,
+// so `lakectl add` + SIGHUP makes new tables searchable with no
+// restart and no rebuild. POST /v1/admin/compact folds the chain into
+// the base snapshot in place, retires the consumed delta files as
+// *.applied, and hot-swaps the merged system without purging the query
+// cache (the fold is bit-identical). -compact-depth N does the same
+// automatically in the background whenever a (re)load leaves the chain
+// N deltas deep.
 //
 // With -router the daemon serves no lake itself: it fans every query
 // across the shard servers in -shard-addrs (one per shard, in shard
@@ -49,6 +61,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -70,6 +83,8 @@ func run() error {
 	fs := flag.NewFlagSet("lakeserved", flag.ExitOnError)
 	dir := fs.String("lake", "", "lake directory of CSV files")
 	snapPath := fs.String("snapshot", "", "system snapshot file from `lakectl build -o` (replaces -lake)")
+	deltaSpec := fs.String("deltas", "", "comma-separated delta snapshots (globs allowed) applied on top of -snapshot; re-expanded on every reload")
+	compactDepth := fs.Int("compact-depth", 0, "fold the delta chain into the base in the background when it reaches this depth (0 = manual via POST /v1/admin/compact)")
 	addr := fs.String("addr", ":8080", "listen address")
 	parallel := fs.Int("parallel", 0, "construction workers (0 = all CPUs)")
 	qparallel := fs.Int("qparallel", 0, "per-query workers (0 = all CPUs)")
@@ -135,24 +150,39 @@ func run() error {
 		return fmt.Errorf("one of -lake, -snapshot, or -manifest is required")
 	}
 
-	// load produces a fresh system from the configured source; it backs
-	// both startup and every subsequent reload.
-	load := func() (*core.System, error) {
-		opts := core.Options{
+	if *deltaSpec != "" && *snapPath == "" {
+		return fmt.Errorf("-deltas requires -snapshot (deltas chain onto a base snapshot)")
+	}
+
+	opts := func() core.Options {
+		return core.Options{
 			Parallelism:      *parallel,
 			QueryParallelism: *qparallel,
 			VecMode:          *vecMode,
 			VecNProbe:        *nprobe,
 			VecCentroids:     *centroids,
 		}
+	}
+
+	// load produces a fresh system from the configured source; it backs
+	// both startup and every subsequent reload. The -deltas spec is
+	// re-expanded on every call, so a reload picks up delta files that
+	// appeared (lakectl add) or were retired (compaction) since the last
+	// load — new tables become searchable with no restart and no
+	// rebuild.
+	load := func() (*core.System, error) {
 		if *snapPath != "" {
-			return core.LoadFile(*snapPath, opts)
+			chain, err := core.ExpandDeltas(*deltaSpec)
+			if err != nil {
+				return nil, err
+			}
+			return core.LoadChainFiles(*snapPath, chain, opts())
 		}
 		cat, err := lake.LoadCSVDirN(*dir, *parallel)
 		if err != nil {
 			return nil, err
 		}
-		return core.Build(cat, opts)
+		return core.Build(cat, opts())
 	}
 
 	start := time.Now()
@@ -171,6 +201,10 @@ func run() error {
 	}
 	log.Printf("%s %s: %d tables, %d columns, %d distinct values in %v",
 		verb, source, st.Tables, st.Columns, st.DistinctValues, time.Since(start).Round(time.Millisecond))
+	if depth := sys.Lineage.Depth(); depth > 0 {
+		log.Printf("serving a delta chain of depth %d (%d tombstones)",
+			depth, sys.Lineage.TombstoneCount())
+	}
 
 	srv := server.New(sys, server.Config{
 		MaxInFlight:  *maxInflight,
@@ -181,6 +215,62 @@ func run() error {
 		Shard:        shardIdent,
 	})
 	srv.SetReloader(load)
+
+	// Compaction folds the serving delta chain into the base snapshot
+	// in place (CompactFiles writes through a temp file + rename, so a
+	// concurrent load of the old base never sees a torn file), retires
+	// the consumed delta files as *.applied so later reloads do not
+	// re-apply them, and hands the merged system to the server to swap
+	// in. The merge has the same data generation as the chain it folds,
+	// so the swap keeps the query cache warm.
+	if *snapPath != "" {
+		srv.SetCompactor(func() (*core.System, error) {
+			chain, err := core.ExpandDeltas(*deltaSpec)
+			if err != nil {
+				return nil, err
+			}
+			if len(chain) == 0 {
+				return nil, fmt.Errorf("compact: no delta files to fold")
+			}
+			t0 := time.Now()
+			merged, err := core.CompactFiles(*snapPath, chain, *snapPath, opts())
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range chain {
+				if err := os.Rename(d, d+".applied"); err != nil {
+					log.Printf("compact: retiring %s: %v", d, err)
+				}
+			}
+			log.Printf("compacted %d deltas into %s (%d tables) in %v",
+				len(chain), *snapPath, merged.Catalog.Stats().Tables, time.Since(t0).Round(time.Millisecond))
+			return merged, nil
+		})
+	}
+
+	// maybeCompact starts a background compaction when the serving
+	// chain is at least -compact-depth deep. srv.Compact serializes on
+	// the server's reload mutex; the flag keeps a slow compaction from
+	// stacking goroutines behind it. Failure is logged and the chain
+	// keeps serving — merge-on-read is correct at any depth, compaction
+	// only reclaims per-query merge overhead.
+	var compacting atomic.Bool
+	maybeCompact := func(s *core.System) {
+		if *compactDepth <= 0 || s.Lineage.Depth() < *compactDepth {
+			return
+		}
+		if !compacting.CompareAndSwap(false, true) {
+			return
+		}
+		go func() {
+			defer compacting.Store(false)
+			if _, err := srv.Compact(); err != nil {
+				log.Printf("background compaction failed (still serving the delta chain): %v", err)
+			}
+		}()
+	}
+	maybeCompact(sys)
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
@@ -213,8 +303,9 @@ loop:
 				continue
 			}
 			ns := newSys.Catalog.Stats()
-			log.Printf("reloaded: %d tables, %d columns in %v",
-				ns.Tables, ns.Columns, time.Since(t0).Round(time.Millisecond))
+			log.Printf("reloaded: %d tables, %d columns, delta depth %d in %v",
+				ns.Tables, ns.Columns, newSys.Lineage.Depth(), time.Since(t0).Round(time.Millisecond))
+			maybeCompact(newSys)
 		}
 	}
 

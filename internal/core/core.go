@@ -41,6 +41,12 @@ type Options struct {
 	Seed int64
 	// KB is an optional curated knowledge base for semantic measures.
 	KB *kb.KB
+	// Model, when non-nil, pins the embedding model instead of training
+	// one from the catalog. Delta builds use it to encode new tables
+	// against a base snapshot's frozen model (training is globally
+	// corpus-coupled, so retraining would invalidate every base vector).
+	// Build clones it, so the caller's copy is never rebound.
+	Model *embedding.Model
 	// MinJoinCardinality filters tiny columns from join indexing
 	// (default 3).
 	MinJoinCardinality int
@@ -156,6 +162,12 @@ type System struct {
 	// construction pipeline that produced this system.
 	BuildStats *BuildStats
 
+	// Lineage records where this system's table membership came from:
+	// the base snapshot's generation, the delta chain applied on top
+	// (empty when loaded directly or freshly built), and the resulting
+	// generation. Nil on a fresh Build; set by Load and LoadChain.
+	Lineage *Lineage
+
 	// buildOpts is the resolved Options the system was constructed
 	// with; Save persists it so Load can replay the rebuild-on-load
 	// stages with the same parameters.
@@ -186,6 +198,10 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 	// Table understanding: train embeddings on the lake's columns.
 	// Every downstream stage reads this model, so it builds first.
 	if err := stats.time(stageModel, func() (int, error) {
+		if opts.Model != nil {
+			s.Model = opts.Model.Clone()
+			return s.Model.VocabSize(), nil
+		}
 		var contexts [][]string
 		for _, t := range tables {
 			for _, c := range t.Columns {
@@ -205,21 +221,11 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 	// extraction fans out; the dictionary build itself sorts once and
 	// is deterministic regardless of accumulation order.
 	if err := stats.time(stageDict, func() (int, error) {
-		perTable, err := parallel.Map(len(tables), opts.Parallelism, func(i int) ([]string, error) {
-			var vals []string
-			for _, c := range tables[i].Columns {
-				vals = append(vals, tokenize.NormalizeSet(c.Values)...)
-			}
-			return vals, nil
-		})
-		if err != nil {
-			return 0, err
+		var derr error
+		s.Dict, derr = buildDict(tables, opts.Parallelism)
+		if derr != nil {
+			return 0, derr
 		}
-		db := dict.NewBuilder()
-		for _, vals := range perTable {
-			db.Add(vals...)
-		}
-		s.Dict = db.Build()
 		return s.Dict.Size(), nil
 	}); err != nil {
 		return nil, err
@@ -237,15 +243,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 		{stageKeyword, false, func() (int, error) {
 			// Keyword search over metadata and over cell values
 			// (OCTOPUS-style).
-			s.Keyword = keyword.NewIndex()
-			s.Values = keyword.NewValueIndex()
-			for _, t := range tables {
-				s.Keyword.Add(t)
-				s.Values.Add(t)
-			}
-			s.Keyword.Finish()
-			s.Values.Finish()
-			return len(tables), nil
+			return buildKeyword(s, tables)
 		}},
 		{stageProfiles, false, func() (int, error) {
 			// Auctus-style structured profiles.
@@ -281,41 +279,7 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 		{stageCorr, false, func() (int, error) {
 			// Correlation search: first string column as key, numeric
 			// columns as measures.
-			cb := join.NewCorrBuilder(256)
-			pairs := 0
-			for _, t := range tables {
-				var keyCol *table.Column
-				for _, c := range t.Columns {
-					if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
-						keyCol = c
-						break
-					}
-				}
-				if keyCol == nil {
-					continue
-				}
-				for _, c := range t.Columns {
-					if !c.Type.IsNumeric() {
-						continue
-					}
-					nums, n := numericAligned(keyCol, c)
-					if n < 3 {
-						continue
-					}
-					pk := join.PairKey(t.ID, keyCol.Name, c.Name)
-					if err := cb.Add(pk, nums.keys, nums.vals); err == nil {
-						pairs++
-					}
-				}
-			}
-			if pairs > 0 {
-				eng, err := cb.Build()
-				if err != nil {
-					return 0, err
-				}
-				s.Corr = eng
-			}
-			return pairs, nil
+			return buildCorr(s, tables, opts)
 		}},
 		{stageMate, false, func() (int, error) {
 			// Multi-attribute join.
@@ -481,6 +445,85 @@ func (s *System) JoinPath(fromTable, toTable string, maxHops int) []aurum.JoinHo
 		return nil
 	}
 	return s.Graph.JoinPath(fromTable, toTable, aurum.ContentSim, maxHops)
+}
+
+// buildDict constructs the lake-wide value dictionary over a table
+// set: every distinct normalized cell value, IDs assigned in
+// lexicographic order. Shared by Build's stageDict and by the delta
+// merge path, which re-derives the dictionary over the merged catalog
+// (the extended dictionary is only the deltas' transport encoding).
+func buildDict(tables []*table.Table, parallelism int) (*dict.Dict, error) {
+	perTable, err := parallel.Map(len(tables), parallelism, func(i int) ([]string, error) {
+		var vals []string
+		for _, c := range tables[i].Columns {
+			vals = append(vals, tokenize.NormalizeSet(c.Values)...)
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := dict.NewBuilder()
+	for _, vals := range perTable {
+		db.Add(vals...)
+	}
+	return db.Build(), nil
+}
+
+// buildKeyword constructs the metadata and cell-value keyword indexes
+// over the catalog. Shared by Build's stageKeyword and by the delta
+// merge path, which re-derives both indexes over the merged catalog.
+func buildKeyword(s *System, tables []*table.Table) (int, error) {
+	s.Keyword = keyword.NewIndex()
+	s.Values = keyword.NewValueIndex()
+	for _, t := range tables {
+		s.Keyword.Add(t)
+		s.Values.Add(t)
+	}
+	s.Keyword.Finish()
+	s.Values.Finish()
+	return len(tables), nil
+}
+
+// buildCorr constructs the correlation engine: first qualifying string
+// column as key, numeric columns as measures. Shared by Build's
+// stageCorr and by the delta merge path.
+func buildCorr(s *System, tables []*table.Table, opts Options) (int, error) {
+	cb := join.NewCorrBuilder(256)
+	pairs := 0
+	for _, t := range tables {
+		var keyCol *table.Column
+		for _, c := range t.Columns {
+			if c.Type == table.TypeString && c.Cardinality() >= opts.MinJoinCardinality {
+				keyCol = c
+				break
+			}
+		}
+		if keyCol == nil {
+			continue
+		}
+		for _, c := range t.Columns {
+			if !c.Type.IsNumeric() {
+				continue
+			}
+			nums, n := numericAligned(keyCol, c)
+			if n < 3 {
+				continue
+			}
+			pk := join.PairKey(t.ID, keyCol.Name, c.Name)
+			if err := cb.Add(pk, nums.keys, nums.vals); err == nil {
+				pairs++
+			}
+		}
+	}
+	if pairs > 0 {
+		eng, err := cb.Build()
+		if err != nil {
+			return 0, err
+		}
+		s.Corr = eng
+	}
+	return pairs, nil
 }
 
 // buildFuzzy constructs the fuzzy join index over the catalog. It is

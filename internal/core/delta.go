@@ -1,0 +1,1183 @@
+// Incremental index maintenance: delta snapshots layer table
+// additions and removals over an immutable base snapshot without
+// rebuilding it.
+//
+// A delta is built by analyzing ONLY the new tables: their values
+// extend the base dictionary append-only (dict.Extend — every base ID
+// keeps its meaning, so base postings and signatures stay valid
+// verbatim), and scratch engines over just those tables produce the
+// new postings, MinHash signatures, and column vectors, encoded
+// against the frozen base embedding model (training is globally
+// corpus-coupled; retraining would invalidate every base vector).
+// Removals are tombstones: the base bytes are untouched and the ID is
+// masked at merge. Deltas chain by generation hash — each records the
+// generation it applies to (ParentGen) and the generation that results
+// (ResultGen = snap.HashIDs of the sorted surviving table IDs) — so a
+// stale or misordered delta is rejected with ErrDeltaChain, not
+// silently merged.
+//
+// Loading a chain (LoadChain*) materializes the merge: base and delta
+// parts are folded per search surface through each engine's FromParts
+// constructor, which replays the engine's own Build freeze, so the
+// merged system answers every surface bit-identically to a
+// from-scratch build over the merged catalog (with tables in sorted-ID
+// order — the order lake.LoadCSVDir produces). Compaction
+// (CompactFiles) is just LoadChain + Save: the fold becomes the next
+// base and the chain resets.
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"tablehound/internal/apps"
+	"tablehound/internal/aurum"
+	"tablehound/internal/dict"
+	"tablehound/internal/embedding"
+	"tablehound/internal/join"
+	"tablehound/internal/kb"
+	"tablehound/internal/lake"
+	"tablehound/internal/navigation"
+	"tablehound/internal/parallel"
+	"tablehound/internal/profile"
+	"tablehound/internal/snap"
+	"tablehound/internal/starmie"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+	"tablehound/internal/union"
+	"tablehound/internal/vecstore"
+)
+
+// ErrDeltaChain marks a structurally sound delta that does not chain
+// onto the state it is being applied to: wrong parent generation,
+// dictionary size mismatch, a tombstone for an absent table, a re-add
+// without a tombstone, or a result generation that does not hash the
+// surviving membership. Distinct from ErrCorruptSnapshot (damaged
+// bytes) — a chain error means the files are fine but mismatched.
+var ErrDeltaChain = errors.New("core: delta chain mismatch")
+
+// Lineage records where a system's table membership came from: the
+// base snapshot's generation, the delta chain applied on top, and the
+// resulting generation. The serving tier keys caches on Gen and
+// reports Depth on health checks.
+type Lineage struct {
+	// BaseGen is the generation of the base snapshot — the generation
+	// the last compaction produced (or the initial full build).
+	BaseGen uint64
+	// Gen is the generation after applying Deltas; equal to BaseGen
+	// when the chain is empty.
+	Gen uint64
+	// TableIDs is the sorted live table-ID list at Gen.
+	TableIDs []string
+	// Deltas describes the applied chain in order; empty for a system
+	// loaded directly from a base snapshot or freshly built.
+	Deltas []DeltaInfo
+}
+
+// DeltaInfo is the footprint of one applied delta.
+type DeltaInfo struct {
+	Path       string
+	Gen        uint64 // generation after this delta (its ResultGen)
+	Tables     int    // tables added
+	Tombstones int    // tables removed
+	Bytes      int64  // on-disk size
+}
+
+// Generation returns the system's lake-membership generation: the
+// lineage generation when known (loaded or delta-merged systems), else
+// the hash of the catalog's sorted table IDs (fresh in-memory builds).
+// Two systems with the same generation hold the same live table set
+// and — by the delta parity invariant — answer every query
+// bit-identically, which is what lets the serving tier keep its query
+// cache across swaps that do not change the data.
+func (s *System) Generation() uint64 {
+	if s.Lineage != nil {
+		return s.Lineage.Gen
+	}
+	return snap.HashIDs(sortedTableIDs(s.Catalog))
+}
+
+// Depth reports the delta-chain length (0 for a plain base).
+func (l *Lineage) Depth() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Deltas)
+}
+
+// TombstoneCount totals the tombstones across the applied chain.
+func (l *Lineage) TombstoneCount() int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, d := range l.Deltas {
+		n += d.Tombstones
+	}
+	return n
+}
+
+// LastCompactGen is the generation of the base the chain grows from —
+// what the most recent compaction (or initial build) produced.
+func (l *Lineage) LastCompactGen() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.BaseGen
+}
+
+// Delta snapshot framing: same CRC-framed section codec as the system
+// snapshot, under its own magic so the two cannot be confused.
+const (
+	deltaMagic   uint32 = 0x54484442 // "THDB": tablehound delta binary
+	deltaVersion uint16 = 1
+)
+
+// Delta section IDs, in stream order.
+const (
+	dsecMeta uint16 = iota + 1
+	dsecDict
+	dsecCatalog
+	dsecJoin
+	dsecTUS
+	dsecSantos
+	dsecD3L
+	dsecStarmie
+)
+
+// Delta is one increment of lake membership: tombstones to mask,
+// tables to add, the dictionary extension their values need, and the
+// per-surface index parts analyzed over only those tables.
+type Delta struct {
+	// ParentGen is the generation this delta applies to; ResultGen is
+	// the generation after applying it (the hash of the sorted
+	// surviving table IDs).
+	ParentGen uint64
+	ResultGen uint64
+	// BaseDictSize is the dictionary size the extension appends at: new
+	// value IDs start here, so applying against any other dictionary
+	// would scramble the ID space and is rejected.
+	BaseDictSize int
+	// Tombstones are the removed table IDs, sorted.
+	Tombstones []string
+	// NewValues are the dictionary extension in ID order (sorted; IDs
+	// BaseDictSize..BaseDictSize+len-1).
+	NewValues []string
+	// Catalog holds the added tables verbatim (empty for a remove-only
+	// delta).
+	Catalog *lake.Catalog
+	// JoinIDSets are the new tables' join postings, encoded in the
+	// extended dictionary. Signatures are not stored: the merge
+	// re-derives them through dict.Sign, bit-identically.
+	JoinIDSets map[string]dict.IDSet
+	// Per-surface parts for the added tables.
+	TUS     []union.TUSTableParts
+	Santos  []union.SantosTableParts
+	D3L     []union.D3LTableParts
+	Starmie []starmie.TableParts
+}
+
+// AddedIDs returns the sorted IDs of tables this delta adds.
+func (d *Delta) AddedIDs() []string {
+	return sortedTableIDs(d.Catalog)
+}
+
+// Save writes the delta as one self-contained CRC-framed stream.
+func (d *Delta) Save(w io.Writer) error {
+	if err := snap.WriteHeader(w, deltaMagic, deltaVersion, 0); err != nil {
+		return err
+	}
+	sw := snap.NewWriter(w)
+	if err := sw.Section(dsecMeta, func(e *snap.Encoder) {
+		e.U64(d.ParentGen)
+		e.U64(d.ResultGen)
+		e.U32(uint32(d.BaseDictSize))
+		e.Strs(d.Tombstones)
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(dsecDict, func(e *snap.Encoder) {
+		e.Strs(d.NewValues)
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(dsecCatalog, d.Catalog.AppendSnapshot); err != nil {
+		return err
+	}
+	if err := sw.Section(dsecJoin, func(e *snap.Encoder) {
+		keys := make([]string, 0, len(d.JoinIDSets))
+		for k := range d.JoinIDSets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.U32(uint32(len(keys)))
+		for _, k := range keys {
+			e.Str(k)
+			e.U32s(d.JoinIDSets[k])
+		}
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(dsecTUS, func(e *snap.Encoder) {
+		e.U32(uint32(len(d.TUS)))
+		for _, t := range d.TUS {
+			e.Str(t.ID)
+			e.U32(uint32(len(t.Cols)))
+			for _, c := range t.Cols {
+				e.Str(c.Name)
+				e.U32s(c.IDs)
+				e.U64s(c.Sig)
+				e.F32s(c.Vec)
+				e.Str(c.SemType)
+				e.F64(c.SemCover)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(dsecSantos, func(e *snap.Encoder) {
+		e.U32(uint32(len(d.Santos)))
+		for _, t := range d.Santos {
+			e.Str(t.ID)
+			e.U32(uint32(len(t.Rels)))
+			for _, r := range t.Rels {
+				e.Str(r.ColName)
+				e.Strs(r.Pairs)
+				e.Str(r.Pred)
+				e.F64(r.PredFrac)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	if err := sw.Section(dsecD3L, func(e *snap.Encoder) {
+		e.U32(uint32(len(d.D3L)))
+		for _, t := range d.D3L {
+			e.Str(t.ID)
+			e.U32(uint32(len(t.Cols)))
+			for _, c := range t.Cols {
+				e.U32(uint32(c.ColIdx))
+				e.Strs(c.Distinct)
+				e.F64s(c.Format)
+				words := make([]string, 0, len(c.Words))
+				for w := range c.Words {
+					words = append(words, w)
+				}
+				sort.Strings(words)
+				weights := make([]float64, len(words))
+				for i, w := range words {
+					weights[i] = c.Words[w]
+				}
+				e.Strs(words)
+				e.F64s(weights)
+				e.F32s(c.Vec)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	return sw.Section(dsecStarmie, func(e *snap.Encoder) {
+		e.U32(uint32(len(d.Starmie)))
+		for _, t := range d.Starmie {
+			e.Str(t.ID)
+			e.Strs(t.Keys)
+			for _, v := range t.Vecs {
+				e.F32s(v)
+			}
+		}
+	})
+}
+
+// SaveFile writes the delta to path (created or truncated), buffered.
+func (d *Delta) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := d.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDelta reads a delta written by Save. Structural damage surfaces
+// ErrCorruptSnapshot; chain consistency is NOT checked here (apply
+// time owns that — the same delta file can be valid for one lake and
+// stale for another).
+func LoadDelta(r io.Reader) (*Delta, error) {
+	version, _, err := snap.ReadHeader(r, deltaMagic)
+	if err != nil {
+		return nil, err
+	}
+	if version != deltaVersion {
+		return nil, fmt.Errorf("%w: found delta version %d, expected %d", ErrVersionMismatch, version, deltaVersion)
+	}
+	sr := snap.NewReader(r)
+	d := &Delta{JoinIDSets: make(map[string]dict.IDSet)}
+	if err := sr.Section(dsecMeta, func(dec *snap.Decoder) error {
+		d.ParentGen = dec.U64()
+		d.ResultGen = dec.U64()
+		d.BaseDictSize = int(dec.U32())
+		d.Tombstones = dec.Strs()
+		return dec.Err()
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Section(dsecDict, func(dec *snap.Decoder) error {
+		d.NewValues = dec.Strs()
+		return dec.Err()
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Section(dsecCatalog, func(dec *snap.Decoder) error {
+		var derr error
+		d.Catalog, derr = lake.DecodeSnapshot(dec)
+		return derr
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Section(dsecJoin, func(dec *snap.Decoder) error {
+		n := int(dec.U32())
+		for i := 0; i < n; i++ {
+			key := dec.Str()
+			ids := dict.IDSet(dec.U32s())
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			if _, dup := d.JoinIDSets[key]; dup {
+				return fmt.Errorf("%w: duplicate join column %q", snap.ErrCorrupt, key)
+			}
+			d.JoinIDSets[key] = ids
+		}
+		return dec.Err()
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Section(dsecTUS, func(dec *snap.Decoder) error {
+		n := int(dec.U32())
+		for i := 0; i < n; i++ {
+			t := union.TUSTableParts{ID: dec.Str()}
+			ncols := int(dec.U32())
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			for j := 0; j < ncols; j++ {
+				c := union.TUSColumnParts{Name: dec.Str()}
+				c.IDs = dict.IDSet(dec.U32s())
+				c.Sig = dec.U64s()
+				c.Vec = dec.F32s()
+				c.SemType = dec.Str()
+				c.SemCover = dec.F64()
+				if err := dec.Err(); err != nil {
+					return err
+				}
+				t.Cols = append(t.Cols, c)
+			}
+			d.TUS = append(d.TUS, t)
+		}
+		return dec.Err()
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Section(dsecSantos, func(dec *snap.Decoder) error {
+		n := int(dec.U32())
+		for i := 0; i < n; i++ {
+			t := union.SantosTableParts{ID: dec.Str()}
+			nrels := int(dec.U32())
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			for j := 0; j < nrels; j++ {
+				r := union.SantosRelParts{ColName: dec.Str()}
+				r.Pairs = dec.Strs()
+				r.Pred = dec.Str()
+				r.PredFrac = dec.F64()
+				if err := dec.Err(); err != nil {
+					return err
+				}
+				t.Rels = append(t.Rels, r)
+			}
+			d.Santos = append(d.Santos, t)
+		}
+		return dec.Err()
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Section(dsecD3L, func(dec *snap.Decoder) error {
+		n := int(dec.U32())
+		for i := 0; i < n; i++ {
+			t := union.D3LTableParts{ID: dec.Str()}
+			ncols := int(dec.U32())
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			for j := 0; j < ncols; j++ {
+				c := union.D3LColumnParts{ColIdx: int(dec.U32())}
+				c.Distinct = dec.Strs()
+				c.Format = dec.F64s()
+				words := dec.Strs()
+				weights := dec.F64s()
+				c.Vec = dec.F32s()
+				if err := dec.Err(); err != nil {
+					return err
+				}
+				if len(words) != len(weights) {
+					return fmt.Errorf("%w: D3L column has %d words for %d weights", snap.ErrCorrupt, len(words), len(weights))
+				}
+				c.Words = make(map[string]float64, len(words))
+				for k, w := range words {
+					c.Words[w] = weights[k]
+				}
+				t.Cols = append(t.Cols, c)
+			}
+			d.D3L = append(d.D3L, t)
+		}
+		return dec.Err()
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Section(dsecStarmie, func(dec *snap.Decoder) error {
+		n := int(dec.U32())
+		for i := 0; i < n; i++ {
+			t := starmie.TableParts{ID: dec.Str()}
+			t.Keys = dec.Strs()
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			t.Vecs = make([]embedding.Vector, len(t.Keys))
+			for j := range t.Keys {
+				t.Vecs[j] = dec.F32s()
+			}
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			d.Starmie = append(d.Starmie, t)
+		}
+		return dec.Err()
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadDeltaFile loads a delta from a file written by SaveFile.
+func LoadDeltaFile(path string) (*Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDelta(bufio.NewReaderSize(f, 1<<20))
+}
+
+// basePrefix is the cheap-to-read slice of a base snapshot that delta
+// building needs: parameters, membership, and the three frozen
+// foundations every delta encodes against (model, KB, dictionary). The
+// expensive sections — engines, catalog, HNSW graphs — are framed
+// through but never decoded, which is what keeps `lakectl add` far
+// under the cost of a full load, let alone a rebuild.
+type basePrefix struct {
+	opts     Options // build parameters (not runtime knobs)
+	gen      uint64
+	tableIDs []string
+	model    *embedding.Model
+	kb       *kb.KB
+	dict     *dict.Dict
+}
+
+// loadBasePrefix reads just the foundation sections of a base
+// snapshot. All section frames are consumed (the vector blob must be
+// reached for the model's rows) but only options, meta, model, KB, and
+// dictionary are decoded.
+func loadBasePrefix(path string) (*basePrefix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	version, _, err := snap.ReadHeader(r, snapMagic)
+	if err != nil {
+		return nil, err
+	}
+	if version != snapVersion {
+		return nil, fmt.Errorf("%w: found version %d, expected %d", ErrVersionMismatch, version, snapVersion)
+	}
+	sr := snap.NewReader(r)
+	secs := make(map[uint16]*snap.Decoder, secVecs)
+	for id := secOptions; id <= secVecs; id++ {
+		d, err := sr.Payload(id)
+		if err != nil {
+			return nil, err
+		}
+		secs[id] = d
+	}
+	var store *vecstore.Store
+	if err := decodeSection(secVecs, secs, func(d *snap.Decoder) error {
+		dir, derr := vecstore.DecodeDirectory(d)
+		if derr != nil {
+			return derr
+		}
+		blobOff := int64(snapHeaderLen) + sr.Consumed()
+		pad := vecstore.PadTo(blobOff)
+		if pad > 0 {
+			var padBuf [64]byte
+			if _, rerr := io.ReadFull(r, padBuf[:pad]); rerr != nil {
+				return fmt.Errorf("%w: short vector-blob padding: %v", ErrCorruptSnapshot, rerr)
+			}
+			for _, pb := range padBuf[:pad] {
+				if pb != 0 {
+					return fmt.Errorf("%w: nonzero vector-blob padding", ErrCorruptSnapshot)
+				}
+			}
+		}
+		store, derr = dir.ReadBlob(r)
+		return derr
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+	p := &basePrefix{}
+	if err := decodeSection(secOptions, secs, func(d *snap.Decoder) error {
+		p.opts.EmbeddingDim = int(d.U32())
+		p.opts.Seed = d.I64()
+		p.opts.MinJoinCardinality = int(d.U32())
+		p.opts.ContextWeight = d.F64()
+		p.opts.OrgFanout = int(d.U32())
+		p.opts.SkipOrganization = d.Bool()
+		p.opts.SkipFuzzy = d.Bool()
+		p.opts.SkipGraph = d.Bool()
+		p.opts.VecCentroids = int(d.I64())
+		return d.Err()
+	}); err != nil {
+		return nil, err
+	}
+	if err := decodeSection(secMeta, secs, func(d *snap.Decoder) error {
+		p.gen = d.U64()
+		p.tableIDs = d.Strs()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if want := snap.HashIDs(p.tableIDs); p.gen != want {
+			return fmt.Errorf("%w: meta generation %016x does not hash its table IDs (%016x)", ErrCorruptSnapshot, p.gen, want)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	mv, _ := store.View("model")
+	if err := decodeSection(secModel, secs, func(d *snap.Decoder) error {
+		var derr error
+		p.model, derr = embedding.DecodeSnapshot(d, mv.Vec, mv.Len())
+		return derr
+	}); err != nil {
+		return nil, err
+	}
+	if err := decodeSection(secKB, secs, func(d *snap.Decoder) error {
+		if !d.Bool() {
+			return d.Err()
+		}
+		var derr error
+		p.kb, derr = kb.DecodeSnapshot(d)
+		return derr
+	}); err != nil {
+		return nil, err
+	}
+	if err := decodeSection(secDict, secs, func(d *snap.Decoder) error {
+		var derr error
+		p.dict, derr = dict.DecodeSnapshot(d)
+		return derr
+	}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// BuildDelta analyzes a lake mutation — add tables, remove tables, or
+// both (removes apply first, so add+remove of the same ID is a
+// replace) — against the base snapshot at basePath with the deltas at
+// deltaPaths already applied, and returns the delta that chains onto
+// them. Only the new tables are analyzed; cost scales with the
+// mutation, not the lake. Of opts only Parallelism is consulted; index
+// parameters come from the base so delta parts are exchangeable with
+// base parts.
+func BuildDelta(basePath string, deltaPaths []string, add []*table.Table, remove []string, opts Options) (*Delta, error) {
+	par := parallel.Resolve(opts.Parallelism)
+	prefix, err := loadBasePrefix(basePath)
+	if err != nil {
+		return nil, err
+	}
+	live := make(map[string]bool, len(prefix.tableIDs))
+	for _, id := range prefix.tableIDs {
+		live[id] = true
+	}
+	d := prefix.dict
+	gen := prefix.gen
+	for _, p := range deltaPaths {
+		dd, err := LoadDeltaFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if err := applyMembership(dd, p, live, gen, d.Size()); err != nil {
+			return nil, err
+		}
+		d = dict.Extend(d, dd.NewValues)
+		gen = dd.ResultGen
+	}
+
+	removeSet := make(map[string]bool, len(remove))
+	for _, id := range remove {
+		if !live[id] {
+			return nil, fmt.Errorf("core: cannot remove %q: not in the lake", id)
+		}
+		removeSet[id] = true
+	}
+	addSorted := make([]*table.Table, len(add))
+	copy(addSorted, add)
+	sort.Slice(addSorted, func(i, j int) bool { return addSorted[i].ID < addSorted[j].ID })
+	for _, t := range addSorted {
+		if live[t.ID] && !removeSet[t.ID] {
+			return nil, fmt.Errorf("core: cannot add %q: already in the lake (remove it first to replace)", t.ID)
+		}
+	}
+	if len(addSorted) == 0 && len(removeSet) == 0 {
+		return nil, errors.New("core: empty delta: nothing to add or remove")
+	}
+	for id := range removeSet {
+		delete(live, id)
+	}
+
+	baseSize := d.Size()
+	var vals []string
+	for _, t := range addSorted {
+		for _, c := range t.Columns {
+			vals = append(vals, tokenize.NormalizeSet(c.Values)...)
+		}
+	}
+	ext := dict.Extend(d, vals)
+	newIDs := make(dict.IDSet, 0, ext.Size()-baseSize)
+	for i := baseSize; i < ext.Size(); i++ {
+		newIDs = append(newIDs, uint32(i))
+	}
+
+	tombstones := make([]string, 0, len(removeSet))
+	for id := range removeSet {
+		tombstones = append(tombstones, id)
+	}
+	sort.Strings(tombstones)
+	delta := &Delta{
+		ParentGen:    gen,
+		BaseDictSize: baseSize,
+		Tombstones:   tombstones,
+		NewValues:    ext.Decode(newIDs),
+		Catalog:      lake.NewCatalog(),
+		JoinIDSets:   make(map[string]dict.IDSet),
+	}
+	if len(addSorted) > 0 {
+		if err := delta.Catalog.AddBatch(addSorted); err != nil {
+			return nil, err
+		}
+		jb := join.NewBuilder(prefix.opts.MinJoinCardinality)
+		jb.UseDict(ext)
+		for _, t := range addSorted {
+			jb.AddTable(t)
+		}
+		if jb.NumStaged() > 0 {
+			eng, err := jb.Build()
+			if err != nil {
+				return nil, err
+			}
+			parts := eng.Parts()
+			for _, k := range parts.Keys {
+				delta.JoinIDSets[k] = parts.IDSets[k]
+			}
+		}
+		tus, err := union.NewTUS(union.TUSConfig{Model: prefix.model, KB: prefix.kb, Dict: ext, NumHashes: 128})
+		if err != nil {
+			return nil, err
+		}
+		tus.AddTables(addSorted, par)
+		if err := tus.Build(); err != nil {
+			return nil, err
+		}
+		if delta.TUS, err = tus.Parts(); err != nil {
+			return nil, err
+		}
+		santos := union.NewSantos(prefix.kb)
+		for _, t := range addSorted {
+			santos.AddTable(t)
+		}
+		delta.Santos = santos.Parts()
+		d3l, err := union.NewD3L(prefix.model)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range addSorted {
+			d3l.AddTable(t)
+		}
+		delta.D3L = d3l.Parts()
+		sx := starmie.NewIndex(starmie.NewEncoder(prefix.model, prefix.opts.ContextWeight))
+		sx.AddTables(addSorted, par)
+		delta.Starmie = sx.Parts()
+		for _, t := range addSorted {
+			live[t.ID] = true
+		}
+	}
+	delta.ResultGen = snap.HashIDs(sortedKeys(live))
+	return delta, nil
+}
+
+// applyMembership validates one delta's chain links against the
+// current (gen, dictSize) state and folds its tombstones and additions
+// into live. It does NOT extend the dictionary — callers own that, so
+// they control whether parts are also being merged.
+func applyMembership(d *Delta, path string, live map[string]bool, gen uint64, dictSize int) error {
+	if d.ParentGen != gen {
+		return fmt.Errorf("%w: delta %s chains onto generation %016x, lake is at %016x", ErrDeltaChain, path, d.ParentGen, gen)
+	}
+	if d.BaseDictSize != dictSize {
+		return fmt.Errorf("%w: delta %s extends a dictionary of %d values, lake has %d", ErrDeltaChain, path, d.BaseDictSize, dictSize)
+	}
+	for _, id := range d.Tombstones {
+		if !live[id] {
+			return fmt.Errorf("%w: delta %s removes %q, which is not in the lake", ErrDeltaChain, path, id)
+		}
+		delete(live, id)
+	}
+	for _, t := range d.Catalog.Tables() {
+		if live[t.ID] {
+			return fmt.Errorf("%w: delta %s re-adds %q without a tombstone", ErrDeltaChain, path, t.ID)
+		}
+		live[t.ID] = true
+	}
+	if want := snap.HashIDs(sortedKeys(live)); want != d.ResultGen {
+		return fmt.Errorf("%w: delta %s declares result generation %016x, applying it yields %016x", ErrDeltaChain, path, d.ResultGen, want)
+	}
+	return nil
+}
+
+// LoadChainFiles loads a base snapshot plus an ordered delta chain and
+// materializes the merge: one System answering every search surface
+// bit-identically to a from-scratch build over the surviving tables.
+// With no deltas it is exactly LoadFile.
+func LoadChainFiles(basePath string, deltaPaths []string, opts Options) (*System, error) {
+	base, err := LoadFile(basePath, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(deltaPaths) == 0 {
+		return base, nil
+	}
+	deltas := make([]*Delta, len(deltaPaths))
+	infos := make([]DeltaInfo, len(deltaPaths))
+	for i, p := range deltaPaths {
+		dd, err := LoadDeltaFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		deltas[i] = dd
+		var size int64
+		if fi, serr := os.Stat(p); serr == nil {
+			size = fi.Size()
+		}
+		infos[i] = DeltaInfo{Path: p, Gen: dd.ResultGen, Tables: dd.Catalog.Len(), Tombstones: len(dd.Tombstones), Bytes: size}
+	}
+	return ApplyDeltas(base, deltas, infos)
+}
+
+// ApplyDeltas folds an ordered delta chain over a freshly loaded base
+// system and returns the merged system. The base is consumed: its
+// model is rebound onto the merged vector block, so it must not keep
+// serving queries (load a fresh base per merge — LoadChainFiles does).
+func ApplyDeltas(base *System, deltas []*Delta, infos []DeltaInfo) (*System, error) {
+	start := time.Now()
+	if base.Lineage == nil {
+		return nil, errors.New("core: base system has no lineage (not loaded from a snapshot)")
+	}
+	bopts := base.buildOpts
+	gen := base.Lineage.Gen
+	ext := base.Dict
+	liveTbl := make(map[string]*table.Table, base.Catalog.Len())
+	for _, t := range base.Catalog.Tables() {
+		liveTbl[t.ID] = t
+	}
+	baseJoin := base.Join.Parts()
+	joinSets := make(map[string]dict.IDSet, len(baseJoin.IDSets))
+	for k, v := range baseJoin.IDSets {
+		joinSets[k] = v
+	}
+	tusParts, err := base.TUS.Parts()
+	if err != nil {
+		return nil, err
+	}
+	tusBy := make(map[string]union.TUSTableParts, len(tusParts))
+	for _, p := range tusParts {
+		tusBy[p.ID] = p
+	}
+	santosBy := make(map[string]union.SantosTableParts)
+	for _, p := range base.Santos.Parts() {
+		santosBy[p.ID] = p
+	}
+	d3lBy := make(map[string]union.D3LTableParts)
+	for _, p := range base.D3L.Parts() {
+		d3lBy[p.ID] = p
+	}
+	starBy := make(map[string]starmie.TableParts)
+	for _, p := range base.Starmie.Parts() {
+		starBy[p.ID] = p
+	}
+
+	for i, dd := range deltas {
+		path := fmt.Sprintf("delta[%d]", i)
+		if i < len(infos) && infos[i].Path != "" {
+			path = infos[i].Path
+		}
+		if dd.ParentGen != gen {
+			return nil, fmt.Errorf("%w: delta %s chains onto generation %016x, lake is at %016x", ErrDeltaChain, path, dd.ParentGen, gen)
+		}
+		if dd.BaseDictSize != ext.Size() {
+			return nil, fmt.Errorf("%w: delta %s extends a dictionary of %d values, lake has %d", ErrDeltaChain, path, dd.BaseDictSize, ext.Size())
+		}
+		for _, id := range dd.Tombstones {
+			if liveTbl[id] == nil {
+				return nil, fmt.Errorf("%w: delta %s removes %q, which is not in the lake", ErrDeltaChain, path, id)
+			}
+			delete(liveTbl, id)
+			delete(tusBy, id)
+			delete(santosBy, id)
+			delete(d3lBy, id)
+			delete(starBy, id)
+			for key := range joinSets {
+				if tid, _ := table.SplitColumnKey(key); tid == id {
+					delete(joinSets, key)
+				}
+			}
+		}
+		for _, t := range dd.Catalog.Tables() {
+			if liveTbl[t.ID] != nil {
+				return nil, fmt.Errorf("%w: delta %s re-adds %q without a tombstone", ErrDeltaChain, path, t.ID)
+			}
+			liveTbl[t.ID] = t
+		}
+		for key, ids := range dd.JoinIDSets {
+			if _, dup := joinSets[key]; dup {
+				return nil, fmt.Errorf("%w: delta %s re-adds join column %q", ErrDeltaChain, path, key)
+			}
+			joinSets[key] = ids
+		}
+		for _, p := range dd.TUS {
+			tusBy[p.ID] = p
+		}
+		for _, p := range dd.Santos {
+			santosBy[p.ID] = p
+		}
+		for _, p := range dd.D3L {
+			d3lBy[p.ID] = p
+		}
+		for _, p := range dd.Starmie {
+			starBy[p.ID] = p
+		}
+		ext = dict.Extend(ext, dd.NewValues)
+		if want := snap.HashIDs(sortedKeys(liveTbl)); want != dd.ResultGen {
+			return nil, fmt.Errorf("%w: delta %s declares result generation %016x, applying it yields %016x", ErrDeltaChain, path, dd.ResultGen, want)
+		}
+		gen = dd.ResultGen
+	}
+
+	// Merged catalog in sorted-ID order — the canonical order a fresh
+	// build over the same tables uses, which keeps the order-sensitive
+	// rebuilt structures (keyword statistics) bit-identical.
+	ids := sortedKeys(liveTbl)
+	cat := lake.NewCatalog()
+	ordered := make([]*table.Table, len(ids))
+	for i, id := range ids {
+		ordered[i] = liveTbl[id]
+	}
+	if err := cat.AddBatch(ordered); err != nil {
+		return nil, err
+	}
+	// The merged system gets a fresh, sorted dictionary over the merged
+	// catalog — identical to the one a from-scratch build constructs —
+	// and the folded ID sets remap onto it. The extended dictionary is
+	// only the deltas' transport encoding: keeping it would persist an
+	// unsorted value table (which the dict snapshot codec rightly
+	// rejects) and let stale values from removed tables accumulate
+	// across compactions.
+	freshDict, err := buildDict(ordered, bopts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	const unmapped = ^uint32(0)
+	remap := make([]uint32, ext.Size())
+	for i := range remap {
+		if id, ok := freshDict.ID(ext.Value(uint32(i))); ok {
+			remap[i] = id
+		} else {
+			remap[i] = unmapped // value only in removed tables
+		}
+	}
+	remapSet := func(ids dict.IDSet) (dict.IDSet, error) {
+		out := make(dict.IDSet, len(ids))
+		for i, id := range ids {
+			if int(id) >= len(remap) || remap[id] == unmapped {
+				return nil, fmt.Errorf("%w: ID %d references a value outside the merged lake", ErrDeltaChain, id)
+			}
+			out[i] = remap[id]
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out, nil
+	}
+	for key, set := range joinSets {
+		ns, rerr := remapSet(set)
+		if rerr != nil {
+			return nil, fmt.Errorf("join column %q: %w", key, rerr)
+		}
+		joinSets[key] = ns
+	}
+	tusOrdered := partsInIDOrder(ids, tusBy)
+	for ti := range tusOrdered {
+		for ci := range tusOrdered[ti].Cols {
+			ns, rerr := remapSet(tusOrdered[ti].Cols[ci].IDs)
+			if rerr != nil {
+				return nil, fmt.Errorf("TUS column %s.%s: %w", tusOrdered[ti].ID, tusOrdered[ti].Cols[ci].Name, rerr)
+			}
+			tusOrdered[ti].Cols[ci].IDs = ns
+		}
+	}
+	mp := mergedParts{
+		joinSets:      joinSets,
+		numHashes:     baseJoin.NumHashes,
+		numPartitions: baseJoin.NumPartitions,
+		tus:           tusOrdered,
+		santos:        partsInIDOrder(ids, santosBy),
+		d3l:           partsInIDOrder(ids, d3lBy),
+		starmie:       partsInIDOrder(ids, starBy),
+	}
+	sys, err := assembleMerged(cat, base.Model, base.KB, freshDict, mp, bopts)
+	if err != nil {
+		return nil, err
+	}
+	sys.Lineage = &Lineage{BaseGen: base.Lineage.Gen, Gen: gen, TableIDs: ids, Deltas: infos}
+	sys.BuildStats.Total = time.Since(start)
+	return sys, nil
+}
+
+// mergedParts carries the folded per-surface parts into assembly.
+type mergedParts struct {
+	joinSets      map[string]dict.IDSet
+	numHashes     int
+	numPartitions int
+	tus           []union.TUSTableParts
+	santos        []union.SantosTableParts
+	d3l           []union.D3LTableParts
+	starmie       []starmie.TableParts
+}
+
+// assembleMerged wires a System over the merged catalog: the heavy
+// engines reassemble from parts through their FromParts constructors,
+// and everything that Load already re-derives cheaply (keyword,
+// profiles, entities, fuzzy, correlation, MATE, organization, graph)
+// rebuilds from the merged catalog with the base's build parameters.
+// Stage structure mirrors Build so merging parallelizes the same way.
+func assembleMerged(cat *lake.Catalog, model *embedding.Model, curated *kb.KB, ext *dict.Dict, mp mergedParts, bopts Options) (*System, error) {
+	tables := cat.Tables()
+	s := &System{Catalog: cat, Model: model, KB: curated, Dict: ext, buildOpts: bopts}
+	stats := newBuildStats(bopts.Parallelism)
+	lookup := cat.Table
+	stages := []struct {
+		id   int
+		skip bool
+		run  func() (int, error)
+	}{
+		{stageKeyword, false, func() (int, error) {
+			return buildKeyword(s, tables)
+		}},
+		{stageProfiles, false, func() (int, error) {
+			s.Profiles = profile.NewIndexN(tables, bopts.Parallelism)
+			return s.Profiles.Len(), nil
+		}},
+		{stageEntities, false, func() (int, error) {
+			s.Entities = apps.NewEntityAugmenter(tables)
+			return len(tables), nil
+		}},
+		{stageJoin, false, func() (int, error) {
+			eng, err := join.NewEngineFromParts(ext, mp.joinSets, mp.numHashes, mp.numPartitions, bopts.Parallelism)
+			if err != nil {
+				return 0, fmt.Errorf("core: join merge: %w", err)
+			}
+			eng.QueryParallelism = bopts.QueryParallelism
+			s.Join = eng
+			return eng.NumColumns(), nil
+		}},
+		{stageFuzzy, bopts.SkipFuzzy, func() (int, error) {
+			return buildFuzzy(s, tables, bopts)
+		}},
+		{stageCorr, false, func() (int, error) {
+			return buildCorr(s, tables, bopts)
+		}},
+		{stageMate, false, func() (int, error) {
+			s.Mate = join.NewMateIndex(tables)
+			return len(tables), nil
+		}},
+		{stageTUS, false, func() (int, error) {
+			tus, err := union.NewTUSFromParts(union.TUSConfig{Model: model, KB: curated, Dict: ext, NumHashes: 128}, mp.tus, lookup)
+			if err != nil {
+				return 0, err
+			}
+			tus.QueryParallelism = bopts.QueryParallelism
+			s.TUS = tus
+			return tus.NumTables(), nil
+		}},
+		{stageSantos, false, func() (int, error) {
+			santos, err := union.NewSantosFromParts(curated, mp.santos, lookup)
+			if err != nil {
+				return 0, err
+			}
+			santos.QueryParallelism = bopts.QueryParallelism
+			s.Santos = santos
+			return santos.NumTables(), nil
+		}},
+		{stageD3L, false, func() (int, error) {
+			d3l, err := union.NewD3LFromParts(model, mp.d3l, lookup)
+			if err != nil {
+				return 0, err
+			}
+			s.D3L = d3l
+			return d3l.NumTables(), nil
+		}},
+		{stageStarmie, false, func() (int, error) {
+			ix, err := starmie.NewIndexFromParts(starmie.NewEncoder(model, bopts.ContextWeight), mp.starmie)
+			if err != nil {
+				return 0, err
+			}
+			s.Starmie = ix
+			return ix.NumColumns(), nil
+		}},
+		{stageOrg, bopts.SkipOrganization, func() (int, error) {
+			s.Org = navigation.Organize(tables, model, navigation.Config{Fanout: bopts.OrgFanout, Seed: bopts.Seed})
+			return len(tables), nil
+		}},
+		{stageGraph, bopts.SkipGraph, func() (int, error) {
+			if g, err := aurum.Build(tables, aurum.Config{}); err == nil {
+				s.Graph = g
+			}
+			return len(tables), nil
+		}},
+	}
+	err := parallel.ForEach(len(stages), bopts.Parallelism, func(i int) error {
+		st := stages[i]
+		if st.skip {
+			stats.skip(st.id)
+			return nil
+		}
+		return stats.time(st.id, st.run)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := stats.time(stageVecs, func() (int, error) {
+		return buildVecStore(s, bopts)
+	}); err != nil {
+		return nil, err
+	}
+	stats.Stages[stageModel].Items = -1 // frozen base model, never retrained
+	stats.Stages[stageDict].Items = -1  // extended, not rebuilt
+	s.BuildStats = stats
+	return s, nil
+}
+
+// partsInIDOrder flattens a parts map to a slice in sorted-table-ID
+// order (dropping entries for tables no longer live — the tombstone
+// deletes already removed those, so this is just the ordering pass).
+func partsInIDOrder[P any](ids []string, by map[string]P) []P {
+	out := make([]P, 0, len(by))
+	for _, id := range ids {
+		if p, ok := by[id]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sortedKeys returns a map's string keys, sorted.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpandDeltas resolves a comma-separated delta-chain spec (the CLI
+// and daemon -deltas flag) into ordered file paths. Each element may
+// be a glob; glob matches are appended in sorted-name order (lakectl
+// add names deltas so that name order is chain order), non-glob
+// elements pass through verbatim. An empty spec is an empty chain.
+func ExpandDeltas(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var paths []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.ContainsAny(part, "*?[") {
+			matches, err := filepath.Glob(part)
+			if err != nil {
+				return nil, fmt.Errorf("core: deltas: bad pattern %q: %v", part, err)
+			}
+			sort.Strings(matches)
+			paths = append(paths, matches...)
+			continue
+		}
+		paths = append(paths, part)
+	}
+	return paths, nil
+}
+
+// CompactFiles folds a base snapshot plus its delta chain into a new
+// base at outPath (written to a temp file, then renamed, so readers —
+// including mmap'd loads of an old base at the same path — never see a
+// torn file). The merged system is returned so a server can hot-swap
+// onto it without reloading. Compaction never retrains the embedding
+// model: the frozen base model persists into the new base, by design —
+// results stay bit-identical across compactions.
+func CompactFiles(basePath string, deltaPaths []string, outPath string, opts Options) (*System, error) {
+	sys, err := LoadChainFiles(basePath, deltaPaths, opts)
+	if err != nil {
+		return nil, err
+	}
+	tmp := outPath + ".compact.tmp"
+	if err := sys.SaveFile(tmp); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, outPath); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	// The fold is now a base: depth resets, generation carries over.
+	sys.Lineage = &Lineage{BaseGen: sys.Lineage.Gen, Gen: sys.Lineage.Gen, TableIDs: sys.Lineage.TableIDs}
+	return sys, nil
+}

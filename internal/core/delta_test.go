@@ -1,0 +1,393 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tablehound/internal/datagen"
+	"tablehound/internal/lake"
+	"tablehound/internal/snap"
+	"tablehound/internal/table"
+	"tablehound/internal/union"
+)
+
+// assertSurfaceParity compares every search surface of got against
+// want over a set of query tables. The parity contract is the delta
+// subsystem's core promise: a system assembled from (base + deltas)
+// answers bit-identically to one built from scratch over the merged
+// catalog with the same frozen embedding model.
+func assertSurfaceParity(t *testing.T, label string, got, want *System, gen *datagen.Lake, queryTables []*table.Table) {
+	t.Helper()
+	check := func(surface string, g, w any, gerr, werr error) {
+		t.Helper()
+		if gerr != nil || werr != nil {
+			t.Fatalf("%s/%s: got err %v, want err %v", label, surface, gerr, werr)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s/%s results differ:\ngot  %+v\nwant %+v", label, surface, g, w)
+		}
+	}
+
+	topic := gen.DomainNames[gen.Templates[0].Domains[0]]
+	gk, ge := got.KeywordSearch(topic, 10)
+	wk, we := want.KeywordSearch(topic, 10)
+	check("keyword", gk, wk, ge, we)
+
+	for i, q := range queryTables {
+		qcol := q.Columns[0]
+		tag := fmt.Sprintf("%s-q%d", q.ID, i)
+
+		gv, ge := got.ValueSearch(qcol.Values[0], 10)
+		wv, we := want.ValueSearch(qcol.Values[0], 10)
+		check("value-"+tag, gv, wv, ge, we)
+
+		gj, ge := got.JoinableColumns(qcol.Values, 10)
+		wj, we := want.JoinableColumns(qcol.Values, 10)
+		check("join-overlap-"+tag, gj, wj, ge, we)
+
+		gc, ge := got.ContainmentSearch(qcol.Values, 0.5, 10)
+		wc, we := want.ContainmentSearch(qcol.Values, 0.5, 10)
+		check("join-containment-"+tag, gc, wc, ge, we)
+
+		// Queries mixing indexed values with dictionary-OOV strings:
+		// the extended dictionary must treat unseen values exactly as a
+		// from-scratch dictionary does.
+		oov := append([]string{"zzz-delta-oov-1", "zzz-delta-oov-2"}, qcol.Values[:min(4, len(qcol.Values))]...)
+		goov, ge := got.JoinableColumns(oov, 10)
+		woov, we := want.JoinableColumns(oov, 10)
+		check("join-oov-"+tag, goov, woov, ge, we)
+
+		gu, ge := got.UnionableTables(q, 10)
+		wu, we := want.UnionableTables(q, 10)
+		check("tus-union-"+tag, gu, wu, ge, we)
+
+		gsa, ge := got.Santos.Search(q, 5, union.Hybrid)
+		wsa, we := want.Santos.Search(q, 5, union.Hybrid)
+		check("santos-"+tag, gsa, wsa, ge, we)
+
+		gd, ge := got.D3L.Search(q, 5)
+		wd, we := want.D3L.Search(q, 5)
+		check("d3l-"+tag, gd, wd, ge, we)
+
+		gs, ge := got.Starmie.SearchTables(q, 5, 64, false)
+		ws, we := want.Starmie.SearchTables(q, 5, 64, false)
+		check("starmie-"+tag, gs, ws, ge, we)
+
+		gf, _ := got.Fuzzy.Search(qcol.Values, 0.85, 0.5)
+		wf, _ := want.Fuzzy.Search(qcol.Values, 0.85, 0.5)
+		check("fuzzy-"+tag, gf, wf, nil, nil)
+	}
+
+	glab, gid, ge := got.Navigate(topic)
+	wlab, wid, we := want.Navigate(topic)
+	check("navigate-labels", glab, wlab, ge, we)
+	check("navigate-table", gid, wid, nil, nil)
+
+	wantTables := want.Catalog.Tables()
+	from, to := wantTables[0].ID, wantTables[len(wantTables)-1].ID
+	check("joinpath", got.JoinPath(from, to, 3), want.JoinPath(from, to, 3), nil, nil)
+
+	gm := got.MatchSchemas(queryTables[0], queryTables[len(queryTables)-1], 0.5)
+	wm := want.MatchSchemas(queryTables[0], queryTables[len(queryTables)-1], 0.5)
+	check("match-schemas", gm, wm, nil, nil)
+}
+
+// TestDeltaMergeParity drives a sequence of add/remove deltas over a
+// base snapshot — including a removed-then-re-added table ID and a
+// remove+add replace within one delta — and checks that the merged
+// system, the compacted system, and a reload of the compacted base all
+// answer every surface bit-identically to a from-scratch build over
+// the surviving tables (with the base's frozen model pinned, since
+// deltas never retrain).
+func TestDeltaMergeParity(t *testing.T) {
+	gen := datagen.Generate(datagen.Config{Seed: 11, NumTemplates: 4, TablesPerTemplate: 4})
+	all := append([]*table.Table(nil), gen.Tables...)
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	if len(all) < 14 {
+		t.Fatalf("datagen produced %d tables, need >= 14", len(all))
+	}
+	curated := gen.BuildKB(0.8)
+	baseTables, pool := all[:10], all[10:]
+
+	cat := lake.NewCatalog()
+	if err := cat.AddBatch(baseTables); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(cat, Options{KB: curated, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.snap")
+	if err := base.SaveFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+
+	live := make(map[string]*table.Table, len(baseTables))
+	for _, tb := range baseTables {
+		live[tb.ID] = tb
+	}
+	var deltaPaths []string
+	writeDelta := func(add []*table.Table, remove []string) {
+		t.Helper()
+		d, err := BuildDelta(basePath, deltaPaths, add, remove, Options{})
+		if err != nil {
+			t.Fatalf("BuildDelta: %v", err)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("delta%d.thdb", len(deltaPaths)))
+		if err := d.SaveFile(p); err != nil {
+			t.Fatalf("SaveFile: %v", err)
+		}
+		deltaPaths = append(deltaPaths, p)
+		for _, id := range remove {
+			delete(live, id)
+		}
+		for _, tb := range add {
+			live[tb.ID] = tb
+		}
+	}
+
+	// Round 1: pure addition. Round 2: pure removal of one randomly
+	// chosen base table plus one just-added table. Round 3: re-add the
+	// removed base table (removed-then-re-added ID), replace pool[0]
+	// in a single delta (tombstone + re-add), and add the remainder.
+	rng := rand.New(rand.NewSource(42))
+	victim := baseTables[rng.Intn(len(baseTables))]
+	writeDelta(pool[:3], nil)
+	writeDelta(nil, []string{victim.ID, pool[1].ID})
+	writeDelta(append([]*table.Table{victim, pool[0]}, pool[3:]...), []string{pool[0].ID})
+
+	merged, err := LoadChainFiles(basePath, deltaPaths, Options{})
+	if err != nil {
+		t.Fatalf("LoadChainFiles: %v", err)
+	}
+
+	finalIDs := sortedKeys(live)
+	ordered := make([]*table.Table, len(finalIDs))
+	for i, id := range finalIDs {
+		ordered[i] = live[id]
+	}
+	fcat := lake.NewCatalog()
+	if err := fcat.AddBatch(ordered); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(fcat, Options{KB: curated, Seed: 3, Model: base.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stableBase *table.Table
+	for _, tb := range baseTables {
+		if tb.ID != victim.ID {
+			stableBase = tb
+			break
+		}
+	}
+	queryTables := []*table.Table{stableBase, victim, pool[0], pool[2]}
+	assertSurfaceParity(t, "merged-vs-fresh", merged, fresh, gen, queryTables)
+
+	if merged.Lineage == nil || merged.Lineage.Depth() != 3 {
+		t.Fatalf("merged lineage = %+v, want depth 3", merged.Lineage)
+	}
+	if want := snap.HashIDs(finalIDs); merged.Lineage.Gen != want {
+		t.Errorf("merged generation %016x, want %016x", merged.Lineage.Gen, want)
+	}
+	if !reflect.DeepEqual(merged.Lineage.TableIDs, finalIDs) {
+		t.Errorf("merged table IDs %v, want %v", merged.Lineage.TableIDs, finalIDs)
+	}
+	if merged.Lineage.TombstoneCount() != 3 {
+		t.Errorf("tombstone count = %d, want 3", merged.Lineage.TombstoneCount())
+	}
+	if merged.Catalog.Table(pool[1].ID) != nil {
+		t.Errorf("removed table %q still in merged catalog", pool[1].ID)
+	}
+
+	// Compaction folds the chain into a new base: same answers, same
+	// generation, zero depth — and new deltas chain onto it.
+	outPath := filepath.Join(dir, "compacted.snap")
+	csys, err := CompactFiles(basePath, deltaPaths, outPath, Options{})
+	if err != nil {
+		t.Fatalf("CompactFiles: %v", err)
+	}
+	if csys.Lineage.Depth() != 0 || csys.Lineage.Gen != merged.Lineage.Gen {
+		t.Errorf("compacted lineage = %+v, want depth 0 at gen %016x", csys.Lineage, merged.Lineage.Gen)
+	}
+	assertSurfaceParity(t, "compacted-vs-fresh", csys, fresh, gen, queryTables)
+
+	reloaded, err := LoadFile(outPath, Options{})
+	if err != nil {
+		t.Fatalf("LoadFile(compacted): %v", err)
+	}
+	if reloaded.Lineage.Gen != merged.Lineage.Gen {
+		t.Errorf("reloaded compacted gen %016x, want %016x", reloaded.Lineage.Gen, merged.Lineage.Gen)
+	}
+	assertSurfaceParity(t, "reloaded-compacted-vs-fresh", reloaded, fresh, gen, queryTables)
+
+	d4, err := BuildDelta(outPath, nil, nil, []string{pool[2].ID}, Options{})
+	if err != nil {
+		t.Fatalf("BuildDelta onto compacted base: %v", err)
+	}
+	p4 := filepath.Join(dir, "delta4.thdb")
+	if err := d4.SaveFile(p4); err != nil {
+		t.Fatal(err)
+	}
+	after, err := LoadChainFiles(outPath, []string{p4}, Options{})
+	if err != nil {
+		t.Fatalf("LoadChainFiles onto compacted base: %v", err)
+	}
+	if after.Catalog.Table(pool[2].ID) != nil {
+		t.Errorf("table %q survives its tombstone on the compacted chain", pool[2].ID)
+	}
+	if after.Catalog.Len() != len(finalIDs)-1 {
+		t.Errorf("post-compaction chain has %d tables, want %d", after.Catalog.Len(), len(finalIDs)-1)
+	}
+}
+
+// deltaFixture builds a tiny base snapshot plus one valid delta and
+// returns their paths along with the delta and the table it added.
+func deltaFixture(t *testing.T) (basePath, deltaPath string, d *Delta, added *table.Table) {
+	t.Helper()
+	gen := datagen.Generate(datagen.Config{Seed: 5, NumTemplates: 2, TablesPerTemplate: 2})
+	all := append([]*table.Table(nil), gen.Tables...)
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	cat := lake.NewCatalog()
+	if err := cat.AddBatch(all[:len(all)-1]); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(cat, Options{KB: gen.BuildKB(0.8), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	basePath = filepath.Join(dir, "base.snap")
+	if err := base.SaveFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	added = all[len(all)-1]
+	d, err = BuildDelta(basePath, nil, []*table.Table{added}, nil, Options{})
+	if err != nil {
+		t.Fatalf("BuildDelta: %v", err)
+	}
+	deltaPath = filepath.Join(dir, "delta0.thdb")
+	if err := d.SaveFile(deltaPath); err != nil {
+		t.Fatal(err)
+	}
+	return basePath, deltaPath, d, added
+}
+
+// TestDeltaChainValidation pins the typed chain errors: a delta whose
+// links do not match the lake it is applied to is rejected with
+// ErrDeltaChain (never silently merged, never reported as corruption).
+func TestDeltaChainValidation(t *testing.T) {
+	basePath, deltaPath, d, added := deltaFixture(t)
+	dir := filepath.Dir(deltaPath)
+
+	saveVariant := func(name string, mutate func(*Delta)) string {
+		t.Helper()
+		v := *d
+		mutate(&v)
+		p := filepath.Join(dir, name)
+		if err := v.SaveFile(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	t.Run("wrong parent generation", func(t *testing.T) {
+		p := saveVariant("parent.thdb", func(v *Delta) { v.ParentGen ^= 1 })
+		if _, err := LoadChainFiles(basePath, []string{p}, Options{}); !errors.Is(err, ErrDeltaChain) {
+			t.Errorf("err = %v, want ErrDeltaChain", err)
+		}
+	})
+	t.Run("wrong result generation", func(t *testing.T) {
+		p := saveVariant("result.thdb", func(v *Delta) { v.ResultGen ^= 1 })
+		if _, err := LoadChainFiles(basePath, []string{p}, Options{}); !errors.Is(err, ErrDeltaChain) {
+			t.Errorf("err = %v, want ErrDeltaChain", err)
+		}
+	})
+	t.Run("dictionary size mismatch", func(t *testing.T) {
+		p := saveVariant("dict.thdb", func(v *Delta) { v.BaseDictSize++ })
+		if _, err := LoadChainFiles(basePath, []string{p}, Options{}); !errors.Is(err, ErrDeltaChain) {
+			t.Errorf("err = %v, want ErrDeltaChain", err)
+		}
+	})
+	t.Run("same delta applied twice", func(t *testing.T) {
+		if _, err := LoadChainFiles(basePath, []string{deltaPath, deltaPath}, Options{}); !errors.Is(err, ErrDeltaChain) {
+			t.Errorf("err = %v, want ErrDeltaChain", err)
+		}
+	})
+	t.Run("remove of absent table", func(t *testing.T) {
+		if _, err := BuildDelta(basePath, nil, nil, []string{"no-such-table"}, Options{}); err == nil {
+			t.Error("BuildDelta removing an absent table succeeded")
+		}
+	})
+	t.Run("add of duplicate table", func(t *testing.T) {
+		if _, err := BuildDelta(basePath, []string{deltaPath}, []*table.Table{added}, nil, Options{}); err == nil {
+			t.Error("BuildDelta re-adding a live table without removal succeeded")
+		}
+	})
+	t.Run("empty delta", func(t *testing.T) {
+		if _, err := BuildDelta(basePath, nil, nil, nil, Options{}); err == nil {
+			t.Error("BuildDelta with nothing to do succeeded")
+		}
+	})
+}
+
+// TestDeltaRejectsCorruption extends the corruption sweep to the delta
+// format: truncation at every prefix and a flipped byte at every
+// offset must surface ErrCorruptSnapshot (the version field, bytes
+// 4..5, surfaces ErrVersionMismatch instead) — never a panic or a
+// silent success.
+func TestDeltaRejectsCorruption(t *testing.T) {
+	_, deltaPath, _, _ := deltaFixture(t)
+	good, err := os.ReadFile(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDelta(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine delta fails to load: %v", err)
+	}
+
+	t.Run("truncation", func(t *testing.T) {
+		for n := 0; n < len(good); n += 97 {
+			if _, err := LoadDelta(bytes.NewReader(good[:n])); !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("truncated to %d bytes: err = %v, want ErrCorruptSnapshot", n, err)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		bad := append(append([]byte{}, good...), 0xFF)
+		if _, err := LoadDelta(bytes.NewReader(bad)); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("err = %v, want ErrCorruptSnapshot", err)
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[4] = 0xEE
+		if _, err := LoadDelta(bytes.NewReader(bad)); !errors.Is(err, ErrVersionMismatch) {
+			t.Errorf("err = %v, want ErrVersionMismatch", err)
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		bad := make([]byte, len(good))
+		for off := 0; off < len(good); off += 101 {
+			if off == 4 || off == 5 {
+				continue // version bytes: ErrVersionMismatch, pinned above
+			}
+			copy(bad, good)
+			bad[off] ^= 0x40
+			if _, err := LoadDelta(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("flipped byte at %d: LoadDelta succeeded", off)
+			} else if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("flipped byte at %d: err = %v, want ErrCorruptSnapshot", off, err)
+			}
+		}
+	})
+}

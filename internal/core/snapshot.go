@@ -16,9 +16,11 @@ package core
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,13 +47,23 @@ import (
 // sentinel, so errors.Is matches either spelling.
 var ErrCorruptSnapshot = snap.ErrCorrupt
 
+// ErrVersionMismatch marks a structurally sound snapshot header whose
+// version this binary does not speak — a stale (or too-new) snapshot
+// rather than bit rot. It deliberately does NOT satisfy
+// errors.Is(err, ErrCorruptSnapshot): operators react differently to
+// "rebuild the snapshot" than to "the bytes are damaged". The wrapped
+// message names the found and expected versions.
+var ErrVersionMismatch = errors.New("core: snapshot version mismatch")
+
 // Snapshot framing. Version 2 added the shared vector block: a
 // directory section (secVecs) inside the framed stream, then the raw
 // float32/norm blob as a 64-byte-aligned tail after the last section,
-// which is what lets LoadFile map it zero-copy.
+// which is what lets LoadFile map it zero-copy. Version 3 added the
+// meta section (secMeta): the sorted table-ID list and its generation
+// hash, which delta snapshots chain against.
 const (
 	snapMagic   uint32 = 0x54485342 // "THSB": tablehound system binary
-	snapVersion uint16 = 2
+	snapVersion uint16 = 3
 
 	// snapHeaderLen is the byte length of the snap header (magic,
 	// version, flags) that precedes the first section; blob-offset
@@ -64,6 +76,7 @@ const (
 // omitting it.
 const (
 	secOptions uint16 = iota + 1
+	secMeta
 	secCatalog
 	secModel
 	secKB
@@ -106,6 +119,16 @@ func (s *System) Save(w io.Writer) error {
 		e.Bool(opts.SkipFuzzy)
 		e.Bool(opts.SkipGraph)
 		e.I64(int64(opts.VecCentroids))
+	}); err != nil {
+		return err
+	}
+	// Meta: the sorted table-ID list and its generation hash. Delta
+	// snapshots record this generation as their parent link, and the
+	// serving tier keys caches on it.
+	if err := sw.Section(secMeta, func(e *snap.Encoder) {
+		ids := sortedTableIDs(s.Catalog)
+		e.U64(snap.HashIDs(ids))
+		e.Strs(ids)
 	}); err != nil {
 		return err
 	}
@@ -217,7 +240,7 @@ func load(r io.Reader, blobFile *os.File, opts Options) (*System, error) {
 		return nil, err
 	}
 	if version != snapVersion {
-		return nil, fmt.Errorf("%w: unsupported snapshot version %d (want %d)", ErrCorruptSnapshot, version, snapVersion)
+		return nil, fmt.Errorf("%w: found version %d, expected %d", ErrVersionMismatch, version, snapVersion)
 	}
 	// Phase 1: read and checksum every section frame sequentially;
 	// decoding is deferred so independent sections can decode in
@@ -309,6 +332,23 @@ func load(r io.Reader, blobFile *os.File, opts Options) (*System, error) {
 	bopts.VecMode = opts.VecMode
 
 	s := &System{Vecs: store}
+
+	// Meta: the generation hash this snapshot's table membership pins;
+	// delta chains validate against it and the serving tier reports it.
+	if err := decodeSection(secMeta, secs, func(d *snap.Decoder) error {
+		gen := d.U64()
+		ids := d.Strs()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if want := snap.HashIDs(ids); gen != want {
+			return fmt.Errorf("%w: meta generation %016x does not hash its table IDs (%016x)", ErrCorruptSnapshot, gen, want)
+		}
+		s.Lineage = &Lineage{BaseGen: gen, Gen: gen, TableIDs: ids}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	// Phase 2a: the foundation sections — everything later decodes
 	// against the catalog, model, KB, and dictionary, so this wave runs
@@ -472,6 +512,18 @@ func load(r io.Reader, blobFile *os.File, opts Options) (*System, error) {
 	stats.Total = time.Since(start)
 	s.BuildStats = stats
 	return s, nil
+}
+
+// sortedTableIDs returns the catalog's table IDs in sorted order —
+// the canonical order generation hashes are computed over.
+func sortedTableIDs(c *lake.Catalog) []string {
+	tables := c.Tables()
+	ids := make([]string, len(tables))
+	for i, t := range tables {
+		ids[i] = t.ID
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // decodeSection runs fn over one deferred section payload and applies

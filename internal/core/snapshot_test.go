@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"tablehound/internal/datagen"
@@ -164,10 +165,23 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 		}
 	})
 	t.Run("wrong version", func(t *testing.T) {
+		// A clean header with the wrong version is a stale snapshot, not
+		// bit rot: the typed ErrVersionMismatch (naming both versions)
+		// lets operators tell the two apart, so it must not also satisfy
+		// the corruption sentinel.
 		bad := append([]byte{}, good...)
 		bad[4] = 0xEE // version lives at header bytes 4..5
-		if _, err := Load(bytes.NewReader(bad), Options{}); !errors.Is(err, ErrCorruptSnapshot) {
-			t.Errorf("err = %v, want ErrCorruptSnapshot", err)
+		_, err := Load(bytes.NewReader(bad), Options{})
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Errorf("err = %v, want ErrVersionMismatch", err)
+		}
+		if errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("version mismatch also satisfies ErrCorruptSnapshot: %v", err)
+		}
+		for _, want := range []string{"found version", "expected 3"} {
+			if err == nil || !strings.Contains(err.Error(), want) {
+				t.Errorf("err %q does not name versions (%q missing)", err, want)
+			}
 		}
 	})
 	t.Run("truncation", func(t *testing.T) {

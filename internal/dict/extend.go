@@ -1,0 +1,63 @@
+// Append-only vocabulary extension for incremental (delta) index
+// builds. A base dictionary assigns IDs [0, base.Size()) in
+// lexicographic order; Extend keeps every one of those assignments
+// verbatim and appends the delta's new values at IDs >= base.Size(),
+// sorted among themselves. Postings encoded against the base stay
+// valid byte for byte, which is the invariant that lets a delta
+// snapshot carry only the new tables' postings.
+//
+// The extended dictionary is NOT globally sorted (only each extension
+// block is), but nothing downstream requires global sortedness: set
+// operations work on any consistent value->ID bijection, minhash
+// signatures come from per-value hashes cached at intern time, and
+// result tie-breaks use string keys, not IDs.
+package dict
+
+import (
+	"sort"
+
+	"tablehound/internal/minhash"
+)
+
+// Extend returns a new dictionary containing every entry of base at
+// its original ID plus the given values (empties dropped, duplicates
+// and already-interned values skipped) appended in sorted order at IDs
+// starting at base.Size(). The base dictionary is not mutated and
+// remains safe for concurrent readers. A nil base is treated as empty.
+func Extend(base *Dict, values []string) *Dict {
+	fresh := make(map[string]struct{})
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		if _, ok := base.ID(v); ok {
+			continue
+		}
+		fresh[v] = struct{}{}
+	}
+	appended := make([]string, 0, len(fresh))
+	for v := range fresh {
+		appended = append(appended, v)
+	}
+	sort.Strings(appended)
+
+	n := base.Size()
+	d := &Dict{
+		values: make([]string, 0, n+len(appended)),
+		ids:    make(map[string]uint32, n+len(appended)),
+		hashes: make([]uint64, 0, n+len(appended)),
+	}
+	if base != nil {
+		d.values = append(d.values, base.values...)
+		d.hashes = append(d.hashes, base.hashes...)
+		for v, id := range base.ids {
+			d.ids[v] = id
+		}
+	}
+	for i, v := range appended {
+		d.values = append(d.values, v)
+		d.ids[v] = uint32(n + i)
+		d.hashes = append(d.hashes, minhash.HashValue(v))
+	}
+	return d
+}

@@ -161,6 +161,20 @@ func Train(contexts [][]string, cfg Config) *Model {
 // Dim returns the embedding dimension.
 func (m *Model) Dim() int { return m.cfg.Dim }
 
+// Clone returns a deep copy of the model. Rebind mutates the vector
+// map in place, so two systems that must not share backing memory
+// (e.g. a base snapshot and a delta build pinned to its model) each
+// take their own clone.
+func (m *Model) Clone() *Model {
+	out := &Model{cfg: m.cfg, vecs: make(map[string]Vector, len(m.vecs))}
+	for t, v := range m.vecs {
+		cp := make(Vector, len(v))
+		copy(cp, v)
+		out.vecs[t] = cp
+	}
+	return out
+}
+
 // Tokens returns the vocabulary in sorted order — the canonical row
 // order of the model's segment in the shared vector store.
 func (m *Model) Tokens() []string {

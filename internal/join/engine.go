@@ -99,6 +99,12 @@ func (b *Builder) AddColumn(key string, values []string) {
 	b.order = append(b.order, key)
 }
 
+// NumStaged reports how many columns passed the cardinality filter so
+// far. Incremental (delta) builds check it before Build, which rejects
+// an empty stage: a batch of new tables may legitimately contribute no
+// joinable columns.
+func (b *Builder) NumStaged() int { return len(b.order) }
+
 // Build freezes the staged columns into an Engine.
 func (b *Builder) Build() (*Engine, error) {
 	if len(b.order) == 0 {

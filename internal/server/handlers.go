@@ -127,6 +127,10 @@ type HealthResponse struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Tables        int          `json:"tables"`
 	Generation    uint64       `json:"generation"`
+	// DeltaDepth is the length of the delta chain merged into the
+	// serving snapshot (0 when serving a plain base); a deep chain is a
+	// signal to compact.
+	DeltaDepth int `json:"delta_depth,omitempty"`
 	// VecMode is how the serving snapshot's vector block is resident:
 	// "mmap" (zero-copy, page-cache shared) or "heap".
 	VecMode string       `json:"vec_mode,omitempty"`
@@ -164,7 +168,22 @@ type StatsResponse struct {
 	Panics        int64                    `json:"panics"`
 	SnapshotSwaps int64                    `json:"snapshot_swaps"`
 	VecStore      *VecStoreStats           `json:"vecstore,omitempty"`
+	Delta         *DeltaStats              `json:"delta,omitempty"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// DeltaStats describes the delta chain merged into the serving
+// snapshot; present only when the system carries lineage (loaded from
+// a snapshot or a delta chain). Generations travel as hex strings:
+// JSON numbers cannot carry a uint64 exactly.
+type DeltaStats struct {
+	// DeltaCount is the chain length (0 = serving a plain base).
+	DeltaCount int `json:"delta_count"`
+	// Tombstones is the total removed-table count across the chain.
+	Tombstones int `json:"tombstones"`
+	// LastCompactGen is the generation of the base the chain grows from
+	// — what the most recent compaction (or initial build) produced.
+	LastCompactGen string `json:"last_compact_gen"`
 }
 
 // VecStoreStats describes the serving system's shared vector block:
@@ -323,7 +342,7 @@ func (s *Server) handleUnion(w http.ResponseWriter, r *http.Request) {
 		// Inline tables are not cached: their content is the key and
 		// hashing it wholesale buys little for one-off queries.
 		var kb qcache.KeyBuilder
-		kb.Byte('U').U64(snap.gen).Byte(methodByte).U32(uint32(k)).Str(req.TableID)
+		kb.Byte('U').U64(snap.dataGen).Byte(methodByte).U32(uint32(k)).Str(req.TableID)
 		key = kb.String()
 	}
 	s.serveQuery(w, r, key, func(ctx context.Context) (any, error) {
@@ -388,7 +407,7 @@ func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
 
 	snap := s.snap.Load()
 	var kb qcache.KeyBuilder
-	kb.Byte('K').U64(snap.gen).Byte(modeByte).U32(uint32(k)).Str(req.Query)
+	kb.Byte('K').U64(snap.dataGen).Byte(modeByte).U32(uint32(k)).Str(req.Query)
 	s.serveQuery(w, r, kb.String(), func(ctx context.Context) (any, error) {
 		if modeByte == 0 {
 			rs, err := snap.sys.KeywordSearch(req.Query, k)
@@ -420,6 +439,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Tables:        snap.stats.Tables,
 		Generation:    snap.gen,
+		DeltaDepth:    snap.sys.Lineage.Depth(),
 	}
 	if v := snap.sys.Vecs; v != nil {
 		resp.VecMode = "heap"
@@ -499,10 +519,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CentroidBytes: v.CentroidBytes(),
 		}
 	}
+	var ds *DeltaStats
+	if lin := snap.sys.Lineage; lin != nil {
+		ds = &DeltaStats{
+			DeltaCount:     lin.Depth(),
+			Tombstones:     lin.TombstoneCount(),
+			LastCompactGen: fmt.Sprintf("%016x", lin.LastCompactGen()),
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: uptime,
 		SnapshotGen:   snap.gen,
 		VecStore:      vs,
+		Delta:         ds,
 		Lake: LakeStats{
 			Tables:         snap.stats.Tables,
 			Columns:        snap.stats.Columns,
@@ -541,7 +570,7 @@ func (s *Server) joinKey(snap *snapshot, modeByte byte, k int, threshold float64
 	vals := tokenize.NormalizeSet(values)
 	sort.Strings(vals)
 	var kb qcache.KeyBuilder
-	kb.Byte('J').U64(snap.gen).Byte(modeByte).U32(uint32(k))
+	kb.Byte('J').U64(snap.dataGen).Byte(modeByte).U32(uint32(k))
 	if modeByte == 1 {
 		kb.U64(math.Float64bits(threshold))
 	}

@@ -100,12 +100,18 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// snapshot bundles a built system with its precomputed lake stats and
-// a generation number used to namespace cache keys.
+// snapshot bundles a built system with its precomputed lake stats, the
+// monotonic swap generation (observability), and the data generation
+// (core.System.Generation — the hash of the live table membership)
+// that namespaces cache keys. Two snapshots with the same dataGen
+// answer every query bit-identically (the delta parity invariant), so
+// cache entries survive swaps that do not change the data — e.g. a
+// compaction that folds a delta chain into an equivalent base.
 type snapshot struct {
-	sys   *core.System
-	stats lake.Stats
-	gen   uint64
+	sys     *core.System
+	stats   lake.Stats
+	gen     uint64
+	dataGen uint64
 }
 
 // Server serves discovery queries over one atomically swappable lake
@@ -124,10 +130,13 @@ type Server struct {
 
 	// reloader, when set, produces a replacement system for the
 	// /v1/admin/reload endpoint (typically by loading a snapshot file).
-	// reloadMu serializes reloads so concurrent requests install their
-	// snapshots one at a time, in order.
-	reloadMu sync.Mutex
-	reloader func() (*core.System, error)
+	// compactor, when set, folds the serving delta chain into a new
+	// base for /v1/admin/compact (typically core.CompactFiles plus
+	// delta-file retirement). reloadMu serializes both so concurrent
+	// requests install their snapshots one at a time, in order.
+	reloadMu  sync.Mutex
+	reloader  func() (*core.System, error)
+	compactor func() (*core.System, error)
 
 	// Observability.
 	reg       *obs.Registry
@@ -164,7 +173,7 @@ func New(sys *core.System, cfg Config) *Server {
 		reg:   obs.NewRegistry(),
 		start: time.Now(),
 	}
-	s.snap.Store(&snapshot{sys: sys, stats: sys.Catalog.Stats(), gen: 0})
+	s.snap.Store(&snapshot{sys: sys, stats: sys.Catalog.Stats(), gen: 0, dataGen: sys.Generation()})
 
 	s.endpoints = make(map[string]*endpointMetrics)
 	for _, name := range []string{"join", "union", "keyword"} {
@@ -196,6 +205,7 @@ func New(sys *core.System, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/keyword", s.queryEndpoint("keyword", s.handleKeyword))
 	s.mux.HandleFunc("/v1/table", s.handleTable)
 	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/admin/compact", s.handleCompact)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -214,15 +224,23 @@ func (s *Server) System() *core.System { return s.snap.Load().sys }
 // bumped by every Swap).
 func (s *Server) Generation() uint64 { return s.snap.Load().gen }
 
-// Swap atomically installs a new lake snapshot and invalidates the
-// query cache. In-flight queries finish against the snapshot they
-// started with.
+// Swap atomically installs a new lake snapshot. In-flight queries
+// finish against the snapshot they started with. The query cache is
+// purged only when the data generation actually changes: cache keys
+// embed the data generation, and two systems at the same generation
+// answer bit-identically (the delta parity invariant), so a swap to an
+// equivalent system — a compaction folding the serving delta chain
+// into a new base, or a reload of the same files — keeps every entry.
 func (s *Server) Swap(sys *core.System) {
 	gen := s.gen.Add(1)
-	s.snap.Store(&snapshot{sys: sys, stats: sys.Catalog.Stats(), gen: gen})
-	// Keys embed gen, so stale entries are already unreachable; Purge
-	// just reclaims their memory eagerly.
-	s.cache.Purge()
+	dataGen := sys.Generation()
+	prev := s.snap.Load()
+	s.snap.Store(&snapshot{sys: sys, stats: sys.Catalog.Stats(), gen: gen, dataGen: dataGen})
+	if prev == nil || prev.dataGen != dataGen {
+		// Keys embed dataGen, so stale entries are already unreachable;
+		// Purge just reclaims their memory eagerly.
+		s.cache.Purge()
+	}
 	s.swaps.Inc()
 }
 
@@ -256,8 +274,71 @@ func (s *Server) Reload() (*core.System, error) {
 	return sys, nil
 }
 
+// SetCompactor installs the function POST /v1/admin/compact uses to
+// fold the serving snapshot's delta chain into a fresh base (typically
+// core.CompactFiles plus retirement of the consumed delta files).
+// Without one, compact requests get 501.
+func (s *Server) SetCompactor(fn func() (*core.System, error)) {
+	s.reloadMu.Lock()
+	s.compactor = fn
+	s.reloadMu.Unlock()
+}
+
+// Compact runs the configured compactor and, on success, installs the
+// merged system via Swap. The merged system has the same data
+// generation as the chain it folds, so the swap keeps the query cache.
+// Compactions share the reload mutex: a reload cannot interleave with
+// a compaction and observe a half-retired delta chain.
+func (s *Server) Compact() (*core.System, error) {
+	s.reloadMu.Lock()
+	fn := s.compactor
+	if fn == nil {
+		s.reloadMu.Unlock()
+		return nil, errNoCompactor
+	}
+	defer s.reloadMu.Unlock()
+	sys, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	s.Swap(sys)
+	return sys, nil
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	sys, err := s.Compact()
+	if err != nil {
+		if errors.Is(err, errNoCompactor) {
+			writeError(w, http.StatusNotImplemented, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "compact failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{
+		Generation: s.gen.Load(),
+		Tables:     sys.Catalog.Stats().Tables,
+		DeltaDepth: sys.Lineage.Depth(),
+	})
+}
+
+// CompactResponse is the body of a successful /v1/admin/compact.
+type CompactResponse struct {
+	Generation uint64 `json:"generation"`
+	Tables     int    `json:"tables"`
+	DeltaDepth int    `json:"delta_depth"`
+}
+
 // errNoReloader marks a reload request on a server with no reloader.
 var errNoReloader = errors.New("server: no reloader configured")
+
+// errNoCompactor marks a compact request on a server with no compactor.
+var errNoCompactor = errors.New("server: no compactor configured")
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
