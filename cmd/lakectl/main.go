@@ -428,6 +428,12 @@ func cmdMemStats(args []string) error {
 				i+1, filepath.Base(di.Path), di.Tables, di.Tombstones, memBytes(di.Bytes), di.Gen)
 		}
 	}
+	if lin := sys.Lineage; lin != nil && len(lin.Folded) > 0 {
+		fmt.Printf("already folded:   %d delta file(s) skipped (inside the base; safe to delete):\n", len(lin.Folded))
+		for _, p := range lin.Folded {
+			fmt.Printf("  %s\n", filepath.Base(p))
+		}
+	}
 	if v := sys.Vecs; v != nil {
 		residency := "heap"
 		if v.Mapped() {

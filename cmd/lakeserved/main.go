@@ -176,7 +176,22 @@ func run() error {
 			if err != nil {
 				return nil, err
 			}
-			return core.LoadChainFiles(*snapPath, chain, opts())
+			sys, err := core.LoadChainFiles(*snapPath, chain, opts())
+			if err != nil {
+				return nil, err
+			}
+			// Deltas already folded into the base — a compaction was
+			// interrupted (or a retirement rename failed) after the new
+			// base was installed. The loader skipped them; finish the
+			// retirement here so later reloads stop seeing them.
+			for _, p := range sys.Lineage.Folded {
+				if rerr := os.Rename(p, p+".applied"); rerr != nil {
+					log.Printf("retiring already-compacted delta %s: %v (serving is unaffected)", p, rerr)
+				} else {
+					log.Printf("retired already-compacted delta %s (left over from an interrupted compaction)", p)
+				}
+			}
+			return sys, nil
 		}
 		cat, err := lake.LoadCSVDirN(*dir, *parallel)
 		if err != nil {
@@ -222,7 +237,11 @@ func run() error {
 	// the consumed delta files as *.applied so later reloads do not
 	// re-apply them, and hands the merged system to the server to swap
 	// in. The merge has the same data generation as the chain it folds,
-	// so the swap keeps the query cache warm.
+	// so the swap keeps the query cache warm. A crash or rename failure
+	// between the base install and delta retirement is recoverable:
+	// loaders recognize deltas already folded into the base (their
+	// chain ends at the base's generation), skip them, and the load
+	// path above finishes the retirement.
 	if *snapPath != "" {
 		srv.SetCompactor(func() (*core.System, error) {
 			chain, err := core.ExpandDeltas(*deltaSpec)

@@ -12,9 +12,13 @@
 // Removals are tombstones: the base bytes are untouched and the ID is
 // masked at merge. Deltas chain by generation hash — each records the
 // generation it applies to (ParentGen) and the generation that results
-// (ResultGen = snap.HashIDs of the sorted surviving table IDs) — so a
-// stale or misordered delta is rejected with ErrDeltaChain, not
-// silently merged.
+// (ResultGen = snap.HashTables over the sorted surviving table IDs and
+// their content hashes) — so a stale or misordered delta is rejected
+// with ErrDeltaChain, not silently merged. Folding content hashes into
+// the generation means a replace (remove + add under the same ID with
+// different bytes) produces a NEW generation: the serving tier keys
+// its query cache on the generation, so membership-only hashing would
+// let a replace serve stale cached results.
 //
 // Loading a chain (LoadChain*) materializes the merge: base and delta
 // parts are folded per search surface through each engine's FromParts
@@ -74,11 +78,19 @@ type Lineage struct {
 	// Gen is the generation after applying Deltas; equal to BaseGen
 	// when the chain is empty.
 	Gen uint64
-	// TableIDs is the sorted live table-ID list at Gen.
-	TableIDs []string
+	// TableIDs is the sorted live table-ID list at Gen, and
+	// TableHashes the aligned per-table content hashes Gen folds in.
+	TableIDs    []string
+	TableHashes []uint64
 	// Deltas describes the applied chain in order; empty for a system
 	// loaded directly from a base snapshot or freshly built.
 	Deltas []DeltaInfo
+	// Folded lists delta files that were presented to the loader but
+	// skipped because they are already folded into the base — the
+	// residue of a compaction that crashed (or whose retirement rename
+	// failed) between installing the new base and retiring its
+	// consumed deltas. They are safe to retire or delete.
+	Folded []string
 }
 
 // DeltaInfo is the footprint of one applied delta.
@@ -90,18 +102,21 @@ type DeltaInfo struct {
 	Bytes      int64  // on-disk size
 }
 
-// Generation returns the system's lake-membership generation: the
+// Generation returns the system's lake-content generation: the
 // lineage generation when known (loaded or delta-merged systems), else
-// the hash of the catalog's sorted table IDs (fresh in-memory builds).
-// Two systems with the same generation hold the same live table set
-// and — by the delta parity invariant — answer every query
-// bit-identically, which is what lets the serving tier keep its query
-// cache across swaps that do not change the data.
+// the hash of the catalog's sorted (table ID, content hash) pairs
+// (fresh in-memory builds). Two systems with the same generation hold
+// the same live tables with the same contents and — by the delta
+// parity invariant — answer every query bit-identically, which is what
+// lets the serving tier keep its query cache across swaps that do not
+// change the data while purging on any swap that does, including a
+// replace that leaves the ID set unchanged.
 func (s *System) Generation() uint64 {
 	if s.Lineage != nil {
 		return s.Lineage.Gen
 	}
-	return snap.HashIDs(sortedTableIDs(s.Catalog))
+	ids := sortedTableIDs(s.Catalog)
+	return snap.HashTables(ids, contentHashes(s.Catalog, ids))
 }
 
 // Depth reports the delta-chain length (0 for a plain base).
@@ -134,10 +149,13 @@ func (l *Lineage) LastCompactGen() uint64 {
 }
 
 // Delta snapshot framing: same CRC-framed section codec as the system
-// snapshot, under its own magic so the two cannot be confused.
+// snapshot, under its own magic so the two cannot be confused. Version
+// 2 chains on content-folded generations (snap.HashTables) instead of
+// membership-only hashes; v1 files fail with ErrVersionMismatch rather
+// than a confusing chain error.
 const (
 	deltaMagic   uint32 = 0x54484442 // "THDB": tablehound delta binary
-	deltaVersion uint16 = 1
+	deltaVersion uint16 = 2
 )
 
 // Delta section IDs, in stream order.
@@ -157,8 +175,8 @@ const (
 // per-surface index parts analyzed over only those tables.
 type Delta struct {
 	// ParentGen is the generation this delta applies to; ResultGen is
-	// the generation after applying it (the hash of the sorted
-	// surviving table IDs).
+	// the generation after applying it (snap.HashTables over the
+	// sorted surviving table IDs and their content hashes).
 	ParentGen uint64
 	ResultGen uint64
 	// BaseDictSize is the dictionary size the extension appends at: new
@@ -493,12 +511,23 @@ func LoadDeltaFile(path string) (*Delta, error) {
 // through but never decoded, which is what keeps `lakectl add` far
 // under the cost of a full load, let alone a rebuild.
 type basePrefix struct {
-	opts     Options // build parameters (not runtime knobs)
-	gen      uint64
-	tableIDs []string
-	model    *embedding.Model
-	kb       *kb.KB
-	dict     *dict.Dict
+	opts        Options // build parameters (not runtime knobs)
+	gen         uint64
+	tableIDs    []string
+	tableHashes []uint64
+	model       *embedding.Model
+	kb          *kb.KB
+	dict        *dict.Dict
+}
+
+// live returns the prefix's membership as an id → content-hash map,
+// the state delta chains fold over.
+func (p *basePrefix) live() map[string]uint64 {
+	m := make(map[string]uint64, len(p.tableIDs))
+	for i, id := range p.tableIDs {
+		m[id] = p.tableHashes[i]
+	}
+	return m
 }
 
 // loadBasePrefix reads just the foundation sections of a base
@@ -573,17 +602,24 @@ func loadBasePrefix(path string) (*basePrefix, error) {
 	if err := decodeSection(secMeta, secs, func(d *snap.Decoder) error {
 		p.gen = d.U64()
 		p.tableIDs = d.Strs()
+		p.tableHashes = d.U64s()
 		if err := d.Err(); err != nil {
 			return err
 		}
-		if want := snap.HashIDs(p.tableIDs); p.gen != want {
-			return fmt.Errorf("%w: meta generation %016x does not hash its table IDs (%016x)", ErrCorruptSnapshot, p.gen, want)
+		if len(p.tableHashes) != len(p.tableIDs) {
+			return fmt.Errorf("%w: meta has %d content hashes for %d table IDs", ErrCorruptSnapshot, len(p.tableHashes), len(p.tableIDs))
+		}
+		if want := snap.HashTables(p.tableIDs, p.tableHashes); p.gen != want {
+			return fmt.Errorf("%w: meta generation %016x does not hash its table set (%016x)", ErrCorruptSnapshot, p.gen, want)
 		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	mv, _ := store.View("model")
+	mv, ok := store.View("model")
+	if !ok {
+		return nil, fmt.Errorf("%w: vector directory has no model segment", ErrCorruptSnapshot)
+	}
 	if err := decodeSection(secModel, secs, func(d *snap.Decoder) error {
 		var derr error
 		p.model, derr = embedding.DecodeSnapshot(d, mv.Vec, mv.Len())
@@ -625,27 +661,31 @@ func BuildDelta(basePath string, deltaPaths []string, add []*table.Table, remove
 	if err != nil {
 		return nil, err
 	}
-	live := make(map[string]bool, len(prefix.tableIDs))
-	for _, id := range prefix.tableIDs {
-		live[id] = true
-	}
+	live := prefix.live()
 	d := prefix.dict
 	gen := prefix.gen
-	for _, p := range deltaPaths {
+	chain := make([]*Delta, len(deltaPaths))
+	for i, p := range deltaPaths {
 		dd, err := LoadDeltaFile(p)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p, err)
 		}
-		if err := applyMembership(dd, p, live, gen, d.Size()); err != nil {
+		chain[i] = dd
+	}
+	// A compaction interrupted between installing the folded base and
+	// retiring its consumed delta files leaves deltas on disk that are
+	// already inside the base; skip that prefix instead of failing.
+	for i := foldedPrefix(chain, gen); i < len(chain); i++ {
+		if err := applyMembership(chain[i], deltaPaths[i], live, gen, d.Size()); err != nil {
 			return nil, err
 		}
-		d = dict.Extend(d, dd.NewValues)
-		gen = dd.ResultGen
+		d = dict.Extend(d, chain[i].NewValues)
+		gen = chain[i].ResultGen
 	}
 
 	removeSet := make(map[string]bool, len(remove))
 	for _, id := range remove {
-		if !live[id] {
+		if _, ok := live[id]; !ok {
 			return nil, fmt.Errorf("core: cannot remove %q: not in the lake", id)
 		}
 		removeSet[id] = true
@@ -654,7 +694,7 @@ func BuildDelta(basePath string, deltaPaths []string, add []*table.Table, remove
 	copy(addSorted, add)
 	sort.Slice(addSorted, func(i, j int) bool { return addSorted[i].ID < addSorted[j].ID })
 	for _, t := range addSorted {
-		if live[t.ID] && !removeSet[t.ID] {
+		if _, ok := live[t.ID]; ok && !removeSet[t.ID] {
 			return nil, fmt.Errorf("core: cannot add %q: already in the lake (remove it first to replace)", t.ID)
 		}
 	}
@@ -738,18 +778,55 @@ func BuildDelta(basePath string, deltaPaths []string, add []*table.Table, remove
 		sx.AddTables(addSorted, par)
 		delta.Starmie = sx.Parts()
 		for _, t := range addSorted {
-			live[t.ID] = true
+			live[t.ID] = t.ContentHash()
 		}
 	}
-	delta.ResultGen = snap.HashIDs(sortedKeys(live))
+	delta.ResultGen = contentGen(live)
 	return delta, nil
+}
+
+// contentGen hashes a live (table ID → content hash) membership into
+// a generation.
+func contentGen(live map[string]uint64) uint64 {
+	ids := sortedKeys(live)
+	hashes := make([]uint64, len(ids))
+	for i, id := range ids {
+		hashes[i] = live[id]
+	}
+	return snap.HashTables(ids, hashes)
+}
+
+// foldedPrefix returns the number of leading deltas that are already
+// folded into a base at gen: the longest prefix that chains internally
+// and ends exactly at gen. A compaction that crashed — or whose
+// retirement renames failed — between installing the folded base and
+// retiring its consumed delta files leaves exactly such a prefix next
+// to the new base; loaders skip it instead of hard-failing with
+// ErrDeltaChain and stranding the daemon until manual cleanup. It
+// returns 0 when the first delta chains onto gen directly (nothing
+// folded) or when no consistent folded prefix exists, in which case
+// the normal chain walk reports the precise mismatch.
+func foldedPrefix(deltas []*Delta, gen uint64) int {
+	if len(deltas) == 0 || deltas[0].ParentGen == gen {
+		return 0
+	}
+	for k, d := range deltas {
+		if k > 0 && d.ParentGen != deltas[k-1].ResultGen {
+			return 0
+		}
+		if d.ResultGen == gen {
+			return k + 1
+		}
+	}
+	return 0
 }
 
 // applyMembership validates one delta's chain links against the
 // current (gen, dictSize) state and folds its tombstones and additions
-// into live. It does NOT extend the dictionary — callers own that, so
-// they control whether parts are also being merged.
-func applyMembership(d *Delta, path string, live map[string]bool, gen uint64, dictSize int) error {
+// into the live (table ID → content hash) map. It does NOT extend the
+// dictionary — callers own that, so they control whether parts are
+// also being merged.
+func applyMembership(d *Delta, path string, live map[string]uint64, gen uint64, dictSize int) error {
 	if d.ParentGen != gen {
 		return fmt.Errorf("%w: delta %s chains onto generation %016x, lake is at %016x", ErrDeltaChain, path, d.ParentGen, gen)
 	}
@@ -757,18 +834,18 @@ func applyMembership(d *Delta, path string, live map[string]bool, gen uint64, di
 		return fmt.Errorf("%w: delta %s extends a dictionary of %d values, lake has %d", ErrDeltaChain, path, d.BaseDictSize, dictSize)
 	}
 	for _, id := range d.Tombstones {
-		if !live[id] {
+		if _, ok := live[id]; !ok {
 			return fmt.Errorf("%w: delta %s removes %q, which is not in the lake", ErrDeltaChain, path, id)
 		}
 		delete(live, id)
 	}
 	for _, t := range d.Catalog.Tables() {
-		if live[t.ID] {
+		if _, ok := live[t.ID]; ok {
 			return fmt.Errorf("%w: delta %s re-adds %q without a tombstone", ErrDeltaChain, path, t.ID)
 		}
-		live[t.ID] = true
+		live[t.ID] = t.ContentHash()
 	}
-	if want := snap.HashIDs(sortedKeys(live)); want != d.ResultGen {
+	if want := contentGen(live); want != d.ResultGen {
 		return fmt.Errorf("%w: delta %s declares result generation %016x, applying it yields %016x", ErrDeltaChain, path, d.ResultGen, want)
 	}
 	return nil
@@ -777,7 +854,11 @@ func applyMembership(d *Delta, path string, live map[string]bool, gen uint64, di
 // LoadChainFiles loads a base snapshot plus an ordered delta chain and
 // materializes the merge: one System answering every search surface
 // bit-identically to a from-scratch build over the surviving tables.
-// With no deltas it is exactly LoadFile.
+// With no deltas it is exactly LoadFile. A leading run of deltas that
+// are already folded into the base — left behind by a compaction
+// interrupted between installing the new base and retiring its
+// consumed delta files — is skipped and reported via Lineage.Folded
+// rather than failing the load.
 func LoadChainFiles(basePath string, deltaPaths []string, opts Options) (*System, error) {
 	base, err := LoadFile(basePath, opts)
 	if err != nil {
@@ -800,7 +881,18 @@ func LoadChainFiles(basePath string, deltaPaths []string, opts Options) (*System
 		}
 		infos[i] = DeltaInfo{Path: p, Gen: dd.ResultGen, Tables: dd.Catalog.Len(), Tombstones: len(dd.Tombstones), Bytes: size}
 	}
-	return ApplyDeltas(base, deltas, infos)
+	folded := foldedPrefix(deltas, base.Lineage.Gen)
+	skipped := deltaPaths[:folded]
+	if folded == len(deltas) {
+		base.Lineage.Folded = skipped
+		return base, nil
+	}
+	sys, err := ApplyDeltas(base, deltas[folded:], infos[folded:])
+	if err != nil {
+		return nil, err
+	}
+	sys.Lineage.Folded = skipped
+	return sys, nil
 }
 
 // ApplyDeltas folds an ordered delta chain over a freshly loaded base
@@ -818,6 +910,17 @@ func ApplyDeltas(base *System, deltas []*Delta, infos []DeltaInfo) (*System, err
 	liveTbl := make(map[string]*table.Table, base.Catalog.Len())
 	for _, t := range base.Catalog.Tables() {
 		liveTbl[t.ID] = t
+	}
+	// liveHash mirrors liveTbl as id → content hash — the membership
+	// the generation chain folds over. Base hashes come from the
+	// snapshot's meta section so they are never recomputed over the
+	// full base catalog.
+	if len(base.Lineage.TableHashes) != len(base.Lineage.TableIDs) {
+		return nil, fmt.Errorf("core: base lineage has %d content hashes for %d table IDs", len(base.Lineage.TableHashes), len(base.Lineage.TableIDs))
+	}
+	liveHash := make(map[string]uint64, len(base.Lineage.TableIDs))
+	for i, id := range base.Lineage.TableIDs {
+		liveHash[id] = base.Lineage.TableHashes[i]
 	}
 	baseJoin := base.Join.Parts()
 	joinSets := make(map[string]dict.IDSet, len(baseJoin.IDSets))
@@ -861,6 +964,7 @@ func ApplyDeltas(base *System, deltas []*Delta, infos []DeltaInfo) (*System, err
 				return nil, fmt.Errorf("%w: delta %s removes %q, which is not in the lake", ErrDeltaChain, path, id)
 			}
 			delete(liveTbl, id)
+			delete(liveHash, id)
 			delete(tusBy, id)
 			delete(santosBy, id)
 			delete(d3lBy, id)
@@ -876,6 +980,7 @@ func ApplyDeltas(base *System, deltas []*Delta, infos []DeltaInfo) (*System, err
 				return nil, fmt.Errorf("%w: delta %s re-adds %q without a tombstone", ErrDeltaChain, path, t.ID)
 			}
 			liveTbl[t.ID] = t
+			liveHash[t.ID] = t.ContentHash()
 		}
 		for key, ids := range dd.JoinIDSets {
 			if _, dup := joinSets[key]; dup {
@@ -896,7 +1001,7 @@ func ApplyDeltas(base *System, deltas []*Delta, infos []DeltaInfo) (*System, err
 			starBy[p.ID] = p
 		}
 		ext = dict.Extend(ext, dd.NewValues)
-		if want := snap.HashIDs(sortedKeys(liveTbl)); want != dd.ResultGen {
+		if want := contentGen(liveHash); want != dd.ResultGen {
 			return nil, fmt.Errorf("%w: delta %s declares result generation %016x, applying it yields %016x", ErrDeltaChain, path, dd.ResultGen, want)
 		}
 		gen = dd.ResultGen
@@ -975,7 +1080,11 @@ func ApplyDeltas(base *System, deltas []*Delta, infos []DeltaInfo) (*System, err
 	if err != nil {
 		return nil, err
 	}
-	sys.Lineage = &Lineage{BaseGen: base.Lineage.Gen, Gen: gen, TableIDs: ids, Deltas: infos}
+	hashes := make([]uint64, len(ids))
+	for i, id := range ids {
+		hashes[i] = liveHash[id]
+	}
+	sys.Lineage = &Lineage{BaseGen: base.Lineage.Gen, Gen: gen, TableIDs: ids, TableHashes: hashes, Deltas: infos}
 	sys.BuildStats.Total = time.Since(start)
 	return sys, nil
 }
@@ -1178,6 +1287,6 @@ func CompactFiles(basePath string, deltaPaths []string, outPath string, opts Opt
 		return nil, err
 	}
 	// The fold is now a base: depth resets, generation carries over.
-	sys.Lineage = &Lineage{BaseGen: sys.Lineage.Gen, Gen: sys.Lineage.Gen, TableIDs: sys.Lineage.TableIDs}
+	sys.Lineage = &Lineage{BaseGen: sys.Lineage.Gen, Gen: sys.Lineage.Gen, TableIDs: sys.Lineage.TableIDs, TableHashes: sys.Lineage.TableHashes}
 	return sys, nil
 }

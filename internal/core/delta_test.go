@@ -196,7 +196,11 @@ func TestDeltaMergeParity(t *testing.T) {
 	if merged.Lineage == nil || merged.Lineage.Depth() != 3 {
 		t.Fatalf("merged lineage = %+v, want depth 3", merged.Lineage)
 	}
-	if want := snap.HashIDs(finalIDs); merged.Lineage.Gen != want {
+	finalHashes := make([]uint64, len(finalIDs))
+	for i, id := range finalIDs {
+		finalHashes[i] = live[id].ContentHash()
+	}
+	if want := snap.HashTables(finalIDs, finalHashes); merged.Lineage.Gen != want {
 		t.Errorf("merged generation %016x, want %016x", merged.Lineage.Gen, want)
 	}
 	if !reflect.DeepEqual(merged.Lineage.TableIDs, finalIDs) {
@@ -390,4 +394,192 @@ func TestDeltaRejectsCorruption(t *testing.T) {
 			}
 		}
 	})
+}
+
+// mutateTable returns a deep copy of src with one value changed — same
+// ID, same shape, different content.
+func mutateTable(t *testing.T, src *table.Table) *table.Table {
+	t.Helper()
+	cols := make([]*table.Column, len(src.Columns))
+	for i, c := range src.Columns {
+		cols[i] = &table.Column{Name: c.Name, Type: c.Type, Values: append([]string(nil), c.Values...)}
+	}
+	cols[0].Values[0] += "-mutated"
+	nt, err := table.New(src.ID, src.Name, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt.Description = src.Description
+	nt.Tags = src.Tags
+	return nt
+}
+
+// TestReplaceDeltaChangesGeneration pins the content-folded generation
+// contract: a replace delta (remove + add under the same table ID with
+// different contents) must change the generation, because the serving
+// tier keys its query cache on it — a membership-only hash would let a
+// replace serve stale cached results. Re-adding bit-identical content
+// is the one case where the generation may revert: the data really is
+// equivalent, so surviving cache entries are still correct.
+func TestReplaceDeltaChangesGeneration(t *testing.T) {
+	gen := datagen.Generate(datagen.Config{Seed: 9, NumTemplates: 2, TablesPerTemplate: 2})
+	all := append([]*table.Table(nil), gen.Tables...)
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	cat := lake.NewCatalog()
+	if err := cat.AddBatch(all); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(cat, Options{KB: gen.BuildKB(0.8), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.snap")
+	if err := base.SaveFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	baseGen := base.Generation()
+	victim := all[0]
+	mut := mutateTable(t, victim)
+
+	// Replace with different content: new generation.
+	repl, err := BuildDelta(basePath, nil, []*table.Table{mut}, []string{victim.ID}, Options{})
+	if err != nil {
+		t.Fatalf("BuildDelta(replace): %v", err)
+	}
+	if repl.ParentGen != baseGen {
+		t.Fatalf("replace delta ParentGen %016x, want base %016x", repl.ParentGen, baseGen)
+	}
+	if repl.ResultGen == baseGen {
+		t.Fatal("replacing a table's contents left the generation unchanged; the serving cache would keep stale results")
+	}
+	rp := filepath.Join(dir, "replace.thdb")
+	if err := repl.SaveFile(rp); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := LoadChainFiles(basePath, []string{rp}, Options{})
+	if err != nil {
+		t.Fatalf("LoadChainFiles(replace): %v", err)
+	}
+	if merged.Generation() == baseGen {
+		t.Fatal("merged replace system reports the base generation")
+	}
+
+	// Replace with identical content: generation reverts (equivalent
+	// data), by design.
+	same, err := BuildDelta(basePath, nil, []*table.Table{victim}, []string{victim.ID}, Options{})
+	if err != nil {
+		t.Fatalf("BuildDelta(identical replace): %v", err)
+	}
+	if same.ResultGen != baseGen {
+		t.Errorf("identical replace changed the generation: %016x != %016x", same.ResultGen, baseGen)
+	}
+
+	// Remove then re-add with different content across two deltas: the
+	// final generation must not revert to the base's.
+	d1, err := BuildDelta(basePath, nil, nil, []string{victim.ID}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(dir, "remove.thdb")
+	if err := d1.SaveFile(p1); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := BuildDelta(basePath, []string{p1}, []*table.Table{mut}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ResultGen == baseGen {
+		t.Fatal("remove-then-re-add with different content reverted to the base generation")
+	}
+	// ... while re-adding the original bytes does revert.
+	d2same, err := BuildDelta(basePath, []string{p1}, []*table.Table{victim}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2same.ResultGen != baseGen {
+		t.Errorf("re-adding identical content did not revert the generation: %016x != %016x", d2same.ResultGen, baseGen)
+	}
+}
+
+// TestLoadChainSkipsFoldedDeltas pins crash-safe compaction
+// retirement: a compaction interrupted (or whose retirement renames
+// failed) between installing the folded base and renaming the consumed
+// delta files leaves deltas on disk that are already inside the base.
+// Loaders must skip that folded prefix — reporting it via
+// Lineage.Folded — instead of failing with ErrDeltaChain and stranding
+// the daemon until manual cleanup.
+func TestLoadChainSkipsFoldedDeltas(t *testing.T) {
+	basePath, deltaPath, _, added := deltaFixture(t)
+	dir := filepath.Dir(deltaPath)
+
+	// Fold the chain into the base in place, as the daemon compactor
+	// does — but "crash" before retiring the delta file.
+	compacted, err := CompactFiles(basePath, []string{deltaPath}, basePath, Options{})
+	if err != nil {
+		t.Fatalf("CompactFiles: %v", err)
+	}
+
+	// The stale delta still in the spec must be skipped, not fatal.
+	sys, err := LoadChainFiles(basePath, []string{deltaPath}, Options{})
+	if err != nil {
+		t.Fatalf("LoadChainFiles over a folded delta: %v", err)
+	}
+	if sys.Lineage.Depth() != 0 {
+		t.Errorf("depth = %d, want 0 (delta already folded)", sys.Lineage.Depth())
+	}
+	if len(sys.Lineage.Folded) != 1 || sys.Lineage.Folded[0] != deltaPath {
+		t.Errorf("Lineage.Folded = %v, want [%s]", sys.Lineage.Folded, deltaPath)
+	}
+	if sys.Generation() != compacted.Generation() {
+		t.Errorf("generation %016x, want compacted %016x", sys.Generation(), compacted.Generation())
+	}
+	if sys.Catalog.Table(added.ID) == nil {
+		t.Errorf("folded table %q missing from the catalog", added.ID)
+	}
+
+	// BuildDelta over the same stale spec must chain onto the folded
+	// base, so `lakectl add` keeps working after the interrupted
+	// compaction.
+	d2, err := BuildDelta(basePath, []string{deltaPath}, nil, []string{added.ID}, Options{})
+	if err != nil {
+		t.Fatalf("BuildDelta over a folded delta: %v", err)
+	}
+	if d2.ParentGen != compacted.Generation() {
+		t.Errorf("new delta ParentGen %016x, want folded base %016x", d2.ParentGen, compacted.Generation())
+	}
+	p2 := filepath.Join(dir, "d2.thdb")
+	if err := d2.SaveFile(p2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partial prefix: the stale folded delta followed by a live one —
+	// skip the first, apply the second.
+	sys2, err := LoadChainFiles(basePath, []string{deltaPath, p2}, Options{})
+	if err != nil {
+		t.Fatalf("LoadChainFiles(folded + live): %v", err)
+	}
+	if sys2.Lineage.Depth() != 1 || len(sys2.Lineage.Folded) != 1 {
+		t.Errorf("depth = %d, folded = %v, want 1 and one folded path", sys2.Lineage.Depth(), sys2.Lineage.Folded)
+	}
+	if sys2.Catalog.Table(added.ID) != nil {
+		t.Errorf("table %q survives its tombstone after the folded prefix", added.ID)
+	}
+
+	// A genuinely mismatched delta must still fail: folded-prefix
+	// skipping only accepts chains that end exactly at the base's
+	// generation.
+	bad, err := LoadDeltaFile(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.ParentGen ^= 1
+	bad.ResultGen ^= 1
+	bp := filepath.Join(dir, "bad.thdb")
+	if err := bad.SaveFile(bp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChainFiles(basePath, []string{bp}, Options{}); !errors.Is(err, ErrDeltaChain) {
+		t.Errorf("mismatched delta: err = %v, want ErrDeltaChain", err)
+	}
 }

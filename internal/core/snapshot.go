@@ -60,10 +60,14 @@ var ErrVersionMismatch = errors.New("core: snapshot version mismatch")
 // float32/norm blob as a 64-byte-aligned tail after the last section,
 // which is what lets LoadFile map it zero-copy. Version 3 added the
 // meta section (secMeta): the sorted table-ID list and its generation
-// hash, which delta snapshots chain against.
+// hash, which delta snapshots chain against. Version 4 folds
+// per-table content hashes into the meta section and the generation,
+// so replacing a table's contents (remove + add under the same ID)
+// changes the generation — membership alone cannot tell such lakes
+// apart, and the serving tier keys its query cache on the generation.
 const (
 	snapMagic   uint32 = 0x54485342 // "THSB": tablehound system binary
-	snapVersion uint16 = 3
+	snapVersion uint16 = 4
 
 	// snapHeaderLen is the byte length of the snap header (magic,
 	// version, flags) that precedes the first section; blob-offset
@@ -122,13 +126,17 @@ func (s *System) Save(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	// Meta: the sorted table-ID list and its generation hash. Delta
-	// snapshots record this generation as their parent link, and the
-	// serving tier keys caches on it.
+	// Meta: the sorted table-ID list, each table's content hash, and
+	// the generation folding both. Delta snapshots record this
+	// generation as their parent link, and the serving tier keys
+	// caches on it — content hashes make a replaced table (same ID,
+	// different bytes) a new generation.
 	if err := sw.Section(secMeta, func(e *snap.Encoder) {
 		ids := sortedTableIDs(s.Catalog)
-		e.U64(snap.HashIDs(ids))
+		hashes := contentHashes(s.Catalog, ids)
+		e.U64(snap.HashTables(ids, hashes))
 		e.Strs(ids)
+		e.U64s(hashes)
 	}); err != nil {
 		return err
 	}
@@ -333,18 +341,23 @@ func load(r io.Reader, blobFile *os.File, opts Options) (*System, error) {
 
 	s := &System{Vecs: store}
 
-	// Meta: the generation hash this snapshot's table membership pins;
-	// delta chains validate against it and the serving tier reports it.
+	// Meta: the generation hash this snapshot's table membership and
+	// content pin; delta chains validate against it and the serving
+	// tier reports it.
 	if err := decodeSection(secMeta, secs, func(d *snap.Decoder) error {
 		gen := d.U64()
 		ids := d.Strs()
+		hashes := d.U64s()
 		if err := d.Err(); err != nil {
 			return err
 		}
-		if want := snap.HashIDs(ids); gen != want {
-			return fmt.Errorf("%w: meta generation %016x does not hash its table IDs (%016x)", ErrCorruptSnapshot, gen, want)
+		if len(hashes) != len(ids) {
+			return fmt.Errorf("%w: meta has %d content hashes for %d table IDs", ErrCorruptSnapshot, len(hashes), len(ids))
 		}
-		s.Lineage = &Lineage{BaseGen: gen, Gen: gen, TableIDs: ids}
+		if want := snap.HashTables(ids, hashes); gen != want {
+			return fmt.Errorf("%w: meta generation %016x does not hash its table set (%016x)", ErrCorruptSnapshot, gen, want)
+		}
+		s.Lineage = &Lineage{BaseGen: gen, Gen: gen, TableIDs: ids, TableHashes: hashes}
 		return nil
 	}); err != nil {
 		return nil, err
@@ -359,7 +372,10 @@ func load(r io.Reader, blobFile *os.File, opts Options) (*System, error) {
 		s.Catalog, derr = lake.DecodeSnapshot(d)
 		return derr
 	})
-	mv, _ := store.View("model")
+	mv, ok := store.View("model")
+	if !ok {
+		return nil, fmt.Errorf("%w: vector directory has no model segment", ErrCorruptSnapshot)
+	}
 	g.run(secModel, secs, func(d *snap.Decoder) error {
 		var derr error
 		s.Model, derr = embedding.DecodeSnapshot(d, mv.Vec, mv.Len())
@@ -524,6 +540,15 @@ func sortedTableIDs(c *lake.Catalog) []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// contentHashes returns each table's content hash, aligned with ids.
+func contentHashes(c *lake.Catalog, ids []string) []uint64 {
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = c.Table(id).ContentHash()
+	}
+	return out
 }
 
 // decodeSection runs fn over one deferred section payload and applies

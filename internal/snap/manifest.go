@@ -75,6 +75,24 @@ func HashIDs(ids []string) uint64 {
 	return h
 }
 
+// HashTables computes a content generation: FNV-1a 64 chained over
+// (table ID, content hash) pairs — IDs length-prefixed as in HashIDs,
+// each followed by its table's content hash. Unlike HashIDs (pure
+// membership, which shard manifests use to verify partitioning), this
+// generation changes whenever any table's contents change, not just
+// when the ID set does — replacing a table (remove + add under the
+// same ID) yields a new generation, which is what lets the serving
+// tier key query caches on it. ids and hashes must be aligned.
+func HashTables(ids []string, hashes []uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i, id := range ids {
+		h = fnv1a64Step(h, fmt.Sprintf("%d:", len(id)))
+		h = fnv1a64Step(h, id)
+		h = fnv1a64Step(h, fmt.Sprintf("=%016x;", hashes[i]))
+	}
+	return h
+}
+
 const (
 	fnvOffset64 uint64 = 14695981039346656037
 	fnvPrime64  uint64 = 1099511628211

@@ -132,3 +132,19 @@ func TestHashIDsNoConcatCollision(t *testing.T) {
 		t.Error("HashIDs is order-insensitive")
 	}
 }
+
+func TestHashTablesContentSensitivity(t *testing.T) {
+	ids := []string{"a", "b"}
+	if HashTables(ids, []uint64{1, 2}) == HashTables(ids, []uint64{1, 3}) {
+		t.Error("HashTables ignores a content-hash change")
+	}
+	if HashTables(ids, []uint64{1, 2}) == HashTables([]string{"a", "c"}, []uint64{1, 2}) {
+		t.Error("HashTables ignores an ID change")
+	}
+	if HashTables([]string{"ab", "c"}, []uint64{1, 2}) == HashTables([]string{"a", "bc"}, []uint64{1, 2}) {
+		t.Error("HashTables collides on concatenation ambiguity")
+	}
+	if HashTables(ids, []uint64{1, 2}) == HashIDs(ids) {
+		t.Error("HashTables degenerates to HashIDs")
+	}
+}

@@ -184,3 +184,37 @@ func TestTypeString(t *testing.T) {
 		t.Error("IsNumeric wrong")
 	}
 }
+
+func TestContentHash(t *testing.T) {
+	mk := func() *Table {
+		tb, err := New("t1", "people", []*Column{
+			{Name: "name", Type: TypeString, Values: []string{"ada", "bob"}},
+			{Name: "age", Type: TypeInt, Values: []string{"36", "41"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Description = "roster"
+		tb.Tags = []string{"hr"}
+		return tb
+	}
+	base := mk().ContentHash()
+	if base != mk().ContentHash() {
+		t.Error("ContentHash is not deterministic over equal tables")
+	}
+	for name, mutate := range map[string]func(*Table){
+		"value":       func(tb *Table) { tb.Columns[0].Values[1] = "eve" },
+		"column name": func(tb *Table) { tb.Columns[1].Name = "years" },
+		"column type": func(tb *Table) { tb.Columns[1].Type = TypeFloat },
+		"table name":  func(tb *Table) { tb.Name = "staff" },
+		"description": func(tb *Table) { tb.Description = "" },
+		"tags":        func(tb *Table) { tb.Tags = nil },
+		"id":          func(tb *Table) { tb.ID = "t2" },
+	} {
+		tb := mk()
+		mutate(tb)
+		if tb.ContentHash() == base {
+			t.Errorf("ContentHash unchanged after mutating %s", name)
+		}
+	}
+}
