@@ -6,7 +6,7 @@
 GO ?= go
 COUNT ?= 1
 
-.PHONY: check race bench-build bench-query bench-mem bench-snapshot bench-vec bench-delta serve-smoke snapshot-smoke shard-smoke delta-smoke
+.PHONY: check race bench-build bench-query bench-mem bench-snapshot bench-vec bench-delta serve-smoke snapshot-smoke shard-smoke delta-smoke discover-smoke
 
 check:
 	$(GO) vet ./...
@@ -19,7 +19,8 @@ race:
 		./internal/lake/... ./internal/parallel/... ./internal/keyword/... \
 		./internal/dict/... ./internal/server/... ./internal/qcache/... \
 		./internal/obs/... ./internal/snap/... ./internal/invindex/... \
-		./internal/lshensemble/... ./internal/router/... ./internal/vecstore/...
+		./internal/lshensemble/... ./internal/router/... ./internal/vecstore/... \
+		./internal/discover/...
 
 # End-to-end smoke of the serving layer: real lakeserved process over
 # a generated 100-table lake, one query per endpoint via lakectl's
@@ -46,6 +47,13 @@ shard-smoke:
 # bit-identical to the compacted fold.
 delta-smoke:
 	bash scripts/delta_smoke.sh
+
+# End-to-end smoke of conditional discovery: structured /v1/discover
+# queries (predicates, explain, parity with the bare endpoints)
+# against a single server, then through the router over a 2-shard
+# fleet including degradation with one shard down, graceful drain.
+discover-smoke:
+	bash scripts/discover_smoke.sh
 
 bench-build:
 	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchtime 2x .

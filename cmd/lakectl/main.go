@@ -15,6 +15,9 @@
 //	lakectl search -lake DIR -q "topic keywords" [-k 10]
 //	lakectl join -lake DIR -table ID -column NAME [-k 10]
 //	lakectl union -lake DIR -table ID [-k 10] [-method tus|santos|starmie]
+//	lakectl discover -lake DIR|-addr HOST:PORT -table ID|-values V1,V2
+//	        [-relation join|union|any] [-k 10] [-col-names A,B] [-min-rows N]
+//	        [-keywords "topic"] [-pred-values V1,V2] [-explain]
 //	lakectl navigate -lake DIR -topic WORD
 //	lakectl exp ID|all
 //
@@ -75,6 +78,8 @@ func main() {
 		err = cmdJoin(os.Args[2:])
 	case "union":
 		err = cmdUnion(os.Args[2:])
+	case "discover":
+		err = cmdDiscover(os.Args[2:])
 	case "navigate":
 		err = cmdNavigate(os.Args[2:])
 	case "vsearch":
@@ -122,6 +127,9 @@ commands:
   search    keyword search over table metadata
   join      find joinable columns for a query column
   union     find unionable tables for a query table
+  discover  conditional discovery: seed + relation + predicates,
+            compiled into a staged plan (-addr for client mode,
+            -explain for the per-stage breakdown)
   navigate  descend the lake organization toward a topic
   vsearch   keyword search over cell values, clustered by schema
   profile   print a table's Auctus-style data profile

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tablehound/internal/discover"
 	"tablehound/internal/server"
 )
 
@@ -102,13 +103,24 @@ func remoteStats(addr string) error {
 		st.Cache.Hits, st.Cache.Misses, st.Cache.HitRatio, st.Cache.Entries, st.Cache.Evictions)
 	fmt.Printf("admission:       %d in flight, %d queued, %d shed, %d timeouts\n",
 		st.InFlight, st.QueueDepth, st.Shed, st.Timeouts)
-	for _, name := range []string{"join", "union", "keyword"} {
+	for _, name := range []string{"join", "union", "keyword", "discover"} {
 		ep, ok := st.Endpoints[name]
 		if !ok {
 			continue
 		}
 		fmt.Printf("%-8s         %d reqs (%.1f qps), %d errors, p50 %.1fms p95 %.1fms p99 %.1fms\n",
 			name, ep.Requests, ep.QPS, ep.Errors, ep.P50Ms, ep.P95Ms, ep.P99Ms)
+	}
+	for _, stage := range []string{
+		discover.StageMeta, discover.StageKeyword, discover.StageValues,
+		discover.StageCandidates, discover.StageVerify,
+	} {
+		ds, ok := st.Discover[stage]
+		if !ok || (ds.CandidatesIn == 0 && ds.CandidatesOut == 0) {
+			continue
+		}
+		fmt.Printf("  stage %-18s %d in -> %d out, p50 %.2fms p95 %.2fms\n",
+			stage, ds.CandidatesIn, ds.CandidatesOut, ds.P50Ms, ds.P95Ms)
 	}
 	return nil
 }

@@ -1,0 +1,189 @@
+// Package discover implements conditional table discovery: a single
+// structured query combines a relational seed (a joinable column or a
+// unionable table) with predicates over schema, metadata, and cell
+// values. A small planner compiles the query into an ordered
+// cheap→expensive pipeline of stages — metadata and keyword
+// prefilters over the catalog and the keyword index first, sketch/LSH
+// candidate generation second, exact verification and scoring through
+// the existing join/union engines last — each stage narrowing the
+// candidate set handed to the next. The executor runs the plan as a
+// pure read over a frozen core.System and reports per-stage candidate
+// counts and timings.
+package discover
+
+import (
+	"fmt"
+	"strings"
+
+	"tablehound/internal/table"
+)
+
+// Stage names, in the fixed cheap→expensive order the planner emits
+// them. Prefilter stages appear only when their predicate group is
+// present; candidates and verify always run.
+const (
+	StageMeta       = "prefilter_meta"
+	StageKeyword    = "prefilter_keyword"
+	StageValues     = "prefilter_values"
+	StageCandidates = "candidates"
+	StageVerify     = "verify"
+)
+
+// Relation selects which discovery primitive ranks the final results.
+type Relation byte
+
+// Relation kinds. The byte values double as cache-key bytes, so they
+// must stay stable.
+const (
+	RelationJoin Relation = iota
+	RelationUnion
+	RelationAny
+)
+
+// ParseRelation maps a wire string to a Relation. The empty string
+// defaults to "any"; anything else unknown wraps table.ErrBadQuery.
+func ParseRelation(s string) (Relation, error) {
+	switch s {
+	case "", "any":
+		return RelationAny, nil
+	case "join":
+		return RelationJoin, nil
+	case "union":
+		return RelationUnion, nil
+	}
+	return 0, fmt.Errorf("discover: unknown relation %q (want join, union, or any): %w", s, table.ErrBadQuery)
+}
+
+// JoinMode selects the join scoring regime. Byte values match the
+// server's join cache-key mode byte.
+type JoinMode byte
+
+// Join modes.
+const (
+	ModeOverlap JoinMode = iota
+	ModeContainment
+)
+
+// ParseJoinMode maps a wire string to a JoinMode; "" defaults to
+// overlap, unknown wraps table.ErrBadQuery.
+func ParseJoinMode(s string) (JoinMode, error) {
+	switch s {
+	case "", "overlap":
+		return ModeOverlap, nil
+	case "containment":
+		return ModeContainment, nil
+	}
+	return 0, fmt.Errorf("discover: unknown join mode %q (want overlap or containment): %w", s, table.ErrBadQuery)
+}
+
+// UnionMethod selects the union engine. Byte values match the
+// server's union cache-key method byte.
+type UnionMethod byte
+
+// Union methods.
+const (
+	MethodTUS UnionMethod = iota
+	MethodSantos
+	MethodStarmie
+	MethodD3L
+)
+
+// ParseUnionMethod maps a wire string to a UnionMethod; "" defaults
+// to tus, unknown wraps table.ErrBadQuery.
+func ParseUnionMethod(s string) (UnionMethod, error) {
+	switch s {
+	case "", "tus":
+		return MethodTUS, nil
+	case "santos":
+		return MethodSantos, nil
+	case "starmie":
+		return MethodStarmie, nil
+	case "d3l":
+		return MethodD3L, nil
+	}
+	return 0, fmt.Errorf("discover: unknown union method %q (want tus, santos, starmie, or d3l): %w", s, table.ErrBadQuery)
+}
+
+// Predicates restrict which lake tables may appear in the results.
+// All set predicates must hold (AND semantics); zero values mean
+// "unconstrained". The JSON tags are the wire schema shared with the
+// server's DiscoverRequest.
+type Predicates struct {
+	// ColumnNames requires every listed column name to be present
+	// (case-insensitive exact match).
+	ColumnNames []string `json:"column_names,omitempty"`
+	// ColumnTypes requires at least one column of every listed
+	// inferred type ("bool", "int", "float", "date", "string").
+	ColumnTypes []string `json:"column_types,omitempty"`
+	MinRows     int      `json:"min_rows,omitempty"`
+	MaxRows     int      `json:"max_rows,omitempty"`
+	MinCols     int      `json:"min_cols,omitempty"`
+	MaxCols     int      `json:"max_cols,omitempty"`
+	// Keywords requires every term to hit the table's metadata
+	// (boolean AND over the keyword index).
+	Keywords string `json:"keywords,omitempty"`
+	// Values requires every listed cell value to appear in some
+	// join-indexed column of the table.
+	Values []string `json:"values,omitempty"`
+}
+
+// HasMeta reports whether any catalog-level (schema/shape) predicate
+// is set.
+func (p Predicates) HasMeta() bool {
+	return len(p.ColumnNames) > 0 || len(p.ColumnTypes) > 0 ||
+		p.MinRows > 0 || p.MaxRows > 0 || p.MinCols > 0 || p.MaxCols > 0
+}
+
+// HasKeywords reports whether the keyword predicate is set.
+func (p Predicates) HasKeywords() bool { return strings.TrimSpace(p.Keywords) != "" }
+
+// HasValues reports whether the cell-value predicate is set.
+func (p Predicates) HasValues() bool { return len(p.Values) > 0 }
+
+// Empty reports whether no predicate is set at all — the degenerate
+// case where discover must rank exactly like the bare engine.
+func (p Predicates) Empty() bool {
+	return !p.HasMeta() && !p.HasKeywords() && !p.HasValues()
+}
+
+// Query is a structured conditional-discovery request. The seed is
+// either a resolved table (Seed) or a bare column (Values); table_id
+// resolution against a catalog happens before the planner sees the
+// query.
+type Query struct {
+	// Seed is the resolved seed table (union/any relation, or join
+	// relation seeded by one of its columns).
+	Seed *table.Table
+	// Values is a bare seed column for the join relation, exclusive
+	// with Seed.
+	Values []string
+	// Column names the seed-table column that seeds the join side;
+	// empty picks the first column with usable values.
+	Column string
+	// Relation is "join", "union", or "any" (default).
+	Relation string
+	// Mode is the join scoring mode: "overlap" (default) or
+	// "containment".
+	Mode string
+	// Method is the union engine: "tus" (default), "santos",
+	// "starmie", or "d3l".
+	Method string
+	// Threshold is the containment cutoff (default 0.5).
+	Threshold float64
+	// K is the number of results; it must be positive.
+	K int
+	// Predicates restrict the result tables.
+	Predicates Predicates
+}
+
+// StageExplain is one row of the per-stage explanation block: the
+// stage name, candidate count entering and leaving the stage, and
+// wall time in microseconds. Out of stage i equals In of stage i+1
+// for the prefilter chain; the candidates stage may emit more
+// candidates than tables entered it (join candidates are columns).
+type StageExplain struct {
+	Stage     string `json:"stage"`
+	In        int    `json:"in"`
+	Out       int    `json:"out"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}

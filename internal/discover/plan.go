@@ -1,0 +1,611 @@
+package discover
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"tablehound/internal/core"
+	"tablehound/internal/join"
+	"tablehound/internal/qcache"
+	"tablehound/internal/starmie"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+	"tablehound/internal/union"
+)
+
+// Result is a ranked discovery answer. Join-relation queries rank
+// columns (Matches); union/any-relation queries rank tables (Tables).
+// Explain carries one row per executed stage in execution order.
+type Result struct {
+	Matches []join.Match
+	Tables  []union.Result
+	Explain []StageExplain
+}
+
+// StageCache is the per-stage cache contract; qcache.Cache satisfies
+// it. Only prefilter stages cache: their output (the table-ID set a
+// predicate group admits) is seed-independent, so it is shared across
+// every discover query with the same predicates on the same
+// generation.
+type StageCache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
+}
+
+// ExecOptions tune one execution. The zero value runs uncached.
+type ExecOptions struct {
+	// Cache, when set, memoizes prefilter-stage outputs keyed by
+	// (Gen, stage, predicates).
+	Cache StageCache
+	// Gen is the data generation folded into stage cache keys, so a
+	// snapshot swap invalidates them.
+	Gen uint64
+}
+
+// Plan is a compiled discover query: validated parameters, the
+// pre-encoded seed (EncodeQuery / Prepare run once at compile time,
+// not per stage), and the ordered stage list. A Plan is a pure read
+// over the frozen System and safe for concurrent Execute calls.
+type Plan struct {
+	sys       *core.System
+	q         Query
+	relation  Relation
+	mode      JoinMode
+	method    UnionMethod
+	threshold float64
+	stages    []string
+	colTypes  []table.Type
+
+	// Pre-encoded seeds, filled per relation at compile time.
+	joinQ    join.Query      // join or any
+	tusQ     *union.TUSQuery // union/tus or any
+	santosQ  *union.SantosQuery
+	starmieQ *starmie.TableQuery
+	d3lQ     *union.D3LQuery
+}
+
+// Stages returns the ordered stage names the planner compiled, for
+// display and tests.
+func (p *Plan) Stages() []string { return append([]string(nil), p.stages...) }
+
+// typeByName mirrors table.Type's String() names for predicate
+// parsing.
+var typeByName = map[string]table.Type{
+	"unknown": table.TypeUnknown,
+	"bool":    table.TypeBool,
+	"int":     table.TypeInt,
+	"float":   table.TypeFloat,
+	"date":    table.TypeDate,
+	"string":  table.TypeString,
+}
+
+// NewPlan validates and compiles a query against a frozen System.
+// Invalid parameters (non-positive k, unknown relation/mode/method or
+// column type, missing or unusable seed) wrap table.ErrBadQuery.
+//
+// Stage ordering rule: stages run in fixed order of estimated
+// per-table cost — catalog stat scan, keyword postings, dict/ID-set
+// membership, sketch probing, exact scoring — and a prefilter stage
+// is planned only when its predicate group is present.
+func NewPlan(sys *core.System, q Query) (*Plan, error) {
+	p := &Plan{sys: sys, q: q, threshold: q.Threshold}
+	if q.K <= 0 {
+		return nil, fmt.Errorf("discover: k must be positive (got %d): %w", q.K, table.ErrBadQuery)
+	}
+	var err error
+	if p.relation, err = ParseRelation(q.Relation); err != nil {
+		return nil, err
+	}
+	if p.mode, err = ParseJoinMode(q.Mode); err != nil {
+		return nil, err
+	}
+	if p.method, err = ParseUnionMethod(q.Method); err != nil {
+		return nil, err
+	}
+	if p.threshold <= 0 {
+		p.threshold = 0.5
+	}
+	for _, name := range q.Predicates.ColumnTypes {
+		t, ok := typeByName[name]
+		if !ok {
+			return nil, fmt.Errorf("discover: unknown column type %q: %w", name, table.ErrBadQuery)
+		}
+		p.colTypes = append(p.colTypes, t)
+	}
+	if q.Seed != nil && len(q.Values) > 0 {
+		return nil, fmt.Errorf("discover: seed table and seed values are exclusive: %w", table.ErrBadQuery)
+	}
+	if err := p.prepareSeed(); err != nil {
+		return nil, err
+	}
+	if q.Predicates.HasMeta() {
+		p.stages = append(p.stages, StageMeta)
+	}
+	if q.Predicates.HasKeywords() {
+		p.stages = append(p.stages, StageKeyword)
+	}
+	if q.Predicates.HasValues() {
+		p.stages = append(p.stages, StageValues)
+	}
+	p.stages = append(p.stages, StageCandidates, StageVerify)
+	return p, nil
+}
+
+// prepareSeed pre-encodes the seed against the engines the relation
+// needs, mirroring exactly what the bare endpoints do so unfiltered
+// plans rank bit-identically.
+func (p *Plan) prepareSeed() error {
+	sys, q := p.sys, p.q
+	switch p.relation {
+	case RelationJoin:
+		vals := q.Values
+		if len(vals) == 0 {
+			if q.Seed == nil {
+				return fmt.Errorf("discover: join relation needs seed values or a seed table: %w", table.ErrBadQuery)
+			}
+			var err error
+			if vals, err = seedColumnValues(q.Seed, q.Column); err != nil {
+				return err
+			}
+		}
+		p.joinQ = sys.Join.EncodeQuery(vals)
+		if len(p.joinQ.IDs) == 0 {
+			return fmt.Errorf("discover: seed column has no usable values: %w", table.ErrBadQuery)
+		}
+	case RelationUnion:
+		if q.Seed == nil {
+			return fmt.Errorf("discover: union relation needs a seed table: %w", table.ErrBadQuery)
+		}
+		var err error
+		switch p.method {
+		case MethodTUS:
+			p.tusQ, err = sys.TUS.Prepare(q.Seed)
+		case MethodSantos:
+			p.santosQ, err = sys.Santos.Prepare(q.Seed)
+		case MethodStarmie:
+			p.starmieQ, err = sys.Starmie.PrepareTable(q.Seed)
+		case MethodD3L:
+			p.d3lQ, err = sys.D3L.Prepare(q.Seed)
+		}
+		if err != nil {
+			return err
+		}
+	case RelationAny:
+		if q.Seed == nil {
+			return fmt.Errorf("discover: relation \"any\" needs a seed table: %w", table.ErrBadQuery)
+		}
+		var err error
+		if p.tusQ, err = sys.TUS.Prepare(q.Seed); err != nil {
+			return err
+		}
+		// The join side is best-effort: a seed table whose columns all
+		// fall out of the join vocabulary still discovers by union.
+		if vals, err := seedColumnValues(q.Seed, q.Column); err == nil {
+			p.joinQ = sys.Join.EncodeQuery(vals)
+		} else if q.Column != "" {
+			return err
+		}
+	}
+	return nil
+}
+
+// seedColumnValues picks the seed column from a seed table: the named
+// column, or the first column with values usable after normalization.
+func seedColumnValues(t *table.Table, column string) ([]string, error) {
+	if column != "" {
+		c := t.Column(column)
+		if c == nil {
+			return nil, fmt.Errorf("discover: seed table %q has no column %q: %w", t.ID, column, table.ErrBadQuery)
+		}
+		return c.Values, nil
+	}
+	for _, c := range t.Columns {
+		if len(tokenize.NormalizeSet(c.Values)) > 0 {
+			return c.Values, nil
+		}
+	}
+	return nil, fmt.Errorf("discover: seed table %q has no usable column: %w", t.ID, table.ErrBadQuery)
+}
+
+// Execute runs the plan uncached.
+func (p *Plan) Execute(ctx context.Context) (*Result, error) {
+	return p.ExecuteOpts(ctx, ExecOptions{})
+}
+
+// ExecuteOpts runs the compiled stages in order. Prefilter stages
+// narrow an allowed-table set (nil = unrestricted); the candidates
+// stage intersects engine candidate generation with it; the verify
+// stage exactly scores what is left. Because every engine scores
+// candidates independently and ranks by a total order
+// (score desc, key asc), restricting candidates before scoring
+// returns exactly the bare engine's ranking restricted to allowed
+// tables — and with no predicates, the bare ranking itself.
+func (p *Plan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*Result, error) {
+	res := &Result{}
+	lakeN := p.sys.Catalog.Len()
+	var allowed map[string]bool // nil = unrestricted
+	count := func() int {
+		if allowed == nil {
+			return lakeN
+		}
+		return len(allowed)
+	}
+	for _, stage := range p.stages {
+		switch stage {
+		case StageMeta, StageKeyword, StageValues:
+			in := count()
+			start := time.Now()
+			ids := p.prefilter(stage, opts)
+			next := make(map[string]bool, len(ids))
+			for _, id := range ids {
+				if allowed == nil || allowed[id] {
+					next[id] = true
+				}
+			}
+			allowed = next
+			res.record(stage, in, len(allowed), start)
+		case StageCandidates:
+			if err := p.runSearch(ctx, res, allowed, count()); err != nil {
+				return nil, err
+			}
+		case StageVerify:
+			// Recorded by runSearch together with the candidates stage;
+			// the two share the pre-encoded seed.
+		}
+	}
+	return res, nil
+}
+
+func (r *Result) record(stage string, in, out int, start time.Time) {
+	r.Explain = append(r.Explain, StageExplain{
+		Stage: stage, In: in, Out: out, ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+// prefilter computes (or recalls) the table-ID set one predicate
+// group admits over the whole lake. Outputs are allowed-set
+// independent so they cache cleanly; the caller intersects.
+func (p *Plan) prefilter(stage string, opts ExecOptions) []string {
+	var key string
+	if opts.Cache != nil {
+		b, _ := json.Marshal(p.q.Predicates)
+		var kb qcache.KeyBuilder
+		kb.Byte('P').U64(opts.Gen).Str(stage).Str(string(b))
+		key = kb.String()
+		if raw, ok := opts.Cache.Get(key); ok {
+			var ids []string
+			if json.Unmarshal(raw, &ids) == nil {
+				return ids
+			}
+		}
+	}
+	var ids []string
+	switch stage {
+	case StageMeta:
+		ids = p.metaFilter()
+	case StageKeyword:
+		ids = p.keywordFilter()
+	case StageValues:
+		ids = p.valuesFilter()
+	}
+	if opts.Cache != nil {
+		if raw, err := json.Marshal(ids); err == nil {
+			opts.Cache.Put(key, raw)
+		}
+	}
+	return ids
+}
+
+func (p *Plan) metaFilter() []string {
+	var out []string
+	for _, t := range p.sys.Catalog.Tables() {
+		if p.matchesMeta(t) {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+func (p *Plan) matchesMeta(t *table.Table) bool {
+	pr := p.q.Predicates
+	if pr.MinRows > 0 && t.NumRows() < pr.MinRows {
+		return false
+	}
+	if pr.MaxRows > 0 && t.NumRows() > pr.MaxRows {
+		return false
+	}
+	if pr.MinCols > 0 && t.NumCols() < pr.MinCols {
+		return false
+	}
+	if pr.MaxCols > 0 && t.NumCols() > pr.MaxCols {
+		return false
+	}
+	for _, want := range pr.ColumnNames {
+		if !hasColumnNamed(t, want) {
+			return false
+		}
+	}
+	for _, want := range p.colTypes {
+		found := false
+		for _, c := range t.Columns {
+			if table.InferType(c.Values) == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func hasColumnNamed(t *table.Table, name string) bool {
+	want := tokenize.Normalize(name)
+	for _, c := range t.Columns {
+		if tokenize.Normalize(c.Name) == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Plan) keywordFilter() []string {
+	rs := p.sys.Keyword.BooleanSearch(p.q.Predicates.Keywords, p.sys.Catalog.Len(), true)
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.TableID
+	}
+	sort.Strings(out)
+	return out
+}
+
+// valuesFilter admits tables where every predicate value appears in
+// some join-indexed column. A value outside the lake vocabulary
+// admits nothing.
+func (p *Plan) valuesFilter() []string {
+	d := p.sys.Dict
+	e := p.sys.Join
+	vals := tokenize.NormalizeSet(p.q.Predicates.Values)
+	if len(vals) == 0 || d == nil {
+		return nil
+	}
+	ids := make([]uint32, 0, len(vals))
+	for _, v := range vals {
+		id, ok := d.ID(v)
+		if !ok {
+			return nil
+		}
+		ids = append(ids, id)
+	}
+	var out []string
+	for _, t := range p.sys.Catalog.Tables() {
+		keys := e.ColumnKeysOf(t.ID)
+		all := true
+		for _, id := range ids {
+			found := false
+			for _, key := range keys {
+				if e.IDSet(key).Contains(id) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// sortedIDs renders the allowed set in deterministic order.
+func sortedIDs(allowed map[string]bool) []string {
+	out := make([]string, 0, len(allowed))
+	for id := range allowed {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keepAllowed filters table IDs by the allowed set, preserving order.
+func keepAllowed(ids []string, allowed map[string]bool) []string {
+	if allowed == nil {
+		return ids
+	}
+	kept := ids[:0:0]
+	for _, id := range ids {
+		if allowed[id] {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
+
+// runSearch executes the candidates and verify stages for the plan's
+// relation, recording one explain row each.
+func (p *Plan) runSearch(ctx context.Context, res *Result, allowed map[string]bool, in int) error {
+	switch p.relation {
+	case RelationJoin:
+		return p.runJoin(ctx, res, allowed, in)
+	case RelationUnion:
+		return p.runUnion(ctx, res, allowed, in)
+	default:
+		return p.runAny(ctx, res, allowed, in)
+	}
+}
+
+func (p *Plan) runJoin(ctx context.Context, res *Result, allowed map[string]bool, in int) error {
+	e := p.sys.Join
+	k := p.q.K
+	if p.mode == ModeOverlap {
+		if allowed == nil {
+			// No predicates: JOSIE's own pruning is the candidate stage;
+			// every indexed column is in play.
+			start := time.Now()
+			res.record(StageCandidates, in, e.NumColumns(), start)
+			vstart := time.Now()
+			res.Matches = e.TopKOverlapQuery(p.joinQ, k)
+			res.record(StageVerify, e.NumColumns(), len(res.Matches), vstart)
+			return nil
+		}
+		start := time.Now()
+		var keys []string
+		for _, id := range sortedIDs(allowed) {
+			keys = append(keys, e.ColumnKeysOf(id)...)
+		}
+		res.record(StageCandidates, in, len(keys), start)
+		vstart := time.Now()
+		ms, err := e.TopKOverlapAmongCtx(ctx, p.joinQ, keys, k)
+		if err != nil {
+			return err
+		}
+		res.Matches = ms
+		res.record(StageVerify, len(keys), len(ms), vstart)
+		return nil
+	}
+	// Containment: LSH Ensemble candidates, restricted, then exactly
+	// verified — the unfiltered composition is literally
+	// ContainmentSearchQueryCtx.
+	start := time.Now()
+	cands, err := e.ContainmentCandidatesQuery(p.joinQ, p.threshold)
+	if err != nil {
+		return err
+	}
+	if allowed != nil {
+		kept := cands[:0:0]
+		for _, key := range cands {
+			id, _ := table.SplitColumnKey(key)
+			if allowed[id] {
+				kept = append(kept, key)
+			}
+		}
+		cands = kept
+	}
+	res.record(StageCandidates, in, len(cands), start)
+	vstart := time.Now()
+	ms, err := e.VerifyContainmentQueryCtx(ctx, p.joinQ, cands, p.threshold)
+	if err != nil {
+		return err
+	}
+	if len(ms) > k {
+		ms = ms[:k]
+	}
+	res.Matches = ms
+	res.record(StageVerify, len(cands), len(ms), vstart)
+	return nil
+}
+
+func (p *Plan) runUnion(ctx context.Context, res *Result, allowed map[string]bool, in int) error {
+	sys, k := p.sys, p.q.K
+	start := time.Now()
+	var cands []string
+	switch p.method {
+	case MethodTUS:
+		cands = keepAllowed(sys.TUS.Candidates(p.tusQ), allowed)
+	case MethodSantos:
+		cands = keepAllowed(sys.Santos.Candidates(p.santosQ, union.Hybrid), allowed)
+	case MethodStarmie:
+		cands = keepAllowed(sys.Starmie.CandidateTables(p.starmieQ, 64, false), allowed)
+	case MethodD3L:
+		// D3L has no sketch: its candidate set is the whole lake.
+		cands = keepAllowed(sys.D3L.TableIDs(), allowed)
+	}
+	res.record(StageCandidates, in, len(cands), start)
+	vstart := time.Now()
+	var (
+		rs  []union.Result
+		err error
+	)
+	switch p.method {
+	case MethodTUS:
+		rs, err = sys.TUS.ScoreAmongCtx(ctx, p.tusQ, cands, k, union.EnsembleMeasure)
+	case MethodSantos:
+		rs, err = sys.Santos.ScoreAmongCtx(ctx, p.santosQ, cands, k, union.Hybrid)
+	case MethodStarmie:
+		for _, m := range sys.Starmie.ScoreTablesAmong(p.starmieQ, cands, k) {
+			rs = append(rs, union.Result{TableID: m.TableID, Score: m.Score})
+		}
+	case MethodD3L:
+		rs = sys.D3L.ScoreAmong(p.d3lQ, cands, k)
+	}
+	if err != nil {
+		return err
+	}
+	res.Tables = rs
+	res.record(StageVerify, len(cands), len(rs), vstart)
+	return nil
+}
+
+// runAny blends both primitives: a candidate table's score is the max
+// of its TUS union score and the best exact containment of the seed
+// column among its columns. Deterministic (score desc, id asc), but
+// not comparable to either bare endpoint — "any" answers "related in
+// any way".
+func (p *Plan) runAny(ctx context.Context, res *Result, allowed map[string]bool, in int) error {
+	sys, k := p.sys, p.q.K
+	start := time.Now()
+	ucands := keepAllowed(sys.TUS.Candidates(p.tusQ), allowed)
+	var jcands []string
+	if len(p.joinQ.IDs) > 0 {
+		all, err := sys.Join.ContainmentCandidatesQuery(p.joinQ, p.threshold)
+		if err != nil {
+			return err
+		}
+		for _, key := range all {
+			id, _ := table.SplitColumnKey(key)
+			if id == p.q.Seed.ID {
+				continue
+			}
+			if allowed == nil || allowed[id] {
+				jcands = append(jcands, key)
+			}
+		}
+	}
+	res.record(StageCandidates, in, len(ucands)+len(jcands), start)
+
+	vstart := time.Now()
+	urs, err := sys.TUS.ScoreAmongCtx(ctx, p.tusQ, ucands, len(ucands), union.EnsembleMeasure)
+	if err != nil {
+		return err
+	}
+	best := make(map[string]float64, len(urs))
+	for _, r := range urs {
+		best[r.TableID] = r.Score
+	}
+	if len(jcands) > 0 {
+		ms, err := sys.Join.VerifyContainmentQueryCtx(ctx, p.joinQ, jcands, p.threshold)
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			id, _ := table.SplitColumnKey(m.ColumnKey)
+			if m.Containment > best[id] {
+				best[id] = m.Containment
+			}
+		}
+	}
+	out := make([]union.Result, 0, len(best))
+	for id, score := range best {
+		out = append(out, union.Result{TableID: id, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].TableID < out[j].TableID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	res.Tables = out
+	res.record(StageVerify, len(ucands)+len(jcands), len(out), vstart)
+	return nil
+}

@@ -85,6 +85,7 @@ var Registry = map[string]Runner{
 	"e21": E21Valentine,
 	"e22": E22Aurum,
 	"e23": E23D3L,
+	"e24": E24Discover,
 }
 
 // IDs returns the registered experiment IDs in order.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -39,11 +40,11 @@ func row(t *testing.T, rep Report, prefix ...string) int {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	if len(Registry) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(Registry))
+	if len(Registry) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(Registry))
 	}
 	ids := IDs()
-	if ids[0] != "e1" || ids[len(ids)-1] != "e23" {
+	if ids[0] != "e1" || ids[len(ids)-1] != "e24" {
 		t.Errorf("IDs order: %v", ids)
 	}
 }
@@ -303,6 +304,30 @@ func TestE23Shape(t *testing.T) {
 	}
 	if combOver < 0.9 || combDis < 0.9 {
 		t.Errorf("combined MAP should stay high in both regimes: %v / %v", combOver, combDis)
+	}
+}
+
+func TestE24Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	rep := E24Discover()
+	if len(rep.Rows) < 6 {
+		t.Fatalf("too few scenarios: %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		// Staged result lists must match the bare engine post-filtered.
+		if r[5] != "yes" {
+			t.Errorf("%s: staged result differs from bare post-filtered baseline", r[0])
+		}
+		// Prefilters must cut exact verification work at least 5x.
+		var red float64
+		if _, err := fmt.Sscanf(r[4], "%fx", &red); err != nil {
+			t.Fatalf("%s: bad reduction cell %q", r[0], r[4])
+		}
+		if red < 5 {
+			t.Errorf("%s: verify-candidate reduction %.1fx < 5x", r[0], red)
+		}
 	}
 }
 

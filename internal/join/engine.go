@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"tablehound/internal/dict"
 	"tablehound/internal/invindex"
@@ -198,6 +199,11 @@ func (e *Engine) NumColumns() int { return len(e.keys) }
 // Dict returns the dictionary the engine's sets are encoded in.
 func (e *Engine) Dict() *dict.Dict { return e.dict }
 
+// IDSet returns the indexed value-ID set for a column key (nil when
+// the column is not join-indexed). The set is frozen shared state:
+// callers must not mutate it.
+func (e *Engine) IDSet(key string) dict.IDSet { return e.idsets[key] }
+
 // ColumnValues returns the indexed distinct values of a column key,
 // sorted ascending.
 func (e *Engine) ColumnValues(key string) ([]string, bool) {
@@ -295,14 +301,42 @@ func (e *Engine) ContainmentSearchQuery(q Query, threshold float64, verify bool)
 // ctx.Err(). Results of a run that completes are bit-identical to the
 // context-free call. An empty query wraps table.ErrBadQuery.
 func (e *Engine) ContainmentSearchQueryCtx(ctx context.Context, q Query, threshold float64, verify bool) ([]Match, error) {
+	cands, err := e.ContainmentCandidatesQuery(q, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return e.verifyContainment(ctx, q, cands, threshold, verify)
+}
+
+// ContainmentCandidatesQuery runs only the LSH Ensemble candidate
+// generation of a containment search: the column keys whose containment
+// of the query is likely >= threshold, unverified. A staged query
+// planner uses it to intersect the sketch candidates with a prefiltered
+// allow-set before paying for exact verification; composing it with
+// VerifyContainmentQueryCtx over the full candidate list reproduces
+// ContainmentSearchQueryCtx bit-identically. An empty query wraps
+// table.ErrBadQuery.
+func (e *Engine) ContainmentCandidatesQuery(q Query, threshold float64) ([]string, error) {
 	if len(q.IDs) == 0 {
 		return nil, fmt.Errorf("join: empty query column: %w", table.ErrBadQuery)
 	}
 	sig := e.hasher.SignHashes(q.Hashes)
-	cands, err := e.ensemble.Query(sig, len(q.IDs), threshold)
-	if err != nil {
-		return nil, err
+	return e.ensemble.Query(sig, len(q.IDs), threshold)
+}
+
+// VerifyContainmentQueryCtx exactly verifies the given candidate
+// column keys against the query and returns those with containment >=
+// threshold, ordered (containment desc, column key asc). Per-candidate
+// verification is independent, so restricting the candidate list and
+// verifying is bit-identical to verifying everything and filtering.
+func (e *Engine) VerifyContainmentQueryCtx(ctx context.Context, q Query, cands []string, threshold float64) ([]Match, error) {
+	if len(q.IDs) == 0 {
+		return nil, fmt.Errorf("join: empty query column: %w", table.ErrBadQuery)
 	}
+	return e.verifyContainment(ctx, q, cands, threshold, true)
+}
+
+func (e *Engine) verifyContainment(ctx context.Context, q Query, cands []string, threshold float64, verify bool) ([]Match, error) {
 	type verdict struct {
 		m    Match
 		keep bool
@@ -330,6 +364,59 @@ func (e *Engine) ContainmentSearchQueryCtx(ctx context.Context, q Query, thresho
 	}
 	sortMatches(out, func(m Match) float64 { return m.Containment })
 	return out, nil
+}
+
+// TopKOverlapAmongCtx is the restricted exact-overlap search: it
+// scores only the given candidate column keys (exact integer-set
+// overlap, fanned out over QueryParallelism workers), keeps those with
+// overlap > 0, and returns the top k ordered (overlap desc, column key
+// asc) — JOSIE's exact comparator. Because per-column overlaps are
+// independent, the result equals an unbounded TopKOverlapQuery filtered
+// to the candidate set and truncated to k; a staged planner uses it to
+// push table-level predicates below the exact scoring.
+func (e *Engine) TopKOverlapAmongCtx(ctx context.Context, q Query, cands []string, k int) ([]Match, error) {
+	if len(q.IDs) == 0 {
+		return nil, fmt.Errorf("join: empty query column: %w", table.ErrBadQuery)
+	}
+	overlaps, err := parallel.MapCtx(ctx, len(cands), parallel.Resolve(e.QueryParallelism), func(i int) (int, error) {
+		return dict.Overlap(q.IDs, e.idsets[cands[i]]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for i, key := range cands {
+		if overlaps[i] > 0 {
+			out = append(out, Match{
+				ColumnKey:   key,
+				Overlap:     overlaps[i],
+				Containment: float64(overlaps[i]) / float64(len(q.IDs)),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Overlap != out[j].Overlap {
+			return out[i].Overlap > out[j].Overlap
+		}
+		return out[i].ColumnKey < out[j].ColumnKey
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// ColumnKeysOf returns the indexed column keys of one table, in sorted
+// order. Table IDs contain no dots (table.ColumnKey's contract), so
+// the half-open prefix range over the sorted key list is exact.
+func (e *Engine) ColumnKeysOf(tableID string) []string {
+	prefix := tableID + "."
+	lo := sort.SearchStrings(e.keys, prefix)
+	hi := lo
+	for hi < len(e.keys) && strings.HasPrefix(e.keys[hi], prefix) {
+		hi++
+	}
+	return e.keys[lo:hi:hi]
 }
 
 // JaccardSearch is the exact-scan baseline: every indexed column is

@@ -1,0 +1,296 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"tablehound/internal/core"
+	"tablehound/internal/discover"
+	"tablehound/internal/server"
+	"tablehound/internal/snap"
+	"tablehound/internal/table"
+)
+
+// A router over a single unsharded server must answer /v1/discover
+// byte-identically, success and error alike — including the
+// degenerate-case parity with /v1/join and /v1/union, which therefore
+// holds through the router too.
+func TestDiscoverSingleShardByteParity(t *testing.T) {
+	gen, sys, _, _ := fixture(t)
+	_, direct, addrs := startShards(t, []*core.System{sys}, nil)
+	_, routed := startRouter(t, Config{Addrs: addrs})
+
+	qt := gen.Tables[0]
+	vals := qt.Columns[0].Values
+	cases := []struct {
+		name string
+		req  server.DiscoverRequest
+	}{
+		{"join values", server.DiscoverRequest{Values: vals, Relation: "join", K: 5}},
+		{"join containment", server.DiscoverRequest{Values: vals, Relation: "join", K: 5, Mode: "containment", Threshold: 0.3}},
+		{"union by id", server.DiscoverRequest{TableID: qt.ID, Relation: "union", K: 5}},
+		{"any by id", server.DiscoverRequest{TableID: qt.ID, K: 5}},
+		{"predicated", server.DiscoverRequest{TableID: qt.ID, Relation: "union", K: 5,
+			Predicates: discover.Predicates{MinRows: 1, ColumnNames: []string{qt.Columns[0].Name}}}},
+		{"bad k", server.DiscoverRequest{TableID: qt.ID}},
+		{"bad relation", server.DiscoverRequest{TableID: qt.ID, K: 5, Relation: "psychic"}},
+		{"unknown table", server.DiscoverRequest{TableID: "no-such-table", K: 5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dResp, dBody := post(t, direct[0].URL+"/v1/discover", c.req)
+			rResp, rBody := post(t, routed.URL+"/v1/discover", c.req)
+			if dResp.StatusCode != rResp.StatusCode {
+				t.Fatalf("status: direct %d, routed %d (%s vs %s)", dResp.StatusCode, rResp.StatusCode, dBody, rBody)
+			}
+			if !bytes.Equal(dBody, rBody) {
+				t.Errorf("body mismatch:\ndirect %s\nrouted %s", dBody, rBody)
+			}
+		})
+	}
+
+	// Explain blocks carry wall-clock elapsed_us, so byte equality
+	// cannot hold across executions; compare with timings zeroed.
+	t.Run("explain", func(t *testing.T) {
+		req := server.DiscoverRequest{TableID: qt.ID, Relation: "union", K: 5, Explain: true}
+		_, dBody := post(t, direct[0].URL+"/v1/discover", req)
+		_, rBody := post(t, routed.URL+"/v1/discover", req)
+		var d, r discoverRouterResponse
+		if err := json.Unmarshal(dBody, &d); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(rBody, &r); err != nil {
+			t.Fatal(err)
+		}
+		for i := range d.Explain {
+			d.Explain[i].ElapsedUS = 0
+		}
+		for i := range r.Explain {
+			r.Explain[i].ElapsedUS = 0
+		}
+		if !reflect.DeepEqual(d, r) {
+			t.Errorf("explain responses diverge beyond timing:\ndirect %s\nrouted %s", dBody, rBody)
+		}
+	})
+
+	// Routed discover with a single relation and no predicates equals
+	// the routed bare endpoint, byte for byte.
+	t.Run("parity with bare endpoints", func(t *testing.T) {
+		_, jBody := post(t, routed.URL+"/v1/join", server.JoinRequest{Values: vals, K: 5})
+		_, dBody := post(t, routed.URL+"/v1/discover", server.DiscoverRequest{Values: vals, Relation: "join", K: 5})
+		if !bytes.Equal(jBody, dBody) {
+			t.Errorf("routed discover != routed /v1/join:\n%s\n%s", jBody, dBody)
+		}
+		_, uBody := post(t, routed.URL+"/v1/union", server.UnionRequest{TableID: qt.ID, K: 5})
+		_, dBody = post(t, routed.URL+"/v1/discover", server.DiscoverRequest{TableID: qt.ID, Relation: "union", K: 5})
+		if !bytes.Equal(uBody, dBody) {
+			t.Errorf("routed discover != routed /v1/union:\n%s\n%s", uBody, dBody)
+		}
+	})
+}
+
+// A 2-shard router must reproduce the unsharded discover ranking for
+// the join relation (overlap scores are query-local) and relocate
+// table_id seeds to their owner shard for union/any.
+func TestDiscoverTwoShardFanout(t *testing.T) {
+	gen, sys, two, man := fixture(t)
+	_, direct, _ := startShards(t, []*core.System{sys}, nil)
+	_, _, addrs := startShards(t, two, man)
+	_, routed := startRouter(t, Config{Addrs: addrs})
+
+	t.Run("join parity", func(t *testing.T) {
+		req := server.DiscoverRequest{Values: gen.Tables[0].Columns[0].Values, Relation: "join", K: 10}
+		dResp, dBody := post(t, direct[0].URL+"/v1/discover", req)
+		rResp, rBody := post(t, routed.URL+"/v1/discover", req)
+		if dResp.StatusCode != 200 || rResp.StatusCode != 200 {
+			t.Fatalf("status direct %d routed %d", dResp.StatusCode, rResp.StatusCode)
+		}
+		if !bytes.Equal(dBody, rBody) {
+			t.Errorf("2-shard discover join != unsharded\ndirect %s\nrouted %s", dBody, rBody)
+		}
+	})
+
+	t.Run("union by table_id", func(t *testing.T) {
+		qt := gen.Tables[0]
+		resp, body := post(t, routed.URL+"/v1/discover",
+			server.DiscoverRequest{TableID: qt.ID, Relation: "union", K: 10})
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var out discoverRouterResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.ShardsOK != "" {
+			t.Errorf("complete response carries shards_ok %q", out.ShardsOK)
+		}
+		if out.Results == nil || len(*out.Results) == 0 {
+			t.Fatalf("no results: %s", body)
+		}
+		seen := map[int]bool{}
+		for _, r := range *out.Results {
+			if r.TableID == qt.ID {
+				t.Errorf("seed table %s in its own results", qt.ID)
+			}
+			seen[snap.ShardOf(r.TableID, 2)] = true
+		}
+		if len(seen) != 2 {
+			t.Errorf("results only from shards %v, want both", seen)
+		}
+	})
+
+	t.Run("explain merge", func(t *testing.T) {
+		req := server.DiscoverRequest{Values: gen.Tables[0].Columns[0].Values, Relation: "join", K: 10,
+			Predicates: discover.Predicates{MinRows: 1}, Explain: true}
+		resp, body := post(t, routed.URL+"/v1/discover", req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var out discoverRouterResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		stages := make([]string, len(out.Explain))
+		for i, st := range out.Explain {
+			stages[i] = st.Stage
+		}
+		want := []string{discover.StageMeta, discover.StageCandidates, discover.StageVerify}
+		if !reflect.DeepEqual(stages, want) {
+			t.Fatalf("merged explain stages = %v, want %v", stages, want)
+		}
+		// The meta prefilter sums across both shards to the whole lake.
+		if out.Explain[0].In != len(gen.Tables) {
+			t.Errorf("merged meta in = %d, want lake size %d", out.Explain[0].In, len(gen.Tables))
+		}
+	})
+
+	t.Run("deterministic 4xx propagates", func(t *testing.T) {
+		resp, body := post(t, routed.URL+"/v1/discover",
+			server.DiscoverRequest{TableID: "no-such-table", K: 5})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if want := `{"error":"table \"no-such-table\": not found"}`; string(body) != want {
+			t.Errorf("404 body %s, want %s", body, want)
+		}
+	})
+}
+
+// Shard failures degrade discover like every other endpoint: 200 with
+// shards_ok M/N, never a 5xx.
+func TestDiscoverDegradation(t *testing.T) {
+	gen, _, two, man := fixture(t)
+	_, https, addrs := startShards(t, two, man)
+	_, routed := startRouter(t, Config{Addrs: addrs})
+
+	// Kill shard 1: values-seeded discover stays 200 and reports 1/2.
+	https[1].Close()
+	resp, body := post(t, routed.URL+"/v1/discover",
+		server.DiscoverRequest{Values: gen.Tables[0].Columns[0].Values, Relation: "join", K: 5})
+	if resp.StatusCode != 200 {
+		t.Fatalf("shard down: status %d: %s", resp.StatusCode, body)
+	}
+	var out discoverRouterResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ShardsOK != "1/2" {
+		t.Errorf("shards_ok = %q, want 1/2 (%s)", out.ShardsOK, body)
+	}
+
+	// A table_id seed whose owner is the dead shard degrades to an
+	// empty 200 with the relation's result field present.
+	var deadOwned *table.Table
+	for _, tbl := range gen.Tables {
+		if snap.ShardOf(tbl.ID, 2) == 1 {
+			deadOwned = tbl
+			break
+		}
+	}
+	resp, body = post(t, routed.URL+"/v1/discover",
+		server.DiscoverRequest{TableID: deadOwned.ID, Relation: "union", K: 5})
+	if resp.StatusCode != 200 {
+		t.Fatalf("owner down: status %d: %s", resp.StatusCode, body)
+	}
+	out = discoverRouterResponse{}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ShardsOK != "0/2" || out.Results == nil || len(*out.Results) != 0 {
+		t.Errorf("owner-down discover = %s, want empty results and shards_ok 0/2", body)
+	}
+
+	// Kill shard 0 too: still 200, 0/2.
+	https[0].Close()
+	resp, body = post(t, routed.URL+"/v1/discover",
+		server.DiscoverRequest{Values: gen.Tables[0].Columns[0].Values, Relation: "join", K: 5})
+	if resp.StatusCode != 200 {
+		t.Fatalf("all down: status %d: %s", resp.StatusCode, body)
+	}
+	out = discoverRouterResponse{}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ShardsOK != "0/2" || out.Matches == nil || len(*out.Matches) != 0 {
+		t.Errorf("all-down discover = %s, want empty matches and shards_ok 0/2", body)
+	}
+}
+
+// The router rejects bad discover queries itself, without touching a
+// shard — the same 400 contract as the shard servers.
+func TestDiscoverRouterBadQueries(t *testing.T) {
+	gen, _, two, man := fixture(t)
+	_, _, addrs := startShards(t, two, man)
+	_, routed := startRouter(t, Config{Addrs: addrs})
+	qt := gen.Tables[0]
+
+	cases := []struct {
+		name string
+		req  server.DiscoverRequest
+	}{
+		{"absent k", server.DiscoverRequest{TableID: qt.ID}},
+		{"negative k", server.DiscoverRequest{TableID: qt.ID, K: -2}},
+		{"bad relation", server.DiscoverRequest{TableID: qt.ID, K: 5, Relation: "psychic"}},
+		{"bad mode", server.DiscoverRequest{TableID: qt.ID, K: 5, Mode: "fuzzy"}},
+		{"bad method", server.DiscoverRequest{TableID: qt.ID, K: 5, Method: "magic"}},
+		{"no seed", server.DiscoverRequest{K: 5}},
+		{"two seeds", server.DiscoverRequest{TableID: qt.ID, Values: []string{"x"}, K: 5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := post(t, routed.URL+"/v1/discover", c.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d (%s), want 400", resp.StatusCode, body)
+			}
+		})
+	}
+}
+
+func TestMergeExplains(t *testing.T) {
+	a := []discover.StageExplain{
+		{Stage: discover.StageMeta, In: 10, Out: 4, ElapsedUS: 100},
+		{Stage: discover.StageCandidates, In: 4, Out: 9, ElapsedUS: 50},
+		{Stage: discover.StageVerify, In: 9, Out: 3, ElapsedUS: 200},
+	}
+	b := []discover.StageExplain{
+		{Stage: discover.StageMeta, In: 10, Out: 6, ElapsedUS: 80},
+		{Stage: discover.StageCandidates, In: 6, Out: 11, ElapsedUS: 60},
+		{Stage: discover.StageVerify, In: 11, Out: 5, ElapsedUS: 150},
+	}
+	got := mergeExplains([][]discover.StageExplain{a, b})
+	want := []discover.StageExplain{
+		{Stage: discover.StageMeta, In: 20, Out: 10, ElapsedUS: 180},
+		{Stage: discover.StageCandidates, In: 10, Out: 20, ElapsedUS: 110},
+		{Stage: discover.StageVerify, In: 20, Out: 8, ElapsedUS: 350},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("mergeExplains = %+v, want %+v", got, want)
+	}
+	// One shard passes through unchanged.
+	if got := mergeExplains([][]discover.StageExplain{a}); !reflect.DeepEqual(got, a) {
+		t.Errorf("single-list merge changed the block: %+v", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"tablehound/internal/discover"
 	"tablehound/internal/qcache"
 	"tablehound/internal/server"
 	"tablehound/internal/snap"
@@ -32,6 +33,11 @@ type unionRouterResponse struct {
 
 type keywordRouterResponse struct {
 	server.KeywordResponse
+	ShardsOK string `json:"shards_ok,omitempty"`
+}
+
+type discoverRouterResponse struct {
+	server.DiscoverResponse
 	ShardsOK string `json:"shards_ok,omitempty"`
 }
 
@@ -202,6 +208,8 @@ func (rt *Router) markPartial(endpoint byte) {
 		rt.endpoints["union"].partial.Inc()
 	case 'K':
 		rt.endpoints["keyword"].partial.Inc()
+	case 'D':
+		rt.endpoints["discover"].partial.Inc()
 	}
 }
 
@@ -213,15 +221,16 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	k := server.ClampK(req.K)
-	mode := req.Mode
-	if mode == "" {
-		mode = "overlap"
-	}
-	if mode != "overlap" && mode != "containment" {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown join mode %q (want overlap or containment)", mode))
+	k, err := server.CheckK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if _, err := server.ParseJoinMode(req.Mode); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	byContainment := req.Mode == "containment"
 	rt.gather(w, r, 'J', "/v1/join", body, body,
 		func(bodies [][]byte) (any, error) {
 			lists := make([][]server.JoinMatch, 0, len(bodies))
@@ -234,7 +243,7 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 			}
 			return &joinRouterResponse{
 				JoinResponse: server.JoinResponse{
-					Matches: mergeJoinMatches(mode == "containment", lists, k),
+					Matches: mergeJoinMatches(byContainment, lists, k),
 				},
 			}, nil
 		},
@@ -254,15 +263,13 @@ func (rt *Router) handleUnion(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	k := server.ClampK(req.K)
-	method := req.Method
-	if method == "" {
-		method = "tus"
+	k, err := server.CheckK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	switch method {
-	case "tus", "santos", "starmie", "d3l":
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown union method %q (want tus, santos, starmie, or d3l)", method))
+	if _, err := server.ParseUnionMethod(req.Method); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if (req.TableID == "") == (req.Table == nil) {
@@ -345,14 +352,18 @@ func (rt *Router) handleKeyword(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	k := server.ClampK(req.K)
+	k, err := server.CheckK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, err := server.ParseKeywordMode(req.Mode); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	mode := req.Mode
 	if mode == "" {
 		mode = "meta"
-	}
-	if mode != "meta" && mode != "values" {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown keyword mode %q (want meta or values)", mode))
-		return
 	}
 	rt.gather(w, r, 'K', "/v1/keyword", body, body,
 		func(bodies [][]byte) (any, error) {
@@ -376,6 +387,131 @@ func (rt *Router) handleKeyword(w http.ResponseWriter, r *http.Request) {
 		},
 		func(v any, shardsOK string) { v.(*keywordRouterResponse).ShardsOK = shardsOK },
 		func(shardsOK string) any { return &keywordRouterResponse{ShardsOK: shardsOK} },
+	)
+}
+
+func (rt *Router) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req server.DiscoverRequest
+	body, ok := decodeBody(w, r, &req)
+	if !ok {
+		return
+	}
+	k, err := server.CheckK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rel, err := discover.ParseRelation(req.Relation)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, err := discover.ParseJoinMode(req.Mode); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, err := discover.ParseUnionMethod(req.Method); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	seeds := 0
+	if req.TableID != "" {
+		seeds++
+	}
+	if req.Table != nil {
+		seeds++
+	}
+	if len(req.Values) > 0 {
+		seeds++
+	}
+	if seeds != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one of table_id, table, or values must be set")
+		return
+	}
+	byContainment := req.Mode == "containment"
+	join := rel == discover.RelationJoin
+
+	emptyResp := func(shardsOK string) *discoverRouterResponse {
+		out := &discoverRouterResponse{ShardsOK: shardsOK}
+		if join {
+			m := []server.JoinMatch{}
+			out.Matches = &m
+		} else {
+			rs := []server.TableScore{}
+			out.Results = &rs
+		}
+		return out
+	}
+
+	// Same owner-resolution dance as /v1/union: a table_id seed lives
+	// on exactly one shard, so fetch it from its owner and fan out the
+	// inline form (the table keeps its ID, so the owner shard still
+	// excludes the seed from its own results).
+	fanBody := body
+	total := len(rt.shards)
+	if req.TableID != "" && total > 1 {
+		owner := rt.shards[snap.ShardOf(req.TableID, total)]
+		if owner.state.Load().quarantined {
+			rt.allDown.Inc()
+			rt.markPartial('D')
+			writeJSON(w, http.StatusOK, emptyResp(fmt.Sprintf("0/%d", total)))
+			return
+		}
+		t, err := owner.client.Table(r.Context(), req.TableID)
+		if err != nil {
+			if apiErr, isAPI := err.(*server.APIError); isAPI && apiErr.Status/100 == 4 {
+				writeError(w, apiErr.Status, apiErr.Message)
+				return
+			}
+			owner.fails.Inc()
+			rt.allDown.Inc()
+			rt.markPartial('D')
+			writeJSON(w, http.StatusOK, emptyResp(fmt.Sprintf("0/%d", total)))
+			return
+		}
+		inline := req
+		inline.TableID = ""
+		inline.Table = &server.InlineTable{ID: t.ID, Name: t.Name, Columns: t.Columns}
+		fanBody, err = json.Marshal(inline)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding shard request: "+err.Error())
+			return
+		}
+	}
+
+	rt.gather(w, r, 'D', "/v1/discover", body, fanBody,
+		func(bodies [][]byte) (any, error) {
+			matchLists := make([][]server.JoinMatch, 0, len(bodies))
+			scoreLists := make([][]server.TableScore, 0, len(bodies))
+			explains := make([][]discover.StageExplain, 0, len(bodies))
+			for _, b := range bodies {
+				var resp server.DiscoverResponse
+				if err := json.Unmarshal(b, &resp); err != nil {
+					return nil, err
+				}
+				if resp.Matches != nil {
+					matchLists = append(matchLists, *resp.Matches)
+				}
+				if resp.Results != nil {
+					scoreLists = append(scoreLists, *resp.Results)
+				}
+				explains = append(explains, resp.Explain)
+			}
+			out := &discoverRouterResponse{}
+			if join {
+				m := mergeJoinMatches(byContainment, matchLists, k)
+				out.Matches = &m
+			} else {
+				rs := mergeScores(scoreLists, k)
+				out.Results = &rs
+			}
+			if req.Explain {
+				out.Explain = mergeExplains(explains)
+			}
+			return out, nil
+		},
+		func(v any, shardsOK string) { v.(*discoverRouterResponse).ShardsOK = shardsOK },
+		func(shardsOK string) any { return emptyResp(shardsOK) },
 	)
 }
 

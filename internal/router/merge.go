@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"tablehound/internal/discover"
 	"tablehound/internal/server"
 )
 
@@ -73,6 +74,31 @@ func mergeScores(lists [][]server.TableScore, k int) []server.TableScore {
 	})
 	if len(out) > k {
 		out = out[:k]
+	}
+	return out
+}
+
+// mergeExplains folds per-shard discover explanation blocks into one:
+// stages are keyed by name in the order the first shard reports them
+// (every shard runs the same plan, so the orders agree), and the
+// candidate counts and elapsed time are summed across shards — "in"
+// and "out" then read as fleet-wide candidate totals. A single shard's
+// block passes through unchanged.
+func mergeExplains(lists [][]discover.StageExplain) []discover.StageExplain {
+	var out []discover.StageExplain
+	index := make(map[string]int)
+	for _, l := range lists {
+		for _, st := range l {
+			i, ok := index[st.Stage]
+			if !ok {
+				index[st.Stage] = len(out)
+				out = append(out, st)
+				continue
+			}
+			out[i].In += st.In
+			out[i].Out += st.Out
+			out[i].ElapsedUS += st.ElapsedUS
+		}
 	}
 	return out
 }

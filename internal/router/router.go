@@ -151,7 +151,7 @@ func New(cfg Config) (*Router, error) {
 		healthDone: make(chan struct{}),
 	}
 	rt.endpoints = make(map[string]*endpointMetrics)
-	for _, name := range []string{"join", "union", "keyword"} {
+	for _, name := range []string{"join", "union", "keyword", "discover"} {
 		lbl := fmt.Sprintf("endpoint=%q", name)
 		rt.endpoints[name] = &endpointMetrics{
 			requests: rt.reg.Counter("lakerouter_requests_total", "Requests handled, by endpoint.", lbl),
@@ -192,6 +192,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/v1/join", rt.queryEndpoint("join", rt.handleJoin))
 	rt.mux.HandleFunc("/v1/union", rt.queryEndpoint("union", rt.handleUnion))
 	rt.mux.HandleFunc("/v1/keyword", rt.queryEndpoint("keyword", rt.handleKeyword))
+	rt.mux.HandleFunc("/v1/discover", rt.queryEndpoint("discover", rt.handleDiscover))
 	rt.mux.HandleFunc("/v1/admin/reload", rt.handleReload)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/stats", rt.handleStats)

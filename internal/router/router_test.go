@@ -375,16 +375,16 @@ func TestSingleShardByteParity(t *testing.T) {
 	}{
 		{"join overlap", "/v1/join", server.JoinRequest{Values: qt.Columns[0].Values, K: 5}},
 		{"join containment", "/v1/join", server.JoinRequest{Values: qt.Columns[0].Values, K: 5, Mode: "containment"}},
-		{"join bad mode", "/v1/join", server.JoinRequest{Values: qt.Columns[0].Values, Mode: "fuzzy"}},
+		{"join bad mode", "/v1/join", server.JoinRequest{Values: qt.Columns[0].Values, K: 5, Mode: "fuzzy"}},
 		{"union tus by id", "/v1/union", server.UnionRequest{TableID: qt.ID, K: 5}},
 		{"union starmie by id", "/v1/union", server.UnionRequest{TableID: qt.ID, K: 5, Method: "starmie"}},
 		{"union inline", "/v1/union", server.UnionRequest{Table: inline, K: 5}},
-		{"union bad method", "/v1/union", server.UnionRequest{TableID: qt.ID, Method: "psychic"}},
-		{"union both set", "/v1/union", server.UnionRequest{TableID: qt.ID, Table: inline}},
-		{"union unknown table", "/v1/union", server.UnionRequest{TableID: "no-such-table"}},
+		{"union bad method", "/v1/union", server.UnionRequest{TableID: qt.ID, K: 5, Method: "psychic"}},
+		{"union both set", "/v1/union", server.UnionRequest{TableID: qt.ID, Table: inline, K: 5}},
+		{"union unknown table", "/v1/union", server.UnionRequest{TableID: "no-such-table", K: 5}},
 		{"keyword meta", "/v1/keyword", server.KeywordRequest{Query: topic, K: 5}},
 		{"keyword values", "/v1/keyword", server.KeywordRequest{Query: qt.Columns[0].Values[0], K: 5, Mode: "values"}},
-		{"keyword bad mode", "/v1/keyword", server.KeywordRequest{Query: topic, Mode: "psychic"}},
+		{"keyword bad mode", "/v1/keyword", server.KeywordRequest{Query: topic, K: 5, Mode: "psychic"}},
 		{"keyword oov", "/v1/keyword", server.KeywordRequest{Query: "zz-absent-everywhere", K: 5}},
 	}
 	for _, c := range cases {
@@ -497,7 +497,7 @@ func TestTwoShardUnionByTableID(t *testing.T) {
 	}
 
 	// Unknown table: the owner's deterministic 404 propagates verbatim.
-	resp, body := post(t, routed.URL+"/v1/union", server.UnionRequest{TableID: "no-such-table"})
+	resp, body := post(t, routed.URL+"/v1/union", server.UnionRequest{TableID: "no-such-table", K: 3})
 	if resp.StatusCode != 404 {
 		t.Fatalf("unknown table: status %d: %s", resp.StatusCode, body)
 	}

@@ -74,6 +74,15 @@ func (c *Client) Keyword(ctx context.Context, req KeywordRequest) (*KeywordRespo
 	return &out, nil
 }
 
+// Discover runs a conditional-discovery query.
+func (c *Client) Discover(ctx context.Context, req DiscoverRequest) (*DiscoverResponse, error) {
+	var out DiscoverResponse
+	if err := c.post(ctx, "/v1/discover", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Table fetches one lake table in inline form.
 func (c *Client) Table(ctx context.Context, id string) (*TableResponse, error) {
 	var out TableResponse

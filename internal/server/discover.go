@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"tablehound/internal/discover"
+	"tablehound/internal/qcache"
+	"tablehound/internal/table"
+)
+
+// DiscoverRequest asks /v1/discover for tables conditionally: a
+// relational seed (exactly one of table_id, table, or values) plus
+// optional predicates restricting the result tables.
+type DiscoverRequest struct {
+	// TableID seeds from a lake table.
+	TableID string `json:"table_id,omitempty"`
+	// Table seeds from an inline query table.
+	Table *InlineTable `json:"table,omitempty"`
+	// Values seeds from a bare column (join relation only).
+	Values []string `json:"values,omitempty"`
+	// Column names the seed-table column feeding the join side;
+	// empty picks the first usable column.
+	Column string `json:"column,omitempty"`
+	// Relation is "join", "union", or "any" (default).
+	Relation string `json:"relation,omitempty"`
+	// Mode is the join scoring mode: "overlap" (default) or
+	// "containment".
+	Mode string `json:"mode,omitempty"`
+	// Method is the union engine: "tus" (default), "santos",
+	// "starmie", or "d3l".
+	Method string `json:"method,omitempty"`
+	// Threshold is the containment cutoff (default 0.5).
+	Threshold float64 `json:"threshold,omitempty"`
+	// K is required and must be positive.
+	K int `json:"k,omitempty"`
+	// Predicates restrict which tables may appear in the results.
+	Predicates discover.Predicates `json:"predicates"`
+	// Explain asks for the per-stage explanation block.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// DiscoverResponse is the /v1/discover answer. Matches is set for the
+// join relation, Results for union/any. Both are slice pointers so an
+// unfiltered single-relation response marshals bit-identically to the
+// corresponding bare JoinResponse/UnionResponse ("matches":[] vs the
+// field being absent).
+type DiscoverResponse struct {
+	Matches *[]JoinMatch            `json:"matches,omitempty"`
+	Results *[]TableScore           `json:"results,omitempty"`
+	Explain []discover.StageExplain `json:"explain,omitempty"`
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req DiscoverRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	k, err := CheckK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rel, err := discover.ParseRelation(req.Relation)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	mode, err := discover.ParseJoinMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	method, err := discover.ParseUnionMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	seeds := 0
+	if req.TableID != "" {
+		seeds++
+	}
+	if req.Table != nil {
+		seeds++
+	}
+	if len(req.Values) > 0 {
+		seeds++
+	}
+	if seeds != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one of table_id, table, or values must be set")
+		return
+	}
+
+	snap := s.snap.Load()
+	// Like /v1/union, only table_id seeds are cached: inline tables
+	// and bare value columns would need their whole content hashed
+	// into the key.
+	var key string
+	if req.TableID != "" {
+		key = discoverKey(snap, rel, mode, method, k, req)
+	}
+	s.serveQuery(w, r, key, func(ctx context.Context) (any, error) {
+		q := discover.Query{
+			Column:     req.Column,
+			Relation:   req.Relation,
+			Mode:       req.Mode,
+			Method:     req.Method,
+			Threshold:  req.Threshold,
+			K:          k,
+			Predicates: req.Predicates,
+		}
+		switch {
+		case req.TableID != "":
+			t := snap.sys.Catalog.Table(req.TableID)
+			if t == nil {
+				return nil, fmt.Errorf("table %q: %w", req.TableID, errNotFound)
+			}
+			q.Seed = t
+		case req.Table != nil:
+			t, err := inlineTable(req.Table)
+			if err != nil {
+				return nil, err
+			}
+			q.Seed = t
+		default:
+			q.Values = req.Values
+		}
+		plan, err := discover.NewPlan(snap.sys, q)
+		if err != nil {
+			return nil, err
+		}
+		res, err := plan.ExecuteOpts(ctx, discover.ExecOptions{Cache: s.cache, Gen: snap.dataGen})
+		if err != nil {
+			return nil, err
+		}
+		s.observeStages(res.Explain)
+		var resp DiscoverResponse
+		if rel == discover.RelationJoin {
+			out := make([]JoinMatch, len(res.Matches))
+			for i, m := range res.Matches {
+				out[i] = JoinMatch{
+					ColumnKey: m.ColumnKey, Overlap: m.Overlap,
+					Containment: m.Containment, Jaccard: m.Jaccard,
+				}
+			}
+			resp.Matches = &out
+		} else {
+			out := unionScores(res.Tables)
+			resp.Results = &out
+		}
+		if req.Explain {
+			resp.Explain = res.Explain
+		}
+		return resp, nil
+	})
+}
+
+// discoverKey builds the cache key for a table_id-seeded discover
+// query: generation, relation/mode/method bytes, k, threshold, the
+// explain flag, the seed coordinates, and the predicate block.
+func discoverKey(snap *snapshot, rel discover.Relation, mode discover.JoinMode, method discover.UnionMethod, k int, req DiscoverRequest) string {
+	preds, _ := json.Marshal(req.Predicates)
+	threshold := req.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	var explain byte
+	if req.Explain {
+		explain = 1
+	}
+	var kb qcache.KeyBuilder
+	kb.Byte('D').U64(snap.dataGen).Byte(byte(rel)).Byte(byte(mode)).Byte(byte(method)).
+		U32(uint32(k)).U64(math.Float64bits(threshold)).Byte(explain).
+		Str(req.TableID).Str(req.Column).Str(string(preds))
+	return kb.String()
+}
+
+// inlineTable materializes an inline request table, the same way
+// /v1/union does.
+func inlineTable(in *InlineTable) (*table.Table, error) {
+	cols := make([]*table.Column, len(in.Columns))
+	for i, c := range in.Columns {
+		cols[i] = table.NewColumn(c.Name, c.Values)
+	}
+	id := in.ID
+	if id == "" {
+		id = "inline-query"
+	}
+	t, err := table.New(id, in.Name, cols)
+	if err != nil {
+		return nil, fmt.Errorf("inline table: %v: %w", err, table.ErrBadQuery)
+	}
+	return t, nil
+}
+
+// observeStages feeds one execution's explain block into the
+// per-stage histograms and candidate-reduction counters. Cache hits
+// skip this — the stages did not run.
+func (s *Server) observeStages(stages []discover.StageExplain) {
+	for _, st := range stages {
+		m := s.stages[st.Stage]
+		if m == nil {
+			continue
+		}
+		m.latency.Observe(time.Duration(st.ElapsedUS) * time.Microsecond)
+		m.in.Add(int64(st.In))
+		m.out.Add(int64(st.Out))
+	}
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tablehound/internal/discover"
+)
+
+// --- satellite: uniform bad-query handling across every surface ---
+
+// Every query endpoint must reject a non-positive or absent k, and an
+// unknown relation/mode/method string, with HTTP 400 — the same
+// table.ErrBadQuery contract, the same first-validation order.
+func TestBadQuerySweep(t *testing.T) {
+	_, ts, gen := newTestServer(t, Config{})
+	qt := gen.Tables[0]
+	vals := qt.Columns[0].Values
+
+	cases := []struct {
+		name string
+		path string
+		req  any
+	}{
+		{"join absent k", "/v1/join", JoinRequest{Values: vals}},
+		{"join zero k", "/v1/join", JoinRequest{Values: vals, K: 0}},
+		{"join negative k", "/v1/join", JoinRequest{Values: vals, K: -1}},
+		{"join bad mode", "/v1/join", JoinRequest{Values: vals, K: 5, Mode: "fuzzy"}},
+		{"union absent k", "/v1/union", UnionRequest{TableID: qt.ID}},
+		{"union negative k", "/v1/union", UnionRequest{TableID: qt.ID, K: -7}},
+		{"union bad method", "/v1/union", UnionRequest{TableID: qt.ID, K: 5, Method: "magic"}},
+		{"keyword absent k", "/v1/keyword", KeywordRequest{Query: "x"}},
+		{"keyword negative k", "/v1/keyword", KeywordRequest{Query: "x", K: -2}},
+		{"keyword bad mode", "/v1/keyword", KeywordRequest{Query: "x", K: 5, Mode: "regex"}},
+		{"discover absent k", "/v1/discover", DiscoverRequest{TableID: qt.ID}},
+		{"discover zero k", "/v1/discover", DiscoverRequest{TableID: qt.ID, K: 0}},
+		{"discover negative k", "/v1/discover", DiscoverRequest{TableID: qt.ID, K: -4}},
+		{"discover bad relation", "/v1/discover", DiscoverRequest{TableID: qt.ID, K: 5, Relation: "psychic"}},
+		{"discover bad mode", "/v1/discover", DiscoverRequest{TableID: qt.ID, K: 5, Mode: "fuzzy"}},
+		{"discover bad method", "/v1/discover", DiscoverRequest{TableID: qt.ID, K: 5, Method: "magic"}},
+		{"discover no seed", "/v1/discover", DiscoverRequest{K: 5}},
+		{"discover two seeds", "/v1/discover", DiscoverRequest{TableID: qt.ID, Values: vals, K: 5}},
+		{"discover bad column type", "/v1/discover", DiscoverRequest{TableID: qt.ID, K: 5,
+			Predicates: discover.Predicates{ColumnTypes: []string{"uuid"}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+c.path, c.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d (%s), want 400", resp.StatusCode, body)
+			}
+			var e ErrorResponse
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("400 body is not an error envelope: %s", body)
+			}
+		})
+	}
+}
+
+// --- degenerate-case parity: discover == bare endpoint, bit for bit ---
+
+func TestDiscoverParityWithJoin(t *testing.T) {
+	_, ts, gen := newTestServer(t, Config{})
+	vals := gen.Tables[0].Columns[0].Values
+
+	for _, c := range []struct {
+		name     string
+		join     JoinRequest
+		discover DiscoverRequest
+	}{
+		{
+			"overlap",
+			JoinRequest{Values: vals, K: 7},
+			DiscoverRequest{Values: vals, Relation: "join", K: 7},
+		},
+		{
+			"containment",
+			JoinRequest{Values: vals, K: 7, Mode: "containment", Threshold: 0.3},
+			DiscoverRequest{Values: vals, Relation: "join", K: 7, Mode: "containment", Threshold: 0.3},
+		},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			jResp, jBody := postJSON(t, ts.URL+"/v1/join", c.join)
+			dResp, dBody := postJSON(t, ts.URL+"/v1/discover", c.discover)
+			if jResp.StatusCode != 200 || dResp.StatusCode != 200 {
+				t.Fatalf("status join %d discover %d (%s / %s)", jResp.StatusCode, dResp.StatusCode, jBody, dBody)
+			}
+			if !bytes.Equal(jBody, dBody) {
+				t.Errorf("discover join != /v1/join\n/v1/join:     %s\n/v1/discover: %s", jBody, dBody)
+			}
+		})
+	}
+}
+
+func TestDiscoverParityWithUnion(t *testing.T) {
+	_, ts, gen := newTestServer(t, Config{})
+	qt := gen.Tables[0]
+
+	for _, method := range []string{"tus", "santos", "starmie", "d3l"} {
+		t.Run(method, func(t *testing.T) {
+			uResp, uBody := postJSON(t, ts.URL+"/v1/union",
+				UnionRequest{TableID: qt.ID, K: 6, Method: method})
+			dResp, dBody := postJSON(t, ts.URL+"/v1/discover",
+				DiscoverRequest{TableID: qt.ID, Relation: "union", K: 6, Method: method})
+			if uResp.StatusCode != 200 || dResp.StatusCode != 200 {
+				t.Fatalf("status union %d discover %d (%s / %s)", uResp.StatusCode, dResp.StatusCode, uBody, dBody)
+			}
+			if !bytes.Equal(uBody, dBody) {
+				t.Errorf("discover union != /v1/union (%s)\n/v1/union:    %s\n/v1/discover: %s", method, uBody, dBody)
+			}
+		})
+	}
+}
+
+// --- predicates, explain, and the wire shape ---
+
+func TestDiscoverPredicatesAndExplain(t *testing.T) {
+	_, ts, gen := newTestServer(t, Config{})
+	qt := gen.Tables[0]
+
+	req := DiscoverRequest{
+		TableID:  qt.ID,
+		Relation: "union",
+		K:        5,
+		Predicates: discover.Predicates{
+			MinRows:     1,
+			ColumnNames: []string{qt.Columns[0].Name},
+		},
+		Explain: true,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/discover", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out DiscoverResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Results == nil {
+		t.Fatal("union-relation discover returned no results field")
+	}
+	if len(out.Explain) == 0 {
+		t.Fatal("explain requested but absent")
+	}
+	wantStages := []string{discover.StageMeta, discover.StageCandidates, discover.StageVerify}
+	if len(out.Explain) != len(wantStages) {
+		t.Fatalf("explain stages = %+v, want %v", out.Explain, wantStages)
+	}
+	for i, st := range out.Explain {
+		if st.Stage != wantStages[i] {
+			t.Errorf("stage %d = %q, want %q", i, st.Stage, wantStages[i])
+		}
+	}
+	// Without explain the block is absent from the wire entirely.
+	req.Explain = false
+	_, body = postJSON(t, ts.URL+"/v1/discover", req)
+	if strings.Contains(string(body), "explain") {
+		t.Errorf("explain=false response still carries an explain block: %s", body)
+	}
+}
+
+func TestDiscoverAnyRelation(t *testing.T) {
+	_, ts, gen := newTestServer(t, Config{})
+	qt := gen.Tables[0]
+	resp, body := postJSON(t, ts.URL+"/v1/discover", DiscoverRequest{TableID: qt.ID, K: 10})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out DiscoverResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Results == nil || len(*out.Results) == 0 {
+		t.Fatalf("any-relation discover found nothing: %s", body)
+	}
+	for _, r := range *out.Results {
+		if r.TableID == qt.ID {
+			t.Errorf("seed table %s in its own results", qt.ID)
+		}
+	}
+}
+
+func TestDiscoverUnknownTable(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/discover", DiscoverRequest{TableID: "no-such-table", K: 5})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d (%s), want 404", resp.StatusCode, body)
+	}
+}
+
+// --- caching ---
+
+func TestDiscoverCache(t *testing.T) {
+	_, ts, gen := newTestServer(t, Config{CacheEntries: 64})
+	qt := gen.Tables[0]
+
+	// table_id seeds cache: MISS then bit-identical HIT.
+	req := DiscoverRequest{TableID: qt.ID, Relation: "union", K: 5,
+		Predicates: discover.Predicates{MinRows: 1}}
+	r1, b1 := postJSON(t, ts.URL+"/v1/discover", req)
+	r2, b2 := postJSON(t, ts.URL+"/v1/discover", req)
+	if r1.Header.Get("X-Cache") != "MISS" || r2.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("X-Cache = %q then %q, want MISS then HIT", r1.Header.Get("X-Cache"), r2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("cache HIT body differs:\n%s\n%s", b1, b2)
+	}
+
+	// Inline and values seeds bypass the response cache (the key would
+	// need the whole table hashed in).
+	r3, _ := postJSON(t, ts.URL+"/v1/discover",
+		DiscoverRequest{Values: qt.Columns[0].Values, Relation: "join", K: 5})
+	if got := r3.Header.Get("X-Cache"); got != "BYPASS" {
+		t.Errorf("values-seed X-Cache = %q, want BYPASS", got)
+	}
+}
+
+// --- satellite: per-stage observability ---
+
+func TestDiscoverStageStatsAndMetrics(t *testing.T) {
+	_, ts, gen := newTestServer(t, Config{})
+	qt := gen.Tables[0]
+	postJSON(t, ts.URL+"/v1/discover", DiscoverRequest{TableID: qt.ID, Relation: "union", K: 5,
+		Predicates: discover.Predicates{MinRows: 1}})
+
+	resp, body := getBody(t, ts.URL+"/stats")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/stats status = %d", resp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := st.Endpoints["discover"]
+	if !ok || ep.Requests == 0 {
+		t.Errorf("discover endpoint stats missing or zero: %+v", st.Endpoints)
+	}
+	meta, ok := st.Discover[discover.StageMeta]
+	if !ok || meta.CandidatesIn == 0 {
+		t.Errorf("discover stage stats for %s missing or zero: %+v", discover.StageMeta, st.Discover)
+	}
+	verify, ok := st.Discover[discover.StageVerify]
+	if !ok || verify.CandidatesIn == 0 {
+		t.Errorf("discover stage stats for %s missing or zero: %+v", discover.StageVerify, st.Discover)
+	}
+
+	resp, body = getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"lakeserved_discover_stage_seconds",
+		"lakeserved_discover_stage_candidates_in_total",
+		"lakeserved_discover_stage_candidates_out_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}

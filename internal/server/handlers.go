@@ -22,12 +22,8 @@ import (
 // heap.
 const maxBodyBytes = 8 << 20
 
-// defaultK is the top-k when a request omits or zeroes k; maxK is the
-// server-side ceiling.
-const (
-	defaultK = 10
-	maxK     = 1000
-)
+// maxK is the server-side top-k ceiling.
+const maxK = 1000
 
 // --- request / response types (shared with the client) ---
 
@@ -35,7 +31,9 @@ const (
 type JoinRequest struct {
 	// Values is the query column.
 	Values []string `json:"values"`
-	K      int      `json:"k,omitempty"`
+	// K is required and must be positive (capped at the server's
+	// maximum); omitting it is a bad query on every endpoint.
+	K int `json:"k,omitempty"`
 	// Mode is "overlap" (default; exact top-k by value overlap) or
 	// "containment" (LSH Ensemble candidates above Threshold, exactly
 	// verified).
@@ -123,10 +121,10 @@ type KeywordResponse struct {
 // health-check upstreams and to refuse mixing shards built from
 // different manifests.
 type HealthResponse struct {
-	Status        string       `json:"status"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Tables        int          `json:"tables"`
-	Generation    uint64       `json:"generation"`
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Tables        int     `json:"tables"`
+	Generation    uint64  `json:"generation"`
 	// DeltaDepth is the length of the delta chain merged into the
 	// serving snapshot (0 when serving a plain base); a deep chain is a
 	// signal to compact.
@@ -170,6 +168,19 @@ type StatsResponse struct {
 	VecStore      *VecStoreStats           `json:"vecstore,omitempty"`
 	Delta         *DeltaStats              `json:"delta,omitempty"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Discover summarizes the /v1/discover planner stages; stages that
+	// have not run yet report zeros.
+	Discover map[string]DiscoverStageStats `json:"discover,omitempty"`
+}
+
+// DiscoverStageStats is the per-stage /v1/discover summary: total
+// candidates entering and surviving the stage since start, plus
+// latency quantiles.
+type DiscoverStageStats struct {
+	CandidatesIn  int64   `json:"candidates_in"`
+	CandidatesOut int64   `json:"candidates_out"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
 }
 
 // DeltaStats describes the delta chain merged into the serving
@@ -232,24 +243,19 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	k := clampK(req.K)
-	mode := req.Mode
-	if mode == "" {
-		mode = "overlap"
+	k, err := CheckK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	modeByte, err := ParseJoinMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	threshold := req.Threshold
 	if threshold <= 0 {
 		threshold = 0.5
-	}
-	var modeByte byte
-	switch mode {
-	case "overlap":
-		modeByte = 0
-	case "containment":
-		modeByte = 1
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown join mode %q (want overlap or containment)", mode))
-		return
 	}
 
 	snap := s.snap.Load()
@@ -290,23 +296,14 @@ func (s *Server) handleUnion(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	k := clampK(req.K)
-	method := req.Method
-	if method == "" {
-		method = "tus"
+	k, err := CheckK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	var methodByte byte
-	switch method {
-	case "tus":
-		methodByte = 0
-	case "santos":
-		methodByte = 1
-	case "starmie":
-		methodByte = 2
-	case "d3l":
-		methodByte = 3
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown union method %q (want tus, santos, starmie, or d3l)", method))
+	methodByte, err := ParseUnionMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if (req.TableID == "") == (req.Table == nil) {
@@ -324,19 +321,7 @@ func (s *Server) handleUnion(w http.ResponseWriter, r *http.Request) {
 			}
 			return t, nil
 		}
-		cols := make([]*table.Column, len(req.Table.Columns))
-		for i, c := range req.Table.Columns {
-			cols[i] = table.NewColumn(c.Name, c.Values)
-		}
-		id := req.Table.ID
-		if id == "" {
-			id = "inline-query"
-		}
-		t, err := table.New(id, req.Table.Name, cols)
-		if err != nil {
-			return nil, fmt.Errorf("inline table: %v: %w", err, table.ErrBadQuery)
-		}
-		return t, nil
+		return inlineTable(req.Table)
 	}
 	if req.TableID != "" {
 		// Inline tables are not cached: their content is the key and
@@ -389,19 +374,14 @@ func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	k := clampK(req.K)
-	mode := req.Mode
-	if mode == "" {
-		mode = "meta"
+	k, err := CheckK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	var modeByte byte
-	switch mode {
-	case "meta":
-		modeByte = 0
-	case "values":
-		modeByte = 1
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown keyword mode %q (want meta or values)", mode))
+	modeByte, err := ParseKeywordMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
@@ -504,6 +484,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			P99Ms:    ms(m.latency.Quantile(0.99)),
 		}
 	}
+	ds2 := make(map[string]DiscoverStageStats, len(s.stages))
+	for name, m := range s.stages {
+		ds2[name] = DiscoverStageStats{
+			CandidatesIn:  m.in.Value(),
+			CandidatesOut: m.out.Value(),
+			P50Ms:         ms(m.latency.Quantile(0.5)),
+			P95Ms:         ms(m.latency.Quantile(0.95)),
+		}
+	}
 	var vs *VecStoreStats
 	if v := snap.sys.Vecs; v != nil {
 		mode := "heap"
@@ -549,6 +538,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Panics:        s.panics.Value(),
 		SnapshotSwaps: s.swaps.Value(),
 		Endpoints:     eps,
+		Discover:      ds2,
 	})
 }
 
@@ -595,21 +585,63 @@ func unionScores(rs []union.Result) []TableScore {
 	return out
 }
 
-// ClampK applies the server-side top-k policy: requests that omit or
-// zero k get defaultK, and k is capped at maxK. Exported so the
-// shard-fanout router truncates its merged results at exactly the k
-// each shard used.
-func ClampK(k int) int {
+// CheckK applies the server-side top-k policy: an absent or
+// non-positive k is a bad query (wrapping table.ErrBadQuery → HTTP
+// 400) on every endpoint, and k is capped at maxK. Exported so the
+// shard-fanout router rejects and truncates with exactly the same
+// policy as the shards it fans to.
+func CheckK(k int) (int, error) {
 	if k <= 0 {
-		return defaultK
+		return 0, fmt.Errorf("k must be a positive integer (got %d): %w", k, table.ErrBadQuery)
 	}
 	if k > maxK {
-		return maxK
+		return maxK, nil
 	}
-	return k
+	return k, nil
 }
 
-func clampK(k int) int { return ClampK(k) }
+// ParseJoinMode maps the /v1/join mode string to its cache-key byte:
+// "" or "overlap" → 0, "containment" → 1. Unknown strings wrap
+// table.ErrBadQuery so every surface rejects them identically.
+func ParseJoinMode(mode string) (byte, error) {
+	switch mode {
+	case "", "overlap":
+		return 0, nil
+	case "containment":
+		return 1, nil
+	}
+	return 0, fmt.Errorf("unknown join mode %q (want overlap or containment): %w", mode, table.ErrBadQuery)
+}
+
+// ParseUnionMethod maps the /v1/union method string to its cache-key
+// byte: "" or "tus" → 0, "santos" → 1, "starmie" → 2, "d3l" → 3.
+// Unknown strings wrap table.ErrBadQuery.
+func ParseUnionMethod(method string) (byte, error) {
+	switch method {
+	case "", "tus":
+		return 0, nil
+	case "santos":
+		return 1, nil
+	case "starmie":
+		return 2, nil
+	case "d3l":
+		return 3, nil
+	}
+	return 0, fmt.Errorf("unknown union method %q (want tus, santos, starmie, or d3l): %w", method, table.ErrBadQuery)
+}
+
+// ParseKeywordMode maps the /v1/keyword mode string to its cache-key
+// byte: "" or "meta" → 0, "values" → 1. Unknown strings wrap
+// table.ErrBadQuery.
+func ParseKeywordMode(mode string) (byte, error) {
+	switch mode {
+	case "", "meta":
+		return 0, nil
+	case "values":
+		return 1, nil
+	}
+	return 0, fmt.Errorf("unknown keyword mode %q (want meta or values): %w", mode, table.ErrBadQuery)
+}
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"tablehound/internal/core"
+	"tablehound/internal/discover"
 	"tablehound/internal/lake"
 	"tablehound/internal/obs"
 	"tablehound/internal/qcache"
@@ -141,6 +142,7 @@ type Server struct {
 	// Observability.
 	reg       *obs.Registry
 	endpoints map[string]*endpointMetrics
+	stages    map[string]*stageMetrics
 	inflight  *obs.Gauge
 	queued    *obs.Gauge
 	shed      *obs.Counter
@@ -163,6 +165,14 @@ type endpointMetrics struct {
 	latency  *obs.Histogram
 }
 
+// stageMetrics tracks one discover planner stage: latency plus
+// candidate-reduction counters (candidates entering vs surviving).
+type stageMetrics struct {
+	latency *obs.Histogram
+	in      *obs.Counter
+	out     *obs.Counter
+}
+
 // New builds a Server around an already-built system.
 func New(sys *core.System, cfg Config) *Server {
 	cfg.applyDefaults()
@@ -176,12 +186,24 @@ func New(sys *core.System, cfg Config) *Server {
 	s.snap.Store(&snapshot{sys: sys, stats: sys.Catalog.Stats(), gen: 0, dataGen: sys.Generation()})
 
 	s.endpoints = make(map[string]*endpointMetrics)
-	for _, name := range []string{"join", "union", "keyword"} {
+	for _, name := range []string{"join", "union", "keyword", "discover"} {
 		lbl := fmt.Sprintf("endpoint=%q", name)
 		s.endpoints[name] = &endpointMetrics{
 			requests: s.reg.Counter("lakeserved_requests_total", "Requests handled, by endpoint.", lbl),
 			errors:   s.reg.Counter("lakeserved_errors_total", "Requests answered with a non-2xx status, by endpoint.", lbl),
 			latency:  s.reg.Histogram("lakeserved_request_seconds", "Request latency, by endpoint.", lbl),
+		}
+	}
+	s.stages = make(map[string]*stageMetrics)
+	for _, name := range []string{
+		discover.StageMeta, discover.StageKeyword, discover.StageValues,
+		discover.StageCandidates, discover.StageVerify,
+	} {
+		lbl := fmt.Sprintf("stage=%q", name)
+		s.stages[name] = &stageMetrics{
+			latency: s.reg.Histogram("lakeserved_discover_stage_seconds", "Discover planner stage latency, by stage.", lbl),
+			in:      s.reg.Counter("lakeserved_discover_stage_candidates_in_total", "Candidates entering a discover planner stage.", lbl),
+			out:     s.reg.Counter("lakeserved_discover_stage_candidates_out_total", "Candidates surviving a discover planner stage.", lbl),
 		}
 	}
 	s.inflight = s.reg.Gauge("lakeserved_inflight", "Queries currently executing.", "")
@@ -203,6 +225,7 @@ func New(sys *core.System, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/join", s.queryEndpoint("join", s.handleJoin))
 	s.mux.HandleFunc("/v1/union", s.queryEndpoint("union", s.handleUnion))
 	s.mux.HandleFunc("/v1/keyword", s.queryEndpoint("keyword", s.handleKeyword))
+	s.mux.HandleFunc("/v1/discover", s.queryEndpoint("discover", s.handleDiscover))
 	s.mux.HandleFunc("/v1/table", s.handleTable)
 	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/admin/compact", s.handleCompact)

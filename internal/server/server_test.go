@@ -280,10 +280,10 @@ func TestBadRequestsAndErrorMapping(t *testing.T) {
 		return post("/v1/join", JoinRequest{Values: []string{" ", "\t"}, K: 5})
 	})
 	check("unknown join mode", 400, func() *http.Response {
-		return post("/v1/join", JoinRequest{Values: []string{"x"}, Mode: "fuzzy"})
+		return post("/v1/join", JoinRequest{Values: []string{"x"}, K: 5, Mode: "fuzzy"})
 	})
 	check("unknown union method", 400, func() *http.Response {
-		return post("/v1/union", UnionRequest{TableID: gen.Tables[0].ID, Method: "magic"})
+		return post("/v1/union", UnionRequest{TableID: gen.Tables[0].ID, K: 3, Method: "magic"})
 	})
 	check("union without table", 400, func() *http.Response {
 		return post("/v1/union", UnionRequest{K: 3})
@@ -295,16 +295,16 @@ func TestBadRequestsAndErrorMapping(t *testing.T) {
 		return post("/v1/union", UnionRequest{TableID: "no-such-table", K: 3})
 	})
 	check("union ragged inline table", 400, func() *http.Response {
-		return post("/v1/union", UnionRequest{Table: &InlineTable{Columns: []InlineColumn{
+		return post("/v1/union", UnionRequest{K: 3, Table: &InlineTable{Columns: []InlineColumn{
 			{Name: "a", Values: []string{"1", "2"}},
 			{Name: "b", Values: []string{"1"}},
 		}}})
 	})
 	check("empty keyword query", 400, func() *http.Response {
-		return post("/v1/keyword", KeywordRequest{Query: "   "})
+		return post("/v1/keyword", KeywordRequest{Query: "   ", K: 5})
 	})
 	check("unknown keyword mode", 400, func() *http.Response {
-		return post("/v1/keyword", KeywordRequest{Query: "x", Mode: "regex"})
+		return post("/v1/keyword", KeywordRequest{Query: "x", K: 5, Mode: "regex"})
 	})
 	check("unknown path", 404, func() *http.Response {
 		resp, err := http.Get(ts.URL + "/v1/nope")
@@ -431,7 +431,7 @@ func TestQueryTimeout(t *testing.T) {
 	defer ts.Close()
 	defer close(release)
 
-	resp, body := postJSON(t, ts.URL+"/v1/join", JoinRequest{Values: gen.Tables[0].Columns[0].Values})
+	resp, body := postJSON(t, ts.URL+"/v1/join", JoinRequest{Values: gen.Tables[0].Columns[0].Values, K: 3})
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, body)
 	}
@@ -522,7 +522,7 @@ func TestShutdownDrainDeadline(t *testing.T) {
 	defer ts.Close()
 	defer close(block)
 
-	go postRaw(ts.URL+"/v1/join", JoinRequest{Values: gen.Tables[0].Columns[0].Values})
+	go postRaw(ts.URL+"/v1/join", JoinRequest{Values: gen.Tables[0].Columns[0].Values, K: 3})
 	<-started
 	if err := srv.Shutdown(context.Background()); err == nil {
 		t.Error("shutdown with a stuck query should report the drain deadline")

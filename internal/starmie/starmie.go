@@ -277,6 +277,25 @@ func (ix *Index) SearchColumns(v embedding.Vector, k, efSearch int, exact bool) 
 // SearchTables is a pure read: it requires a prior Build (ErrNotBuilt
 // otherwise) and is safe for concurrent use.
 func (ix *Index) SearchTables(query *table.Table, k, efSearch int, exact bool) ([]Result, error) {
+	pq, err := ix.PrepareTable(query)
+	if err != nil {
+		return nil, err
+	}
+	return ix.ScoreTablesAmong(pq, ix.CandidateTables(pq, efSearch, exact), k), nil
+}
+
+// TableQuery is a query table's encoded column vectors with
+// precomputed norms. Prepare once, then reuse across CandidateTables
+// and ScoreTablesAmong so staged planners do not re-encode per stage.
+type TableQuery struct {
+	id string
+	qv []embedding.Vector
+	qn []float64
+}
+
+// PrepareTable encodes a query table's columns. A query without
+// columns wraps table.ErrBadQuery.
+func (ix *Index) PrepareTable(query *table.Table) (*TableQuery, error) {
 	if !ix.built {
 		return nil, ErrNotBuilt
 	}
@@ -286,39 +305,55 @@ func (ix *Index) SearchTables(query *table.Table, k, efSearch int, exact bool) (
 	}
 	// Query-column norms once per query; indexed-column norms come
 	// precomputed from the vector store when bound, so each matrix
-	// cell below is a single dot product.
+	// cell in scoring is a single dot product.
 	qn := make([]float64, len(qv))
 	for i, v := range qv {
 		qn[i] = v.Norm()
 	}
-	// Candidate tables from per-column retrieval.
+	return &TableQuery{id: query.ID, qv: qv, qn: qn}, nil
+}
+
+// CandidateTables returns the sorted candidate table IDs from
+// per-column retrieval, excluding the query's own ID.
+func (ix *Index) CandidateTables(pq *TableQuery, efSearch int, exact bool) []string {
 	seen := make(map[string]bool)
 	var cands []string
-	for _, v := range qv {
+	for _, v := range pq.qv {
 		for _, r := range ix.SearchColumns(v, 8, efSearch, exact) {
 			id, _ := table.SplitColumnKey(r.Key)
-			if !seen[id] && id != query.ID {
+			if !seen[id] && id != pq.id {
 				seen[id] = true
 				cands = append(cands, id)
 			}
 		}
 	}
 	sort.Strings(cands)
+	return cands
+}
+
+// ScoreTablesAmong scores the given candidate tables by bipartite
+// matching of column cosines and returns the top k; with ids =
+// CandidateTables(pq, efSearch, exact) it is bit-identical to
+// SearchTables.
+func (ix *Index) ScoreTablesAmong(pq *TableQuery, ids []string, k int) []Result {
 	var res []Result
-	for _, id := range cands {
+	for _, id := range ids {
+		if id == pq.id {
+			continue
+		}
 		ckeys := ix.byTable[id]
-		w := make([][]float64, len(qv))
-		for i, v := range qv {
+		w := make([][]float64, len(pq.qv))
+		for i, v := range pq.qv {
 			w[i] = make([]float64, len(ckeys))
 			for j, ck := range ckeys {
-				c := ix.cosine(v, qn[i], ck)
+				c := ix.cosine(v, pq.qn[i], ck)
 				if c > 0 {
 					w[i][j] = c
 				}
 			}
 		}
 		_, total := graph.MaxWeightBipartiteMatching(w)
-		res = append(res, Result{TableID: id, Score: total / float64(len(qv))})
+		res = append(res, Result{TableID: id, Score: total / float64(len(pq.qv))})
 	}
 	sort.Slice(res, func(i, j int) bool {
 		if res[i].Score != res[j].Score {
@@ -329,7 +364,7 @@ func (ix *Index) SearchTables(query *table.Table, k, efSearch int, exact bool) (
 	if len(res) > k {
 		res = res[:k]
 	}
-	return res, nil
+	return res
 }
 
 // cosine scores a query column (norm vn) against an indexed column,

@@ -225,6 +225,24 @@ func (d *D3L) evidence(a, b *d3lColumn) Evidence {
 // pairs are scored by combined evidence and aggregated to table level
 // with maximum-weight bipartite matching.
 func (d *D3L) Search(query *table.Table, k int) ([]Result, error) {
+	pq, err := d.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return d.ScoreAmong(pq, d.ids, k), nil
+}
+
+// D3LQuery is a query table's analyzed columns. Prepare once, then
+// reuse across ScoreAmong calls so staged planners do not re-analyze
+// per stage.
+type D3LQuery struct {
+	id    string
+	qcols []*d3lColumn
+}
+
+// Prepare analyzes a query table's string columns. A query without
+// usable string columns wraps table.ErrBadQuery.
+func (d *D3L) Prepare(query *table.Table) (*D3LQuery, error) {
 	qcols := make([]*d3lColumn, 0)
 	for _, c := range stringColumns(query) {
 		qcols = append(qcols, d.analyzeColumn(c))
@@ -232,27 +250,38 @@ func (d *D3L) Search(query *table.Table, k int) ([]Result, error) {
 	if len(qcols) == 0 {
 		return nil, fmt.Errorf("union: D3L query has no usable string columns: %w", table.ErrBadQuery)
 	}
+	return &D3LQuery{id: query.ID, qcols: qcols}, nil
+}
+
+// TableIDs returns the staged table IDs in insertion order. D3L has
+// no candidate sketch — its candidate set is the whole lake.
+func (d *D3L) TableIDs() []string { return d.ids }
+
+// ScoreAmong scores the given staged tables by combined evidence and
+// returns the top k; with ids = TableIDs() it is bit-identical to
+// Search.
+func (d *D3L) ScoreAmong(pq *D3LQuery, ids []string, k int) []Result {
 	var res []Result
-	for _, id := range d.ids {
-		if id == query.ID {
+	for _, id := range ids {
+		if id == pq.id {
 			continue
 		}
 		ccols := d.tables[id].cols
-		w := make([][]float64, len(qcols))
-		for i, qc := range qcols {
+		w := make([][]float64, len(pq.qcols))
+		for i, qc := range pq.qcols {
 			w[i] = make([]float64, len(ccols))
 			for j, cc := range ccols {
 				w[i][j] = d.evidence(qc, cc).Combined()
 			}
 		}
 		_, total := graph.MaxWeightBipartiteMatching(w)
-		res = append(res, Result{TableID: id, Score: total / float64(len(qcols))})
+		res = append(res, Result{TableID: id, Score: total / float64(len(pq.qcols))})
 	}
 	sortResults(res)
 	if len(res) > k {
 		res = res[:k]
 	}
-	return res, nil
+	return res
 }
 
 // FormatExample returns a compact textual rendering of a format

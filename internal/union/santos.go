@@ -212,6 +212,28 @@ func (s *Santos) Search(query *table.Table, k int, mode SantosMode) ([]Result, e
 // verification checks ctx between candidate tables. A query table
 // without the shape SANTOS needs wraps table.ErrBadQuery.
 func (s *Santos) SearchCtx(ctx context.Context, query *table.Table, k int, mode SantosMode) ([]Result, error) {
+	pq, err := s.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.ScoreAmongCtx(ctx, pq, s.Candidates(pq, mode), k, mode)
+}
+
+// SantosQuery is a query table analyzed and pair-encoded against the
+// frozen pair dictionary. Prepare once, then reuse across Candidates
+// and ScoreAmongCtx so staged planners do not re-encode per stage.
+type SantosQuery struct {
+	id string
+	q  *santosTable
+}
+
+// Prepare analyzes a query table into relationships and encodes its
+// pair sets against the frozen pair dictionary. One encoder across
+// relationships: pairs absent from the lake get ephemeral IDs (never
+// matching an indexed pair) that are shared between query
+// relationships. A query without the shape SANTOS needs wraps
+// table.ErrBadQuery.
+func (s *Santos) Prepare(query *table.Table) (*SantosQuery, error) {
 	if !s.built {
 		return nil, ErrNotBuilt
 	}
@@ -219,30 +241,37 @@ func (s *Santos) SearchCtx(ctx context.Context, query *table.Table, k int, mode 
 	if q == nil {
 		return nil, fmt.Errorf("union: query table needs an intent column and one other string column: %w", table.ErrBadQuery)
 	}
-	// Encode the query's pair sets against the frozen pair dictionary.
-	// One encoder across relationships: pairs absent from the lake get
-	// ephemeral IDs (never matching an indexed pair) that are shared
-	// between query relationships.
 	enc := s.pairDict.Encoder()
 	for i := range q.rels {
 		q.rels[i].pairIDs = enc.Encode(q.rels[i].pairs)
 		q.rels[i].pairs = nil
 	}
-	// Candidates: tables sharing any value pair with the query, plus
-	// (curated modes) tables sharing a predicate.
-	cands := s.candidates(q, mode)
-	scores, err := parallel.MapCtx(ctx, len(cands), parallel.Resolve(s.QueryParallelism), func(i int) (float64, error) {
-		if cands[i] == query.ID {
+	return &SantosQuery{id: query.ID, q: q}, nil
+}
+
+// Candidates returns the sorted candidate table IDs for a prepared
+// query: tables sharing any value pair with the query, plus (curated
+// modes) tables sharing a predicate.
+func (s *Santos) Candidates(pq *SantosQuery, mode SantosMode) []string {
+	return s.candidates(pq.q, mode)
+}
+
+// ScoreAmongCtx exactly scores the given candidate tables and returns
+// the top k; with ids = Candidates(pq, mode) it is bit-identical to
+// SearchCtx.
+func (s *Santos) ScoreAmongCtx(ctx context.Context, pq *SantosQuery, ids []string, k int, mode SantosMode) ([]Result, error) {
+	scores, err := parallel.MapCtx(ctx, len(ids), parallel.Resolve(s.QueryParallelism), func(i int) (float64, error) {
+		if ids[i] == pq.id {
 			return 0, nil
 		}
-		return s.tableScore(q, s.tables[cands[i]], mode), nil
+		return s.tableScore(pq.q, s.tables[ids[i]], mode), nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	var res []Result
-	for i, id := range cands {
-		if id == query.ID {
+	for i, id := range ids {
+		if id == pq.id {
 			continue
 		}
 		if scores[i] > 0 {

@@ -414,6 +414,27 @@ func (t *TUS) Search(query *table.Table, k int, m Measure) ([]Result, error) {
 // string columns wraps table.ErrBadQuery. Results of a run that
 // completes are bit-identical to Search.
 func (t *TUS) SearchCtx(ctx context.Context, query *table.Table, k int, m Measure) ([]Result, error) {
+	pq, err := t.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return t.ScoreAmongCtx(ctx, pq, t.Candidates(pq), k, m)
+}
+
+// TUSQuery is a query table pre-encoded against the frozen index —
+// the table-level analogue of join.EncodeQuery. Prepare once, then
+// reuse across Candidates and ScoreAmongCtx so staged planners do not
+// re-encode per stage.
+type TUSQuery struct {
+	id    string
+	query *table.Table
+	qcols []*tusColumn
+}
+
+// Prepare encodes a query table's string columns against the frozen
+// dictionary. A query without usable string columns wraps
+// table.ErrBadQuery.
+func (t *TUS) Prepare(query *table.Table) (*TUSQuery, error) {
 	if !t.built {
 		return nil, ErrNotBuilt
 	}
@@ -425,19 +446,33 @@ func (t *TUS) SearchCtx(ctx context.Context, query *table.Table, k int, m Measur
 	if len(qcols) == 0 {
 		return nil, fmt.Errorf("union: query table has no usable string columns: %w", table.ErrBadQuery)
 	}
-	cands := t.candidateTables(query, qcols)
-	scores, err := parallel.MapCtx(ctx, len(cands), parallel.Resolve(t.QueryParallelism), func(i int) (float64, error) {
-		if cands[i] == query.ID {
+	return &TUSQuery{id: query.ID, query: query, qcols: qcols}, nil
+}
+
+// Candidates returns the sorted candidate table IDs the sketch
+// indexes generate for a prepared query (all tables when exhaustive).
+func (t *TUS) Candidates(pq *TUSQuery) []string {
+	return t.candidateTables(pq.query, pq.qcols)
+}
+
+// ScoreAmongCtx exactly scores the given candidate tables and returns
+// the top k. Because per-candidate scores are independent and the
+// final order is a total order, restricting ids before scoring yields
+// exactly the results SearchCtx would after dropping the same tables;
+// with ids = Candidates(pq) it is bit-identical to SearchCtx.
+func (t *TUS) ScoreAmongCtx(ctx context.Context, pq *TUSQuery, ids []string, k int, m Measure) ([]Result, error) {
+	scores, err := parallel.MapCtx(ctx, len(ids), parallel.Resolve(t.QueryParallelism), func(i int) (float64, error) {
+		if ids[i] == pq.id {
 			return 0, nil
 		}
-		return t.tableScore(qcols, t.tables[cands[i]].cols, m), nil
+		return t.tableScore(pq.qcols, t.tables[ids[i]].cols, m), nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	var res []Result
-	for i, id := range cands {
-		if id == query.ID {
+	for i, id := range ids {
+		if id == pq.id {
 			continue
 		}
 		if scores[i] > 0 {
