@@ -20,7 +20,7 @@ race:
 		./internal/dict/... ./internal/server/... ./internal/qcache/... \
 		./internal/obs/... ./internal/snap/... ./internal/invindex/... \
 		./internal/lshensemble/... ./internal/router/... ./internal/vecstore/... \
-		./internal/discover/...
+		./internal/discover/... ./internal/josie/...
 
 # End-to-end smoke of the serving layer: real lakeserved process over
 # a generated 100-table lake, one query per endpoint via lakectl's

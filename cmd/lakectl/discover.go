@@ -135,7 +135,15 @@ func printExplain(stages []discover.StageExplain) {
 	}
 	fmt.Println("plan:")
 	for _, st := range stages {
-		fmt.Printf("  %-18s in=%-6d out=%-6d %dµs\n", st.Stage, st.In, st.Out, st.ElapsedUS)
+		if st.Skipped {
+			fmt.Printf("  %-18s in=%-6d out=%-6d skipped (predicate provably total)\n", st.Stage, st.In, st.Out)
+			continue
+		}
+		est := ""
+		if st.EstOut > 0 || st.Cost > 0 {
+			est = fmt.Sprintf(" est_out=%-5d cost=%-7d", st.EstOut, st.Cost)
+		}
+		fmt.Printf("  %-18s in=%-6d out=%-6d%s %dµs\n", st.Stage, st.In, st.Out, est, st.ElapsedUS)
 	}
 }
 

@@ -119,8 +119,12 @@ func remoteStats(addr string) error {
 		if !ok || (ds.CandidatesIn == 0 && ds.CandidatesOut == 0) {
 			continue
 		}
-		fmt.Printf("  stage %-18s %d in -> %d out, p50 %.2fms p95 %.2fms\n",
-			stage, ds.CandidatesIn, ds.CandidatesOut, ds.P50Ms, ds.P95Ms)
+		est := ""
+		if ds.EstOut > 0 || ds.EstAbsErr > 0 {
+			est = fmt.Sprintf(", est %d (abs err %d)", ds.EstOut, ds.EstAbsErr)
+		}
+		fmt.Printf("  stage %-18s %d in -> %d out%s, p50 %.2fms p95 %.2fms\n",
+			stage, ds.CandidatesIn, ds.CandidatesOut, est, ds.P50Ms, ds.P95Ms)
 	}
 	return nil
 }

@@ -158,6 +158,11 @@ type System struct {
 	// Annotator is nil until TrainAnnotator is called.
 	Annotator *annotate.Annotator
 
+	// Stats is the catalog statistics block the discover planner's
+	// cost model reads: per-table shape distributions and column
+	// name/type document frequencies. Persisted in snapshots.
+	Stats *CatalogStats
+
 	// BuildStats records per-stage wall time and item counts for the
 	// construction pipeline that produced this system.
 	BuildStats *BuildStats
@@ -344,6 +349,11 @@ func Build(catalog *lake.Catalog, opts Options) (*System, error) {
 			if g, err := aurum.Build(tables, aurum.Config{}); err == nil {
 				s.Graph = g
 			}
+			return len(tables), nil
+		}},
+		{stageStats, false, func() (int, error) {
+			// Catalog statistics for the discover planner's cost model.
+			s.Stats = BuildCatalogStats(tables)
 			return len(tables), nil
 		}},
 	}

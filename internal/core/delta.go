@@ -1190,6 +1190,10 @@ func assembleMerged(cat *lake.Catalog, model *embedding.Model, curated *kb.KB, e
 			}
 			return len(tables), nil
 		}},
+		{stageStats, false, func() (int, error) {
+			s.Stats = BuildCatalogStats(tables)
+			return len(tables), nil
+		}},
 	}
 	err := parallel.ForEach(len(stages), bopts.Parallelism, func(i int) error {
 		st := stages[i]

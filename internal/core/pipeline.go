@@ -31,6 +31,7 @@ const (
 	stageStarmie
 	stageOrg
 	stageGraph
+	stageStats
 	stageVecs
 	numStages
 )
@@ -38,7 +39,7 @@ const (
 var stageNames = [numStages]string{
 	"model", "dict", "keyword", "profiles", "entities", "join", "fuzzy",
 	"corr", "mate", "tus", "santos", "d3l", "starmie", "org", "graph",
-	"vecs",
+	"stats", "vecs",
 }
 
 // StageTiming records one pipeline stage's work.

@@ -65,9 +65,11 @@ var ErrVersionMismatch = errors.New("core: snapshot version mismatch")
 // so replacing a table's contents (remove + add under the same ID)
 // changes the generation — membership alone cannot tell such lakes
 // apart, and the serving tier keys its query cache on the generation.
+// Version 5 added the catalog-statistics section (secStats), the
+// discover planner's cost-model input.
 const (
 	snapMagic   uint32 = 0x54485342 // "THSB": tablehound system binary
-	snapVersion uint16 = 4
+	snapVersion uint16 = 5
 
 	// snapHeaderLen is the byte length of the snap header (magic,
 	// version, flags) that precedes the first section; blob-offset
@@ -96,6 +98,7 @@ const (
 	secStarmie
 	secOrg
 	secGraph
+	secStats
 	secVecs
 )
 
@@ -105,7 +108,8 @@ const (
 func (s *System) Save(w io.Writer) error {
 	if s.Catalog == nil || s.Model == nil || s.Dict == nil || s.Keyword == nil ||
 		s.Values == nil || s.Join == nil || s.Mate == nil || s.TUS == nil ||
-		s.Santos == nil || s.D3L == nil || s.Starmie == nil || s.Vecs == nil {
+		s.Santos == nil || s.D3L == nil || s.Starmie == nil || s.Stats == nil ||
+		s.Vecs == nil {
 		return fmt.Errorf("core: cannot snapshot a partially built system")
 	}
 	if err := snap.WriteHeader(w, snapMagic, snapVersion, 0); err != nil {
@@ -207,6 +211,9 @@ func (s *System) Save(w io.Writer) error {
 			s.Graph.AppendSnapshot(e)
 		}
 	}); err != nil {
+		return err
+	}
+	if err := sw.Section(secStats, s.Stats.AppendSnapshot); err != nil {
 		return err
 	}
 	// The vector block closes the stream: its directory (shape, segment
@@ -428,6 +435,11 @@ func load(r io.Reader, blobFile *os.File, opts Options) (*System, error) {
 		s.Graph, derr = aurum.DecodeSnapshot(d)
 		return derr
 	})
+	g.run(secStats, secs, func(d *snap.Decoder) error {
+		var derr error
+		s.Stats, derr = DecodeCatalogStatsSnapshot(d)
+		return derr
+	})
 	if err := g.wait(); err != nil {
 		return nil, err
 	}
@@ -516,7 +528,7 @@ func load(r io.Reader, blobFile *os.File, opts Options) (*System, error) {
 
 	for _, st := range []int{stageModel, stageDict, stageKeyword, stageJoin,
 		stageCorr, stageMate, stageTUS, stageSantos, stageD3L, stageStarmie,
-		stageVecs} {
+		stageStats, stageVecs} {
 		stats.Stages[st].Items = -1 // loaded from snapshot, not rebuilt
 	}
 	if bopts.SkipOrganization {

@@ -178,7 +178,7 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 		if errors.Is(err, ErrCorruptSnapshot) {
 			t.Errorf("version mismatch also satisfies ErrCorruptSnapshot: %v", err)
 		}
-		for _, want := range []string{"found version", "expected 4"} {
+		for _, want := range []string{"found version", "expected 5"} {
 			if err == nil || !strings.Contains(err.Error(), want) {
 				t.Errorf("err %q does not name versions (%q missing)", err, want)
 			}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tablehound/internal/datagen"
+	"tablehound/internal/snap"
+	"tablehound/internal/table"
+	"tablehound/internal/tokenize"
+)
+
+func statsFixture(t *testing.T) ([]*table.Table, *CatalogStats) {
+	t.Helper()
+	gen := datagen.Generate(datagen.Config{Seed: 9, NumTemplates: 3, TablesPerTemplate: 3})
+	return gen.Tables, BuildCatalogStats(gen.Tables)
+}
+
+// TestCatalogStatsCountsExact checks every marginal count the cost
+// model consumes against a brute-force census of the same tables.
+func TestCatalogStatsCountsExact(t *testing.T) {
+	tables, st := statsFixture(t)
+	n := len(tables)
+	if st.Tables != n {
+		t.Fatalf("Tables = %d, want %d", st.Tables, n)
+	}
+	wantCols := 0
+	for _, tbl := range tables {
+		wantCols += tbl.NumCols()
+	}
+	if st.Columns != wantCols {
+		t.Errorf("Columns = %d, want %d", st.Columns, wantCols)
+	}
+
+	ranges := []struct{ min, max int }{
+		{0, 0}, {1, 0}, {0, 10}, {5, 40}, {1000000, 0}, {0, 1}, {3, 3},
+	}
+	for _, r := range ranges {
+		want := 0
+		for _, tbl := range tables {
+			rows := tbl.NumRows()
+			if (r.min <= 0 || rows >= r.min) && (r.max <= 0 || rows <= r.max) {
+				want++
+			}
+		}
+		if got := st.CountRows(r.min, r.max); got != want {
+			t.Errorf("CountRows(%d,%d) = %d, want %d", r.min, r.max, got, want)
+		}
+		want = 0
+		for _, tbl := range tables {
+			cols := tbl.NumCols()
+			if (r.min <= 0 || cols >= r.min) && (r.max <= 0 || cols <= r.max) {
+				want++
+			}
+		}
+		if got := st.CountCols(r.min, r.max); got != want {
+			t.Errorf("CountCols(%d,%d) = %d, want %d", r.min, r.max, got, want)
+		}
+	}
+
+	// Column-name DF: every distinct name, plus a case variant, plus a
+	// missing name.
+	names := map[string]bool{"No Such Column Anywhere": true}
+	for _, tbl := range tables {
+		for _, c := range tbl.Columns {
+			names[c.Name] = true
+		}
+	}
+	for name := range names {
+		want := 0
+		for _, tbl := range tables {
+			for _, c := range tbl.Columns {
+				if tokenize.Normalize(c.Name) == tokenize.Normalize(name) {
+					want++
+					break
+				}
+			}
+		}
+		if got := st.CountColName(name); got != want {
+			t.Errorf("CountColName(%q) = %d, want %d", name, got, want)
+		}
+	}
+
+	for _, ty := range []table.Type{table.TypeBool, table.TypeInt, table.TypeFloat, table.TypeDate, table.TypeString} {
+		want := 0
+		for _, tbl := range tables {
+			for _, c := range tbl.Columns {
+				if c.Type == ty {
+					want++
+					break
+				}
+			}
+		}
+		if got := st.CountType(ty); got != want {
+			t.Errorf("CountType(%v) = %d, want %d", ty, got, want)
+		}
+	}
+}
+
+// TestCatalogStatsSnapshotRoundtrip pins the stats section's wire
+// format: encode, decode, deep-equal.
+func TestCatalogStatsSnapshotRoundtrip(t *testing.T) {
+	_, st := statsFixture(t)
+	var e snap.Encoder
+	st.AppendSnapshot(&e)
+	d := snap.NewDecoder(e.Bytes())
+	got, err := DecodeCatalogStatsSnapshot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("roundtrip diverged:\n got %+v\nwant %+v", got, st)
+	}
+}

@@ -181,9 +181,22 @@ type Query struct {
 // wall time in microseconds. Out of stage i equals In of stage i+1
 // for the prefilter chain; the candidates stage may emit more
 // candidates than tables entered it (join candidates are columns).
+//
+// The cost-model fields are omitted when zero, so explain rows from
+// stages the model does not price marshal exactly as before: EstOut is
+// the planner's pre-execution survivor estimate for prefilter stages
+// (compare against Out for the estimate error), Cost is the
+// deterministic work units the stage actually spent (per-table
+// predicate checks, posting entries scanned, set tokens merged — not
+// wall time, so it is stable across runs), and Skipped marks a stage
+// the planner proved total (its predicate admits every table) or moot
+// (the allowed set was already empty) and therefore elided.
 type StageExplain struct {
 	Stage     string `json:"stage"`
 	In        int    `json:"in"`
 	Out       int    `json:"out"`
+	EstOut    int    `json:"est_out,omitempty"`
+	Cost      int64  `json:"cost,omitempty"`
+	Skipped   bool   `json:"skipped,omitempty"`
 	ElapsedUS int64  `json:"elapsed_us"`
 }

@@ -78,12 +78,35 @@ func TestStageOrdering(t *testing.T) {
 			[]string{StageMeta, StageKeyword, StageValues, StageCandidates, StageVerify}},
 	}
 	for _, c := range cases {
-		p, err := NewPlan(sys, Query{Seed: seed, Relation: "union", K: 5, Predicates: c.preds})
+		q := Query{Seed: seed, Relation: "union", K: 5, Predicates: c.preds}
+		p, err := NewPlanOrdered(sys, q, OrderFixed)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 		if got := p.Stages(); !reflect.DeepEqual(got, c.want) {
-			t.Errorf("%s: stages = %v, want %v", c.name, got, c.want)
+			t.Errorf("%s: fixed stages = %v, want %v", c.name, got, c.want)
+		}
+		// Cost ordering may permute the prefilters but must plan exactly
+		// the same stage set, with candidates and verify closing the plan.
+		pc, err := NewPlan(sys, q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got := pc.Stages()
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: cost stages = %v, want a permutation of %v", c.name, got, c.want)
+		}
+		set := make(map[string]bool, len(got))
+		for _, s := range got {
+			set[s] = true
+		}
+		for _, s := range c.want {
+			if !set[s] {
+				t.Errorf("%s: cost stages %v missing %s", c.name, got, s)
+			}
+		}
+		if got[len(got)-2] != StageCandidates || got[len(got)-1] != StageVerify {
+			t.Errorf("%s: cost stages %v do not end with candidates, verify", c.name, got)
 		}
 	}
 }
@@ -329,8 +352,15 @@ func TestFilteredEqualsPostFiltered(t *testing.T) {
 func TestExplainChain(t *testing.T) {
 	sys, gen := fixture(t)
 	seed := gen.Tables[0]
-	res := mustExecute(t, sys, Query{Seed: seed, Relation: "union", K: 5,
-		Predicates: Predicates{MinRows: 1, Keywords: gen.DomainNames[0]}})
+	p, err := NewPlanOrdered(sys, Query{Seed: seed, Relation: "union", K: 5,
+		Predicates: Predicates{MinRows: 1, Keywords: gen.DomainNames[0]}}, OrderFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	stages := make([]string, len(res.Explain))
 	for i, st := range res.Explain {
 		stages[i] = st.Stage
@@ -386,7 +416,10 @@ func TestPrefilterCaching(t *testing.T) {
 	cache := &mapCache{m: make(map[string][]byte)}
 	q := Query{Seed: seed, Relation: "union", K: 5,
 		Predicates: Predicates{MinRows: 1, Keywords: gen.DomainNames[0]}}
-	p, err := NewPlan(sys, q)
+	// Fixed order: both prefilters always evaluate, so the cache sees
+	// exactly one entry per stage per generation. (Under cost ordering a
+	// provably-total stage is skipped and never touches the cache.)
+	p, err := NewPlanOrdered(sys, q, OrderFixed)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,7 +56,9 @@ type Plan struct {
 	mode      JoinMode
 	method    UnionMethod
 	threshold float64
+	order     Order
 	stages    []string
+	pre       []stagePlan // prefilters in execution order, with estimates
 	colTypes  []table.Type
 
 	// Pre-encoded seeds, filled per relation at compile time.
@@ -82,16 +84,27 @@ var typeByName = map[string]table.Type{
 	"string":  table.TypeString,
 }
 
-// NewPlan validates and compiles a query against a frozen System.
-// Invalid parameters (non-positive k, unknown relation/mode/method or
-// column type, missing or unusable seed) wrap table.ErrBadQuery.
-//
-// Stage ordering rule: stages run in fixed order of estimated
-// per-table cost — catalog stat scan, keyword postings, dict/ID-set
-// membership, sketch probing, exact scoring — and a prefilter stage
-// is planned only when its predicate group is present.
+// NewPlan validates and compiles a query against a frozen System with
+// the default cost-based stage ordering. Invalid parameters
+// (non-positive k, unknown relation/mode/method or column type,
+// missing or unusable seed) wrap table.ErrBadQuery.
 func NewPlan(sys *core.System, q Query) (*Plan, error) {
-	p := &Plan{sys: sys, q: q, threshold: q.Threshold}
+	return NewPlanOrdered(sys, q, OrderCost)
+}
+
+// NewPlanOrdered is NewPlan with an explicit ordering policy.
+//
+// Stage ordering rule: a prefilter stage is planned only when its
+// predicate group is present. Under OrderCost, present prefilters are
+// ordered by estimated (cost × survivor fraction) from the catalog
+// stats block and index postings lengths, and a stage whose predicate
+// provably admits every table is marked skipped; under OrderFixed they
+// run in the fixed cheap→expensive order (meta, keyword, values) with
+// no skips. Prefilter intersection is commutative, so both policies
+// return bit-identical results. Candidates and verify always close
+// the plan.
+func NewPlanOrdered(sys *core.System, q Query, ord Order) (*Plan, error) {
+	p := &Plan{sys: sys, q: q, threshold: q.Threshold, order: ord}
 	if q.K <= 0 {
 		return nil, fmt.Errorf("discover: k must be positive (got %d): %w", q.K, table.ErrBadQuery)
 	}
@@ -121,14 +134,9 @@ func NewPlan(sys *core.System, q Query) (*Plan, error) {
 	if err := p.prepareSeed(); err != nil {
 		return nil, err
 	}
-	if q.Predicates.HasMeta() {
-		p.stages = append(p.stages, StageMeta)
-	}
-	if q.Predicates.HasKeywords() {
-		p.stages = append(p.stages, StageKeyword)
-	}
-	if q.Predicates.HasValues() {
-		p.stages = append(p.stages, StageValues)
+	p.pre = p.planPrefilters()
+	for _, sp := range p.pre {
+		p.stages = append(p.stages, sp.name)
 	}
 	p.stages = append(p.stages, StageCandidates, StageVerify)
 	return p, nil
@@ -223,6 +231,17 @@ func (p *Plan) Execute(ctx context.Context) (*Result, error) {
 // (score desc, key asc), restricting candidates before scoring
 // returns exactly the bare engine's ranking restricted to allowed
 // tables — and with no predicates, the bare ranking itself.
+//
+// Under OrderCost, three executor shortcuts apply, each preserving
+// bit-identical results:
+//   - a stage the planner proved total is recorded skipped (allowing
+//     every table intersects to the identity);
+//   - once the allowed set is empty, remaining prefilters are
+//     recorded skipped (intersecting with the empty set is absorbing);
+//   - a prefilter whose restricted evaluation over the current
+//     allowed set is cheaper than its full-lake pass evaluates only
+//     the allowed tables (allowed ∩ fullAdmit ≡ the per-allowed-table
+//     predicate checks, since the predicate is per-table).
 func (p *Plan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*Result, error) {
 	res := &Result{}
 	lakeN := p.sys.Catalog.Len()
@@ -236,9 +255,15 @@ func (p *Plan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*Result, erro
 	for _, stage := range p.stages {
 		switch stage {
 		case StageMeta, StageKeyword, StageValues:
+			sp := p.stagePlanOf(stage)
 			in := count()
 			start := time.Now()
-			ids := p.prefilter(stage, opts)
+			if p.order == OrderCost && (sp.skip || (allowed != nil && len(allowed) == 0)) {
+				res.recordStage(StageExplain{Stage: stage, In: in, Out: in,
+					EstOut: sp.estOut, Skipped: true}, start)
+				continue
+			}
+			ids, cost := p.prefilter(stage, opts, allowed)
 			next := make(map[string]bool, len(ids))
 			for _, id := range ids {
 				if allowed == nil || allowed[id] {
@@ -246,7 +271,8 @@ func (p *Plan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*Result, erro
 				}
 			}
 			allowed = next
-			res.record(stage, in, len(allowed), start)
+			res.recordStage(StageExplain{Stage: stage, In: in, Out: len(allowed),
+				EstOut: sp.estOut, Cost: cost}, start)
 		case StageCandidates:
 			if err := p.runSearch(ctx, res, allowed, count()); err != nil {
 				return nil, err
@@ -259,27 +285,60 @@ func (p *Plan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*Result, erro
 	return res, nil
 }
 
+// stagePlanOf returns the planned estimates for a prefilter stage.
+func (p *Plan) stagePlanOf(stage string) stagePlan {
+	for _, sp := range p.pre {
+		if sp.name == stage {
+			return sp
+		}
+	}
+	return stagePlan{name: stage}
+}
+
 func (r *Result) record(stage string, in, out int, start time.Time) {
-	r.Explain = append(r.Explain, StageExplain{
-		Stage: stage, In: in, Out: out, ElapsedUS: time.Since(start).Microseconds(),
-	})
+	r.recordStage(StageExplain{Stage: stage, In: in, Out: out}, start)
+}
+
+func (r *Result) recordCost(stage string, in, out int, cost int64, start time.Time) {
+	r.recordStage(StageExplain{Stage: stage, In: in, Out: out, Cost: cost}, start)
+}
+
+func (r *Result) recordStage(se StageExplain, start time.Time) {
+	se.ElapsedUS = time.Since(start).Microseconds()
+	r.Explain = append(r.Explain, se)
 }
 
 // prefilter computes (or recalls) the table-ID set one predicate
-// group admits over the whole lake. Outputs are allowed-set
-// independent so they cache cleanly; the caller intersects.
-func (p *Plan) prefilter(stage string, opts ExecOptions) []string {
+// group admits, and reports the deterministic work units it spent.
+// The cache key covers only the stage's own predicate group, so a
+// change in an unrelated group (a different keyword next to the same
+// meta predicate) still hits. Full-lake outputs are allowed-set
+// independent and cache cleanly; a restricted evaluation (cost
+// ordering only) returns allowed ∩ admit directly and is never
+// cached.
+func (p *Plan) prefilter(stage string, opts ExecOptions, allowed map[string]bool) ([]string, int64) {
 	var key string
 	if opts.Cache != nil {
-		b, _ := json.Marshal(p.q.Predicates)
 		var kb qcache.KeyBuilder
-		kb.Byte('P').U64(opts.Gen).Str(stage).Str(string(b))
+		kb.Byte('P').U64(opts.Gen).Str(stage).Str(p.stagePredicates(stage))
 		key = kb.String()
 		if raw, ok := opts.Cache.Get(key); ok {
 			var ids []string
 			if json.Unmarshal(raw, &ids) == nil {
-				return ids
+				return ids, 0
 			}
+		}
+	}
+	sp := p.stagePlanOf(stage)
+	if p.order == OrderCost && allowed != nil && sp.unit > 0 {
+		if restricted := int64(len(allowed)) * sp.unit; restricted < sp.cost {
+			var ids []string
+			for _, id := range sortedIDs(allowed) {
+				if p.matchesMeta(p.sys.Catalog.Table(id)) {
+					ids = append(ids, id)
+				}
+			}
+			return ids, restricted
 		}
 	}
 	var ids []string
@@ -296,7 +355,28 @@ func (p *Plan) prefilter(stage string, opts ExecOptions) []string {
 			opts.Cache.Put(key, raw)
 		}
 	}
-	return ids
+	return ids, sp.cost
+}
+
+// stagePredicates renders only the predicate group a stage evaluates,
+// as its cache-key payload.
+func (p *Plan) stagePredicates(stage string) string {
+	pr := p.q.Predicates
+	var group Predicates
+	switch stage {
+	case StageMeta:
+		group = Predicates{
+			ColumnNames: pr.ColumnNames, ColumnTypes: pr.ColumnTypes,
+			MinRows: pr.MinRows, MaxRows: pr.MaxRows,
+			MinCols: pr.MinCols, MaxCols: pr.MaxCols,
+		}
+	case StageKeyword:
+		group = Predicates{Keywords: pr.Keywords}
+	case StageValues:
+		group = Predicates{Values: pr.Values}
+	}
+	b, _ := json.Marshal(group)
+	return string(b)
 }
 
 func (p *Plan) metaFilter() []string {
@@ -331,7 +411,10 @@ func (p *Plan) matchesMeta(t *table.Table) bool {
 	for _, want := range p.colTypes {
 		found := false
 		for _, c := range t.Columns {
-			if table.InferType(c.Values) == want {
+			// Column types are inferred once at ingest and stored; re-running
+			// InferType over the cell values here would repeat that work per
+			// table × column × query.
+			if c.Type == want {
 				found = true
 				break
 			}
@@ -365,7 +448,10 @@ func (p *Plan) keywordFilter() []string {
 
 // valuesFilter admits tables where every predicate value appears in
 // some join-indexed column. A value outside the lake vocabulary
-// admits nothing.
+// admits nothing. Each value is answered straight from the join
+// inverted index's posting list — the columns containing the value —
+// so the work is Σ posting lengths rather than a
+// tables × values × columns membership sweep over every ID set.
 func (p *Plan) valuesFilter() []string {
 	d := p.sys.Dict
 	e := p.sys.Join
@@ -373,36 +459,31 @@ func (p *Plan) valuesFilter() []string {
 	if len(vals) == 0 || d == nil {
 		return nil
 	}
-	ids := make([]uint32, 0, len(vals))
+	var admit map[string]bool
 	for _, v := range vals {
 		id, ok := d.ID(v)
 		if !ok {
 			return nil
 		}
-		ids = append(ids, id)
-	}
-	var out []string
-	for _, t := range p.sys.Catalog.Tables() {
-		keys := e.ColumnKeysOf(t.ID)
-		all := true
-		for _, id := range ids {
-			found := false
-			for _, key := range keys {
-				if e.IDSet(key).Contains(id) {
-					found = true
-					break
+		tabs := make(map[string]bool)
+		for _, key := range e.ColumnsWithValue(id) {
+			tid, _ := table.SplitColumnKey(key)
+			tabs[tid] = true
+		}
+		if admit == nil {
+			admit = tabs
+		} else {
+			for t := range admit {
+				if !tabs[t] {
+					delete(admit, t)
 				}
 			}
-			if !found {
-				all = false
-				break
-			}
 		}
-		if all {
-			out = append(out, t.ID)
+		if len(admit) == 0 {
+			return nil
 		}
 	}
-	return out
+	return sortedIDs(admit)
 }
 
 // sortedIDs renders the allowed set in deterministic order.
@@ -452,8 +533,10 @@ func (p *Plan) runJoin(ctx context.Context, res *Result, allowed map[string]bool
 			start := time.Now()
 			res.record(StageCandidates, in, e.NumColumns(), start)
 			vstart := time.Now()
-			res.Matches = e.TopKOverlapQuery(p.joinQ, k)
-			res.record(StageVerify, e.NumColumns(), len(res.Matches), vstart)
+			ms, jst := e.TopKOverlapQueryStats(p.joinQ, k)
+			res.Matches = ms
+			res.recordCost(StageVerify, e.NumColumns(), len(ms),
+				int64(jst.PostingsRead+jst.TokensRead), vstart)
 			return nil
 		}
 		start := time.Now()
@@ -461,14 +544,14 @@ func (p *Plan) runJoin(ctx context.Context, res *Result, allowed map[string]bool
 		for _, id := range sortedIDs(allowed) {
 			keys = append(keys, e.ColumnKeysOf(id)...)
 		}
-		res.record(StageCandidates, in, len(keys), start)
+		res.recordCost(StageCandidates, in, len(keys), int64(len(keys)), start)
 		vstart := time.Now()
-		ms, err := e.TopKOverlapAmongCtx(ctx, p.joinQ, keys, k)
+		ms, ast, err := e.TopKOverlapAmongStatsCtx(ctx, p.joinQ, keys, k, p.order == OrderCost)
 		if err != nil {
 			return err
 		}
 		res.Matches = ms
-		res.record(StageVerify, len(keys), len(ms), vstart)
+		res.recordCost(StageVerify, len(keys), len(ms), ast.Work, vstart)
 		return nil
 	}
 	// Containment: LSH Ensemble candidates, restricted, then exactly
@@ -489,7 +572,7 @@ func (p *Plan) runJoin(ctx context.Context, res *Result, allowed map[string]bool
 		}
 		cands = kept
 	}
-	res.record(StageCandidates, in, len(cands), start)
+	res.recordCost(StageCandidates, in, len(cands), int64(len(cands)), start)
 	vstart := time.Now()
 	ms, err := e.VerifyContainmentQueryCtx(ctx, p.joinQ, cands, p.threshold)
 	if err != nil {
@@ -499,7 +582,7 @@ func (p *Plan) runJoin(ctx context.Context, res *Result, allowed map[string]bool
 		ms = ms[:k]
 	}
 	res.Matches = ms
-	res.record(StageVerify, len(cands), len(ms), vstart)
+	res.recordCost(StageVerify, len(cands), len(ms), int64(len(cands)), vstart)
 	return nil
 }
 
@@ -518,7 +601,7 @@ func (p *Plan) runUnion(ctx context.Context, res *Result, allowed map[string]boo
 		// D3L has no sketch: its candidate set is the whole lake.
 		cands = keepAllowed(sys.D3L.TableIDs(), allowed)
 	}
-	res.record(StageCandidates, in, len(cands), start)
+	res.recordCost(StageCandidates, in, len(cands), int64(len(cands)), start)
 	vstart := time.Now()
 	var (
 		rs  []union.Result
@@ -540,7 +623,7 @@ func (p *Plan) runUnion(ctx context.Context, res *Result, allowed map[string]boo
 		return err
 	}
 	res.Tables = rs
-	res.record(StageVerify, len(cands), len(rs), vstart)
+	res.recordCost(StageVerify, len(cands), len(rs), int64(len(cands)), vstart)
 	return nil
 }
 
@@ -569,7 +652,8 @@ func (p *Plan) runAny(ctx context.Context, res *Result, allowed map[string]bool,
 			}
 		}
 	}
-	res.record(StageCandidates, in, len(ucands)+len(jcands), start)
+	res.recordCost(StageCandidates, in, len(ucands)+len(jcands),
+		int64(len(ucands)+len(jcands)), start)
 
 	vstart := time.Now()
 	urs, err := sys.TUS.ScoreAmongCtx(ctx, p.tusQ, ucands, len(ucands), union.EnsembleMeasure)
@@ -606,6 +690,7 @@ func (p *Plan) runAny(ctx context.Context, res *Result, allowed map[string]bool,
 		out = out[:k]
 	}
 	res.Tables = out
-	res.record(StageVerify, len(ucands)+len(jcands), len(out), vstart)
+	res.recordCost(StageVerify, len(ucands)+len(jcands), len(out),
+		int64(len(ucands)+len(jcands)), vstart)
 	return nil
 }

@@ -86,6 +86,7 @@ var Registry = map[string]Runner{
 	"e22": E22Aurum,
 	"e23": E23D3L,
 	"e24": E24Discover,
+	"e25": E25Planner,
 }
 
 // IDs returns the registered experiment IDs in order.

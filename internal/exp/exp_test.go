@@ -40,11 +40,11 @@ func row(t *testing.T, rep Report, prefix ...string) int {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	if len(Registry) != 24 {
-		t.Fatalf("registry has %d experiments, want 24", len(Registry))
+	if len(Registry) != 25 {
+		t.Fatalf("registry has %d experiments, want 25", len(Registry))
 	}
 	ids := IDs()
-	if ids[0] != "e1" || ids[len(ids)-1] != "e24" {
+	if ids[0] != "e1" || ids[len(ids)-1] != "e25" {
 		t.Errorf("IDs order: %v", ids)
 	}
 }
@@ -327,6 +327,34 @@ func TestE24Shape(t *testing.T) {
 		}
 		if red < 5 {
 			t.Errorf("%s: verify-candidate reduction %.1fx < 5x", r[0], red)
+		}
+	}
+}
+
+func TestE25Shape(t *testing.T) {
+	rep := E25Planner()
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r[5] != "yes" {
+			t.Errorf("%s: results diverged across planner paths", r[0])
+		}
+		var ratio float64
+		if _, err := fmt.Sscanf(r[4], "%fx", &ratio); err != nil {
+			t.Fatalf("%s: bad ratio cell %q", r[0], r[4])
+		}
+		switch r[0] {
+		case "pushdown/all-columns":
+			// Pushdown must strictly beat enumerating candidate ID sets.
+			if ratio <= 1 {
+				t.Errorf("%s: pushdown work ratio %.1fx, want > 1x", r[0], ratio)
+			}
+		default:
+			// Cost ordering must cut prefilter+candidates work >= 3x.
+			if ratio < 3 {
+				t.Errorf("%s: cost-order work ratio %.1fx < 3x", r[0], ratio)
+			}
 		}
 	}
 }

@@ -246,6 +246,16 @@ func (ix *Index) TokenRank(token string) (int32, bool) {
 // DF returns the document frequency of a token rank.
 func (ix *Index) DF(rank int32) int32 { return ix.df[rank] }
 
+// RankOfID returns the rank of a dictionary ID, or -1 when the ID is
+// not indexed (including ephemeral out-of-vocabulary IDs past the
+// rank table). Only valid on ID-built indexes.
+func (ix *Index) RankOfID(id uint32) int32 {
+	if int(id) >= len(ix.rankOfID) {
+		return -1
+	}
+	return ix.rankOfID[id]
+}
+
 // Postings returns the posting list of a token rank. Callers must not
 // mutate the returned slice.
 func (ix *Index) Postings(rank int32) []Posting { return ix.postings[rank] }

@@ -1,0 +1,145 @@
+package join
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomEngine builds a lake of nCols columns over a small shared
+// vocabulary so overlaps are plentiful.
+func randomEngine(t *testing.T, nCols int, seed int64) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(2)
+	for i := 0; i < nCols; i++ {
+		n := 3 + rng.Intn(30)
+		vs := make([]string, n)
+		for j := range vs {
+			vs[j] = fmt.Sprintf("v%03d", rng.Intn(120))
+		}
+		b.AddColumn(fmt.Sprintf("t%02d.c%02d", i/3, i%3), vs)
+	}
+	e, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestTopKOverlapAmongPushdownParity pins the contract that the masked
+// posting-traversal path and the enumerate-and-score path return
+// bit-identical rankings for any candidate subset, including
+// candidates that are out of the index and queries with
+// out-of-vocabulary values.
+func TestTopKOverlapAmongPushdownParity(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 12; seed++ {
+		e := randomEngine(t, 24, seed)
+		rng := rand.New(rand.NewSource(seed + 500))
+		qvals := make([]string, 4+rng.Intn(12))
+		for j := range qvals {
+			qvals[j] = fmt.Sprintf("v%03d", rng.Intn(130)) // some OOV
+		}
+		q := e.EncodeQuery(qvals)
+		if len(q.IDs) == 0 {
+			continue
+		}
+		var cands []string
+		for _, key := range append([]string(nil), e.keys...) {
+			if rng.Intn(2) == 0 {
+				cands = append(cands, key)
+			}
+		}
+		cands = append(cands, "ghost.col") // unindexed candidate
+		k := 1 + rng.Intn(8)
+		want, err := e.TopKOverlapAmongCtx(ctx, q, cands, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := e.TopKOverlapAmongStatsCtx(ctx, q, cands, k, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d (pushdown=%v): among = %v, want %v", seed, st.Pushdown, got, want)
+		}
+		// The pinned-enumerate call must never push down.
+		pinned, pst, err := e.TopKOverlapAmongStatsCtx(ctx, q, cands, k, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pst.Pushdown {
+			t.Errorf("seed %d: allowPushdown=false still pushed down", seed)
+		}
+		if !reflect.DeepEqual(pinned, want) {
+			t.Errorf("seed %d: pinned enumerate diverged", seed)
+		}
+	}
+}
+
+// TestPushdownReadsFewerPostings drives the adversarial shape the
+// pushdown exists for — a short query against a large candidate set —
+// and checks the masked traversal both triggers and is priced below
+// enumerate-then-score.
+func TestPushdownReadsFewerPostings(t *testing.T) {
+	b := NewBuilder(2)
+	// Many wide candidate columns sharing a domain, one rare value.
+	for i := 0; i < 40; i++ {
+		vs := genVals("city", 200)
+		if i == 0 {
+			vs = append(vs, "needle")
+		}
+		b.AddColumn(fmt.Sprintf("t%02d.wide", i), vs)
+	}
+	e, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := e.EncodeQuery([]string{"needle", "city_0001", "city_0002"})
+	cands := append([]string(nil), e.keys...)
+	ms, st, err := e.TopKOverlapAmongStatsCtx(context.Background(), q, cands, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Pushdown {
+		t.Fatalf("short query over %d wide candidates did not push down: %+v", len(cands), st)
+	}
+	if st.Work >= st.EnumCost {
+		t.Errorf("pushdown work %d not below enumerate cost %d", st.Work, st.EnumCost)
+	}
+	if len(ms) == 0 || ms[0].ColumnKey != "t00.wide" {
+		t.Errorf("needle column not ranked first: %v", ms)
+	}
+}
+
+// TestValueDFAndColumnsWithValue checks the posting-derived accessors
+// the planner's values prefilter and cost model are built on.
+func TestValueDFAndColumnsWithValue(t *testing.T) {
+	e := demoEngine(t)
+	id, ok := e.Dict().ID("city_0001")
+	if !ok {
+		t.Fatal("city_0001 not in dict")
+	}
+	cols := e.ColumnsWithValue(id)
+	if got := e.ValueDF(id); got != len(cols) {
+		t.Errorf("ValueDF = %d, columns = %d", got, len(cols))
+	}
+	want := map[string]bool{"big.city": true, "small.city": true, "half.city": true, "mixed.place": true}
+	if len(cols) != len(want) {
+		t.Fatalf("columns with city_0001 = %v", cols)
+	}
+	for _, c := range cols {
+		if !want[c] {
+			t.Errorf("unexpected column %s", c)
+		}
+	}
+	if df := e.ValueDF(1 << 30); df != 0 {
+		t.Errorf("OOV ValueDF = %d, want 0", df)
+	}
+	if cols := e.ColumnsWithValue(1 << 30); cols != nil {
+		t.Errorf("OOV ColumnsWithValue = %v, want nil", cols)
+	}
+}

@@ -251,10 +251,17 @@ func (e *Engine) TopKOverlap(values []string, k int) []Match {
 
 // TopKOverlapQuery is TopKOverlap over a pre-encoded query.
 func (e *Engine) TopKOverlapQuery(q Query, k int) []Match {
+	ms, _ := e.TopKOverlapQueryStats(q, k)
+	return ms
+}
+
+// TopKOverlapQueryStats is TopKOverlapQuery plus JOSIE work counters,
+// for planners that account per-stage cost.
+func (e *Engine) TopKOverlapQueryStats(q Query, k int) ([]Match, josie.Stats) {
 	if len(q.IDs) == 0 {
-		return nil
+		return nil, josie.Stats{}
 	}
-	res := e.searcher.TopKIDs(q.IDs, k, josie.Adaptive)
+	res, jst := e.searcher.TopKIDsStats(q.IDs, k, josie.Adaptive)
 	out := make([]Match, len(res))
 	for i, r := range res {
 		out[i] = Match{
@@ -263,7 +270,7 @@ func (e *Engine) TopKOverlapQuery(q Query, k int) []Match {
 			Containment: float64(r.Overlap) / float64(len(q.IDs)),
 		}
 	}
-	return out
+	return out, jst
 }
 
 // TopKOverlapAlgo is TopKOverlap with an explicit JOSIE strategy, for
@@ -404,6 +411,109 @@ func (e *Engine) TopKOverlapAmongCtx(ctx context.Context, q Query, cands []strin
 		out = out[:k]
 	}
 	return out, nil
+}
+
+// ValueDF returns how many indexed columns contain the dictionary ID
+// (0 for out-of-vocabulary or never-indexed values) — the posting-list
+// length a planner's cost model prices a value lookup at.
+func (e *Engine) ValueDF(id uint32) int {
+	rank := e.inv.RankOfID(id)
+	if rank < 0 {
+		return 0
+	}
+	return int(e.inv.DF(rank))
+}
+
+// ColumnsWithValue returns the keys of every indexed column containing
+// the dictionary ID, in sorted key order (the posting list of the
+// value, decoded). Nil for out-of-vocabulary IDs. Callers must not
+// mutate the result beyond their own copy.
+func (e *Engine) ColumnsWithValue(id uint32) []string {
+	rank := e.inv.RankOfID(id)
+	if rank < 0 {
+		return nil
+	}
+	pl := e.inv.Postings(rank)
+	out := make([]string, len(pl))
+	for i, p := range pl {
+		// Set IDs are assigned in sorted-key order and posting lists are
+		// sorted by set ID, so the decoded keys come out sorted.
+		out[i] = e.inv.Key(p.Set)
+	}
+	return out
+}
+
+// AmongStats reports how a restricted overlap search ran: which path
+// was chosen and the deterministic work units both paths were priced
+// at. Work units are wall-clock-free (posting entries scanned, set
+// tokens merged, candidates handled), so explain output is stable
+// across runs.
+type AmongStats struct {
+	// Pushdown is true when the allowed set was pushed into JOSIE's
+	// posting traversal instead of enumerating and scoring candidates.
+	Pushdown bool
+	// Work is the units the chosen path actually spent.
+	Work int64
+	// EnumCost and PushCost are the a-priori estimates the choice was
+	// made from.
+	EnumCost int64
+	PushCost int64
+}
+
+// TopKOverlapAmongStatsCtx is TopKOverlapAmongCtx with a cost-based
+// choice of execution path: it either enumerates the candidate columns
+// and scores each exactly (cheap when few survive the prefilters), or
+// masks JOSIE's posting traversal to the candidate set (cheap when the
+// query's posting lists are shorter than the candidates' combined
+// token lists). Both paths return bit-identical results — the exact
+// top-k overlap among cands, ordered (overlap desc, key asc) — so the
+// choice is free; AmongStats records it. allowPushdown false pins the
+// enumerate path (the baseline planners compare against).
+func (e *Engine) TopKOverlapAmongStatsCtx(ctx context.Context, q Query, cands []string, k int, allowPushdown bool) ([]Match, AmongStats, error) {
+	if len(q.IDs) == 0 {
+		return nil, AmongStats{}, fmt.Errorf("join: empty query column: %w", table.ErrBadQuery)
+	}
+	var st AmongStats
+	for _, key := range cands {
+		st.EnumCost += int64(len(q.IDs) + len(e.idsets[key]))
+	}
+	// The masked traversal scans at most every query token's posting
+	// list plus the mask build over the candidate list.
+	for _, id := range q.IDs {
+		st.PushCost += int64(e.ValueDF(id))
+	}
+	st.PushCost += int64(len(cands))
+	if allowPushdown && st.PushCost < st.EnumCost {
+		st.Pushdown = true
+		allowed := make([]bool, e.inv.NumSets())
+		for _, key := range cands {
+			if sid, ok := e.inv.SetID(key); ok {
+				allowed[sid] = true
+			}
+		}
+		// MergeList, not Adaptive: the masked traversal must be
+		// bit-identical to enumerate-and-score, and only MergeList counts
+		// every allowed candidate exactly and tie-breaks canonically
+		// (Adaptive may early-stop past an unverified candidate tied at
+		// the k-th overlap). Its full posting-list reads are exactly what
+		// PushCost priced, so the cost gate already paid for them.
+		res, jst := e.searcher.TopKIDsAllowedStats(q.IDs, k, josie.MergeList, allowed)
+		st.Work = int64(jst.PostingsRead+jst.TokensRead) + int64(len(cands))
+		// var, not make: zero hits must stay a nil slice, like the
+		// enumerate path's.
+		var out []Match
+		for _, r := range res {
+			out = append(out, Match{
+				ColumnKey:   r.Key,
+				Overlap:     r.Overlap,
+				Containment: float64(r.Overlap) / float64(len(q.IDs)),
+			})
+		}
+		return out, st, nil
+	}
+	st.Work = st.EnumCost
+	ms, err := e.TopKOverlapAmongCtx(ctx, q, cands, k)
+	return ms, st, err
 }
 
 // ColumnKeysOf returns the indexed column keys of one table, in sorted

@@ -103,7 +103,7 @@ func (s *Searcher) TopKStats(values []string, k int, algo Algorithm) ([]Result, 
 	if k <= 0 {
 		return nil, Stats{}
 	}
-	return s.topK(s.ix.QueryRanks(values), k, algo)
+	return s.topK(s.ix.QueryRanks(values), k, algo, nil)
 }
 
 // TopKIDs is TopK for a query already interned to deduplicated
@@ -117,13 +117,31 @@ func (s *Searcher) TopKIDs(ids []uint32, k int, algo Algorithm) []Result {
 
 // TopKIDsStats is TopKIDs plus work counters.
 func (s *Searcher) TopKIDsStats(ids []uint32, k int, algo Algorithm) ([]Result, Stats) {
+	return s.TopKIDsAllowedStats(ids, k, algo, nil)
+}
+
+// TopKIDsAllowedStats restricts the search to the sets whose ID
+// indexes true in allowed (nil = unrestricted): postings of masked-out
+// sets are skipped during traversal, so the allowed set prunes inside
+// the index instead of being enumerated and scored around it. Masked
+// sets never become candidates, and the bounds and early-stop logic
+// see only allowed candidates, which is the restricted search's own
+// exact state; overlap values therefore match TopKIDsStats filtered to
+// allowed sets and re-truncated to k. With MergeList the result is
+// bit-identical to that filtered ranking — every allowed set with a
+// shared token is counted exactly and tie-broken (overlap desc, key
+// asc); ProbeSet and Adaptive may early-stop past an unverified
+// candidate tied at the k-th overlap and pick a different tie
+// representative. allowed must be sized to the index's NumSets when
+// non-nil.
+func (s *Searcher) TopKIDsAllowedStats(ids []uint32, k int, algo Algorithm, allowed []bool) ([]Result, Stats) {
 	if k <= 0 {
 		return nil, Stats{}
 	}
-	return s.topK(s.ix.QueryRanksIDs(ids), k, algo)
+	return s.topK(s.ix.QueryRanksIDs(ids), k, algo, allowed)
 }
 
-func (s *Searcher) topK(q []int32, k int, algo Algorithm) ([]Result, Stats) {
+func (s *Searcher) topK(q []int32, k int, algo Algorithm, allowed []bool) ([]Result, Stats) {
 	var st Stats
 	if len(q) == 0 {
 		return nil, st
@@ -131,22 +149,25 @@ func (s *Searcher) topK(q []int32, k int, algo Algorithm) ([]Result, Stats) {
 	var res []Result
 	switch algo {
 	case MergeList:
-		res = s.mergeList(q, k, &st)
+		res = s.mergeList(q, k, &st, allowed)
 	case ProbeSet:
-		res = s.probeSet(q, k, &st)
+		res = s.probeSet(q, k, &st, allowed)
 	default:
-		res = s.adaptive(q, k, &st)
+		res = s.adaptive(q, k, &st, allowed)
 	}
 	return res, st
 }
 
 // mergeList reads every posting list fully and counts overlaps.
-func (s *Searcher) mergeList(q []int32, k int, st *Stats) []Result {
+func (s *Searcher) mergeList(q []int32, k int, st *Stats, allowed []bool) []Result {
 	counts := make(map[int32]int)
 	for _, tok := range q {
 		pl := s.ix.Postings(tok)
 		st.PostingsRead += len(pl)
 		for _, p := range pl {
+			if allowed != nil && !allowed[p.Set] {
+				continue
+			}
 			counts[p.Set]++
 		}
 	}
@@ -156,7 +177,7 @@ func (s *Searcher) mergeList(q []int32, k int, st *Stats) []Result {
 // probeSet discovers candidates from posting lists (rarest token
 // first) and probes each new candidate for its exact overlap. Reading
 // stops once tokens remaining cannot beat the current k-th overlap.
-func (s *Searcher) probeSet(q []int32, k int, st *Stats) []Result {
+func (s *Searcher) probeSet(q []int32, k int, st *Stats, allowed []bool) []Result {
 	exact := make(map[int32]int)
 	probed := make(map[int32]bool)
 	for i, tok := range q {
@@ -166,6 +187,9 @@ func (s *Searcher) probeSet(q []int32, k int, st *Stats) []Result {
 		pl := s.ix.Postings(tok)
 		st.PostingsRead += len(pl)
 		for _, p := range pl {
+			if allowed != nil && !allowed[p.Set] {
+				continue
+			}
 			if probed[p.Set] {
 				continue
 			}
@@ -203,7 +227,7 @@ type candidate struct {
 // upper bound — when the cost model prices the probe below the posting
 // lists the tighter bound may save. Expensive probes therefore reduce
 // it to early-stopping MergeList; cheap probes approach ProbeSet.
-func (s *Searcher) adaptive(q []int32, k int, st *Stats) []Result {
+func (s *Searcher) adaptive(q []int32, k int, st *Stats, allowed []bool) []Result {
 	exact := make(map[int32]int) // verified exact overlaps
 	cands := make(map[int32]*candidate)
 	verified := make(map[int32]bool)
@@ -274,6 +298,9 @@ func (s *Searcher) adaptive(q []int32, k int, st *Stats) []Result {
 		pl := s.ix.Postings(q[i])
 		st.PostingsRead += len(pl)
 		for _, p := range pl {
+			if allowed != nil && !allowed[p.Set] {
+				continue
+			}
 			if verified[p.Set] {
 				continue
 			}

@@ -1,0 +1,112 @@
+package josie
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tablehound/internal/invindex"
+)
+
+// idLake builds an index straight from uint32 token IDs so tests
+// control the vocabulary the allowed-mask queries use.
+func idLake(t *testing.T, nSets int, seed int64) (*invindex.Index, [][]uint32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := invindex.NewBuilder()
+	sets := make([][]uint32, nSets)
+	for i := 0; i < nSets; i++ {
+		n := 1 + rng.Intn(12)
+		ids := make([]uint32, n)
+		for j := range ids {
+			ids[j] = uint32(rng.Intn(40))
+		}
+		sets[i] = ids
+		if err := b.AddIDs(fmt.Sprintf("s%03d", i), ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, sets
+}
+
+// TestTopKAllowedIsFilteredTopK pins the allowed-mask contract: the
+// restricted result must equal the unrestricted full ranking filtered
+// to allowed sets and re-truncated to k — bit-identically for
+// MergeList (which counts every allowed candidate and tie-breaks
+// canonically), and in overlap values for ProbeSet and Adaptive
+// (whose early stopping may pick a different tie representative at
+// the k-th position).
+func TestTopKAllowedIsFilteredTopK(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		ix, _ := idLake(t, 30, seed)
+		s := NewSearcher(ix)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		// TopKIDs takes deduplicated query IDs (EncodeQuery's contract).
+		dedup := make(map[uint32]bool)
+		for len(dedup) < 1+rng.Intn(10) {
+			dedup[uint32(rng.Intn(40))] = true
+		}
+		query := make([]uint32, 0, len(dedup))
+		for id := range dedup {
+			query = append(query, id)
+		}
+		allowed := make([]bool, ix.NumSets())
+		for i := range allowed {
+			allowed[i] = rng.Intn(3) != 0
+		}
+		k := 1 + rng.Intn(6)
+		// Oracle: full unrestricted ranking, filtered, truncated.
+		full, _ := s.TopKIDsStats(query, ix.NumSets(), MergeList)
+		var want []Result
+		for _, r := range full {
+			id, ok := ix.SetID(r.Key)
+			if !ok {
+				t.Fatalf("unknown key %q", r.Key)
+			}
+			if allowed[id] {
+				want = append(want, r)
+			}
+		}
+		if len(want) > k {
+			want = want[:k]
+		}
+		if got, _ := s.TopKIDsAllowedStats(query, k, MergeList, allowed); !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d mergelist: allowed top-k = %v, want %v", seed, got, want)
+		}
+		for _, algo := range []Algorithm{ProbeSet, Adaptive} {
+			got, _ := s.TopKIDsAllowedStats(query, k, algo, allowed)
+			if len(got) != len(want) {
+				t.Errorf("seed %d %v: %d results, want %d", seed, algo, len(got), len(want))
+				continue
+			}
+			for i := range got {
+				if got[i].Overlap != want[i].Overlap {
+					t.Errorf("seed %d %v: overlaps at %d = %v, want %v", seed, algo, i, got, want)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestTopKAllowedNilMask checks that a nil mask is the unrestricted
+// search, and an all-false mask returns nothing.
+func TestTopKAllowedNilMask(t *testing.T) {
+	ix, sets := idLake(t, 20, 7)
+	s := NewSearcher(ix)
+	query := sets[0]
+	want, _ := s.TopKIDsStats(query, 5, Adaptive)
+	got, _ := s.TopKIDsAllowedStats(query, 5, Adaptive, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("nil mask diverged from unrestricted: %v vs %v", got, want)
+	}
+	none, _ := s.TopKIDsAllowedStats(query, 5, Adaptive, make([]bool, ix.NumSets()))
+	if len(none) != 0 {
+		t.Errorf("all-false mask returned %v", none)
+	}
+}

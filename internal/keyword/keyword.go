@@ -189,6 +189,21 @@ func (ix *Index) BooleanSearch(query string, k int, requireAll bool) []Result {
 	return res
 }
 
+// QueryDFs returns the document frequency of each query term,
+// tokenized exactly as Search/BooleanSearch tokenize (stopwords
+// dropped, duplicates kept). A cost-based planner estimates the
+// boolean-AND prefilter's selectivity from these counts: a term absent
+// from the corpus has DF 0 and admits nothing, a term present in every
+// document has DF Len() and restricts nothing.
+func (ix *Index) QueryDFs(query string) []int {
+	terms := queryTerms(query)
+	out := make([]int, len(terms))
+	for i, t := range terms {
+		out[i] = ix.df[t]
+	}
+	return out
+}
+
 func queryTerms(query string) []string {
 	var out []string
 	for _, t := range tokenize.Words(query) {

@@ -271,20 +271,20 @@ func TestDiscoverRouterBadQueries(t *testing.T) {
 
 func TestMergeExplains(t *testing.T) {
 	a := []discover.StageExplain{
-		{Stage: discover.StageMeta, In: 10, Out: 4, ElapsedUS: 100},
+		{Stage: discover.StageMeta, In: 10, Out: 4, EstOut: 5, Cost: 30, ElapsedUS: 100},
 		{Stage: discover.StageCandidates, In: 4, Out: 9, ElapsedUS: 50},
-		{Stage: discover.StageVerify, In: 9, Out: 3, ElapsedUS: 200},
+		{Stage: discover.StageVerify, In: 9, Out: 3, Cost: 9, ElapsedUS: 200},
 	}
 	b := []discover.StageExplain{
-		{Stage: discover.StageMeta, In: 10, Out: 6, ElapsedUS: 80},
+		{Stage: discover.StageMeta, In: 10, Out: 6, EstOut: 7, Cost: 30, ElapsedUS: 80},
 		{Stage: discover.StageCandidates, In: 6, Out: 11, ElapsedUS: 60},
-		{Stage: discover.StageVerify, In: 11, Out: 5, ElapsedUS: 150},
+		{Stage: discover.StageVerify, In: 11, Out: 5, Cost: 11, ElapsedUS: 150},
 	}
 	got := mergeExplains([][]discover.StageExplain{a, b})
 	want := []discover.StageExplain{
-		{Stage: discover.StageMeta, In: 20, Out: 10, ElapsedUS: 180},
+		{Stage: discover.StageMeta, In: 20, Out: 10, EstOut: 12, Cost: 60, ElapsedUS: 180},
 		{Stage: discover.StageCandidates, In: 10, Out: 20, ElapsedUS: 110},
-		{Stage: discover.StageVerify, In: 20, Out: 8, ElapsedUS: 350},
+		{Stage: discover.StageVerify, In: 20, Out: 8, Cost: 20, ElapsedUS: 350},
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("mergeExplains = %+v, want %+v", got, want)
@@ -292,5 +292,15 @@ func TestMergeExplains(t *testing.T) {
 	// One shard passes through unchanged.
 	if got := mergeExplains([][]discover.StageExplain{a}); !reflect.DeepEqual(got, a) {
 		t.Errorf("single-list merge changed the block: %+v", got)
+	}
+	// Skipped survives the merge only when every shard skipped — one
+	// shard's stats may prove a predicate total while another's cannot.
+	skipA := []discover.StageExplain{{Stage: discover.StageMeta, In: 10, Out: 10, Skipped: true}}
+	skipB := []discover.StageExplain{{Stage: discover.StageMeta, In: 10, Out: 8, Cost: 10}}
+	if got := mergeExplains([][]discover.StageExplain{skipA, skipB}); got[0].Skipped {
+		t.Errorf("half-skipped stage still reads skipped: %+v", got)
+	}
+	if got := mergeExplains([][]discover.StageExplain{skipA, skipA}); !got[0].Skipped {
+		t.Errorf("all-skipped stage lost the skipped flag: %+v", got)
 	}
 }

@@ -81,9 +81,12 @@ func mergeScores(lists [][]server.TableScore, k int) []server.TableScore {
 // mergeExplains folds per-shard discover explanation blocks into one:
 // stages are keyed by name in the order the first shard reports them
 // (every shard runs the same plan, so the orders agree), and the
-// candidate counts and elapsed time are summed across shards — "in"
-// and "out" then read as fleet-wide candidate totals. A single shard's
-// block passes through unchanged.
+// candidate counts, cost-model figures, and elapsed time are summed
+// across shards — "in", "out", "est_out", and "cost" then read as
+// fleet-wide totals. A stage reads skipped only when every shard
+// skipped it (one shard's stats may prove a predicate total while
+// another's does not). A single shard's block passes through
+// unchanged.
 func mergeExplains(lists [][]discover.StageExplain) []discover.StageExplain {
 	var out []discover.StageExplain
 	index := make(map[string]int)
@@ -97,6 +100,9 @@ func mergeExplains(lists [][]discover.StageExplain) []discover.StageExplain {
 			}
 			out[i].In += st.In
 			out[i].Out += st.Out
+			out[i].EstOut += st.EstOut
+			out[i].Cost += st.Cost
+			out[i].Skipped = out[i].Skipped && st.Skipped
 			out[i].ElapsedUS += st.ElapsedUS
 		}
 	}

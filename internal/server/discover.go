@@ -129,7 +129,11 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		default:
 			q.Values = req.Values
 		}
-		plan, err := discover.NewPlan(snap.sys, q)
+		ord := discover.OrderCost
+		if s.cfg.FixedOrderPlanner {
+			ord = discover.OrderFixed
+		}
+		plan, err := discover.NewPlanOrdered(snap.sys, q, ord)
 		if err != nil {
 			return nil, err
 		}
@@ -198,8 +202,10 @@ func inlineTable(in *InlineTable) (*table.Table, error) {
 }
 
 // observeStages feeds one execution's explain block into the
-// per-stage histograms and candidate-reduction counters. Cache hits
-// skip this — the stages did not run.
+// per-stage histograms, candidate-reduction counters, and
+// estimate-quality counters. Cache hits skip this — the stages did
+// not run. Estimates are recorded only for stages the planner priced
+// (prefilters carry est_out; candidates/verify do not).
 func (s *Server) observeStages(stages []discover.StageExplain) {
 	for _, st := range stages {
 		m := s.stages[st.Stage]
@@ -209,5 +215,14 @@ func (s *Server) observeStages(stages []discover.StageExplain) {
 		m.latency.Observe(time.Duration(st.ElapsedUS) * time.Microsecond)
 		m.in.Add(int64(st.In))
 		m.out.Add(int64(st.Out))
+		switch st.Stage {
+		case discover.StageMeta, discover.StageKeyword, discover.StageValues:
+			m.estOut.Add(int64(st.EstOut))
+			diff := int64(st.EstOut - st.Out)
+			if diff < 0 {
+				diff = -diff
+			}
+			m.estErr.Add(diff)
+		}
 	}
 }

@@ -242,6 +242,9 @@ func TestDiscoverStageStatsAndMetrics(t *testing.T) {
 	if !ok || meta.CandidatesIn == 0 {
 		t.Errorf("discover stage stats for %s missing or zero: %+v", discover.StageMeta, st.Discover)
 	}
+	if meta.EstOut == 0 {
+		t.Errorf("meta stage est_out total is zero: %+v", meta)
+	}
 	verify, ok := st.Discover[discover.StageVerify]
 	if !ok || verify.CandidatesIn == 0 {
 		t.Errorf("discover stage stats for %s missing or zero: %+v", discover.StageVerify, st.Discover)
@@ -255,6 +258,8 @@ func TestDiscoverStageStatsAndMetrics(t *testing.T) {
 		"lakeserved_discover_stage_seconds",
 		"lakeserved_discover_stage_candidates_in_total",
 		"lakeserved_discover_stage_candidates_out_total",
+		"lakeserved_discover_stage_est_out_total",
+		"lakeserved_discover_stage_est_abs_err_total",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("/metrics missing %s", want)

@@ -174,11 +174,15 @@ type StatsResponse struct {
 }
 
 // DiscoverStageStats is the per-stage /v1/discover summary: total
-// candidates entering and surviving the stage since start, plus
-// latency quantiles.
+// candidates entering and surviving the stage since start, the
+// planner's estimated survivors and cumulative absolute estimate
+// error (prefilter stages only; zeros elsewhere), plus latency
+// quantiles.
 type DiscoverStageStats struct {
 	CandidatesIn  int64   `json:"candidates_in"`
 	CandidatesOut int64   `json:"candidates_out"`
+	EstOut        int64   `json:"est_out"`
+	EstAbsErr     int64   `json:"est_abs_err"`
 	P50Ms         float64 `json:"p50_ms"`
 	P95Ms         float64 `json:"p95_ms"`
 }
@@ -489,6 +493,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ds2[name] = DiscoverStageStats{
 			CandidatesIn:  m.in.Value(),
 			CandidatesOut: m.out.Value(),
+			EstOut:        m.estOut.Value(),
+			EstAbsErr:     m.estErr.Value(),
 			P50Ms:         ms(m.latency.Quantile(0.5)),
 			P95Ms:         ms(m.latency.Quantile(0.95)),
 		}

@@ -70,6 +70,11 @@ type Config struct {
 	// that every upstream was built from the same manifest before
 	// fanning queries across them.
 	Shard *ShardIdentity
+	// FixedOrderPlanner pins /v1/discover to the fixed cheap→expensive
+	// prefilter order instead of the cost-based ordering. Results are
+	// bit-identical either way (prefilter intersection is commutative);
+	// the knob exists for A/B-ing stage costs and as an escape hatch.
+	FixedOrderPlanner bool
 }
 
 // ShardIdentity names the shard a server is serving and the manifest
@@ -165,12 +170,16 @@ type endpointMetrics struct {
 	latency  *obs.Histogram
 }
 
-// stageMetrics tracks one discover planner stage: latency plus
-// candidate-reduction counters (candidates entering vs surviving).
+// stageMetrics tracks one discover planner stage: latency,
+// candidate-reduction counters (candidates entering vs surviving), and
+// the planner's survivor estimates vs reality (estimate totals and
+// absolute estimate error, for est-quality dashboards).
 type stageMetrics struct {
 	latency *obs.Histogram
 	in      *obs.Counter
 	out     *obs.Counter
+	estOut  *obs.Counter
+	estErr  *obs.Counter
 }
 
 // New builds a Server around an already-built system.
@@ -204,6 +213,8 @@ func New(sys *core.System, cfg Config) *Server {
 			latency: s.reg.Histogram("lakeserved_discover_stage_seconds", "Discover planner stage latency, by stage.", lbl),
 			in:      s.reg.Counter("lakeserved_discover_stage_candidates_in_total", "Candidates entering a discover planner stage.", lbl),
 			out:     s.reg.Counter("lakeserved_discover_stage_candidates_out_total", "Candidates surviving a discover planner stage.", lbl),
+			estOut:  s.reg.Counter("lakeserved_discover_stage_est_out_total", "Planner-estimated survivors of a discover stage.", lbl),
+			estErr:  s.reg.Counter("lakeserved_discover_stage_est_abs_err_total", "Absolute error of the planner's survivor estimate, by stage.", lbl),
 		}
 	}
 	s.inflight = s.reg.Gauge("lakeserved_inflight", "Queries currently executing.", "")

@@ -54,6 +54,17 @@ echo "== offline planner: union seed + schema predicate + explain"
 grep -q prefilter_meta "$TMP/offline.txt" \
     || { echo "FAIL: offline explain lacks prefilter_meta" >&2; exit 1; }
 
+echo "== cost planner: selective keyword reorders ahead of a total meta predicate"
+"$TMP/lakectl" discover -lake "$TMP/lake" -table "$TABLE" -relation union \
+    -keywords "$TABLE" -min-rows 1 -k 5 -explain | tee "$TMP/reorder.txt"
+FIRST=$(grep -Eo 'prefilter_[a-z]+' "$TMP/reorder.txt" | head -1)
+[ "$FIRST" = prefilter_keyword ] \
+    || { echo "FAIL: first prefilter is $FIRST, want prefilter_keyword" >&2; exit 1; }
+grep -E 'prefilter_meta .*skipped' "$TMP/reorder.txt" >/dev/null \
+    || { echo "FAIL: provably-total min-rows=1 meta stage not skipped" >&2; exit 1; }
+grep -q 'est_out=' "$TMP/reorder.txt" \
+    || { echo "FAIL: explain lacks est_out estimates" >&2; exit 1; }
+
 echo "== building snapshot, serving on $ADDR"
 "$TMP/lakectl" build -lake "$TMP/lake" -o "$TMP/lake.snap"
 "$TMP/lakeserved" -snapshot "$TMP/lake.snap" -addr "$ADDR" \
